@@ -1,0 +1,191 @@
+package softborg
+
+// Ablation benchmarks for the design decisions DESIGN.md §5 calls out.
+//
+// AblationRecycleVsEagerSymbolic: SoftBorg builds the execution tree by
+// merging free, already-executed paths and reserves symbolic analysis for
+// gaps. The ablation builds the same tree by eager symbolic exploration
+// alone (classic symbolic execution) and compares solver effort — the
+// paper's §3.2 argument that "runtime constraint solving is not necessary"
+// for naturally covered paths.
+//
+// AblationPortfolioStrategies: the exploration allocator's three strategies
+// (diversify / speculate / efficient-frontier) on the same equity estimates.
+//
+// AblationCaptureModes: per-run capture cost of the three §3.1 modes
+// (wall-clock complement to E7's event/byte accounting).
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/exectree"
+	"repro/internal/portfolio"
+	"repro/internal/prog"
+	"repro/internal/proggen"
+	"repro/internal/stats"
+	"repro/internal/symbolic"
+	"repro/internal/trace"
+)
+
+// BenchmarkAblationRecycleVsEagerSymbolic reports the solver ticks each
+// strategy spends to reach the same tree coverage.
+func BenchmarkAblationRecycleVsEagerSymbolic(b *testing.B) {
+	p, _, err := proggen.Generate(proggen.Spec{Seed: 501, Depth: 5, NumInputs: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var recycleTicks, eagerTicks float64
+	for i := 0; i < b.N; i++ {
+		recycleTicks = float64(recycleCost(b, p))
+		eagerTicks = float64(eagerCost(b, p))
+	}
+	b.ReportMetric(recycleTicks, "recycle_solver_ticks")
+	b.ReportMetric(eagerTicks, "eager_solver_ticks")
+	if recycleTicks > 0 {
+		b.ReportMetric(eagerTicks/recycleTicks, "eager_cost_ratio")
+	}
+}
+
+// recycleCost: natural runs populate the tree for free; symbolic effort is
+// only the frontier discharge afterwards.
+func recycleCost(b *testing.B, p *prog.Program) int64 {
+	b.Helper()
+	sym, err := symbolic.New(p, symbolic.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := exectree.New(p.ID)
+	rng := stats.NewRNG(7)
+	for i := 0; i < 400; i++ {
+		path, err := sym.Run([]int64{rng.Int63n(256), rng.Int63n(256)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree.Merge(path.Events(), path.Outcome)
+	}
+	return dischargeAll(b, sym, tree)
+}
+
+// eagerCost: the tree starts empty except one seed; everything is
+// discovered by frontier solving.
+func eagerCost(b *testing.B, p *prog.Program) int64 {
+	b.Helper()
+	sym, err := symbolic.New(p, symbolic.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := exectree.New(p.ID)
+	path, err := sym.Run(make([]int64, p.NumInputs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree.Merge(path.Events(), path.Outcome)
+	return dischargeAll(b, sym, tree)
+}
+
+// dischargeAll drives the tree to completeness, counting solver queries as
+// the effort unit (each SolveFrontier call includes a forced replay plus a
+// constraint solve).
+func dischargeAll(b *testing.B, sym *symbolic.Engine, tree *exectree.Tree) int64 {
+	b.Helper()
+	var queries int64
+	for round := 0; round < 10_000; round++ {
+		frontiers := tree.Frontiers(0)
+		if len(frontiers) == 0 {
+			return queries
+		}
+		progress := false
+		for _, f := range frontiers {
+			queries++
+			input, verdict, err := sym.SolveFrontier(f)
+			if err != nil {
+				continue
+			}
+			switch verdict {
+			case constraint.SAT:
+				path, err := sym.Run(input)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mr := tree.Merge(path.Events(), path.Outcome)
+				if mr.NewPath || mr.NewEdges > 0 || mr.NewNodes > 0 {
+					progress = true
+				}
+			case constraint.UNSAT:
+				if tree.CertifyInfeasible(f.Prefix, f.Missing) {
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			return queries
+		}
+	}
+	return queries
+}
+
+// BenchmarkAblationPortfolioStrategies compares allocator strategies on a
+// skewed equity set.
+func BenchmarkAblationPortfolioStrategies(b *testing.B) {
+	equities := []portfolio.Equity{
+		{ID: "hot", Samples: 50, Mean: 10, Var: 4},
+		{ID: "cold", Samples: 50, Mean: 0.5, Var: 0.01},
+		{ID: "wild", Samples: 5, Mean: 6, Var: 90},
+		{ID: "fresh", Samples: 0},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, strat := range []portfolio.Strategy{
+			portfolio.Diversify, portfolio.Speculate, portfolio.EfficientFrontier,
+		} {
+			portfolio.Allocate(equities, 16, strat, 0.5)
+		}
+	}
+}
+
+// BenchmarkAblationCaptureModes measures wall-clock per instrumented run.
+func BenchmarkAblationCaptureModes(b *testing.B) {
+	p, _, err := proggen.Generate(proggen.Spec{
+		Seed: 502, Depth: 6, Loops: 2, NumInputs: 2, DetBranches: 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		mode trace.CaptureMode
+		rate float64
+		off  bool
+	}{
+		{name: "off", off: true},
+		{name: "full", mode: trace.CaptureFull},
+		{name: "external", mode: trace.CaptureExternalOnly},
+		{name: "sampled", mode: trace.CaptureSampled, rate: 0.1},
+	}
+	for _, mc := range modes {
+		b.Run(mc.name, func(b *testing.B) {
+			rng := stats.NewRNG(1)
+			var col *trace.Collector
+			if !mc.off {
+				col = trace.NewCollector(p, mc.mode, mc.rate, 1)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := prog.Config{Input: []int64{rng.Int63n(256), rng.Int63n(256)}}
+				if col != nil {
+					col.Reset()
+					cfg.Observer = col
+				}
+				m, err := prog.NewMachine(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := m.Run()
+				if col != nil {
+					col.Finish("pod", uint64(i), res, cfg.Input, trace.PrivacyHashed, "s")
+				}
+			}
+		})
+	}
+}

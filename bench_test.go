@@ -1,0 +1,166 @@
+package softborg
+
+// One benchmark per experiment (E1–E11, see EXPERIMENTS.md): each runs the
+// exact table-generating code from internal/experiments and reports the
+// experiment's headline numbers as custom benchmark metrics, so
+// `go test -bench=.` regenerates every figure/claim reproduction. The
+// rendered tables themselves come from `go run ./cmd/softborg-bench`.
+//
+// The file also carries hot-path micro-benchmarks (VM interpretation, trace
+// codec, tree merging, solving, wire round-trips) for -benchmem profiling.
+
+import (
+	"testing"
+
+	"repro/internal/exectree"
+	"repro/internal/experiments"
+	"repro/internal/prog"
+	"repro/internal/proggen"
+	"repro/internal/sat"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// runExperiment executes one experiment table per iteration and reports its
+// metrics.
+func runExperiment(b *testing.B, run func() (*experiments.Table, error)) {
+	b.Helper()
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tbl
+	}
+	for name, v := range last.Metrics {
+		b.ReportMetric(v, name)
+	}
+}
+
+func BenchmarkE1TreeMerge(b *testing.B)          { runExperiment(b, experiments.E1TreeMerge) }
+func BenchmarkE2PopulationCoverage(b *testing.B) { runExperiment(b, experiments.E2PopulationCoverage) }
+func BenchmarkE3SolverPortfolio(b *testing.B)    { runExperiment(b, experiments.E3SolverPortfolio) }
+func BenchmarkE4GuidedCoverage(b *testing.B)     { runExperiment(b, experiments.E4GuidedCoverage) }
+func BenchmarkE5DeadlockImmunity(b *testing.B)   { runExperiment(b, experiments.E5DeadlockImmunity) }
+func BenchmarkE6BugDensity(b *testing.B)         { runExperiment(b, experiments.E6BugDensity) }
+func BenchmarkE7CaptureOverhead(b *testing.B)    { runExperiment(b, experiments.E7CaptureOverhead) }
+func BenchmarkE8DynamicPartitioning(b *testing.B) {
+	runExperiment(b, experiments.E8DynamicPartitioning)
+}
+func BenchmarkE9CumulativeProofs(b *testing.B) { runExperiment(b, experiments.E9CumulativeProofs) }
+func BenchmarkE10Privacy(b *testing.B)         { runExperiment(b, experiments.E10Privacy) }
+func BenchmarkE11WireThroughput(b *testing.B)  { runExperiment(b, experiments.E11WireThroughput) }
+
+// --- hot-path micro-benchmarks ---
+
+func benchProgram(b *testing.B) *prog.Program {
+	b.Helper()
+	p, _, err := proggen.Generate(proggen.Spec{
+		Seed: 77, Depth: 6, Loops: 2, Syscalls: 1, NumInputs: 2, DetBranches: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkVMExecution measures raw interpretation speed, uninstrumented.
+func BenchmarkVMExecution(b *testing.B) {
+	p := benchProgram(b)
+	rng := stats.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		m, err := prog.NewMachine(p, prog.Config{Input: []int64{rng.Int63n(256), rng.Int63n(256)}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += m.Run().Steps
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "steps/run")
+}
+
+// BenchmarkVMExecutionInstrumented measures interpretation with full
+// capture — the pod's steady-state cost.
+func BenchmarkVMExecutionInstrumented(b *testing.B) {
+	p := benchProgram(b)
+	rng := stats.NewRNG(1)
+	col := trace.NewCollector(p, trace.CaptureFull, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col.Reset()
+		input := []int64{rng.Int63n(256), rng.Int63n(256)}
+		m, err := prog.NewMachine(p, prog.Config{Input: input, Observer: col})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := m.Run()
+		col.Finish("pod", uint64(i), res, input, trace.PrivacyHashed, "s")
+	}
+}
+
+// BenchmarkTraceEncodeDecode measures the telemetry codec round trip.
+func BenchmarkTraceEncodeDecode(b *testing.B) {
+	p := benchProgram(b)
+	col := trace.NewCollector(p, trace.CaptureFull, 0, 1)
+	m, err := prog.NewMachine(p, prog.Config{Input: []int64{42, 99}, Observer: col})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := m.Run()
+	tr := col.Finish("pod", 0, res, []int64{42, 99}, trace.PrivacyHashed, "s")
+	encoded := trace.Encode(tr)
+	b.SetBytes(int64(len(encoded)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := trace.Encode(tr)
+		if _, err := trace.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeMerge measures per-trace merge cost into a warm tree.
+func BenchmarkTreeMerge(b *testing.B) {
+	p := benchProgram(b)
+	rng := stats.NewRNG(2)
+	col := trace.NewCollector(p, trace.CaptureFull, 0, 1)
+	paths := make([][]trace.BranchEvent, 256)
+	outcomes := make([]prog.Outcome, 256)
+	for i := range paths {
+		col.Reset()
+		input := []int64{rng.Int63n(256), rng.Int63n(256)}
+		m, err := prog.NewMachine(p, prog.Config{Input: input, Observer: col})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := m.Run()
+		tr := col.Finish("pod", uint64(i), res, input, trace.PrivacyHashed, "s")
+		paths[i] = tr.Branches
+		outcomes[i] = tr.Outcome
+	}
+	tree := exectree.New(p.ID)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Merge(paths[i%len(paths)], outcomes[i%len(paths)])
+	}
+}
+
+// BenchmarkDPLLPhaseTransition measures one solver on a hard instance.
+func BenchmarkDPLLPhaseTransition(b *testing.B) {
+	rng := stats.NewRNG(3)
+	f := sat.Random3SAT(rng, 60, 4.26)
+	solver := sat.NewJW()
+	b.ResetTimer()
+	var ticks int64
+	for i := 0; i < b.N; i++ {
+		res := solver.Solve(f, 0, nil)
+		ticks += res.Ticks
+	}
+	b.ReportMetric(float64(ticks)/float64(b.N), "ticks/solve")
+}

@@ -1,0 +1,86 @@
+// Command hive runs a standalone SoftBorg hive: a TCP server that ingests
+// pod traces, synthesizes fixes, and serves guidance for a corpus of
+// generated programs (pods must be started with the same -seed corpus; see
+// cmd/pod).
+//
+//	hive -addr 127.0.0.1:7070 -programs 4 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/hive"
+	"repro/internal/proggen"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hive:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hive", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	programs := fs.Int("programs", 4, "number of generated programs to serve")
+	seed := fs.Uint64("seed", 1, "program-corpus seed (must match pods)")
+	statsEvery := fs.Duration("stats", 5*time.Second, "stats reporting interval (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	h := hive.New("fleet")
+	ids := make([]string, 0, *programs)
+	for i := 0; i < *programs; i++ {
+		p, _, err := proggen.Generate(proggen.CorpusSpec(*seed, i))
+		if err != nil {
+			return err
+		}
+		if err := h.RegisterProgram(p); err != nil {
+			return err
+		}
+		ids = append(ids, p.ID)
+		fmt.Printf("registered program %d: %s (%s)\n", i, p.Name, p.ID)
+	}
+
+	srv := wire.NewServer(h)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("hive listening on %s\n", bound)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *statsEvery <= 0 {
+		<-stop
+		return nil
+	}
+	ticker := time.NewTicker(*statsEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Println("shutting down")
+			return nil
+		case <-ticker.C:
+			for i, id := range ids {
+				st, err := h.ProgramStats(id)
+				if err != nil {
+					continue
+				}
+				fmt.Printf("program %d: ingested=%d paths=%d fixes=%d failures=%d repair-lab=%d\n",
+					i, st.Ingested, st.Tree.Paths, st.FixCount, len(st.Failures), st.RepairLab)
+			}
+		}
+	}
+}

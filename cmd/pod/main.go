@@ -1,0 +1,102 @@
+// Command pod runs a fleet of SoftBorg pods against a remote hive (see
+// cmd/hive): each pod executes its assigned generated program on simulated
+// user inputs, streams traces over TCP, and syncs fixes.
+//
+//	pod -hive 127.0.0.1:7070 -pods 8 -programs 4 -seed 1 -runs 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/pod"
+	"repro/internal/population"
+	"repro/internal/proggen"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pod:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pod", flag.ContinueOnError)
+	hiveAddr := fs.String("hive", "127.0.0.1:7070", "hive address")
+	pods := fs.Int("pods", 8, "number of pods to run")
+	programs := fs.Int("programs", 4, "program-corpus size (must match hive)")
+	seed := fs.Uint64("seed", 1, "program-corpus seed (must match hive)")
+	runs := fs.Int("runs", 200, "executions per pod")
+	syncEvery := fs.Int("sync", 25, "sync fixes every N runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pop, err := population.New(population.Config{Seed: *seed, Users: *pods})
+	if err != nil {
+		return err
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, *pods)
+	for i := 0; i < *pods; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs <- runPod(i, *hiveAddr, *seed, i%*programs, *runs, *syncEvery, pop)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Println("fleet done")
+	return nil
+}
+
+func runPod(idx int, hiveAddr string, seed uint64, programIdx, runs, syncEvery int, pop *population.Population) error {
+	p, _, err := proggen.Generate(proggen.CorpusSpec(seed, programIdx))
+	if err != nil {
+		return err
+	}
+	client := wire.Dial(hiveAddr)
+	defer client.Close()
+
+	user := pop.Users()[idx]
+	pd, err := pod.New(pod.Config{
+		Program:  p,
+		ID:       fmt.Sprintf("pod-%d", idx),
+		Hive:     client,
+		Salt:     "fleet",
+		Seed:     uint64(idx) + 1,
+		Syscalls: user.Syscalls(),
+	})
+	if err != nil {
+		return err
+	}
+	for r := 0; r < runs; r++ {
+		input := user.NextInput(p.NumInputs, pop.Domain())
+		if _, err := pd.RunOnce(input); err != nil {
+			return fmt.Errorf("pod %d: %w", idx, err)
+		}
+		if syncEvery > 0 && r%syncEvery == syncEvery-1 {
+			if err := pd.SyncFixes(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := pd.Flush(); err != nil {
+		return err
+	}
+	st := pd.Stats()
+	fmt.Printf("pod %d: runs=%d failures=%d averted=%d uploaded=%d fixver=%d\n",
+		idx, st.Runs, st.Failures, st.FailuresAverted, st.TracesUploaded, st.FixVersion)
+	return nil
+}

@@ -1,0 +1,69 @@
+// Command softborg-bench regenerates the reproduction tables for every
+// experiment in EXPERIMENTS.md (E1–E11): the paper's figures and
+// quantitative claims. With no flags it runs everything; -run selects a
+// comma-separated subset.
+//
+//	softborg-bench            # all experiments
+//	softborg-bench -run E3,E6 # just the portfolio and bug-density tables
+//	softborg-bench -list      # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "softborg-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("softborg-bench", flag.ContinueOnError)
+	runFilter := fs.String("run", "", "comma-separated experiment ids to run (default: all)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	specs := experiments.All()
+	if *list {
+		for _, s := range specs {
+			fmt.Printf("%-4s %s\n", s.ID, s.Name)
+		}
+		return nil
+	}
+
+	want := map[string]bool{}
+	if *runFilter != "" {
+		for _, id := range strings.Split(*runFilter, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	ran := 0
+	for _, s := range specs {
+		if len(want) > 0 && !want[s.ID] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := s.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.ID, err)
+		}
+		fmt.Println(tbl.Render())
+		fmt.Printf("[%s completed in %s]\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches -run=%q (try -list)", *runFilter)
+	}
+	return nil
+}

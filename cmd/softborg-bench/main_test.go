@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Fatal("bogus experiment id accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	// E10 is the fastest experiment (<50ms).
+	if err := run([]string{"-run", "e10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package softborg_test
+
+// Godoc examples for the public API. Each compiles and runs under go test;
+// output is verified against the trailing comments.
+
+import (
+	"fmt"
+
+	softborg "repro"
+)
+
+// ExampleBuildProgram assembles and runs a tiny program on the VM.
+func ExampleBuildProgram() {
+	b := softborg.BuildProgram("adder", 2)
+	b.Input(0, 0)
+	b.Input(1, 1)
+	b.Add(2, 0, 1)
+	end := b.NewLabel()
+	b.BrImm(2, softborg.CmpGT, 100, end)
+	b.Const(3, 7)
+	b.Bind(end)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	fmt.Println("branches:", p.NumBranches())
+	fmt.Println("input-dependent:", p.NumInputDependentBranches())
+	// Output:
+	// branches: 1
+	// input-dependent: 1
+}
+
+// ExampleNewHive shows the capture→fix loop in its smallest form.
+func ExampleNewHive() {
+	b := softborg.BuildProgram("divider", 1)
+	end := b.NewLabel()
+	b.Input(0, 0)
+	b.BrImm(0, softborg.CmpGE, 5, end) // inputs < 5 fall through to the bug
+	b.Const(1, 0)
+	b.Div(2, 1, 1) // 0/0
+	b.Bind(end)
+	b.Halt()
+	p, _ := b.Build()
+
+	hive := softborg.NewHive("salt")
+	_ = hive.RegisterProgram(p)
+	pod, _ := softborg.NewPod(softborg.PodConfig{
+		Program: p, ID: "pod", Hive: hive, Salt: "salt", BatchSize: 1,
+	})
+
+	res, _ := pod.RunOnce([]int64{0})
+	fmt.Println("before fix:", res.Outcome)
+	_ = pod.SyncFixes()
+	res, _ = pod.RunOnce([]int64{0})
+	fmt.Println("after fix: ", res.Outcome)
+	// Output:
+	// before fix: crash
+	// after fix:  ok
+}
+
+// ExampleHive_Prove proves a property by completing the execution tree.
+func ExampleHive_Prove() {
+	b := softborg.BuildProgram("clean", 1)
+	hi, end := b.NewLabel(), b.NewLabel()
+	b.Input(0, 0)
+	b.BrImm(0, softborg.CmpGT, 50, hi)
+	b.Const(1, 1)
+	b.Jmp(end)
+	b.Bind(hi)
+	b.Const(1, 2)
+	b.Bind(end)
+	b.Halt()
+	p, _ := b.Build()
+
+	hive := softborg.NewHive("salt")
+	_ = hive.RegisterProgram(p)
+	pr, _ := hive.Prove(p.ID, softborg.PropAllOK)
+	fmt.Println("complete:", pr.Complete, "holds:", pr.Holds)
+	// Output:
+	// complete: true holds: true
+}
+
+// ExampleGenerateProgram creates a workload program with a planted bug.
+func ExampleGenerateProgram() {
+	_, bugs, _ := softborg.GenerateProgram(softborg.GenSpec{
+		Seed: 7, Depth: 4, Bugs: []softborg.BugKind{softborg.BugCrash},
+	})
+	fmt.Println("planted:", bugs[0].Kind)
+	// Output:
+	// planted: crash
+}

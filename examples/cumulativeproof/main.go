@@ -1,0 +1,122 @@
+// Cumulative proofs (paper §3.3): tests and proofs on one spectrum.
+//
+// A clean program accumulates evidence from everyday use; each proof
+// attempt gets cheaper as the fleet covers more of the tree, until the
+// remaining gaps are discharged symbolically (inputs or infeasibility
+// certificates) and the accumulated "test suite" becomes a PROVEN verdict.
+// A multi-threaded sibling is then proven deadlock-free by exhaustive
+// bounded-schedule enumeration — including *under its immunity fix* after a
+// deadlock is found and fixed.
+//
+//	go run ./examples/cumulativeproof
+package main
+
+import (
+	"fmt"
+	"log"
+
+	softborg "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	if err := inputSpaceProof(); err != nil {
+		return err
+	}
+	return scheduleSpaceProof()
+}
+
+// inputSpaceProof: the single-threaded spectrum.
+func inputSpaceProof() error {
+	p, _, err := softborg.GenerateProgram(softborg.GenSpec{Seed: 4001, Depth: 5, NumInputs: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== input-space proof for %q ===\n", p.Name)
+
+	for _, runs := range []int{1, 30, 200} {
+		hive := softborg.NewHive("fleet")
+		if err := hive.RegisterProgram(p); err != nil {
+			return err
+		}
+		pod, err := softborg.NewPod(softborg.PodConfig{
+			Program: p, ID: "prover-pod", Hive: hive, Salt: "fleet", BatchSize: 16,
+		})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < runs; i++ {
+			if _, err := pod.RunOnce([]int64{int64(i*37+11) % 256}); err != nil {
+				return err
+			}
+		}
+		if err := pod.Flush(); err != nil {
+			return err
+		}
+		pr, err := hive.Prove(p.ID, softborg.PropNoCrash)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%4d natural runs -> %s\n", runs, pr.Statement())
+		fmt.Printf("      prover had to synthesize %d execution(s) and %d certificate(s)\n",
+			pr.NewEvidence, pr.Certificates)
+	}
+	return nil
+}
+
+// scheduleSpaceProof: the multi-threaded spectrum, with fix verification.
+func scheduleSpaceProof() error {
+	b := softborg.BuildProgram("dining-pair", 0).SetLocks(2)
+	b.Thread()
+	b.Lock(0).Yield().Lock(1).Unlock(1).Unlock(0).Halt()
+	b.Thread()
+	b.Lock(1).Yield().Lock(0).Unlock(0).Unlock(1).Halt()
+	p, err := b.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n=== schedule-space proof for %q ===\n", p.Name)
+
+	hive := softborg.NewHive("fleet")
+	if err := hive.RegisterProgram(p); err != nil {
+		return err
+	}
+
+	pr, err := hive.ProveNoDeadlock(p.ID, nil, 6)
+	if err != nil {
+		return err
+	}
+	fmt.Println("raw program:      ", pr.Statement())
+
+	// A pod fleet hits the deadlock; the hive mints the immunity fix.
+	pod, err := softborg.NewPod(softborg.PodConfig{
+		Program: p, ID: "mt-pod", Hive: hive, Seed: 3, Preempt: 0.9, BatchSize: 1, Salt: "fleet",
+	})
+	if err != nil {
+		return err
+	}
+	for r := 0; r < 50; r++ {
+		if _, err := pod.RunOnce(nil); err != nil {
+			return err
+		}
+	}
+	st, err := hive.ProgramStats(p.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet reported %d failure signature(s); %d fix(es) minted\n",
+		len(st.Failures), st.FixCount)
+
+	pr2, err := hive.ProveNoDeadlock(p.ID, nil, 6)
+	if err != nil {
+		return err
+	}
+	fmt.Println("with immunity fix:", pr2.Statement())
+	fmt.Printf("(%d schedules enumerated, outcomes: %v)\n", pr2.Schedules, pr2.Outcomes)
+	return nil
+}

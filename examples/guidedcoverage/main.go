@@ -1,0 +1,103 @@
+// Hive-guided execution steering (paper §3.3).
+//
+// A generated program hides a crash behind a 2-in-256 input window. A
+// Zipf-biased user population takes hundreds of natural runs to stumble
+// into it; the hive, analyzing the collective execution tree's frontiers
+// symbolically, issues test cases that drive a pod straight into the gap.
+//
+//	go run ./examples/guidedcoverage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	softborg "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	p, bugs, err := softborg.GenerateProgram(softborg.GenSpec{
+		Seed: 1004, Depth: 5, NumInputs: 1, TriggerWidth: 2,
+		Bugs: []softborg.BugKind{softborg.BugCrash},
+	})
+	if err != nil {
+		return err
+	}
+	bug := bugs[0]
+	fmt.Printf("generated %q: crash hides at inputs [%d,%d] of 0..255\n",
+		p.Name, bug.TriggerLo, bug.TriggerHi)
+
+	hive := softborg.NewHive("fleet")
+	if err := hive.RegisterProgram(p); err != nil {
+		return err
+	}
+	pod, err := softborg.NewPod(softborg.PodConfig{
+		Program: p, ID: "steered-pod", Hive: hive, Salt: "fleet", BatchSize: 1,
+	})
+	if err != nil {
+		return err
+	}
+
+	// A few natural runs seed the tree (none hits the bug).
+	for v := int64(0); v < 12; v++ {
+		if _, err := pod.RunOnce([]int64{v * 20 % 97}); err != nil {
+			return err
+		}
+	}
+	tree, err := hive.Tree(p.ID)
+	if err != nil {
+		return err
+	}
+	cov, total := tree.EdgeCoverage(p)
+	fmt.Printf("after 12 natural runs: %d/%d branch directions covered, %d open frontiers\n",
+		cov, total, len(tree.Frontiers(0)))
+
+	// The hive now steers: each round it solves frontiers into concrete
+	// inputs and the pod executes them.
+	round := 0
+	for {
+		round++
+		n, err := pod.PullGuidance(8)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		st, err := hive.ProgramStats(p.ID)
+		if err != nil {
+			return err
+		}
+		cov, _ = tree.EdgeCoverage(p)
+		fmt.Printf("guidance round %d: %d steered runs, coverage %d/%d, failures seen %d\n",
+			round, n, cov, total, len(st.Failures))
+		if len(st.Failures) > 0 {
+			break
+		}
+		if round > 20 {
+			break
+		}
+	}
+
+	st, err := hive.ProgramStats(p.ID)
+	if err != nil {
+		return err
+	}
+	if len(st.Failures) > 0 {
+		rec := st.Failures[0]
+		fmt.Printf("\nsteering found the planted bug: %s (seen %d time(s)); fix synthesized: %v\n",
+			rec.Signature, rec.Count, rec.Fixed)
+		fmt.Printf("pod executed %d guided runs total — compare with the ~hundreds of natural\n",
+			pod.Stats().GuidedRuns)
+		fmt.Println("runs E4 measures for the same discovery without steering.")
+	} else {
+		fmt.Println("bug not found within the round budget")
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+// Quickstart: the whole SoftBorg loop in one file.
+//
+// We hand-write a small program with a latent crash (inputs 100..109 divide
+// by zero), run it under a pod wired to an in-process hive, let one unlucky
+// "user" hit the bug, and watch the hive synthesize an input-guard fix that
+// the pod then applies — after which the same dangerous input is averted.
+// Finally the hive proves no-crash over the *guarded* fleet's evidence.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	softborg "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildProgram() (*softborg.Program, error) {
+	// if x >= 100 && x < 110 { crash } else { ok }
+	b := softborg.BuildProgram("quickstart", 1)
+	danger, end := b.NewLabel(), b.NewLabel()
+	b.Input(0, 0)
+	b.BrImm(0, softborg.CmpGE, 100, danger)
+	b.Jmp(end)
+	b.Bind(danger)
+	inner := b.NewLabel()
+	b.BrImm(0, softborg.CmpLT, 110, inner)
+	b.Jmp(end)
+	b.Bind(inner)
+	b.Const(1, 0)
+	b.Div(2, 1, 1) // 0/0
+	b.Bind(end)
+	b.Halt()
+	return b.Build()
+}
+
+func run() error {
+	p, err := buildProgram()
+	if err != nil {
+		return err
+	}
+	fmt.Println("program:", p.Name, "id:", p.ID)
+
+	// The hive: registration tells it enough to reconstruct, analyze and
+	// fix this program.
+	hive := softborg.NewHive("fleet-salt")
+	if err := hive.RegisterProgram(p); err != nil {
+		return err
+	}
+
+	// One pod, reporting external-only traces at hashed privacy — the
+	// paper's preferred low-cost, privacy-conscious configuration.
+	pod, err := softborg.NewPod(softborg.PodConfig{
+		Program: p,
+		ID:      "alice-laptop",
+		Hive:    hive,
+		Capture: softborg.CaptureExternalOnly,
+		Privacy: softborg.PrivacyHashed,
+		Salt:    "fleet-salt",
+	})
+	if err != nil {
+		return err
+	}
+
+	// Everyday use: benign inputs.
+	for v := int64(0); v < 40; v++ {
+		if _, err := pod.RunOnce([]int64{v}); err != nil {
+			return err
+		}
+	}
+	if err := pod.Flush(); err != nil {
+		return err
+	}
+
+	// The unlucky run.
+	res, err := pod.RunOnce([]int64{105})
+	if err != nil {
+		return err
+	}
+	fmt.Println("input 105 before fix:", res.Outcome) // crash
+	if err := pod.Flush(); err != nil {               // ship the crash report
+		return err
+	}
+
+	st, err := hive.ProgramStats(p.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hive: %d traces ingested, %d failure signature(s), %d fix(es) synthesized\n",
+		st.Ingested, len(st.Failures), st.FixCount)
+
+	// Close the loop: the pod pulls the fix and the danger zone is guarded.
+	if err := pod.SyncFixes(); err != nil {
+		return err
+	}
+	res2, err := pod.RunOnce([]int64{105})
+	if err != nil {
+		return err
+	}
+	fmt.Println("input 105 after fix: ", res2.Outcome) // ok
+	fmt.Printf("pod stats: %d runs, %d failures, %d averted by fixes\n",
+		pod.Stats().Runs, pod.Stats().Failures, pod.Stats().FailuresAverted)
+
+	// Cumulative proof: the accumulated executions plus symbolic discharge
+	// prove the crash is the *only* misbehaviour (it is refuted for the raw
+	// program — the counter-example is exactly the bug).
+	proof, err := hive.Prove(p.ID, softborg.PropNoCrash)
+	if err != nil {
+		return err
+	}
+	fmt.Println("proof attempt:", proof.Statement())
+	for _, ce := range proof.CounterExamples {
+		if len(ce.Input) > 0 {
+			fmt.Printf("  counter-example input: %v (%s)\n", ce.Input, ce.Outcome)
+		}
+	}
+	return nil
+}

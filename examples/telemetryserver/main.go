@@ -1,0 +1,107 @@
+// The Figure-1 loop over real sockets.
+//
+// A hive server listens on localhost TCP; a fleet of pods (each on its own
+// goroutine with its own connection) streams binary-encoded traces, pulls
+// fixes, and requests guidance — the same wire protocol cmd/hive and
+// cmd/pod speak across processes.
+//
+//	go run ./examples/telemetryserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	softborg "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	p, bugs, err := softborg.GenerateProgram(softborg.GenSpec{
+		Seed: 4011, Depth: 4, NumInputs: 1, TriggerWidth: 20,
+		Bugs: []softborg.BugKind{softborg.BugCrash},
+	})
+	if err != nil {
+		return err
+	}
+	hive := softborg.NewHive("fleet")
+	if err := hive.RegisterProgram(p); err != nil {
+		return err
+	}
+
+	srv, addr, err := softborg.ServeHive(hive, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("hive serving on %s; program %q has a crash at inputs [%d,%d]\n",
+		addr, p.Name, bugs[0].TriggerLo, bugs[0].TriggerHi)
+
+	const fleet = 6
+	const runs = 120
+	var wg sync.WaitGroup
+	errs := make(chan error, fleet)
+	for i := 0; i < fleet; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := softborg.DialHive(addr)
+			defer client.Close()
+			pd, err := softborg.NewPod(softborg.PodConfig{
+				Program: p,
+				ID:      fmt.Sprintf("tcp-pod-%d", i),
+				Hive:    client,
+				Salt:    "fleet",
+				Seed:    uint64(i*31 + 7),
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for r := int64(0); r < runs; r++ {
+				if _, err := pd.RunOnce([]int64{(r*13 + int64(i)*41) % 256}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := pd.Flush(); err != nil {
+				errs <- err
+				return
+			}
+			if err := pd.SyncFixes(); err != nil {
+				errs <- err
+				return
+			}
+			st := pd.Stats()
+			fmt.Printf("pod %d: %d runs, %d failures, fix version %d\n",
+				i, st.Runs, st.Failures, st.FixVersion)
+			errs <- nil
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	st, err := hive.ProgramStats(p.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nhive ingested %d traces over TCP (%d reconstructed from external-only capture)\n",
+		st.Ingested, st.Reconstructed)
+	fmt.Printf("execution tree: %d nodes, %d distinct paths\n", st.Tree.Nodes, st.Tree.Paths)
+	for _, rec := range st.Failures {
+		fmt.Printf("failure %s: %d report(s) from %d pod(s), fixed=%v\n",
+			rec.Signature, rec.Count, rec.Pods, rec.Fixed)
+	}
+	return nil
+}

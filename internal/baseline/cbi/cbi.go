@@ -1,0 +1,174 @@
+// Package cbi implements the Cooperative Bug Isolation baseline the paper
+// credits as inspiration (§5, ref [18], Liblit et al.): predicates (branch
+// directions) are sparsely sampled across the user community, reported
+// centrally, and statistically ranked to *localize* bugs. CBI diagnoses but
+// — as the paper notes — "does not diagnose bugs nor generate proofs or
+// hints for fixing the bugs" beyond localization; E6 uses it as the
+// mid-point between WER and SoftBorg.
+package cbi
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Predicate is a branch direction: the unit CBI scores.
+type Predicate struct {
+	BranchID int32
+	Taken    bool
+}
+
+// Score is the Liblit-style ranking for one predicate.
+type Score struct {
+	Pred Predicate
+	// Failure is F(P)/(F(P)+S(P)): how predictive observing P true is of
+	// failure.
+	Failure float64
+	// Context is F(P obs)/(F(P obs)+S(P obs)): the baseline failure rate of
+	// runs that merely reach P's site.
+	Context float64
+	// Increase = Failure − Context: the predicate's excess failure
+	// correlation, the primary ranking key.
+	Increase float64
+	// Importance is the harmonic mean of Increase and a normalized support
+	// term, penalizing rarely observed predicates.
+	Importance float64
+	// TrueInFailing counts failing runs where P was observed true.
+	TrueInFailing int64
+}
+
+type counts struct {
+	trueFail, trueSucc int64
+	obsFail, obsSucc   int64
+}
+
+// Aggregator is the central CBI server.
+type Aggregator struct {
+	mu       sync.Mutex
+	preds    map[Predicate]*counts
+	failures int64
+	runs     int64
+}
+
+// NewAggregator creates an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{preds: make(map[Predicate]*counts)}
+}
+
+// Ingest consumes one (typically sampled) trace: every recorded branch
+// event is an observed predicate; its direction is the predicate value.
+func (a *Aggregator) Ingest(tr *trace.Trace) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.runs++
+	failed := tr.Outcome.IsFailure()
+	if failed {
+		a.failures++
+	}
+	// A branch site observed in this run contributes one observation for
+	// each direction-predicate at that site and one truth for the taken
+	// direction.
+	seen := make(map[Predicate]bool, len(tr.Branches)*2)
+	for _, be := range tr.Branches {
+		for _, taken := range [2]bool{false, true} {
+			p := Predicate{BranchID: be.ID, Taken: taken}
+			if !seen[p] {
+				seen[p] = true
+				c := a.pred(p)
+				if failed {
+					c.obsFail++
+				} else {
+					c.obsSucc++
+				}
+			}
+		}
+		truth := Predicate{BranchID: be.ID, Taken: be.Taken}
+		c := a.pred(truth)
+		if failed {
+			c.trueFail++
+		} else {
+			c.trueSucc++
+		}
+	}
+}
+
+func (a *Aggregator) pred(p Predicate) *counts {
+	c, ok := a.preds[p]
+	if !ok {
+		c = &counts{}
+		a.preds[p] = c
+	}
+	return c
+}
+
+// Rank returns predicates ordered by Importance (desc): the bug report a
+// CBI deployment would hand a developer.
+func (a *Aggregator) Rank() []Score {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Score, 0, len(a.preds))
+	for p, c := range a.preds {
+		trueObs := c.trueFail + c.trueSucc
+		obs := c.obsFail + c.obsSucc
+		if trueObs == 0 || obs == 0 {
+			continue
+		}
+		failure := float64(c.trueFail) / float64(trueObs)
+		context := float64(c.obsFail) / float64(obs)
+		increase := failure - context
+		importance := 0.0
+		if increase > 0 && c.trueFail > 0 && a.failures > 0 {
+			support := math.Log(float64(c.trueFail)+1) / math.Log(float64(a.failures)+1)
+			importance = 2 / (1/increase + 1/support)
+		}
+		out = append(out, Score{
+			Pred:          p,
+			Failure:       failure,
+			Context:       context,
+			Increase:      increase,
+			Importance:    importance,
+			TrueInFailing: c.trueFail,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Importance != out[j].Importance {
+			return out[i].Importance > out[j].Importance
+		}
+		if out[i].Increase != out[j].Increase {
+			return out[i].Increase > out[j].Increase
+		}
+		if out[i].Pred.BranchID != out[j].Pred.BranchID {
+			return out[i].Pred.BranchID < out[j].Pred.BranchID
+		}
+		return !out[i].Pred.Taken && out[j].Pred.Taken
+	})
+	return out
+}
+
+// RankOf returns the 1-based rank of the given predicate in the current
+// ranking, or 0 when absent — the localization-quality metric.
+func (a *Aggregator) RankOf(p Predicate) int {
+	for i, s := range a.Rank() {
+		if s.Pred == p {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Stats summarizes the aggregator.
+type Stats struct {
+	Runs       int64
+	Failures   int64
+	Predicates int
+}
+
+// Stats returns a snapshot.
+func (a *Aggregator) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Stats{Runs: a.runs, Failures: a.failures, Predicates: len(a.preds)}
+}

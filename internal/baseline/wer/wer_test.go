@@ -1,0 +1,73 @@
+package wer
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+func failTrace(pod string, pc int32) *trace.Trace {
+	return &trace.Trace{PodID: pod, Outcome: prog.OutcomeCrash, FaultPC: pc, AssertID: -1}
+}
+
+func okTrace(pod string) *trace.Trace {
+	return &trace.Trace{PodID: pod, Outcome: prog.OutcomeOK, FaultPC: -1, AssertID: -1}
+}
+
+func TestBucketing(t *testing.T) {
+	c := NewCollector()
+	c.Ingest(failTrace("p1", 10))
+	c.Ingest(failTrace("p2", 10))
+	c.Ingest(failTrace("p1", 10))
+	c.Ingest(failTrace("p1", 20))
+
+	top := c.TopBuckets(0)
+	if len(top) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(top))
+	}
+	if top[0].Count != 3 || top[0].Pods != 2 {
+		t.Errorf("top bucket = %+v", top[0])
+	}
+	if top[1].Count != 1 {
+		t.Errorf("second bucket = %+v", top[1])
+	}
+}
+
+func TestOKReportsDropped(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 100; i++ {
+		c.Ingest(okTrace("p"))
+	}
+	c.Ingest(failTrace("p", 1))
+	st := c.Stats()
+	if st.DroppedOK != 100 {
+		t.Errorf("dropped = %d, want 100", st.DroppedOK)
+	}
+	if st.Reports != 1 || st.Buckets != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTopBucketsLimit(t *testing.T) {
+	c := NewCollector()
+	for pc := int32(0); pc < 10; pc++ {
+		c.Ingest(failTrace("p", pc))
+	}
+	if got := len(c.TopBuckets(3)); got != 3 {
+		t.Errorf("limited buckets = %d", got)
+	}
+}
+
+func TestFirstLastSeen(t *testing.T) {
+	c := NewCollector()
+	c.Ingest(failTrace("p", 1)) // report 1
+	c.Ingest(failTrace("p", 2)) // report 2
+	c.Ingest(failTrace("p", 1)) // report 3
+	top := c.TopBuckets(0)
+	for _, b := range top {
+		if b.FirstSeen == 0 || b.LastSeen < b.FirstSeen {
+			t.Errorf("bucket %+v has bad timeline", b)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/constraint"
+	"repro/internal/exectree"
+	"repro/internal/prog"
+	"repro/internal/symbolic"
+)
+
+// ConcurrentResult summarizes an ExploreConcurrent run.
+type ConcurrentResult struct {
+	mu sync.Mutex
+
+	// Complete reports full exploration.
+	Complete bool
+	// Discharged counts frontier discharges across workers.
+	Discharged int64
+	// PerWorker is each goroutine's discharge count.
+	PerWorker []int64
+	// Paths and Nodes are the final tree statistics.
+	Paths int64
+	Nodes int64
+}
+
+// ExploreConcurrent is the real-concurrency counterpart of Explore: worker
+// goroutines drain a shared frontier queue (dynamic partitioning), each with
+// its own symbolic engine, cooperating on one shared execution tree. It is
+// the in-process model of the hive's node fleet; the deterministic Explore
+// is used for measured experiments.
+func ExploreConcurrent(p *prog.Program, workers int, maxRounds int) (*ConcurrentResult, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("cluster: need at least 1 worker, got %d", workers)
+	}
+	if maxRounds <= 0 {
+		maxRounds = 200
+	}
+
+	engines := make([]*symbolic.Engine, workers)
+	for i := range engines {
+		e, err := symbolic.New(p, symbolic.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		engines[i] = e
+	}
+
+	tree := exectree.New(p.ID)
+	seed, err := engines[0].Run(make([]int64, p.NumInputs))
+	if err != nil {
+		return nil, err
+	}
+	tree.Merge(seed.Events(), seed.Outcome)
+
+	res := &ConcurrentResult{PerWorker: make([]int64, workers)}
+
+	// Round-based: gather frontiers, fan out over a channel, barrier, repeat.
+	// The barrier keeps rounds deterministic in *content* (the set of
+	// frontiers) while the per-worker interleaving is real concurrency.
+	for round := 0; round < maxRounds; round++ {
+		frontiers := tree.Frontiers(0)
+		if len(frontiers) == 0 {
+			res.Complete = true
+			break
+		}
+		work := make(chan exectree.Frontier)
+		var progressMu sync.Mutex
+		progress := false
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for f := range work {
+					adv := dischargeConcurrent(engines[w], tree, f)
+					res.addWorker(w)
+					if adv {
+						progressMu.Lock()
+						progress = true
+						progressMu.Unlock()
+					}
+				}
+			}(w)
+		}
+		for _, f := range frontiers {
+			work <- f
+		}
+		close(work)
+		wg.Wait()
+
+		if !progress {
+			break
+		}
+	}
+
+	for _, c := range res.PerWorker {
+		res.Discharged += c
+	}
+	st := tree.Stats()
+	res.Paths, res.Nodes = st.Paths, st.Nodes
+	return res, nil
+}
+
+func (r *ConcurrentResult) addWorker(w int) {
+	r.mu.Lock()
+	r.PerWorker[w]++
+	r.mu.Unlock()
+}
+
+func dischargeConcurrent(sym *symbolic.Engine, tree *exectree.Tree, f exectree.Frontier) bool {
+	input, verdict, err := sym.SolveFrontier(f)
+	if err != nil {
+		return false
+	}
+	switch verdict {
+	case constraint.SAT:
+		path, err := sym.Run(input)
+		if err != nil {
+			return false
+		}
+		mr := tree.Merge(path.Events(), path.Outcome)
+		return mr.NewNodes > 0 || mr.NewEdges > 0 || mr.NewPath
+	case constraint.UNSAT:
+		return tree.CertifyInfeasible(f.Prefix, f.Missing)
+	default:
+		return false
+	}
+}

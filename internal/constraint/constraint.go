@@ -1,0 +1,228 @@
+// Package constraint implements the path-condition language of SoftBorg's
+// symbolic engine: linear integer constraints over program input variables,
+// with an interval-propagation + backtracking solver. The hive uses it to
+// decide feasibility of unexplored branch directions (§3.3: infeasibility
+// certificates that complete proofs) and to synthesize inputs that steer
+// pods into coverage gaps (§3.3 execution guidance).
+package constraint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/prog"
+)
+
+// Expr is a linear expression over input variables: sum(Coeffs[v]*v) + Const.
+// The zero value is the constant 0.
+type Expr struct {
+	// Coeffs maps input-variable index to coefficient; zero coefficients
+	// are never stored.
+	Coeffs map[int]int64
+	// Const is the constant term.
+	Const int64
+}
+
+// Var returns the expression consisting of the single variable v.
+func Var(v int) Expr {
+	return Expr{Coeffs: map[int]int64{v: 1}}
+}
+
+// Const returns a constant expression.
+func Const(c int64) Expr {
+	return Expr{Const: c}
+}
+
+// IsConst reports whether the expression has no variables.
+func (e Expr) IsConst() bool { return len(e.Coeffs) == 0 }
+
+// clone copies the expression.
+func (e Expr) clone() Expr {
+	out := Expr{Const: e.Const}
+	if len(e.Coeffs) > 0 {
+		out.Coeffs = make(map[int]int64, len(e.Coeffs))
+		for v, c := range e.Coeffs {
+			out.Coeffs[v] = c
+		}
+	}
+	return out
+}
+
+func (e Expr) set(v int, c int64) Expr {
+	if e.Coeffs == nil {
+		e.Coeffs = make(map[int]int64, 2)
+	}
+	if c == 0 {
+		delete(e.Coeffs, v)
+	} else {
+		e.Coeffs[v] = c
+	}
+	return e
+}
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr {
+	out := e.clone()
+	out.Const += o.Const
+	for v, c := range o.Coeffs {
+		out = out.set(v, out.Coeffs[v]+c)
+	}
+	return out
+}
+
+// Sub returns e - o.
+func (e Expr) Sub(o Expr) Expr {
+	out := e.clone()
+	out.Const -= o.Const
+	for v, c := range o.Coeffs {
+		out = out.set(v, out.Coeffs[v]-c)
+	}
+	return out
+}
+
+// AddConst returns e + k.
+func (e Expr) AddConst(k int64) Expr {
+	out := e.clone()
+	out.Const += k
+	return out
+}
+
+// MulConst returns e * k.
+func (e Expr) MulConst(k int64) Expr {
+	out := Expr{Const: e.Const * k}
+	for v, c := range e.Coeffs {
+		out = out.set(v, c*k)
+	}
+	return out
+}
+
+// Eval computes the expression under an assignment (missing vars are 0).
+func (e Expr) Eval(assign map[int]int64) int64 {
+	sum := e.Const
+	for v, c := range e.Coeffs {
+		sum += c * assign[v]
+	}
+	return sum
+}
+
+// Vars returns the variable indices in ascending order.
+func (e Expr) Vars() []int {
+	out := make([]int, 0, len(e.Coeffs))
+	for v := range e.Coeffs {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String renders the expression.
+func (e Expr) String() string {
+	var sb strings.Builder
+	for i, v := range e.Vars() {
+		c := e.Coeffs[v]
+		if i > 0 && c >= 0 {
+			sb.WriteString("+")
+		}
+		if c == 1 {
+			fmt.Fprintf(&sb, "x%d", v)
+		} else if c == -1 {
+			fmt.Fprintf(&sb, "-x%d", v)
+		} else {
+			fmt.Fprintf(&sb, "%d*x%d", c, v)
+		}
+	}
+	if e.Const != 0 || len(e.Coeffs) == 0 {
+		if len(e.Coeffs) > 0 && e.Const >= 0 {
+			sb.WriteString("+")
+		}
+		fmt.Fprintf(&sb, "%d", e.Const)
+	}
+	return sb.String()
+}
+
+// Constraint is Expr <cmp> 0.
+type Constraint struct {
+	Expr Expr
+	Cmp  prog.Cmp
+}
+
+// NewConstraint builds "lhs cmp rhs" normalized to (lhs-rhs) cmp 0.
+func NewConstraint(lhs Expr, cmp prog.Cmp, rhs Expr) Constraint {
+	return Constraint{Expr: lhs.Sub(rhs), Cmp: cmp}
+}
+
+// Negate returns the complementary constraint.
+func (c Constraint) Negate() Constraint {
+	return Constraint{Expr: c.Expr, Cmp: c.Cmp.Negate()}
+}
+
+// Holds evaluates the constraint under an assignment.
+func (c Constraint) Holds(assign map[int]int64) bool {
+	return c.Cmp.Eval(c.Expr.Eval(assign), 0)
+}
+
+// IsTriviallyTrue reports whether the constraint holds regardless of
+// assignment (constant expression satisfying the comparison).
+func (c Constraint) IsTriviallyTrue() bool {
+	return c.Expr.IsConst() && c.Cmp.Eval(c.Expr.Const, 0)
+}
+
+// IsTriviallyFalse reports whether the constraint fails regardless of
+// assignment.
+func (c Constraint) IsTriviallyFalse() bool {
+	return c.Expr.IsConst() && !c.Cmp.Eval(c.Expr.Const, 0)
+}
+
+// String renders the constraint.
+func (c Constraint) String() string {
+	return fmt.Sprintf("%s %s 0", c.Expr, c.Cmp)
+}
+
+// PathCondition is a conjunction of constraints collected along an execution
+// path.
+type PathCondition []Constraint
+
+// Holds evaluates the conjunction under an assignment.
+func (pc PathCondition) Holds(assign map[int]int64) bool {
+	for _, c := range pc {
+		if !c.Holds(assign) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns all variable indices mentioned, ascending.
+func (pc PathCondition) Vars() []int {
+	seen := map[int]bool{}
+	for _, c := range pc {
+		for v := range c.Expr.Coeffs {
+			seen[v] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone deep-copies the condition.
+func (pc PathCondition) Clone() PathCondition {
+	out := make(PathCondition, len(pc))
+	for i, c := range pc {
+		out[i] = Constraint{Expr: c.Expr.clone(), Cmp: c.Cmp}
+	}
+	return out
+}
+
+// String renders the conjunction.
+func (pc PathCondition) String() string {
+	parts := make([]string, len(pc))
+	for i, c := range pc {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}

@@ -1,0 +1,217 @@
+package constraint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prog"
+	"repro/internal/stats"
+)
+
+func TestExprArithmetic(t *testing.T) {
+	// 2*x0 + 3*x1 - 5
+	e := Var(0).MulConst(2).Add(Var(1).MulConst(3)).AddConst(-5)
+	got := e.Eval(map[int]int64{0: 10, 1: 4})
+	if got != 27 {
+		t.Fatalf("eval = %d, want 27", got)
+	}
+	if e.IsConst() {
+		t.Error("expr with vars reported const")
+	}
+	vars := e.Vars()
+	if len(vars) != 2 || vars[0] != 0 || vars[1] != 1 {
+		t.Errorf("vars = %v", vars)
+	}
+}
+
+func TestExprCancellation(t *testing.T) {
+	e := Var(3).Sub(Var(3))
+	if !e.IsConst() {
+		t.Error("x-x should be const")
+	}
+	if e.Eval(nil) != 0 {
+		t.Error("x-x should be 0")
+	}
+}
+
+func TestConstraintNegate(t *testing.T) {
+	c := NewConstraint(Var(0), prog.CmpLT, Const(5)) // x0 < 5
+	n := c.Negate()                                  // x0 >= 5
+	assign4 := map[int]int64{0: 4}
+	assign5 := map[int]int64{0: 5}
+	if !c.Holds(assign4) || c.Holds(assign5) {
+		t.Error("constraint truth table wrong")
+	}
+	if n.Holds(assign4) || !n.Holds(assign5) {
+		t.Error("negated constraint truth table wrong")
+	}
+}
+
+func TestSolverSimpleSAT(t *testing.T) {
+	// x0 > 10 ∧ x0 < 13
+	pc := PathCondition{
+		NewConstraint(Var(0), prog.CmpGT, Const(10)),
+		NewConstraint(Var(0), prog.CmpLT, Const(13)),
+	}
+	s := &Solver{}
+	res := s.Solve(pc)
+	if res.Verdict != SAT {
+		t.Fatalf("verdict = %v, want sat", res.Verdict)
+	}
+	if !pc.Holds(map[int]int64(res.Model)) {
+		t.Fatalf("model %v does not satisfy", res.Model)
+	}
+}
+
+func TestSolverUNSAT(t *testing.T) {
+	// x0 > 10 ∧ x0 < 5
+	pc := PathCondition{
+		NewConstraint(Var(0), prog.CmpGT, Const(10)),
+		NewConstraint(Var(0), prog.CmpLT, Const(5)),
+	}
+	if res := (&Solver{}).Solve(pc); res.Verdict != UNSAT {
+		t.Fatalf("verdict = %v, want unsat", res.Verdict)
+	}
+}
+
+func TestSolverDomainBounds(t *testing.T) {
+	// x0 > 300 is UNSAT in domain [0,255].
+	pc := PathCondition{NewConstraint(Var(0), prog.CmpGT, Const(300))}
+	if res := (&Solver{}).Solve(pc); res.Verdict != UNSAT {
+		t.Fatalf("verdict = %v, want unsat (out of domain)", res.Verdict)
+	}
+	// But SAT in a wider domain.
+	s := &Solver{Domain: Domain{Lo: 0, Hi: 1000}}
+	if res := s.Solve(pc); res.Verdict != SAT {
+		t.Fatalf("verdict = %v, want sat in wide domain", res.Verdict)
+	}
+}
+
+func TestSolverMultiVariable(t *testing.T) {
+	// x0 + x1 == 100 ∧ x0 - x1 == 20  =>  x0=60, x1=40
+	pc := PathCondition{
+		NewConstraint(Var(0).Add(Var(1)), prog.CmpEQ, Const(100)),
+		NewConstraint(Var(0).Sub(Var(1)), prog.CmpEQ, Const(20)),
+	}
+	res := (&Solver{}).Solve(pc)
+	if res.Verdict != SAT {
+		t.Fatalf("verdict = %v, want sat", res.Verdict)
+	}
+	if res.Model[0] != 60 || res.Model[1] != 40 {
+		t.Fatalf("model = %v, want x0=60 x1=40", res.Model)
+	}
+}
+
+func TestSolverNE(t *testing.T) {
+	// x0 >= 0 ∧ x0 <= 1 ∧ x0 != 0  =>  x0 = 1
+	pc := PathCondition{
+		NewConstraint(Var(0), prog.CmpGE, Const(0)),
+		NewConstraint(Var(0), prog.CmpLE, Const(1)),
+		NewConstraint(Var(0), prog.CmpNE, Const(0)),
+	}
+	res := (&Solver{}).Solve(pc)
+	if res.Verdict != SAT || res.Model[0] != 1 {
+		t.Fatalf("verdict=%v model=%v, want sat with x0=1", res.Verdict, res.Model)
+	}
+}
+
+func TestSolverCoefficients(t *testing.T) {
+	// 3*x0 == 12  =>  x0 = 4
+	pc := PathCondition{NewConstraint(Var(0).MulConst(3), prog.CmpEQ, Const(12))}
+	res := (&Solver{}).Solve(pc)
+	if res.Verdict != SAT || res.Model[0] != 4 {
+		t.Fatalf("verdict=%v model=%v, want x0=4", res.Verdict, res.Model)
+	}
+	// 3*x0 == 13 has no integer solution.
+	pc2 := PathCondition{NewConstraint(Var(0).MulConst(3), prog.CmpEQ, Const(13))}
+	if res := (&Solver{}).Solve(pc2); res.Verdict != UNSAT {
+		t.Fatalf("3x=13: verdict = %v, want unsat", res.Verdict)
+	}
+}
+
+func TestSolverNegativeCoefficients(t *testing.T) {
+	// -2*x0 + 10 == 0  =>  x0 = 5
+	pc := PathCondition{NewConstraint(Var(0).MulConst(-2).AddConst(10), prog.CmpEQ, Const(0))}
+	res := (&Solver{}).Solve(pc)
+	if res.Verdict != SAT || res.Model[0] != 5 {
+		t.Fatalf("verdict=%v model=%v, want x0=5", res.Verdict, res.Model)
+	}
+}
+
+func TestSolverEmptyCondition(t *testing.T) {
+	res := (&Solver{}).Solve(nil)
+	if res.Verdict != SAT {
+		t.Fatalf("empty condition: verdict = %v, want sat", res.Verdict)
+	}
+}
+
+func TestTriviallyFalse(t *testing.T) {
+	pc := PathCondition{NewConstraint(Const(1), prog.CmpEQ, Const(2))}
+	if res := (&Solver{}).Solve(pc); res.Verdict != UNSAT {
+		t.Fatalf("verdict = %v, want unsat", res.Verdict)
+	}
+}
+
+// Property: solver verdict matches brute force over a small domain.
+func TestQuickSolverMatchesBruteForce(t *testing.T) {
+	cmps := []prog.Cmp{prog.CmpEQ, prog.CmpNE, prog.CmpLT, prog.CmpLE, prog.CmpGT, prog.CmpGE}
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		nvars := 1 + rng.Intn(2)
+		ncons := 1 + rng.Intn(4)
+		pc := make(PathCondition, 0, ncons)
+		for i := 0; i < ncons; i++ {
+			e := Const(int64(rng.Intn(21)) - 10)
+			for v := 0; v < nvars; v++ {
+				coeff := int64(rng.Intn(7)) - 3
+				if coeff != 0 {
+					e = e.Add(Var(v).MulConst(coeff))
+				}
+			}
+			pc = append(pc, Constraint{Expr: e, Cmp: cmps[rng.Intn(len(cmps))]})
+		}
+		dom := Domain{Lo: 0, Hi: 15}
+		res := (&Solver{Domain: dom}).Solve(pc)
+
+		// Brute force.
+		found := false
+		assign := map[int]int64{}
+		var rec func(v int) bool
+		rec = func(v int) bool {
+			if v == nvars {
+				return pc.Holds(assign)
+			}
+			for x := dom.Lo; x <= dom.Hi; x++ {
+				assign[v] = x
+				if rec(v + 1) {
+					return true
+				}
+			}
+			return false
+		}
+		found = rec(0)
+
+		switch res.Verdict {
+		case SAT:
+			return found && pc.Holds(map[int]int64(res.Model))
+		case UNSAT:
+			return !found
+		default:
+			return true // Unknown acceptable under budget, never asserted wrong
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathConditionString(t *testing.T) {
+	pc := PathCondition{
+		NewConstraint(Var(0), prog.CmpLT, Const(5)),
+		NewConstraint(Var(1).MulConst(2), prog.CmpGE, Const(0)),
+	}
+	s := pc.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,334 @@
+package constraint
+
+import (
+	"fmt"
+
+	"repro/internal/prog"
+)
+
+// Verdict is a solver's answer.
+type Verdict uint8
+
+// Verdicts. Unknown means the budget ran out before a decision.
+const (
+	SAT Verdict = iota + 1
+	UNSAT
+	Unknown
+)
+
+var verdictNames = map[Verdict]string{SAT: "sat", UNSAT: "unsat", Unknown: "unknown"}
+
+// String returns the verdict label.
+func (v Verdict) String() string {
+	if s, ok := verdictNames[v]; ok {
+		return s
+	}
+	return fmt.Sprintf("verdict(%d)", uint8(v))
+}
+
+// Domain bounds every variable to [Lo, Hi] inclusive. Program inputs are
+// bounded integers, so the solver is complete over the domain: UNSAT means
+// genuinely infeasible for in-domain inputs, which is exactly the guarantee
+// infeasibility certificates need.
+type Domain struct {
+	Lo, Hi int64
+}
+
+// DefaultDomain is the input domain used throughout the experiments.
+var DefaultDomain = Domain{Lo: 0, Hi: 255}
+
+// Solution is a satisfying assignment.
+type Solution map[int]int64
+
+// Result carries the verdict, a model when SAT, and the cost in solver
+// ticks (bound evaluations), the deterministic effort unit used by the
+// portfolio experiments.
+type Result struct {
+	Verdict Verdict
+	Model   Solution
+	Ticks   int64
+}
+
+// Solver solves bounded-integer linear constraint systems by interval
+// propagation plus depth-first search with backtracking. It is deterministic.
+type Solver struct {
+	// Domain bounds all variables.
+	Domain Domain
+	// MaxTicks bounds effort; zero means DefaultMaxTicks.
+	MaxTicks int64
+}
+
+// DefaultMaxTicks bounds solver effort when Solver.MaxTicks is zero.
+const DefaultMaxTicks = 2_000_000
+
+type interval struct{ lo, hi int64 }
+
+func (iv interval) empty() bool { return iv.lo > iv.hi }
+
+// Solve decides the conjunction pc.
+func (s *Solver) Solve(pc PathCondition) Result {
+	maxTicks := s.MaxTicks
+	if maxTicks <= 0 {
+		maxTicks = DefaultMaxTicks
+	}
+	dom := s.Domain
+	if dom.Lo == 0 && dom.Hi == 0 {
+		dom = DefaultDomain
+	}
+
+	// Trivial screening.
+	active := make(PathCondition, 0, len(pc))
+	for _, c := range pc {
+		if c.IsTriviallyFalse() {
+			return Result{Verdict: UNSAT}
+		}
+		if !c.IsTriviallyTrue() {
+			active = append(active, c)
+		}
+	}
+	vars := active.Vars()
+	if len(vars) == 0 {
+		return Result{Verdict: SAT, Model: Solution{}}
+	}
+
+	st := &searchState{
+		cons:     active,
+		vars:     vars,
+		domain:   dom,
+		maxTicks: maxTicks,
+	}
+	st.bounds = make(map[int]interval, len(vars))
+	for _, v := range vars {
+		st.bounds[v] = interval{dom.Lo, dom.Hi}
+	}
+	verdict, model := st.search()
+	return Result{Verdict: verdict, Model: model, Ticks: st.ticks}
+}
+
+type searchState struct {
+	cons     PathCondition
+	vars     []int
+	domain   Domain
+	bounds   map[int]interval
+	ticks    int64
+	maxTicks int64
+}
+
+// search runs propagate-then-branch DFS over variable assignments.
+func (st *searchState) search() (Verdict, Solution) {
+	switch st.propagate() {
+	case UNSAT:
+		return UNSAT, nil
+	case Unknown:
+		return Unknown, nil
+	}
+
+	// Pick the unfixed variable with the smallest remaining range
+	// (fail-first heuristic).
+	pick := -1
+	var pickRange int64
+	for _, v := range st.vars {
+		iv := st.bounds[v]
+		if iv.lo == iv.hi {
+			continue
+		}
+		r := iv.hi - iv.lo
+		if pick == -1 || r < pickRange {
+			pick, pickRange = v, r
+		}
+	}
+	if pick == -1 {
+		// Fully assigned: verify.
+		model := make(Solution, len(st.vars))
+		for _, v := range st.vars {
+			model[v] = st.bounds[v].lo
+		}
+		if st.cons.Holds(map[int]int64(model)) {
+			return SAT, model
+		}
+		return UNSAT, nil
+	}
+
+	iv := st.bounds[pick]
+	// Try values from the midpoint outwards: mid, lo, hi, then bisection on
+	// sub-ranges. For linear constraints, trying lo, mid, hi then splitting
+	// is effective; we simply enumerate small ranges and bisect large ones.
+	if iv.hi-iv.lo <= 16 {
+		for val := iv.lo; val <= iv.hi; val++ {
+			if st.ticks >= st.maxTicks {
+				return Unknown, nil
+			}
+			saved := st.snapshot()
+			st.bounds[pick] = interval{val, val}
+			verdict, model := st.search()
+			if verdict == SAT || verdict == Unknown {
+				return verdict, model
+			}
+			st.restore(saved)
+		}
+		return UNSAT, nil
+	}
+	mid := iv.lo + (iv.hi-iv.lo)/2
+	for _, half := range []interval{{iv.lo, mid}, {mid + 1, iv.hi}} {
+		if st.ticks >= st.maxTicks {
+			return Unknown, nil
+		}
+		saved := st.snapshot()
+		st.bounds[pick] = half
+		verdict, model := st.search()
+		if verdict == SAT || verdict == Unknown {
+			return verdict, model
+		}
+		st.restore(saved)
+	}
+	return UNSAT, nil
+}
+
+func (st *searchState) snapshot() map[int]interval {
+	out := make(map[int]interval, len(st.bounds))
+	for k, v := range st.bounds {
+		out[k] = v
+	}
+	return out
+}
+
+func (st *searchState) restore(saved map[int]interval) {
+	st.bounds = saved
+}
+
+// propagate tightens variable bounds until fixpoint. For each constraint
+// sum(c_v * v) + k <cmp> 0 and each variable x, the extreme achievable value
+// of the other terms bounds x. Returns UNSAT when a domain empties.
+func (st *searchState) propagate() Verdict {
+	changed := true
+	for changed {
+		changed = false
+		for _, c := range st.cons {
+			st.ticks++
+			if st.ticks >= st.maxTicks {
+				return Unknown
+			}
+			v := st.propagateOne(c, &changed)
+			if v == UNSAT {
+				return UNSAT
+			}
+		}
+	}
+	return SAT // meaning: consistent so far
+}
+
+func (st *searchState) propagateOne(c Constraint, changed *bool) Verdict {
+	// Compute min and max of the expression under current bounds.
+	minv, maxv := c.Expr.Const, c.Expr.Const
+	for v, coeff := range c.Expr.Coeffs {
+		iv := st.bounds[v]
+		if coeff >= 0 {
+			minv += coeff * iv.lo
+			maxv += coeff * iv.hi
+		} else {
+			minv += coeff * iv.hi
+			maxv += coeff * iv.lo
+		}
+	}
+
+	// Convert the comparison to bounds on the expression value e ∈ [eLo, eHi].
+	eLo, eHi := int64(minInt64), int64(maxInt64)
+	switch c.Cmp {
+	case prog.CmpEQ:
+		eLo, eHi = 0, 0
+	case prog.CmpNE:
+		// Disequality prunes only when the expression is pinned to zero.
+		if minv == maxv && minv == 0 {
+			return UNSAT
+		}
+		return SAT
+	case prog.CmpLT:
+		eHi = -1
+	case prog.CmpLE:
+		eHi = 0
+	case prog.CmpGT:
+		eLo = 1
+	case prog.CmpGE:
+		eLo = 0
+	}
+	if maxv < eLo || minv > eHi {
+		return UNSAT
+	}
+
+	// Tighten each variable against the expression bounds.
+	for v, coeff := range c.Expr.Coeffs {
+		iv := st.bounds[v]
+		// rest = e - coeff*v; bounds of rest under current intervals.
+		var restLo, restHi int64
+		if coeff >= 0 {
+			restLo = minv - coeff*iv.lo
+			restHi = maxv - coeff*iv.hi
+		} else {
+			restLo = minv - coeff*iv.hi
+			restHi = maxv - coeff*iv.lo
+		}
+		// eLo <= coeff*v + rest <= eHi  =>  (eLo-restHi) <= coeff*v <= (eHi-restLo)
+		numLo := eLo - restHi
+		numHi := eHi - restLo
+		var newLo, newHi int64
+		if coeff > 0 {
+			newLo = ceilDiv(numLo, coeff)
+			newHi = floorDiv(numHi, coeff)
+		} else {
+			newLo = ceilDiv(numHi, coeff)
+			newHi = floorDiv(numLo, coeff)
+		}
+		if eLo == int64(minInt64) {
+			// One-sided: only the upper constraint applies (or lower for
+			// negative coeff); recompute conservatively.
+			if coeff > 0 {
+				newLo = iv.lo
+			} else {
+				newHi = iv.hi
+			}
+		}
+		if eHi == int64(maxInt64) {
+			if coeff > 0 {
+				newHi = iv.hi
+			} else {
+				newLo = iv.lo
+			}
+		}
+		if newLo < iv.lo {
+			newLo = iv.lo
+		}
+		if newHi > iv.hi {
+			newHi = iv.hi
+		}
+		if newLo != iv.lo || newHi != iv.hi {
+			ni := interval{newLo, newHi}
+			if ni.empty() {
+				return UNSAT
+			}
+			st.bounds[v] = ni
+			*changed = true
+		}
+	}
+	return SAT
+}
+
+const (
+	minInt64 = -1 << 62 // sentinel "unbounded" (headroom avoids overflow)
+	maxInt64 = 1<<62 - 1
+)
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}

@@ -1,0 +1,339 @@
+// Package core orchestrates whole-platform simulations: a population of
+// users running programs under pods, a telemetry backend (SoftBorg hive,
+// WER-style crash bucketing, CBI-style predicate sampling, or nothing), and
+// a day-granularity loop that measures how residual failure rate, coverage,
+// and fix counts evolve — the engine behind experiments E2, E5, E6, and E7.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/cbi"
+	"repro/internal/baseline/wer"
+	"repro/internal/fix"
+	"repro/internal/guidance"
+	"repro/internal/hive"
+	"repro/internal/pod"
+	"repro/internal/population"
+	"repro/internal/prog"
+	"repro/internal/proggen"
+	"repro/internal/trace"
+)
+
+// Mode selects the telemetry backend.
+type Mode uint8
+
+// Simulation modes.
+const (
+	// ModeNone runs programs with no telemetry at all: the status quo for
+	// most software.
+	ModeNone Mode = iota + 1
+	// ModeWER reports failures only, centrally bucketed; no fixes ship.
+	ModeWER
+	// ModeCBI samples predicates fleet-wide and ranks them; no fixes ship.
+	ModeCBI
+	// ModeSoftBorg closes the loop: full recycling, fixes, guidance.
+	ModeSoftBorg
+)
+
+var modeNames = map[Mode]string{
+	ModeNone: "none", ModeWER: "wer", ModeCBI: "cbi", ModeSoftBorg: "softborg",
+}
+
+// String returns the mode label.
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ProgramUnderTest couples a program with its planted-bug ground truth.
+type ProgramUnderTest struct {
+	Prog *prog.Program
+	Bugs []proggen.Bug
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Seed drives everything; same config, same run.
+	Seed uint64
+	// Programs is the corpus; users are assigned round-robin.
+	Programs []ProgramUnderTest
+	// Population shapes the fleet.
+	Population population.Config
+	// Days is the simulated horizon.
+	Days int
+	// Mode selects the backend.
+	Mode Mode
+	// GuidancePerDay is the number of steered runs per program per day
+	// (SoftBorg only; 0 disables steering).
+	GuidancePerDay int
+	// Capture and Privacy configure the pods.
+	Capture trace.CaptureMode
+	// SampleRate applies to CaptureSampled.
+	SampleRate float64
+	Privacy    trace.PrivacyLevel
+	// MaxSteps is the per-run fuel limit (hang detection latency).
+	MaxSteps int64
+}
+
+// DayMetrics is the per-day measurement row.
+type DayMetrics struct {
+	Day int
+	// Runs and Failures are fleet totals for the day.
+	Runs     int64
+	Failures int64
+	// FailureRate is Failures/Runs.
+	FailureRate float64
+	// FixesCumulative counts fixes distributed so far (SoftBorg).
+	FixesCumulative int
+	// DistinctFailures counts failure signatures seen so far (any backend
+	// that sees failures).
+	DistinctFailures int
+	// EdgeCoverage is the mean branch-direction coverage across programs
+	// (SoftBorg; 0 otherwise — the other backends build no tree).
+	EdgeCoverage float64
+	// Averted counts guard-averted failures so far (SoftBorg).
+	Averted int64
+}
+
+// Simulation is a configured, runnable fleet.
+type Simulation struct {
+	cfg   Config
+	pop   *population.Population
+	hive  *hive.Hive
+	wer   *wer.Collector
+	cbi   *cbi.Aggregator
+	pods  []*pod.Pod
+	progs []ProgramUnderTest
+	// userProg maps user index -> program index.
+	userProg []int
+}
+
+// werClient adapts the WER collector to pod.HiveClient (upload-only).
+type werClient struct{ c *wer.Collector }
+
+var _ pod.HiveClient = werClient{}
+
+func (w werClient) SubmitTraces(traces []*trace.Trace) error {
+	for _, tr := range traces {
+		w.c.Ingest(tr)
+	}
+	return nil
+}
+func (w werClient) FixesSince(string, int) ([]fix.Fix, int, error) { return nil, 0, nil }
+func (w werClient) Guidance(string, int) ([]guidance.TestCase, error) {
+	return nil, nil
+}
+
+// cbiClient adapts the CBI aggregator to pod.HiveClient (upload-only).
+type cbiClient struct{ a *cbi.Aggregator }
+
+var _ pod.HiveClient = cbiClient{}
+
+func (c cbiClient) SubmitTraces(traces []*trace.Trace) error {
+	for _, tr := range traces {
+		c.a.Ingest(tr)
+	}
+	return nil
+}
+func (c cbiClient) FixesSince(string, int) ([]fix.Fix, int, error) { return nil, 0, nil }
+func (c cbiClient) Guidance(string, int) ([]guidance.TestCase, error) {
+	return nil, nil
+}
+
+// NewSimulation wires a fleet per cfg.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	if len(cfg.Programs) == 0 {
+		return nil, fmt.Errorf("core: no programs")
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = 1
+	}
+	if cfg.Capture == 0 {
+		cfg.Capture = trace.CaptureExternalOnly
+		if cfg.Mode == ModeCBI {
+			// CBI's defining trait is sparse, fleet-wide predicate sampling.
+			cfg.Capture = trace.CaptureSampled
+			if cfg.SampleRate == 0 {
+				cfg.SampleRate = 0.1
+			}
+		}
+	}
+	if cfg.Privacy == 0 {
+		cfg.Privacy = trace.PrivacyHashed
+	}
+	cfg.Population.Seed = cfg.Seed
+
+	pop, err := population.New(cfg.Population)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulation{cfg: cfg, pop: pop, progs: cfg.Programs}
+
+	var client pod.HiveClient
+	switch cfg.Mode {
+	case ModeSoftBorg:
+		s.hive = hive.New("fleet")
+		for _, put := range cfg.Programs {
+			if err := s.hive.RegisterProgram(put.Prog); err != nil {
+				return nil, err
+			}
+		}
+		client = s.hive
+	case ModeWER:
+		s.wer = wer.NewCollector()
+		client = werClient{c: s.wer}
+	case ModeCBI:
+		s.cbi = cbi.NewAggregator()
+		client = cbiClient{a: s.cbi}
+	case ModeNone:
+		client = nil
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
+	}
+
+	users := pop.Users()
+	s.pods = make([]*pod.Pod, len(users))
+	s.userProg = make([]int, len(users))
+	for i, u := range users {
+		pi := i % len(cfg.Programs)
+		s.userProg[i] = pi
+		pd, err := pod.New(pod.Config{
+			Program:    cfg.Programs[pi].Prog,
+			ID:         fmt.Sprintf("pod-%s", u.ID),
+			Hive:       client,
+			Capture:    cfg.Capture,
+			SampleRate: cfg.SampleRate,
+			Privacy:    cfg.Privacy,
+			Salt:       "fleet",
+			Seed:       cfg.Seed ^ (uint64(i)+1)*0x9e37,
+			Syscalls:   u.Syscalls(),
+			BatchSize:  8,
+			MaxSteps:   cfg.MaxSteps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.pods[i] = pd
+	}
+	return s, nil
+}
+
+// Hive exposes the hive (SoftBorg mode) for inspection.
+func (s *Simulation) Hive() *hive.Hive { return s.hive }
+
+// WER exposes the crash collector (WER mode).
+func (s *Simulation) WER() *wer.Collector { return s.wer }
+
+// CBI exposes the predicate aggregator (CBI mode).
+func (s *Simulation) CBI() *cbi.Aggregator { return s.cbi }
+
+// Run simulates the configured horizon and returns one row per day.
+func (s *Simulation) Run() ([]DayMetrics, error) {
+	out := make([]DayMetrics, 0, s.cfg.Days)
+	var prevRuns, prevFailures, prevAverted int64
+	for day := 0; day < s.cfg.Days; day++ {
+		if err := s.simulateDay(); err != nil {
+			return nil, err
+		}
+		var runs, failures, averted int64
+		for _, pd := range s.pods {
+			st := pd.Stats()
+			runs += st.Runs
+			failures += st.Failures
+			averted += st.FailuresAverted
+		}
+		m := DayMetrics{
+			Day:      day,
+			Runs:     runs - prevRuns,
+			Failures: failures - prevFailures,
+			Averted:  averted - prevAverted,
+		}
+		prevRuns, prevFailures, prevAverted = runs, failures, averted
+		if m.Runs > 0 {
+			m.FailureRate = float64(m.Failures) / float64(m.Runs)
+		}
+		s.fillBackendMetrics(&m)
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func (s *Simulation) simulateDay() error {
+	users := s.pop.Users()
+	for i, u := range users {
+		pd := s.pods[i]
+		p := s.progs[s.userProg[i]].Prog
+		for r := 0; r < u.RunsPerDay; r++ {
+			var input []int64
+			if p.NumInputs > 0 {
+				input = u.NextInput(p.NumInputs, s.pop.Domain())
+			}
+			if _, err := pd.RunOnce(input); err != nil {
+				return err
+			}
+		}
+		if err := pd.Flush(); err != nil {
+			return err
+		}
+	}
+	// End of day: fix sync and optional steering (SoftBorg only).
+	if s.cfg.Mode == ModeSoftBorg {
+		for _, pd := range s.pods {
+			if err := pd.SyncFixes(); err != nil {
+				return err
+			}
+		}
+		if s.cfg.GuidancePerDay > 0 {
+			// One pod per program executes the day's steering budget.
+			seen := map[int]bool{}
+			for i, pd := range s.pods {
+				pi := s.userProg[i]
+				if seen[pi] {
+					continue
+				}
+				seen[pi] = true
+				if _, err := pd.PullGuidance(s.cfg.GuidancePerDay); err != nil {
+					return err
+				}
+				if err := pd.Flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Simulation) fillBackendMetrics(m *DayMetrics) {
+	switch s.cfg.Mode {
+	case ModeSoftBorg:
+		var covered, total int
+		for _, put := range s.progs {
+			st, err := s.hive.ProgramStats(put.Prog.ID)
+			if err != nil {
+				continue
+			}
+			m.FixesCumulative += st.FixCount
+			m.DistinctFailures += len(st.Failures)
+			tree, err := s.hive.Tree(put.Prog.ID)
+			if err != nil {
+				continue
+			}
+			c, tot := tree.EdgeCoverage(put.Prog)
+			covered += c
+			total += tot
+		}
+		if total > 0 {
+			m.EdgeCoverage = float64(covered) / float64(total)
+		}
+	case ModeWER:
+		m.DistinctFailures = s.wer.Stats().Buckets
+	case ModeCBI:
+		// CBI tracks predicates, not failure signatures; report failing-run
+		// count via stats (distinct signatures unavailable by design).
+		m.DistinctFailures = 0
+	}
+}

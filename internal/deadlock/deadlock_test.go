@@ -1,0 +1,186 @@
+package deadlock
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/sched"
+)
+
+// buildDining builds the 2-lock deadlock program.
+func buildDining() *prog.Program {
+	b := prog.NewBuilder("dining2", 0).SetLocks(2)
+	b.Thread()
+	b.Lock(0).Yield().Lock(1).Unlock(1).Unlock(0).Halt()
+	b.Thread()
+	b.Lock(1).Yield().Lock(0).Unlock(0).Unlock(1).Halt()
+	return b.MustBuild()
+}
+
+// alternating deterministically triggers the deadlock.
+type alternating struct{ i int }
+
+func (a *alternating) Pick(step int64, runnable []int) int {
+	a.i++
+	return runnable[a.i%len(runnable)]
+}
+
+func captureSignature(t *testing.T) Signature {
+	t.Helper()
+	p := buildDining()
+	m, err := prog.NewMachine(p, prog.Config{Scheduler: &alternating{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Outcome != prog.OutcomeDeadlock {
+		t.Fatalf("setup: outcome = %v, want deadlock", res.Outcome)
+	}
+	return FromCycle(res.DeadlockCycle)
+}
+
+func TestSignatureCanonical(t *testing.T) {
+	a := Signature{Edges: []SignatureEdge{{PC: 8, LockID: 0}, {PC: 2, LockID: 1}}}
+	b := Signature{Edges: []SignatureEdge{{PC: 2, LockID: 1}, {PC: 8, LockID: 0}}}
+	a.normalize()
+	b.normalize()
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func TestGateImmunizesDeadlock(t *testing.T) {
+	sig := captureSignature(t)
+	p := buildDining()
+
+	// Without the gate, the alternating schedule always deadlocks.
+	m, err := prog.NewMachine(p, prog.Config{Scheduler: &alternating{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res.Outcome != prog.OutcomeDeadlock {
+		t.Fatalf("control run: outcome = %v", res.Outcome)
+	}
+
+	// With the gate installed as both gate and observer, the same schedule
+	// completes.
+	gate := NewGate([]Signature{sig})
+	m2, err := prog.NewMachine(p, prog.Config{
+		Scheduler: &alternating{},
+		Gate:      gate,
+		Observer:  gate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m2.Run()
+	if res.Outcome != prog.OutcomeOK {
+		t.Fatalf("immunized run: outcome = %v, want ok", res.Outcome)
+	}
+	if gate.Vetoes == 0 {
+		t.Error("gate never intervened; immunity untested")
+	}
+}
+
+func TestGateImmunizesAcrossRandomSchedules(t *testing.T) {
+	sig := captureSignature(t)
+	p := buildDining()
+
+	deadlocksWithout, deadlocksWith := 0, 0
+	for seed := uint64(0); seed < 200; seed++ {
+		m, err := prog.NewMachine(p, prog.Config{Scheduler: sched.NewRandom(seed, 0.7)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Run().Outcome == prog.OutcomeDeadlock {
+			deadlocksWithout++
+		}
+
+		gate := NewGate([]Signature{sig})
+		m2, err := prog.NewMachine(p, prog.Config{
+			Scheduler: sched.NewRandom(seed, 0.7),
+			Gate:      gate,
+			Observer:  gate,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m2.Run().Outcome == prog.OutcomeDeadlock {
+			deadlocksWith++
+		}
+	}
+	if deadlocksWithout == 0 {
+		t.Fatal("control fleet never deadlocked; test is vacuous")
+	}
+	if deadlocksWith != 0 {
+		t.Fatalf("immunized fleet deadlocked %d times (control: %d)", deadlocksWith, deadlocksWithout)
+	}
+}
+
+func TestGateDoesNotBlockUnrelatedLocks(t *testing.T) {
+	sig := captureSignature(t)
+	// A single-threaded program using the same lock ids at different PCs
+	// must be unaffected.
+	p := prog.NewBuilder("unrelated", 0).SetLocks(2).
+		Lock(0).Lock(1).Unlock(1).Unlock(0).Halt().MustBuild()
+	gate := NewGate([]Signature{sig})
+	m, err := prog.NewMachine(p, prog.Config{Gate: gate, Observer: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res.Outcome != prog.OutcomeOK {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if gate.Vetoes != 0 {
+		t.Errorf("gate vetoed %d unrelated acquisitions", gate.Vetoes)
+	}
+}
+
+func TestThreeLockCycleImmunized(t *testing.T) {
+	// Three threads, three locks, circular acquisition: a 3-cycle.
+	build := func() *prog.Program {
+		b := prog.NewBuilder("dining3", 0).SetLocks(3)
+		for i := 0; i < 3; i++ {
+			b.Thread()
+			b.Lock(i).Yield().Lock((i + 1) % 3).Unlock((i + 1) % 3).Unlock(i).Halt()
+		}
+		return b.MustBuild()
+	}
+	p := build()
+
+	// Find a deadlocking schedule.
+	var sig Signature
+	found := false
+	for seed := uint64(0); seed < 500 && !found; seed++ {
+		m, err := prog.NewMachine(p, prog.Config{Scheduler: sched.NewRandom(seed, 0.9)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m.Run()
+		if res.Outcome == prog.OutcomeDeadlock {
+			sig = FromCycle(res.DeadlockCycle)
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no deadlock found to immunize against")
+	}
+	if len(sig.Edges) != 3 {
+		t.Fatalf("signature edges = %d, want 3", len(sig.Edges))
+	}
+
+	for seed := uint64(0); seed < 200; seed++ {
+		gate := NewGate([]Signature{sig})
+		m, err := prog.NewMachine(p, prog.Config{
+			Scheduler: sched.NewRandom(seed, 0.9),
+			Gate:      gate,
+			Observer:  gate,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := m.Run(); res.Outcome == prog.OutcomeDeadlock {
+			t.Fatalf("seed %d: immunized 3-cycle still deadlocked", seed)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package exectree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/prog"
+)
+
+// codecVersion is bumped on any serialization-incompatible change.
+const codecVersion = 1
+
+// ErrCodec is wrapped by malformed tree encodings.
+var ErrCodec = errors.New("exectree: malformed encoding")
+
+// Encode serializes the tree (hive persistence / snapshot shipping). The
+// format is a preorder walk with varint-encoded edges, visit counts,
+// terminal outcome counts, and infeasibility certificates.
+func (t *Tree) Encode() []byte {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	buf := make([]byte, 0, 64+32*t.nodes)
+	buf = append(buf, codecVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(t.programID)))
+	buf = append(buf, t.programID...)
+	buf = t.encodeNode(buf, t.root)
+	return buf
+}
+
+func (t *Tree) encodeNode(buf []byte, n *Node) []byte {
+	// Terminal outcome counts.
+	buf = binary.AppendUvarint(buf, uint64(len(n.terminal)))
+	for _, o := range orderedOutcomes(n.terminal) {
+		buf = append(buf, byte(o))
+		buf = binary.AppendUvarint(buf, uint64(n.terminal[o]))
+	}
+	// Infeasibility certificates.
+	buf = binary.AppendUvarint(buf, uint64(len(n.infeasible)))
+	for _, e := range orderedEdges(n.infeasible) {
+		buf = appendEdge(buf, e)
+	}
+	// Children.
+	buf = binary.AppendUvarint(buf, uint64(len(n.children)))
+	for _, e := range n.Edges() {
+		buf = appendEdge(buf, e)
+		buf = binary.AppendUvarint(buf, uint64(n.visits[e]))
+		buf = t.encodeNode(buf, n.children[e])
+	}
+	return buf
+}
+
+func appendEdge(buf []byte, e Edge) []byte {
+	v := uint64(e.ID) << 1
+	if e.Taken {
+		v |= 1
+	}
+	return binary.AppendUvarint(buf, v)
+}
+
+// Decode reconstructs a tree serialized by Encode.
+func Decode(data []byte) (*Tree, error) {
+	d := &treeDecoder{buf: data}
+	if v := d.byte(); v != codecVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrCodec, v)
+	}
+	programID := d.string()
+	if d.err != nil {
+		return nil, d.err
+	}
+	t := New(programID)
+	t.nodes = 0
+	root, err := d.node(t, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(d.buf)-d.pos)
+	}
+	return t, nil
+}
+
+const maxDecodeDepth = 1 << 16
+
+type treeDecoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *treeDecoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated at offset %d", ErrCodec, d.pos)
+	}
+}
+
+func (d *treeDecoder) byte() byte {
+	if d.err != nil || d.pos >= len(d.buf) {
+		d.fail()
+		return 0
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *treeDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *treeDecoder) string() string {
+	n := int(d.uvarint())
+	if d.err != nil || n < 0 || d.pos+n > len(d.buf) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *treeDecoder) edge() Edge {
+	v := d.uvarint()
+	return Edge{ID: int32(v >> 1), Taken: v&1 == 1}
+}
+
+func (d *treeDecoder) node(t *Tree, depth int) (*Node, error) {
+	if depth > maxDecodeDepth {
+		return nil, fmt.Errorf("%w: depth exceeds %d", ErrCodec, maxDecodeDepth)
+	}
+	n := newNode()
+	t.nodes++
+
+	nt := int(d.uvarint())
+	if d.err != nil || nt > len(d.buf)-d.pos {
+		d.fail()
+		return nil, d.err
+	}
+	for i := 0; i < nt; i++ {
+		o := prog.Outcome(d.byte())
+		c := int64(d.uvarint())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if n.terminal == nil {
+			n.terminal = make(map[prog.Outcome]int64, nt)
+		}
+		n.terminal[o] = c
+		t.outcomes[o] += c
+		t.executions += c
+		t.paths++
+	}
+
+	ni := int(d.uvarint())
+	if d.err != nil || ni > len(d.buf)-d.pos {
+		d.fail()
+		return nil, d.err
+	}
+	for i := 0; i < ni; i++ {
+		e := d.edge()
+		if d.err != nil {
+			return nil, d.err
+		}
+		n.MarkInfeasible(e)
+	}
+
+	nc := int(d.uvarint())
+	if d.err != nil || nc > len(d.buf)-d.pos {
+		d.fail()
+		return nil, d.err
+	}
+	for i := 0; i < nc; i++ {
+		e := d.edge()
+		visits := int64(d.uvarint())
+		if d.err != nil {
+			return nil, d.err
+		}
+		child, err := d.node(t, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if n.children == nil {
+			n.children = make(map[Edge]*Node, nc)
+			n.visits = make(map[Edge]int64, nc)
+		}
+		n.children[e] = child
+		n.visits[e] = visits
+		t.edgeCover[e] += visits
+	}
+	return n, nil
+}
+
+func orderedOutcomes(m map[prog.Outcome]int64) []prog.Outcome {
+	out := make([]prog.Outcome, 0, len(m))
+	for o := range m {
+		out = append(out, o)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func orderedEdges(m map[Edge]bool) []Edge {
+	out := make([]Edge, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && edgeLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func edgeLess(a, b Edge) bool {
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	return !a.Taken && b.Taken
+}

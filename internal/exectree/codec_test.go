@@ -1,0 +1,158 @@
+package exectree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prog"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func buildRandomTree(seed uint64, merges int) *Tree {
+	rng := stats.NewRNG(seed)
+	t := New("prog-x")
+	for i := 0; i < merges; i++ {
+		n := rng.Intn(7)
+		path := make([]trace.BranchEvent, n)
+		for j := range path {
+			path[j] = trace.BranchEvent{ID: int32(rng.Intn(4)), Taken: rng.Bool(0.5)}
+		}
+		outcome := prog.OutcomeOK
+		if rng.Bool(0.2) {
+			outcome = prog.OutcomeCrash
+		}
+		t.Merge(path, outcome)
+	}
+	// Sprinkle a few certificates.
+	for _, f := range t.Frontiers(3) {
+		t.CertifyInfeasible(f.Prefix, f.Missing)
+	}
+	return t
+}
+
+func treesEqual(t *testing.T, a, b *Tree) {
+	t.Helper()
+	sa, sb := a.Stats(), b.Stats()
+	if sa.Nodes != sb.Nodes || sa.Paths != sb.Paths || sa.Executions != sb.Executions ||
+		sa.EdgesCovered != sb.EdgesCovered {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+	for o, c := range sa.Outcomes {
+		if sb.Outcomes[o] != c {
+			t.Fatalf("outcome %v: %d vs %d", o, c, sb.Outcomes[o])
+		}
+	}
+	// Structural walk comparison.
+	type rec struct {
+		path  string
+		term  int64
+		edges int
+	}
+	collect := func(tr *Tree) []rec {
+		var out []rec
+		tr.Walk(func(path []Edge, n *Node) bool {
+			key := ""
+			for _, e := range path {
+				key += e.String()
+			}
+			var term int64
+			for _, c := range n.Terminals() {
+				term += c
+			}
+			out = append(out, rec{path: key, term: term, edges: len(n.Edges())})
+			return true
+		})
+		return out
+	}
+	ra, rb := collect(a), collect(b)
+	if len(ra) != len(rb) {
+		t.Fatalf("walk sizes differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("node %d differs: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+	if a.Complete() != b.Complete() {
+		t.Fatal("completeness differs (certificates lost)")
+	}
+}
+
+func TestTreeCodecRoundTrip(t *testing.T) {
+	tr := buildRandomTree(5, 60)
+	data := tr.Encode()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ProgramID() != tr.ProgramID() {
+		t.Fatal("program id lost")
+	}
+	treesEqual(t, tr, got)
+}
+
+func TestTreeCodecEmptyTree(t *testing.T) {
+	tr := New("empty")
+	got, err := Decode(tr.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats().Nodes != 1 {
+		t.Fatalf("nodes = %d", got.Stats().Nodes)
+	}
+}
+
+func TestTreeCodecRejectsCorruption(t *testing.T) {
+	tr := buildRandomTree(6, 30)
+	data := tr.Encode()
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Errorf("truncation at %d decoded", cut)
+		}
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad version decoded")
+	}
+}
+
+func TestQuickTreeCodecNeverPanics(t *testing.T) {
+	check := func(data []byte) bool {
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTreeCodecRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		tr := buildRandomTree(seed, int(seed%40)+1)
+		got, err := Decode(tr.Encode())
+		if err != nil {
+			return false
+		}
+		sa, sb := tr.Stats(), got.Stats()
+		return sa.Nodes == sb.Nodes && sa.Paths == sb.Paths &&
+			sa.Executions == sb.Executions && sa.EdgesCovered == sb.EdgesCovered
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodedTreeAcceptsMerges(t *testing.T) {
+	tr := buildRandomTree(7, 20)
+	got, err := Decode(tr.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := got.Stats().Executions
+	got.Merge([]trace.BranchEvent{{ID: 99, Taken: true}}, prog.OutcomeOK)
+	if got.Stats().Executions != before+1 {
+		t.Fatal("decoded tree rejects merges")
+	}
+}

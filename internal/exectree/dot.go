@@ -1,0 +1,89 @@
+package exectree
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/prog"
+)
+
+// WriteDot renders the tree in Graphviz DOT format — the developer-facing
+// visualization of the paper's Figure 3. Edges are labeled with branch id,
+// direction and visit count; terminal outcome tallies annotate nodes;
+// infeasibility certificates appear as dashed edges to an "infeasible"
+// marker. maxNodes bounds the output for large trees (0 = no bound).
+func (t *Tree) WriteDot(w io.Writer, maxNodes int) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	if _, err := fmt.Fprintf(w, "digraph exectree {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n"); err != nil {
+		return err
+	}
+	nextID := 0
+	emitted := 0
+	var rec func(n *Node) (int, error)
+	rec = func(n *Node) (int, error) {
+		id := nextID
+		nextID++
+		emitted++
+		label := ""
+		for _, o := range orderedOutcomes(n.terminal) {
+			label += fmt.Sprintf("%s:%d\\n", shortOutcome(o), n.terminal[o])
+		}
+		shape := "circle"
+		if len(n.terminal) > 0 {
+			shape = "doublecircle"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\", shape=%s];\n", id, label, shape); err != nil {
+			return 0, err
+		}
+		for _, e := range orderedEdges(n.infeasible) {
+			infID := nextID
+			nextID++
+			if _, err := fmt.Fprintf(w, "  n%d [label=\"⊥\", shape=plaintext];\n  n%d -> n%d [label=\"%s\", style=dashed];\n",
+				infID, id, infID, e); err != nil {
+				return 0, err
+			}
+		}
+		for _, e := range n.Edges() {
+			if maxNodes > 0 && emitted >= maxNodes {
+				truncID := nextID
+				nextID++
+				if _, err := fmt.Fprintf(w, "  n%d [label=\"…\", shape=plaintext];\n  n%d -> n%d;\n", truncID, id, truncID); err != nil {
+					return 0, err
+				}
+				break
+			}
+			childID, err := rec(n.children[e])
+			if err != nil {
+				return 0, err
+			}
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"%s ×%d\"];\n", id, childID, e, n.visits[e]); err != nil {
+				return 0, err
+			}
+		}
+		return id, nil
+	}
+	if _, err := rec(t.root); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func shortOutcome(o prog.Outcome) string {
+	switch o {
+	case prog.OutcomeOK:
+		return "ok"
+	case prog.OutcomeCrash:
+		return "crash"
+	case prog.OutcomeAssertFail:
+		return "assert"
+	case prog.OutcomeDeadlock:
+		return "dlock"
+	case prog.OutcomeHang:
+		return "hang"
+	default:
+		return "?"
+	}
+}

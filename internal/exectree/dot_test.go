@@ -1,0 +1,41 @@
+package exectree
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+func TestWriteDot(t *testing.T) {
+	tr := New("p")
+	tr.Merge([]trace.BranchEvent{{ID: 0, Taken: true}, {ID: 1, Taken: false}}, prog.OutcomeOK)
+	tr.Merge([]trace.BranchEvent{{ID: 0, Taken: false}}, prog.OutcomeCrash)
+	tr.CertifyInfeasible([]Edge{{ID: 0, Taken: true}}, Edge{ID: 1, Taken: true})
+
+	var sb strings.Builder
+	if err := tr.WriteDot(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", "#0+", "#0-", "crash:1", "ok:1", "style=dashed", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDotTruncates(t *testing.T) {
+	tr := New("p")
+	for i := int32(0); i < 30; i++ {
+		tr.Merge([]trace.BranchEvent{{ID: 0, Taken: true}, {ID: i + 1, Taken: true}}, prog.OutcomeOK)
+	}
+	var sb strings.Builder
+	if err := tr.WriteDot(&sb, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "…") {
+		t.Error("truncation marker missing")
+	}
+}

@@ -1,0 +1,113 @@
+package exectree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// ErrReconstruct is wrapped by reconstruction failures.
+var ErrReconstruct = errors.New("exectree: reconstruction failed")
+
+// Reconstruct expands an external-only trace into the full branch decision
+// path (paper §3.1/§3.2: "merging a path into an existing tree consists of
+// reconstructing the deterministic branches ..."). It re-executes the
+// program with a branch oracle: input-dependent branches are forced to the
+// recorded directions, syscalls replay the recorded return values, and
+// deterministic branches are evaluated naturally — sound because the taint
+// analysis guarantees their conditions never carry external data, so any
+// placeholder input yields the correct direction.
+//
+// Reconstruction applies to single-threaded programs; multi-threaded traces
+// additionally depend on the schedule and are merged at recorded
+// granularity instead.
+func Reconstruct(p *prog.Program, tr *trace.Trace) ([]trace.BranchEvent, error) {
+	if p.ID != tr.ProgramID {
+		return nil, fmt.Errorf("%w: trace for program %s, want %s", ErrReconstruct, tr.ProgramID, p.ID)
+	}
+	if tr.Mode != trace.CaptureExternalOnly {
+		return nil, fmt.Errorf("%w: trace mode %s, want %s", ErrReconstruct, tr.Mode, trace.CaptureExternalOnly)
+	}
+	if p.NumThreads() > 1 {
+		return nil, fmt.Errorf("%w: program %q is multi-threaded", ErrReconstruct, p.Name)
+	}
+
+	returns := make([]int64, len(tr.Syscalls))
+	for i, s := range tr.Syscalls {
+		returns[i] = s.Ret
+	}
+
+	var (
+		full      []trace.BranchEvent
+		cursor    int
+		oracleErr error
+	)
+	collector := observerFunc(func(id int, taken bool) {
+		full = append(full, trace.BranchEvent{ID: int32(id), Taken: taken})
+	})
+
+	cfg := prog.Config{
+		Input:    make([]int64, p.NumInputs), // placeholder; never reaches untainted branches
+		Syscalls: &prog.ScriptedSyscalls{Returns: returns},
+		Observer: collector,
+		MaxSteps: maxReconstructSteps(tr),
+		BranchOverride: func(tid, branchID int, natural bool) bool {
+			if !p.InputDependent(branchID) {
+				return natural
+			}
+			if cursor >= len(tr.Branches) {
+				if oracleErr == nil {
+					oracleErr = fmt.Errorf("%w: recorded branch stream exhausted at branch #%d", ErrReconstruct, branchID)
+				}
+				return natural
+			}
+			rec := tr.Branches[cursor]
+			cursor++
+			if rec.ID != int32(branchID) && oracleErr == nil {
+				oracleErr = fmt.Errorf("%w: recorded branch #%d, execution at #%d", ErrReconstruct, rec.ID, branchID)
+			}
+			return rec.Taken
+		},
+	}
+	m, err := prog.NewMachine(p, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrReconstruct, err)
+	}
+	res := m.Run()
+	if oracleErr != nil {
+		return nil, oracleErr
+	}
+	if cursor != len(tr.Branches) {
+		return nil, fmt.Errorf("%w: %d recorded branches unconsumed", ErrReconstruct, len(tr.Branches)-cursor)
+	}
+	if res.Outcome != tr.Outcome {
+		// A benign mismatch is possible when the failure depended on a raw
+		// input value that never reached a branch (e.g. div by a value, or
+		// crash address); the reconstruction still yields the correct path
+		// prefix. Surface it so callers can decide.
+		return full, fmt.Errorf("%w: reconstructed outcome %s, recorded %s", ErrReconstruct, res.Outcome, tr.Outcome)
+	}
+	return full, nil
+}
+
+// maxReconstructSteps bounds the oracle replay using the recorded step count
+// with headroom; a diverged replay must not spin forever.
+func maxReconstructSteps(tr *trace.Trace) int64 {
+	if tr.Steps <= 0 {
+		return prog.DefaultMaxSteps
+	}
+	return tr.Steps*2 + 1024
+}
+
+// observerFunc adapts a branch callback to prog.Observer.
+type observerFunc func(branchID int, taken bool)
+
+var _ prog.Observer = (observerFunc)(nil)
+
+func (f observerFunc) Branch(tid, branchID int, taken bool)   { f(branchID, taken) }
+func (f observerFunc) LockAcquire(tid, lockID, pc int)        {}
+func (f observerFunc) LockRelease(tid, lockID, pc int)        {}
+func (f observerFunc) Syscall(tid int, sysno, arg, ret int64) {}
+func (f observerFunc) Schedule(tid int)                       {}

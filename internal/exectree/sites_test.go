@@ -1,0 +1,139 @@
+package exectree
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// buildLoopFree builds a branchy loop-free program where every site decides
+// at most once per run.
+func buildLoopFree(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("loopfree", 2)
+	end := b.NewLabel()
+	for i := 0; i < 6; i++ {
+		skip := b.NewLabel()
+		b.Input(0, i%2)
+		b.BrImm(0, prog.CmpGT, int64(40*i+20), skip)
+		b.AddImm(1, 1, 1)
+		b.Bind(skip)
+	}
+	b.Jmp(end)
+	b.Bind(end)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// captureCoordinated runs the same execution under k coordinated pods.
+func captureCoordinated(t *testing.T, p *prog.Program, input []int64, k uint32) []*trace.Trace {
+	t.Helper()
+	out := make([]*trace.Trace, 0, k)
+	for phase := uint32(0); phase < k; phase++ {
+		col := trace.NewCoordinatedCollector(p, phase, k)
+		m, err := prog.NewMachine(p, prog.Config{Input: input, Observer: col})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m.Run()
+		out = append(out, col.Finish("pod-"+string(rune('a'+phase)), 0, res, input, trace.PrivacyHashed, "salt"))
+	}
+	return out
+}
+
+func TestCoordinatedFamilyNarrowsToFullPath(t *testing.T) {
+	p := buildLoopFree(t)
+	input := []int64{77, 130}
+
+	// Reference: full capture.
+	colFull := trace.NewCollector(p, trace.CaptureFull, 0, 1)
+	m, err := prog.NewMachine(p, prog.Config{Input: input, Observer: colFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	ref := colFull.Finish("ref", 0, res, input, trace.PrivacyHashed, "salt")
+
+	// Fleet: 3 coordinated pods, each recording a third of the sites.
+	traces := captureCoordinated(t, p, input, 3)
+	for _, tr := range traces {
+		if len(tr.Branches) >= len(ref.Branches) {
+			t.Fatalf("coordinated trace not sparser: %d vs %d", len(tr.Branches), len(ref.Branches))
+		}
+	}
+	if missing := trace.MissingPhases(traces, 3); len(missing) != 0 {
+		t.Fatalf("missing phases: %v", missing)
+	}
+
+	sites, err := trace.CombineCoordinated(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sysRet []int64
+	for _, s := range traces[0].Syscalls {
+		sysRet = append(sysRet, s.Ret)
+	}
+	full, outcome, err := ReconstructFromSites(p, sites, sysRet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != ref.Outcome {
+		t.Fatalf("outcome = %v, want %v", outcome, ref.Outcome)
+	}
+	if len(full) != len(ref.Branches) {
+		t.Fatalf("reconstructed %d events, want %d", len(full), len(ref.Branches))
+	}
+	for i := range full {
+		if full[i] != ref.Branches[i] {
+			t.Fatalf("event %d = %v, want %v", i, full[i], ref.Branches[i])
+		}
+	}
+}
+
+func TestCombineCoordinatedRejectsMixedIdentities(t *testing.T) {
+	p := buildLoopFree(t)
+	a := captureCoordinated(t, p, []int64{1, 2}, 2)
+	b := captureCoordinated(t, p, []int64{200, 250}, 2)
+	if _, err := trace.CombineCoordinated([]*trace.Trace{a[0], b[1]}); err == nil {
+		t.Fatal("mixed identities combined")
+	}
+}
+
+func TestCombineCoordinatedRejectsLoopSites(t *testing.T) {
+	// A loop site flips direction within one run; its one-bit summary is
+	// ambiguous and must be rejected.
+	b := prog.NewBuilder("loopy", 1)
+	b.Input(0, 0)
+	b.Const(1, 0)
+	head := b.Here()
+	exit := b.NewLabel()
+	b.Br(1, prog.CmpGE, 0, exit)
+	b.AddImm(1, 1, 1)
+	b.Jmp(head)
+	b.Bind(exit)
+	b.Halt()
+	p := b.MustBuild()
+
+	col := trace.NewCoordinatedCollector(p, 0, 1) // phase 0 of 1: all sites
+	m, err := prog.NewMachine(p, prog.Config{Input: []int64{3}, Observer: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	tr := col.Finish("pod", 0, res, []int64{3}, trace.PrivacyHashed, "salt")
+	if _, err := trace.CombineCoordinated([]*trace.Trace{tr}); err == nil {
+		t.Fatal("loop-site ambiguity not detected")
+	}
+}
+
+func TestMissingPhases(t *testing.T) {
+	p := buildLoopFree(t)
+	traces := captureCoordinated(t, p, []int64{5, 9}, 4)
+	if got := trace.MissingPhases(traces[:2], 4); len(got) != 2 {
+		t.Fatalf("missing = %v, want 2 phases", got)
+	}
+	if got := trace.MissingPhases(nil, 0); got != nil {
+		t.Fatalf("k=0 should yield nil, got %v", got)
+	}
+}

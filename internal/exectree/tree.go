@@ -1,0 +1,340 @@
+// Package exectree implements the collective execution tree of paper §3.2:
+// the hive's dynamically built decode of a program's decision tree,
+// assembled by merging naturally occurring execution paths. Every merged
+// path came from a real execution, so it is feasible by construction and no
+// constraint solving happens at merge time — the paper's central
+// information-recycling argument.
+package exectree
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// Edge is one branch decision: which static branch, and which way it went.
+// Tree nodes key children by Edge rather than by position because different
+// thread interleavings can weave different branch sequences through the same
+// prefix (paper §3.2).
+type Edge struct {
+	ID    int32
+	Taken bool
+}
+
+// String renders the edge as "#id+"/"#id-".
+func (e Edge) String() string {
+	if e.Taken {
+		return fmt.Sprintf("#%d+", e.ID)
+	}
+	return fmt.Sprintf("#%d-", e.ID)
+}
+
+// Node is one decision point in the execution tree.
+type Node struct {
+	// children maps each observed decision to the subsequent subtree.
+	children map[Edge]*Node
+	// visits counts traversals of each outgoing edge.
+	visits map[Edge]int64
+	// terminal counts executions that ended exactly at this node, per
+	// outcome.
+	terminal map[prog.Outcome]int64
+	// infeasible records edges proven unreachable by symbolic analysis
+	// (proof certificates; see internal/proof).
+	infeasible map[Edge]bool
+}
+
+func newNode() *Node {
+	return &Node{}
+}
+
+// Child returns the subtree along e, or nil.
+func (n *Node) Child(e Edge) *Node {
+	return n.children[e]
+}
+
+// Edges returns the observed outgoing edges in a stable order.
+func (n *Node) Edges() []Edge {
+	out := make([]Edge, 0, len(n.children))
+	for e := range n.children {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return !out[i].Taken && out[j].Taken
+	})
+	return out
+}
+
+// Visits returns the traversal count of edge e.
+func (n *Node) Visits(e Edge) int64 { return n.visits[e] }
+
+// TerminalCount returns how many executions ended here with outcome o.
+func (n *Node) TerminalCount(o prog.Outcome) int64 { return n.terminal[o] }
+
+// Terminals returns a copy of the per-outcome terminal counts.
+func (n *Node) Terminals() map[prog.Outcome]int64 {
+	out := make(map[prog.Outcome]int64, len(n.terminal))
+	for k, v := range n.terminal {
+		out[k] = v
+	}
+	return out
+}
+
+// MarkInfeasible attaches an infeasibility certificate to the unexplored
+// direction e (both directions of e.ID at this node are then accounted for).
+func (n *Node) MarkInfeasible(e Edge) {
+	if n.infeasible == nil {
+		n.infeasible = make(map[Edge]bool)
+	}
+	n.infeasible[e] = true
+}
+
+// Infeasible reports whether e carries an infeasibility certificate.
+func (n *Node) Infeasible(e Edge) bool { return n.infeasible[e] }
+
+// Tree is the collective execution tree for one program. It is safe for
+// concurrent use: the hive ingests trace batches from many pods at once.
+type Tree struct {
+	mu sync.RWMutex
+
+	programID string
+	root      *Node
+
+	nodes      int64
+	paths      int64 // distinct root-to-terminal paths (new-path merges)
+	executions int64 // total merged executions
+	outcomes   map[prog.Outcome]int64
+	// edgeCover tracks distinct (branch, direction) pairs seen anywhere.
+	edgeCover map[Edge]int64
+}
+
+// New creates an empty tree for the program with the given ID.
+func New(programID string) *Tree {
+	return &Tree{
+		programID: programID,
+		root:      newNode(),
+		nodes:     1,
+		outcomes:  make(map[prog.Outcome]int64),
+		edgeCover: make(map[Edge]int64),
+	}
+}
+
+// ProgramID returns the program this tree describes.
+func (t *Tree) ProgramID() string { return t.programID }
+
+// MergeResult reports what a merge changed.
+type MergeResult struct {
+	// NewPath is true when the execution followed a root-to-terminal path
+	// never seen before.
+	NewPath bool
+	// NewNodes is the number of tree nodes created.
+	NewNodes int
+	// NewEdges is the number of previously unseen (branch, direction)
+	// decisions — the branch-coverage gain.
+	NewEdges int
+	// Depth is the merged path's length in decisions.
+	Depth int
+}
+
+// Merge folds one execution path (the trace's branch decisions plus its
+// outcome) into the tree. This is the paper's Figure 3 operation: walk until
+// the path diverges from the known tree (the lowest common ancestor), then
+// paste the new suffix.
+func (t *Tree) Merge(path []trace.BranchEvent, outcome prog.Outcome) MergeResult {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	res := MergeResult{Depth: len(path)}
+	node := t.root
+	for _, be := range path {
+		e := Edge{ID: be.ID, Taken: be.Taken}
+		if t.edgeCover[e] == 0 {
+			res.NewEdges++
+		}
+		t.edgeCover[e]++
+		if node.children == nil {
+			node.children = make(map[Edge]*Node, 2)
+			node.visits = make(map[Edge]int64, 2)
+		}
+		child := node.children[e]
+		if child == nil {
+			child = newNode()
+			node.children[e] = child
+			t.nodes++
+			res.NewNodes++
+		}
+		node.visits[e]++
+		node = child
+	}
+	if node.terminal == nil {
+		node.terminal = make(map[prog.Outcome]int64, 2)
+	}
+	if node.terminal[outcome] == 0 {
+		res.NewPath = true
+		t.paths++
+	}
+	node.terminal[outcome]++
+	t.outcomes[outcome]++
+	t.executions++
+	return res
+}
+
+// MergeTrace merges a full-capture trace directly.
+func (t *Tree) MergeTrace(tr *trace.Trace) MergeResult {
+	return t.Merge(tr.Branches, tr.Outcome)
+}
+
+// Root returns the root node. Callers must not mutate the tree structure;
+// read access is safe only while no Merge is running unless the caller holds
+// a snapshot via Walk.
+func (t *Tree) Root() *Node { return t.root }
+
+// Stats is a snapshot of tree-level statistics.
+type Stats struct {
+	Nodes        int64
+	Paths        int64
+	Executions   int64
+	EdgesCovered int
+	Outcomes     map[prog.Outcome]int64
+}
+
+// Stats returns a consistent snapshot.
+func (t *Tree) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := Stats{
+		Nodes:        t.nodes,
+		Paths:        t.paths,
+		Executions:   t.executions,
+		EdgesCovered: len(t.edgeCover),
+		Outcomes:     make(map[prog.Outcome]int64, len(t.outcomes)),
+	}
+	for k, v := range t.outcomes {
+		out.Outcomes[k] = v
+	}
+	return out
+}
+
+// EdgeCoverage returns how many of the program's 2×NumBranches branch
+// directions have been observed, as (covered, total).
+func (t *Tree) EdgeCoverage(p *prog.Program) (covered, total int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.edgeCover), 2 * p.NumBranches()
+}
+
+// CoveredEdges returns a copy of the edge coverage multiset.
+func (t *Tree) CoveredEdges() map[Edge]int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[Edge]int64, len(t.edgeCover))
+	for k, v := range t.edgeCover {
+		out[k] = v
+	}
+	return out
+}
+
+// CertifyInfeasible attaches an infeasibility certificate to the missing
+// direction at the end of prefix, under the tree lock (safe against
+// concurrent merges). It reports whether the prefix still exists.
+func (t *Tree) CertifyInfeasible(prefix []Edge, missing Edge) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.root
+	for _, e := range prefix {
+		n = n.children[e]
+		if n == nil {
+			return false
+		}
+	}
+	n.MarkInfeasible(missing)
+	return true
+}
+
+// Walk visits every node in depth-first order under the read lock. fn
+// receives the path of edges from the root and the node; returning false
+// prunes the subtree.
+func (t *Tree) Walk(fn func(path []Edge, n *Node) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var rec func(path []Edge, n *Node)
+	rec = func(path []Edge, n *Node) {
+		if !fn(path, n) {
+			return
+		}
+		for _, e := range n.Edges() {
+			rec(append(path, e), n.children[e])
+		}
+	}
+	rec(nil, t.root)
+}
+
+// Frontier describes one unexplored branch direction: a node where branch
+// ID has been seen going one way but not the other, along with how to get
+// there. Frontiers are what the hive's guidance engine targets (§3.3) and
+// what the proof engine must discharge as infeasible (§3.3).
+type Frontier struct {
+	// Prefix is the decision path from the root to the node.
+	Prefix []Edge
+	// Missing is the unexplored direction.
+	Missing Edge
+	// SiblingVisits is the traversal count of the explored direction — a
+	// rarity signal (heavily-visited sibling with unexplored other side
+	// suggests a biased input distribution, a prime steering target).
+	SiblingVisits int64
+}
+
+// Frontiers enumerates unexplored branch directions, excluding those carrying
+// infeasibility certificates. limit <= 0 means no limit.
+func (t *Tree) Frontiers(limit int) []Frontier {
+	var out []Frontier
+	t.Walk(func(path []Edge, n *Node) bool {
+		if limit > 0 && len(out) >= limit {
+			return false
+		}
+		// Group observed edges by branch id; any id with exactly one
+		// direction (and no certificate for the other) is a frontier.
+		byID := make(map[int32][]Edge, len(n.children))
+		for e := range n.children {
+			byID[e.ID] = append(byID[e.ID], e)
+		}
+		for id, edges := range byID {
+			if len(edges) != 1 {
+				continue
+			}
+			missing := Edge{ID: id, Taken: !edges[0].Taken}
+			if n.Infeasible(missing) {
+				continue
+			}
+			out = append(out, Frontier{
+				Prefix:        append([]Edge(nil), path...),
+				Missing:       missing,
+				SiblingVisits: n.visits[edges[0]],
+			})
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SiblingVisits != out[j].SiblingVisits {
+			return out[i].SiblingVisits > out[j].SiblingVisits
+		}
+		return len(out[i].Prefix) < len(out[j].Prefix)
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Complete reports whether the tree has no frontiers left: every decision
+// point has both directions either explored or certified infeasible. A
+// complete tree is what turns the accumulated "test suite" into a proof
+// (paper §3.3: "a complete exploration of all paths leads to a proof").
+func (t *Tree) Complete() bool {
+	return len(t.Frontiers(1)) == 0
+}

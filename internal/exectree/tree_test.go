@@ -1,0 +1,187 @@
+package exectree
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prog"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func ev(id int32, taken bool) trace.BranchEvent {
+	return trace.BranchEvent{ID: id, Taken: taken}
+}
+
+func TestMergeBuildsTree(t *testing.T) {
+	tr := New("prog-1")
+	r1 := tr.Merge([]trace.BranchEvent{ev(0, true), ev(1, false)}, prog.OutcomeOK)
+	if !r1.NewPath || r1.NewNodes != 2 || r1.NewEdges != 2 {
+		t.Fatalf("first merge = %+v", r1)
+	}
+	// Same path again: nothing new.
+	r2 := tr.Merge([]trace.BranchEvent{ev(0, true), ev(1, false)}, prog.OutcomeOK)
+	if r2.NewPath || r2.NewNodes != 0 || r2.NewEdges != 0 {
+		t.Fatalf("repeat merge = %+v", r2)
+	}
+	// Diverging path shares the prefix.
+	r3 := tr.Merge([]trace.BranchEvent{ev(0, true), ev(1, true)}, prog.OutcomeOK)
+	if !r3.NewPath || r3.NewNodes != 1 || r3.NewEdges != 1 {
+		t.Fatalf("diverging merge = %+v", r3)
+	}
+
+	st := tr.Stats()
+	if st.Paths != 2 || st.Executions != 3 || st.Nodes != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Outcomes[prog.OutcomeOK] != 3 {
+		t.Fatalf("outcomes = %v", st.Outcomes)
+	}
+}
+
+func TestSamePathDifferentOutcomeIsNewPath(t *testing.T) {
+	tr := New("p")
+	tr.Merge([]trace.BranchEvent{ev(0, true)}, prog.OutcomeOK)
+	r := tr.Merge([]trace.BranchEvent{ev(0, true)}, prog.OutcomeCrash)
+	if !r.NewPath {
+		t.Error("same branch path with new outcome should count as new path")
+	}
+}
+
+func TestFrontiers(t *testing.T) {
+	tr := New("p")
+	tr.Merge([]trace.BranchEvent{ev(0, true), ev(1, true)}, prog.OutcomeOK)
+	tr.Merge([]trace.BranchEvent{ev(0, true), ev(1, false)}, prog.OutcomeOK)
+
+	fr := tr.Frontiers(0)
+	// Branch 0 at root has only "taken": one frontier. Branch 1 has both.
+	if len(fr) != 1 {
+		t.Fatalf("frontiers = %+v, want 1", fr)
+	}
+	if fr[0].Missing != (Edge{ID: 0, Taken: false}) {
+		t.Errorf("missing = %v", fr[0].Missing)
+	}
+	if fr[0].SiblingVisits != 2 {
+		t.Errorf("sibling visits = %d, want 2", fr[0].SiblingVisits)
+	}
+	if tr.Complete() {
+		t.Error("tree with frontier should not be complete")
+	}
+
+	// Certify the frontier infeasible: tree becomes complete.
+	tr.Root().MarkInfeasible(Edge{ID: 0, Taken: false})
+	if len(tr.Frontiers(0)) != 0 {
+		t.Error("certified frontier still reported")
+	}
+	if !tr.Complete() {
+		t.Error("tree should be complete after certificate")
+	}
+}
+
+func TestFrontierLimit(t *testing.T) {
+	tr := New("p")
+	for i := int32(0); i < 10; i++ {
+		tr.Merge([]trace.BranchEvent{ev(0, true), ev(i+1, true)}, prog.OutcomeOK)
+	}
+	if got := len(tr.Frontiers(3)); got > 3 {
+		t.Errorf("limited frontiers = %d, want <= 3", got)
+	}
+}
+
+func TestConcurrentMerges(t *testing.T) {
+	tr := New("p")
+	rng := stats.NewRNG(11)
+	paths := make([][]trace.BranchEvent, 50)
+	for i := range paths {
+		n := 1 + rng.Intn(8)
+		p := make([]trace.BranchEvent, n)
+		for j := range p {
+			p[j] = ev(int32(rng.Intn(5)), rng.Bool(0.5))
+		}
+		paths[i] = p
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, p := range paths {
+				tr.Merge(p, prog.OutcomeOK)
+			}
+		}()
+	}
+	wg.Wait()
+	st := tr.Stats()
+	if st.Executions != 8*50 {
+		t.Fatalf("executions = %d, want 400", st.Executions)
+	}
+	// Merging the same 50 paths from 8 goroutines must create each node
+	// exactly once; recount by a single-threaded replay.
+	ref := New("p")
+	for _, p := range paths {
+		ref.Merge(p, prog.OutcomeOK)
+	}
+	if tr.Stats().Nodes != ref.Stats().Nodes || tr.Stats().Paths != ref.Stats().Paths {
+		t.Fatalf("concurrent stats %+v != reference %+v", tr.Stats(), ref.Stats())
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	tr := New("p")
+	tr.Merge([]trace.BranchEvent{ev(0, true), ev(1, true)}, prog.OutcomeOK)
+	tr.Merge([]trace.BranchEvent{ev(0, false)}, prog.OutcomeCrash)
+	count := 0
+	tr.Walk(func(path []Edge, n *Node) bool {
+		count++
+		return true
+	})
+	if int64(count) != tr.Stats().Nodes {
+		t.Errorf("walk visited %d, stats say %d", count, tr.Stats().Nodes)
+	}
+}
+
+// Property: merging any set of paths yields node count equal to the size of
+// the prefix-set (plus root) and path count equal to distinct (path, outcome)
+// pairs.
+func TestQuickMergeInvariants(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		tr := New("p")
+		prefixes := map[string]bool{}
+		pathSet := map[string]bool{}
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			plen := rng.Intn(6)
+			path := make([]trace.BranchEvent, plen)
+			key := ""
+			for j := range path {
+				path[j] = ev(int32(rng.Intn(3)), rng.Bool(0.5))
+				key += path[j].String()
+				prefixes[key] = true
+			}
+			outcome := prog.OutcomeOK
+			if rng.Bool(0.3) {
+				outcome = prog.OutcomeCrash
+			}
+			pathSet[key+outcome.String()] = true
+			tr.Merge(path, outcome)
+		}
+		st := tr.Stats()
+		return st.Nodes == int64(len(prefixes))+1 &&
+			st.Paths == int64(len(pathSet)) &&
+			st.Executions == int64(n)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeCoverage(t *testing.T) {
+	p := prog.NewBuilder("cov", 1).Input(0, 0).Halt().MustBuild()
+	tr := New(p.ID)
+	covered, total := tr.EdgeCoverage(p)
+	if covered != 0 || total != 0 {
+		t.Errorf("empty program coverage = %d/%d", covered, total)
+	}
+}

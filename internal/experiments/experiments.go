@@ -1,0 +1,111 @@
+// Package experiments implements the reproduction harness: one function per
+// experiment in EXPERIMENTS.md (E1–E11), each regenerating a table or curve
+// corresponding to a figure or quantitative claim of the paper. The same
+// functions back `go test -bench` (bench_test.go) and the standalone
+// `cmd/softborg-bench` driver, so printed tables and benchmark metrics come
+// from identical code.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: labeled columns and formatted rows.
+type Table struct {
+	// ID is the experiment identifier ("E3").
+	ID string
+	// Title describes the experiment and names the paper artifact.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold the formatted cells.
+	Rows [][]string
+	// Notes summarizes the observed shape vs the paper's claim.
+	Notes string
+	// Metrics exposes headline numbers for benchmarks (name -> value).
+	Metrics map[string]float64
+}
+
+func (t *Table) addRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+func (t *Table) metric(name string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]float64)
+	}
+	t.Metrics[name] = v
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "note: %s\n", t.Notes)
+	}
+	return sb.String()
+}
+
+// Spec names one experiment.
+type Spec struct {
+	ID   string
+	Name string
+	Run  func() (*Table, error)
+}
+
+// All returns every experiment in order.
+func All() []Spec {
+	return []Spec{
+		{"E1", "execution-tree merge (Fig. 2 & 3)", E1TreeMerge},
+		{"E2", "population-scale coverage (§2)", E2PopulationCoverage},
+		{"E3", "SAT solver portfolio (§4: 10x speedup at 3x resources)", E3SolverPortfolio},
+		{"E4", "guided vs natural coverage (§3.3)", E4GuidedCoverage},
+		{"E5", "deadlock immunity across the fleet (§3.3, [16])", E5DeadlockImmunity},
+		{"E6", "bug density over time vs baselines (§1/§2)", E6BugDensity},
+		{"E7", "capture overhead by instrumentation mode (§3.1)", E7CaptureOverhead},
+		{"E8", "static vs dynamic tree partitioning (§4)", E8DynamicPartitioning},
+		{"E9", "cumulative proofs (§3.3)", E9CumulativeProofs},
+		{"E10", "privacy vs diagnostic utility (§3.1)", E10Privacy},
+		{"E11", "pod→hive wire throughput (Fig. 1)", E11WireThroughput},
+	}
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string  { return fmt.Sprintf("%.4f", v) }
+func d(v int64) string     { return fmt.Sprintf("%d", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

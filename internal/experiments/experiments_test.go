@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:      "EX",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   "hello",
+	}
+	tbl.addRow("1", "2")
+	tbl.addRow("333", "4")
+	out := tbl.Render()
+	for _, want := range []string{"EX", "demo", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllSpecsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if seen[s.ID] {
+			t.Errorf("duplicate experiment id %s", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Run == nil {
+			t.Errorf("%s has no runner", s.ID)
+		}
+	}
+	if len(seen) != 11 {
+		t.Errorf("experiments = %d, want 11", len(seen))
+	}
+}
+
+// The full experiment suite is exercised by bench_test.go and
+// cmd/softborg-bench; here we run the fast ones end-to-end and assert the
+// *shape* each table must reproduce.
+
+func TestE1Shape(t *testing.T) {
+	tbl, err := E1TreeMerge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree growth must be sublinear: far fewer paths than executions.
+	if tbl.Metrics["paths"] >= 5000/2 {
+		t.Errorf("paths = %v out of 5000 executions; expected heavy path reuse", tbl.Metrics["paths"])
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tbl, err := E2PopulationCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := tbl.Metrics["coverage_users_1"]
+	c100 := tbl.Metrics["coverage_users_100"]
+	if c100 <= c1 {
+		t.Errorf("coverage(100 users)=%v <= coverage(1 user)=%v", c100, c1)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tbl, err := E4GuidedCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Metrics["speedup"] <= 2 {
+		t.Errorf("guided speedup = %v, want > 2x", tbl.Metrics["speedup"])
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tbl, err := E5DeadlockImmunity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Metrics["day0_deadlocks"] == 0 {
+		t.Fatal("no deadlocks on day 0; experiment vacuous")
+	}
+	if tbl.Metrics["final_deadlocks"] != 0 {
+		t.Errorf("final deadlocks = %v, want 0", tbl.Metrics["final_deadlocks"])
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tbl, err := E6BugDensity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Metrics["reduction_factor"] < 5 && tbl.Metrics["final_rate"] > 0 {
+		t.Errorf("reduction = %vx (initial %v final %v), want order-of-magnitude shape",
+			tbl.Metrics["reduction_factor"], tbl.Metrics["initial_rate"], tbl.Metrics["final_rate"])
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tbl, err := E7CaptureOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := tbl.Metrics["bytes_full"]
+	ext := tbl.Metrics["bytes_external-only"]
+	sampled := tbl.Metrics["bytes_sampled-10%"]
+	if !(sampled < ext && ext < full) {
+		t.Errorf("capture cost ordering wrong: sampled=%v ext=%v full=%v", sampled, ext, full)
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tbl, err := E8DynamicPartitioning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Metrics["imbalance_dynamic"] >= tbl.Metrics["imbalance_static"] {
+		t.Errorf("dynamic imbalance %v >= static %v",
+			tbl.Metrics["imbalance_dynamic"], tbl.Metrics["imbalance_static"])
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	tbl, err := E9CumulativeProofs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More natural evidence must not increase prover-synthesized work.
+	if tbl.Metrics["synth_clean_200"] > tbl.Metrics["synth_clean_1"] {
+		t.Errorf("evidence did not reduce synthesis: %v @200 vs %v @1",
+			tbl.Metrics["synth_clean_200"], tbl.Metrics["synth_clean_1"])
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tbl, err := E10Privacy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := tbl.Metrics["candidates_raw"]
+	opaque := tbl.Metrics["candidates_opaque"]
+	if raw != 1 || opaque != 256 {
+		t.Errorf("attacker ambiguity: raw=%v opaque=%v, want 1 and 256", raw, opaque)
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	tbl, err := E11WireThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Metrics["ingested"] != 800 {
+		t.Errorf("ingested = %v, want 800", tbl.Metrics["ingested"])
+	}
+	if tbl.Metrics["fixes"] == 0 {
+		t.Error("no fixes propagated over TCP")
+	}
+}
+
+func TestCaptureCostRowsBaselineFirst(t *testing.T) {
+	// The helper's contract: first row is the uninstrumented baseline.
+	tbl, err := E7CaptureOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 || tbl.Rows[0][0] != "no-capture" {
+		t.Errorf("first row = %v", tbl.Rows)
+	}
+}

@@ -1,0 +1,126 @@
+package fix
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/deadlock"
+	"repro/internal/prog"
+)
+
+func guardFor(t *testing.T) *InputGuard {
+	t.Helper()
+	// Danger: 100 <= x0 <= 109.
+	pc := constraint.PathCondition{
+		constraint.NewConstraint(constraint.Var(0), prog.CmpGE, constraint.Const(100)),
+		constraint.NewConstraint(constraint.Var(0), prog.CmpLE, constraint.Const(109)),
+	}
+	return &InputGuard{Danger: TermsFromCondition(pc), SafeInput: []int64{50}}
+}
+
+func TestInputGuardMatchesAndApplies(t *testing.T) {
+	g := guardFor(t)
+	if !g.Matches([]int64{105}) {
+		t.Error("guard misses danger input")
+	}
+	if g.Matches([]int64{99}) || g.Matches([]int64{110}) {
+		t.Error("guard over-matches boundary")
+	}
+	out, fired := g.Apply([]int64{105})
+	if !fired || out[0] != 50 {
+		t.Errorf("apply = %v fired=%v", out, fired)
+	}
+	out2, fired2 := g.Apply([]int64{42})
+	if fired2 || out2[0] != 42 {
+		t.Errorf("safe input modified: %v fired=%v", out2, fired2)
+	}
+}
+
+func TestConditionRoundTrip(t *testing.T) {
+	g := guardFor(t)
+	cond := g.Condition()
+	if !cond.Holds(map[int]int64{0: 105}) || cond.Holds(map[int]int64{0: 5}) {
+		t.Error("round-tripped condition wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	sig := deadlock.Signature{Edges: []deadlock.SignatureEdge{{PC: 1, LockID: 0}}}
+	good := []Fix{
+		{Kind: KindDeadlockImmunity, Deadlock: &sig},
+		{Kind: KindInputGuard, Guard: guardFor(t)},
+	}
+	for i, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Errorf("fix %d: %v", i, err)
+		}
+	}
+	bad := []Fix{
+		{Kind: KindDeadlockImmunity},
+		{Kind: KindInputGuard},
+		{Kind: KindInputGuard, Guard: &InputGuard{Danger: guardFor(t).Danger}},
+		{Kind: Kind(99)},
+		// Safe input inside its own danger zone.
+		{Kind: KindInputGuard, Guard: &InputGuard{Danger: guardFor(t).Danger, SafeInput: []int64{105}}},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("bad fix %d accepted", i)
+		}
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	f := &Fix{
+		ID: 3, ProgramID: "prog-x", Kind: KindInputGuard,
+		TargetSignature: "crash@12#-1", Guard: guardFor(t), Validated: true,
+	}
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 3 || got.ProgramID != "prog-x" || got.Kind != KindInputGuard || !got.Validated {
+		t.Errorf("decoded = %+v", got)
+	}
+	if !got.Guard.Matches([]int64{105}) {
+		t.Error("decoded guard lost semantics")
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	if _, err := Decode([]byte(`{"kind":99}`)); err == nil {
+		t.Error("invalid kind decoded")
+	}
+	if _, err := Decode([]byte(`not json`)); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+func TestSetVersioning(t *testing.T) {
+	var s Set
+	sig := deadlock.Signature{Edges: []deadlock.SignatureEdge{{PC: 1, LockID: 0}}}
+	v1 := s.Add(Fix{Kind: KindDeadlockImmunity, Deadlock: &sig, TargetSignature: "a"})
+	v2 := s.Add(Fix{Kind: KindInputGuard, Guard: guardFor(t), TargetSignature: "b"})
+	if v1 != 1 || v2 != 2 || s.Len() != 2 {
+		t.Fatalf("versions %d %d len %d", v1, v2, s.Len())
+	}
+	all, cur := s.Since(0)
+	if len(all) != 2 || cur != 2 {
+		t.Errorf("since 0: %d fixes, version %d", len(all), cur)
+	}
+	inc, cur2 := s.Since(1)
+	if len(inc) != 1 || inc[0].TargetSignature != "b" || cur2 != 2 {
+		t.Errorf("since 1: %+v version %d", inc, cur2)
+	}
+	none, _ := s.Since(5)
+	if len(none) != 0 {
+		t.Errorf("since 5: %+v", none)
+	}
+	if !s.HasTarget("a") || s.HasTarget("zzz") {
+		t.Error("HasTarget wrong")
+	}
+}

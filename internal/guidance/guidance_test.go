@@ -1,0 +1,194 @@
+package guidance
+
+import (
+	"testing"
+
+	"repro/internal/exectree"
+	"repro/internal/prog"
+	"repro/internal/symbolic"
+)
+
+// buildEnvCrash crashes when a syscall returns > 50: unreachable by input
+// steering, reachable via fault injection.
+func buildEnvCrash(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("envcrash", 1)
+	bad, end := b.NewLabel(), b.NewLabel()
+	b.Input(0, 0)
+	b.Syscall(1, 7, 0)
+	b.BrImm(1, prog.CmpGT, 50, bad)
+	b.Jmp(end)
+	b.Bind(bad)
+	b.Const(2, 0)
+	b.Div(3, 2, 2)
+	b.Bind(end)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func seedTree(t *testing.T, p *prog.Program, inputs ...int64) *exectree.Tree {
+	t.Helper()
+	tree := exectree.New(p.ID)
+	sym, err := symbolic.New(p, symbolic.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range inputs {
+		in := make([]int64, p.NumInputs)
+		if len(in) > 0 {
+			in[0] = v
+		}
+		path, err := sym.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree.Merge(path.Events(), path.Outcome)
+	}
+	return tree
+}
+
+func TestInputGuidanceTargetsFrontier(t *testing.T) {
+	// if x > 100 {...}: seeding with small inputs leaves the taken side
+	// unexplored; guidance must produce an input > 100.
+	b := prog.NewBuilder("gap", 1)
+	hi, end := b.NewLabel(), b.NewLabel()
+	b.Input(0, 0)
+	b.BrImm(0, prog.CmpGT, 100, hi)
+	b.Jmp(end)
+	b.Bind(hi)
+	b.Const(1, 1)
+	b.Bind(end)
+	b.Halt()
+	p := b.MustBuild()
+
+	tree := seedTree(t, p, 1, 2, 3)
+	g, err := NewGenerator(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := g.Generate(tree, 4)
+	if len(cases) == 0 {
+		t.Fatal("no guidance produced")
+	}
+	found := false
+	for _, tc := range cases {
+		if len(tc.Input) > 0 && tc.Input[0] > 100 {
+			found = true
+		}
+		if tc.ProgramID != p.ID {
+			t.Errorf("test case bound to %s", tc.ProgramID)
+		}
+	}
+	if !found {
+		t.Errorf("no test case targets the gap: %+v", cases)
+	}
+}
+
+func TestFaultInjectionGuidance(t *testing.T) {
+	p := buildEnvCrash(t)
+	tree := seedTree(t, p, 0)
+	g, err := NewGenerator(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := g.Generate(tree, 4)
+	var withFaults *TestCase
+	for i := range cases {
+		if len(cases[i].Faults) > 0 {
+			withFaults = &cases[i]
+		}
+	}
+	if withFaults == nil {
+		t.Fatalf("no fault-injection test case: %+v", cases)
+	}
+	// Executing the test case must actually reach the crash.
+	inj := &prog.FaultInjector{Base: &prog.DeterministicSyscalls{}, Faults: withFaults.Faults}
+	m, err := prog.NewMachine(p, prog.Config{Input: withFaults.Input, Syscalls: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res.Outcome != prog.OutcomeCrash {
+		t.Fatalf("fault-guided run outcome = %v, want crash (faults %+v)", res.Outcome, withFaults.Faults)
+	}
+}
+
+func TestScheduleGuidanceForMultiThreaded(t *testing.T) {
+	b := prog.NewBuilder("mt2", 0).SetLocks(2)
+	b.Thread()
+	b.Lock(0).Yield().Lock(1).Unlock(1).Unlock(0).Halt()
+	b.Thread()
+	b.Lock(1).Yield().Lock(0).Unlock(0).Unlock(1).Halt()
+	p := b.MustBuild()
+
+	g, err := NewGenerator(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := exectree.New(p.ID)
+	cases := g.Generate(tree, 5)
+	if len(cases) == 0 {
+		t.Fatal("no schedule guidance")
+	}
+	distinct := map[string]bool{}
+	for _, tc := range cases {
+		if tc.Schedule == nil {
+			t.Errorf("multi-threaded guidance without schedule: %+v", tc)
+		}
+		key := ""
+		for _, c := range tc.Schedule {
+			key += string(rune('0' + c))
+		}
+		distinct[key] = true
+	}
+	if len(distinct) != len(cases) {
+		t.Errorf("duplicate schedules issued: %d distinct of %d", len(distinct), len(cases))
+	}
+}
+
+func TestGuidanceCertifiesInfeasibleFrontiers(t *testing.T) {
+	// if x > 200 { if x < 100 { dead } }: once both observed directions are
+	// seeded, guidance should certify the dead side rather than produce a
+	// test case for it.
+	b := prog.NewBuilder("deadend", 1)
+	outer, end := b.NewLabel(), b.NewLabel()
+	b.Input(0, 0)
+	b.BrImm(0, prog.CmpGT, 200, outer)
+	b.Jmp(end)
+	b.Bind(outer)
+	inner := b.NewLabel()
+	b.BrImm(0, prog.CmpLT, 100, inner)
+	b.Bind(inner)
+	b.Bind(end)
+	b.Halt()
+	p := b.MustBuild()
+
+	tree := seedTree(t, p, 0, 201)
+	g, err := NewGenerator(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Generate(tree, 8)
+	if !tree.Complete() {
+		t.Errorf("tree should be complete after guidance certifies the dead side; frontiers: %+v",
+			tree.Frontiers(0))
+	}
+}
+
+func TestGenerateOnCompleteTreeIsEmpty(t *testing.T) {
+	b := prog.NewBuilder("tiny", 1)
+	end := b.NewLabel()
+	b.Input(0, 0)
+	b.BrImm(0, prog.CmpGT, 100, end)
+	b.Bind(end)
+	b.Halt()
+	p := b.MustBuild()
+
+	tree := seedTree(t, p, 0, 200) // both sides covered
+	g, err := NewGenerator(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cases := g.Generate(tree, 4); len(cases) != 0 {
+		t.Errorf("complete tree produced guidance: %+v", cases)
+	}
+}

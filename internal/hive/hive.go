@@ -1,0 +1,632 @@
+// Package hive implements the processing center of Figure 1: it ingests
+// execution by-products from the pod fleet, merges them into per-program
+// collective execution trees (§3.2), detects misbehaviours, synthesizes and
+// versions fixes (§3.3), serves execution guidance toward coverage gaps, and
+// attempts cumulative proofs. Failures that resist automated fixing land in
+// the repair lab for human review, exactly as the paper provisions.
+package hive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/constraint"
+	"repro/internal/deadlock"
+	"repro/internal/exectree"
+	"repro/internal/fix"
+	"repro/internal/guidance"
+	"repro/internal/prog"
+	"repro/internal/proof"
+	"repro/internal/symbolic"
+	"repro/internal/trace"
+)
+
+// ErrUnknownProgram is returned for traces about unregistered programs.
+var ErrUnknownProgram = errors.New("hive: unknown program")
+
+// FailureRecord aggregates one failure signature across the fleet.
+type FailureRecord struct {
+	// Signature is the bucketing key (outcome @ fault site).
+	Signature string
+	// Outcome is the failure class.
+	Outcome prog.Outcome
+	// Count is the number of occurrences seen.
+	Count int64
+	// Pods is the number of distinct reporting pods.
+	Pods int
+	// Sample is one representative trace.
+	Sample *trace.Trace
+	// Fixed reports whether a fix targeting this signature was minted.
+	Fixed bool
+	// InRepairLab reports that automated synthesis gave up and the failure
+	// awaits a human.
+	InRepairLab bool
+}
+
+// programState is the hive's per-program knowledge.
+type programState struct {
+	prog  *prog.Program
+	tree  *exectree.Tree
+	fixes fix.Set
+	epoch int
+
+	failures map[string]*FailureRecord
+	podsSeen map[string]map[string]bool // signature -> pod set
+
+	// knownGood holds raw inputs observed to succeed (only available from
+	// PrivacyRaw pods); used to pick safe replacements and validate guards.
+	knownGood [][]int64
+
+	// sym and gen exist for single-threaded programs.
+	sym *symbolic.Engine
+	gen *guidance.Generator
+
+	proofs map[proof.Property]*proof.Proof
+
+	// ingested counts merged traces; reconstructed counts external-only
+	// traces expanded to full paths.
+	ingested      int64
+	reconstructed int64
+	rejected      int64
+
+	// coordinated buffers coordinated-sampling fragments by execution
+	// identity until every phase has arrived (paper §3.1: "subsequent
+	// aggregation of traces can narrow down this family"). Narrowed counts
+	// completed families merged as full paths.
+	coordinated map[string][]*trace.Trace
+	narrowed    int64
+}
+
+// maxCoordinatedFamilies bounds the fragment buffer per program.
+const maxCoordinatedFamilies = 4096
+
+// Hive is the aggregation and analysis center. All methods are safe for
+// concurrent use.
+type Hive struct {
+	mu       sync.Mutex
+	programs map[string]*programState
+	salt     string
+}
+
+// New creates an empty hive. salt is the fleet-wide input-digest salt
+// (needed to correlate hashed inputs).
+func New(salt string) *Hive {
+	return &Hive{programs: make(map[string]*programState), salt: salt}
+}
+
+// RegisterProgram tells the hive about a program so it can reconstruct,
+// analyze, and fix it. Registration is idempotent.
+func (h *Hive) RegisterProgram(p *prog.Program) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.programs[p.ID]; ok {
+		return nil
+	}
+	st := &programState{
+		prog:     p,
+		tree:     exectree.New(p.ID),
+		failures: make(map[string]*FailureRecord),
+		podsSeen: make(map[string]map[string]bool),
+		proofs:   make(map[proof.Property]*proof.Proof),
+	}
+	if p.NumThreads() == 1 {
+		sym, err := symbolic.New(p, symbolic.Config{})
+		if err != nil {
+			return fmt.Errorf("hive: register %s: %w", p.ID, err)
+		}
+		st.sym = sym
+	}
+	gen, err := guidance.NewGenerator(p, 0)
+	if err != nil {
+		return fmt.Errorf("hive: register %s: %w", p.ID, err)
+	}
+	st.gen = gen
+	h.programs[p.ID] = st
+	return nil
+}
+
+// Program returns the registered program by ID.
+func (h *Hive) Program(programID string) (*prog.Program, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.programs[programID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	}
+	return st.prog, nil
+}
+
+// SubmitTraces implements the pod-facing ingestion API. Each trace is
+// merged into the program's execution tree (reconstructing full paths from
+// external-only traces when possible), failure records are updated, and new
+// failure signatures trigger fix synthesis.
+func (h *Hive) SubmitTraces(traces []*trace.Trace) error {
+	for _, tr := range traces {
+		if err := h.ingest(tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Hive) ingest(tr *trace.Trace) error {
+	h.mu.Lock()
+	st, ok := h.programs[tr.ProgramID]
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownProgram, tr.ProgramID)
+	}
+
+	// Expand external-only traces to full paths outside the lock —
+	// reconstruction replays the program.
+	path := tr.Branches
+	switch {
+	case tr.Mode == trace.CaptureExternalOnly && st.prog.NumThreads() == 1:
+		full, err := exectree.Reconstruct(st.prog, tr)
+		if err == nil {
+			path = full
+			h.mu.Lock()
+			st.reconstructed++
+			h.mu.Unlock()
+		}
+		// On reconstruction failure fall back to merging at recorded
+		// granularity; the tree stays sound, only less detailed.
+	case tr.Mode == trace.CaptureCoordinated && st.prog.NumThreads() == 1:
+		if full, ok := h.ingestCoordinated(st, tr); ok {
+			// The fragment completed its family: merge the narrowed full
+			// path instead of the fragment.
+			path = full
+		}
+		// Otherwise the family is incomplete (or ambiguous): merge the
+		// fragment at recorded granularity so the evidence still counts.
+	}
+	st.tree.Merge(path, tr.Outcome)
+
+	h.mu.Lock()
+	st.ingested++
+	if tr.Privacy == trace.PrivacyRaw && tr.Outcome == prog.OutcomeOK && len(tr.Input) > 0 {
+		if len(st.knownGood) < 1024 {
+			st.knownGood = append(st.knownGood, append([]int64(nil), tr.Input...))
+		}
+	}
+	h.mu.Unlock()
+
+	if tr.Outcome.IsFailure() {
+		h.recordFailure(st, tr)
+	}
+	return nil
+}
+
+// ingestCoordinated buffers a coordinated-sampling fragment; when every
+// phase of its execution identity has arrived, the family is narrowed to
+// per-site directions and reconstructed to a full path. It returns the
+// reconstructed path and true when the family completed successfully.
+func (h *Hive) ingestCoordinated(st *programState, tr *trace.Trace) ([]trace.BranchEvent, bool) {
+	key := fmt.Sprintf("%s|%s|%s|%d|%d", tr.InputDigest, tr.ScheduleHash, tr.Outcome, tr.SampleK, tr.FaultPC)
+
+	h.mu.Lock()
+	if st.coordinated == nil {
+		st.coordinated = make(map[string][]*trace.Trace)
+	}
+	if len(st.coordinated) >= maxCoordinatedFamilies {
+		// Bounded buffer: reset rather than grow without limit on a hostile
+		// or lossy fleet (incomplete families are abandoned).
+		st.coordinated = make(map[string][]*trace.Trace)
+	}
+	st.coordinated[key] = append(st.coordinated[key], tr.Clone())
+	family := st.coordinated[key]
+	complete := len(trace.MissingPhases(family, tr.SampleK)) == 0
+	if complete {
+		delete(st.coordinated, key)
+	}
+	h.mu.Unlock()
+
+	if !complete {
+		return nil, false
+	}
+	sites, err := trace.CombineCoordinated(family)
+	if err != nil {
+		return nil, false
+	}
+	var sysRet []int64
+	for _, s := range family[0].Syscalls {
+		sysRet = append(sysRet, s.Ret)
+	}
+	full, outcome, err := exectree.ReconstructFromSites(st.prog, sites, sysRet, family[0].Steps*2+1024)
+	if err != nil || outcome != tr.Outcome {
+		return nil, false
+	}
+	h.mu.Lock()
+	st.narrowed++
+	h.mu.Unlock()
+	return full, true
+}
+
+// recordFailure updates aggregation and synthesizes a fix for first-seen
+// signatures.
+func (h *Hive) recordFailure(st *programState, tr *trace.Trace) {
+	sig := tr.FailureSignature()
+
+	h.mu.Lock()
+	rec, ok := st.failures[sig]
+	if !ok {
+		rec = &FailureRecord{Signature: sig, Outcome: tr.Outcome, Sample: tr.Clone()}
+		st.failures[sig] = rec
+		st.podsSeen[sig] = make(map[string]bool)
+	}
+	rec.Count++
+	if !st.podsSeen[sig][tr.PodID] {
+		st.podsSeen[sig][tr.PodID] = true
+		rec.Pods = len(st.podsSeen[sig])
+	}
+	needFix := !rec.Fixed && !rec.InRepairLab
+	h.mu.Unlock()
+
+	if !needFix {
+		return
+	}
+	h.synthesizeFix(st, rec, tr)
+}
+
+// synthesizeFix mints a fix for a newly observed failure signature:
+// deadlocks become immunity signatures; input-triggered crashes and
+// assertion failures become validated input guards; everything else goes to
+// the repair lab.
+func (h *Hive) synthesizeFix(st *programState, rec *FailureRecord, tr *trace.Trace) {
+	var minted *fix.Fix
+	switch tr.Outcome {
+	case prog.OutcomeDeadlock:
+		if len(tr.Deadlock) > 0 {
+			sig := deadlock.FromWaits(tr.Deadlock)
+			minted = &fix.Fix{
+				ProgramID:       st.prog.ID,
+				Kind:            fix.KindDeadlockImmunity,
+				TargetSignature: rec.Signature,
+				Deadlock:        &sig,
+			}
+		}
+	case prog.OutcomeCrash, prog.OutcomeAssertFail:
+		minted = h.synthesizeInputGuard(st, rec, tr)
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if minted == nil {
+		rec.InRepairLab = true
+		return
+	}
+	if err := minted.Validate(); err != nil {
+		rec.InRepairLab = true
+		return
+	}
+	minted.Validated = true
+	st.fixes.Add(*minted)
+	st.epoch++
+	rec.Fixed = true
+	// New fixes invalidate standing proofs (paper §3.3: the hive must decide
+	// whether instrumentation invalidates existing knowledge; we take the
+	// sound route and drop them for re-proving).
+	st.proofs = make(map[proof.Property]*proof.Proof)
+}
+
+// synthesizeInputGuard derives a danger-zone guard from the failing trace's
+// path condition. Privacy-friendly: it does not need the raw input — the
+// recorded input-dependent branch directions are replayed symbolically
+// (forced run) to recover the path condition.
+func (h *Hive) synthesizeInputGuard(st *programState, rec *FailureRecord, tr *trace.Trace) *fix.Fix {
+	if st.sym == nil {
+		return nil
+	}
+	// Extract the input-dependent decisions from the trace.
+	var forced []trace.BranchEvent
+	for _, be := range tr.Branches {
+		if st.prog.InputDependent(int(be.ID)) {
+			forced = append(forced, be)
+		}
+	}
+	base := make([]int64, st.prog.NumInputs)
+	path, err := st.sym.RunForced(base, forced)
+	if err != nil || !path.Outcome.IsFailure() {
+		return nil
+	}
+	cond := path.Condition()
+	if len(cond) == 0 {
+		return nil
+	}
+
+	safe := h.safeInput(st, cond)
+	if safe == nil {
+		return nil
+	}
+	guard := &fix.InputGuard{Danger: fix.TermsFromCondition(cond), SafeInput: safe}
+
+	// Validation against collective knowledge: no known-good input may fall
+	// in the danger zone (the fix must not change any previously-correct
+	// behaviour).
+	h.mu.Lock()
+	goodInputs := st.knownGood
+	h.mu.Unlock()
+	for _, g := range goodInputs {
+		if guard.Matches(g) {
+			return nil
+		}
+	}
+	return &fix.Fix{
+		ProgramID:       st.prog.ID,
+		Kind:            fix.KindInputGuard,
+		TargetSignature: rec.Signature,
+		Guard:           guard,
+	}
+}
+
+// safeInput picks a replacement input outside the danger zone: a known-good
+// input when available, otherwise one synthesized by solving the negated
+// condition.
+func (h *Hive) safeInput(st *programState, danger constraint.PathCondition) []int64 {
+	h.mu.Lock()
+	goodInputs := append([][]int64(nil), st.knownGood...)
+	h.mu.Unlock()
+	holds := func(input []int64) bool {
+		assign := make(map[int]int64, len(input))
+		for i, v := range input {
+			assign[i] = v
+		}
+		return danger.Holds(assign)
+	}
+	for _, g := range goodInputs {
+		if !holds(g) {
+			return g
+		}
+	}
+	// Negate the last constraint: stays on the same path prefix, exits the
+	// danger zone.
+	neg := danger.Clone()
+	neg[len(neg)-1] = neg[len(neg)-1].Negate()
+	res := (&constraint.Solver{Domain: st.sym.Domain()}).Solve(neg)
+	if res.Verdict != constraint.SAT {
+		return nil
+	}
+	out := make([]int64, st.prog.NumInputs)
+	for v, val := range res.Model {
+		if v < len(out) {
+			out[v] = val
+		}
+	}
+	if holds(out) {
+		return nil
+	}
+	return out
+}
+
+// FixesSince implements the pod-facing fix distribution API.
+func (h *Hive) FixesSince(programID string, version int) ([]fix.Fix, int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.programs[programID]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	}
+	fixes, cur := st.fixes.Since(version)
+	return fixes, cur, nil
+}
+
+// Guidance implements the pod-facing steering API: test cases toward the
+// program's current coverage gaps.
+func (h *Hive) Guidance(programID string, max int) ([]guidance.TestCase, error) {
+	h.mu.Lock()
+	st, ok := h.programs[programID]
+	h.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	}
+	return st.gen.Generate(st.tree, max), nil
+}
+
+// Prove attempts a cumulative proof of the property for the program,
+// reusing a standing proof when the tree and fixes have not changed its
+// validity.
+func (h *Hive) Prove(programID string, property proof.Property) (*proof.Proof, error) {
+	h.mu.Lock()
+	st, ok := h.programs[programID]
+	if !ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	}
+	if pr, ok := st.proofs[property]; ok && pr.Epoch == st.epoch {
+		h.mu.Unlock()
+		return pr, nil
+	}
+	sym := st.sym
+	epoch := st.epoch
+	h.mu.Unlock()
+
+	if sym == nil {
+		return nil, fmt.Errorf("hive: proofs for multi-threaded program %s not supported", programID)
+	}
+	engine := proof.NewEngine(st.prog, sym)
+	pr, err := engine.Attempt(st.tree, property, epoch)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	st.proofs[property] = pr
+	h.mu.Unlock()
+	return pr, nil
+}
+
+// PublishedProofs returns the standing (non-invalidated) proofs for a
+// program — the paper's "for correct behaviors, SoftBorg's hive produces
+// and publishes proofs of P's properties".
+func (h *Hive) PublishedProofs(programID string) ([]*proof.Proof, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.programs[programID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	}
+	out := make([]*proof.Proof, 0, len(st.proofs))
+	for _, pr := range st.proofs {
+		if pr.Epoch == st.epoch {
+			out = append(out, pr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Property < out[j].Property })
+	return out, nil
+}
+
+// Reproducer derives a concrete test case that reproduces a recorded
+// failure signature — the artifact the repair lab hands a developer. It
+// works even at hashed/opaque privacy: the sample trace's recorded
+// input-dependent branch directions are replayed symbolically and the
+// resulting path condition is solved for *an* input that takes the same
+// path (not necessarily the user's input — deliberately so).
+func (h *Hive) Reproducer(programID, signature string) (guidance.TestCase, error) {
+	h.mu.Lock()
+	st, ok := h.programs[programID]
+	if !ok {
+		h.mu.Unlock()
+		return guidance.TestCase{}, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	}
+	rec, ok := st.failures[signature]
+	if !ok || rec.Sample == nil {
+		h.mu.Unlock()
+		return guidance.TestCase{}, fmt.Errorf("hive: no failure record %q for program %s", signature, programID)
+	}
+	sample := rec.Sample.Clone()
+	sym := st.sym
+	h.mu.Unlock()
+
+	if sym == nil {
+		return guidance.TestCase{}, fmt.Errorf("hive: reproducer for multi-threaded program %s not supported", programID)
+	}
+
+	var forced []trace.BranchEvent
+	for _, be := range sample.Branches {
+		if st.prog.InputDependent(int(be.ID)) {
+			forced = append(forced, be)
+		}
+	}
+	base := make([]int64, st.prog.NumInputs)
+	path, err := sym.RunForced(base, forced)
+	if err != nil {
+		return guidance.TestCase{}, fmt.Errorf("hive: reproducer replay: %w", err)
+	}
+	if !path.Outcome.IsFailure() {
+		return guidance.TestCase{}, fmt.Errorf("hive: forced replay of %q did not fail (outcome %s)", signature, path.Outcome)
+	}
+	cond := path.Condition()
+	res := (&constraint.Solver{Domain: sym.Domain()}).Solve(cond)
+	if res.Verdict != constraint.SAT {
+		return guidance.TestCase{}, fmt.Errorf("hive: reproducer path condition %s for %q", res.Verdict, signature)
+	}
+	input := make([]int64, st.prog.NumInputs)
+	for v, val := range res.Model {
+		if v < len(input) {
+			input[v] = val
+		}
+	}
+	return guidance.TestCase{
+		ProgramID: programID,
+		Input:     input,
+		Reason:    fmt.Sprintf("reproduces failure %s", signature),
+	}, nil
+}
+
+// ProveNoDeadlock attempts a bounded-schedule proof that the program —
+// running under its currently distributed fixes (immunity gates) — cannot
+// deadlock within the given scheduling-decision bound. This is how the hive
+// verifies a deadlock fix exhaustively instead of merely observing that
+// reports stopped (paper §3.3: "must reason about whether this
+// instrumentation could affect P in undesired ways").
+func (h *Hive) ProveNoDeadlock(programID string, input []int64, bound int) (*proof.ScheduleProof, error) {
+	h.mu.Lock()
+	st, ok := h.programs[programID]
+	if !ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	}
+	var sigs []deadlock.Signature
+	for _, f := range st.fixes.All() {
+		if f.Kind == fix.KindDeadlockImmunity && f.Deadlock != nil {
+			sigs = append(sigs, *f.Deadlock)
+		}
+	}
+	p := st.prog
+	h.mu.Unlock()
+
+	cfg := proof.ScheduleConfig{Input: input, Bound: bound}
+	if len(sigs) > 0 {
+		cfg.Instruments = func() (prog.LockGate, prog.Observer) {
+			g := deadlock.NewGate(sigs)
+			return g, g
+		}
+	}
+	return proof.AttemptBoundedSchedules(p, proof.PropNoDeadlock, cfg)
+}
+
+// Stats is a hive-side per-program snapshot.
+type Stats struct {
+	ProgramID     string
+	Ingested      int64
+	Reconstructed int64
+	// Narrowed counts coordinated-sampling families completed and merged
+	// as full paths.
+	Narrowed  int64
+	Tree      exectree.Stats
+	Failures  []FailureRecord
+	FixCount  int
+	Epoch     int
+	RepairLab int
+}
+
+// ProgramStats returns a snapshot for one program.
+func (h *Hive) ProgramStats(programID string) (Stats, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.programs[programID]
+	if !ok {
+		return Stats{}, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	}
+	out := Stats{
+		ProgramID:     programID,
+		Ingested:      st.ingested,
+		Reconstructed: st.reconstructed,
+		Narrowed:      st.narrowed,
+		Tree:          st.tree.Stats(),
+		FixCount:      st.fixes.Len(),
+		Epoch:         st.epoch,
+	}
+	for _, rec := range st.failures {
+		out.Failures = append(out.Failures, *rec)
+		if rec.InRepairLab {
+			out.RepairLab++
+		}
+	}
+	sort.Slice(out.Failures, func(i, j int) bool { return out.Failures[i].Count > out.Failures[j].Count })
+	return out, nil
+}
+
+// Tree exposes a program's execution tree (experiments and proof drivers).
+func (h *Hive) Tree(programID string) (*exectree.Tree, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.programs[programID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	}
+	return st.tree, nil
+}
+
+// Programs lists registered program IDs.
+func (h *Hive) Programs() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.programs))
+	for id := range h.programs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,104 @@
+package population
+
+import (
+	"testing"
+)
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{Users: 0}); err == nil {
+		t.Error("zero users accepted")
+	}
+	p, err := New(Config{Seed: 1, Users: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 10 {
+		t.Errorf("size = %d", p.Size())
+	}
+	if p.Domain() != 256 {
+		t.Errorf("default domain = %d", p.Domain())
+	}
+	if p.TotalRunsPerDay() <= 0 {
+		t.Error("no usage")
+	}
+}
+
+func TestDeterministicFleet(t *testing.T) {
+	a, _ := New(Config{Seed: 5, Users: 20})
+	b, _ := New(Config{Seed: 5, Users: 20})
+	for i := range a.Users() {
+		ua, ub := a.Users()[i], b.Users()[i]
+		if ua.EnvSeed != ub.EnvSeed || ua.RegionBase != ub.RegionBase || ua.RunsPerDay != ub.RunsPerDay {
+			t.Fatalf("user %d differs", i)
+		}
+		ia := ua.NextInput(2, 256)
+		ib := ub.NextInput(2, 256)
+		for j := range ia {
+			if ia[j] != ib[j] {
+				t.Fatalf("user %d input differs: %v vs %v", i, ia, ib)
+			}
+		}
+	}
+}
+
+func TestInputsInDomain(t *testing.T) {
+	p, _ := New(Config{Seed: 2, Users: 5, Domain: 100})
+	for _, u := range p.Users() {
+		for r := 0; r < 200; r++ {
+			for _, v := range u.NextInput(3, 100) {
+				if v < 0 || v >= 100 {
+					t.Fatalf("input %d out of domain", v)
+				}
+			}
+		}
+	}
+}
+
+func TestUsersClusterAroundRegions(t *testing.T) {
+	p, _ := New(Config{Seed: 3, Users: 1, Domain: 256, ZipfExponent: 1.5})
+	u := p.Users()[0]
+	// Most draws should land near the region base (within domain/4 wrap
+	// distance).
+	near := 0
+	const draws = 500
+	for i := 0; i < draws; i++ {
+		v := u.NextInput(1, 256)[0]
+		d := v - u.RegionBase
+		if d < 0 {
+			d = -d
+		}
+		if d > 128 {
+			d = 256 - d
+		}
+		if d <= 64 {
+			near++
+		}
+	}
+	if near < draws*3/5 {
+		t.Errorf("only %d/%d draws near region base %d", near, draws, u.RegionBase)
+	}
+}
+
+func TestPopulationDiversityBeatsOneUser(t *testing.T) {
+	// The union of distinct inputs from 50 users must exceed what any
+	// single user produces with the same total draw budget — the paper's §2
+	// argument in miniature.
+	many, _ := New(Config{Seed: 7, Users: 50, Domain: 256})
+	single, _ := New(Config{Seed: 8, Users: 1, Domain: 256})
+
+	const perUser = 20
+	fleet := map[int64]bool{}
+	for _, u := range many.Users() {
+		for i := 0; i < perUser; i++ {
+			fleet[u.NextInput(1, 256)[0]] = true
+		}
+	}
+	solo := map[int64]bool{}
+	u := single.Users()[0]
+	for i := 0; i < perUser*50; i++ {
+		solo[u.NextInput(1, 256)[0]] = true
+	}
+	if len(fleet) <= len(solo) {
+		t.Errorf("fleet distinct inputs %d <= single user %d", len(fleet), len(solo))
+	}
+}

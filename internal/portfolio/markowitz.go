@@ -1,0 +1,120 @@
+package portfolio
+
+import (
+	"math"
+	"sort"
+)
+
+// Equity is one investable exploration target: the root of an execution
+// subtree, with running estimates of its reward (new paths / new coverage
+// per unit of work) and that reward's variance. The paper maps subtree roots
+// to equities and hive nodes to capital (§4).
+type Equity struct {
+	// ID identifies the subtree.
+	ID string
+	// Samples is how many reward observations exist.
+	Samples int
+	// Mean and Var are the running reward statistics.
+	Mean float64
+	Var  float64
+}
+
+// Observe folds a new reward observation into the running estimates
+// (Welford's algorithm).
+func (e *Equity) Observe(reward float64) {
+	e.Samples++
+	if e.Samples == 1 {
+		e.Mean = reward
+		e.Var = 0
+		return
+	}
+	delta := reward - e.Mean
+	e.Mean += delta / float64(e.Samples)
+	e.Var += (delta*(reward-e.Mean) - e.Var) / float64(e.Samples)
+}
+
+// Strategy selects how capital (worker nodes) is allocated across equities.
+type Strategy uint8
+
+// Allocation strategies, mirroring the portfolio-theory vocabulary the
+// paper invokes.
+const (
+	// Diversify splits workers evenly — minimum risk, ignores estimates.
+	Diversify Strategy = iota + 1
+	// Speculate allocates by optimistic upside (mean + exploration bonus for
+	// under-sampled equities), a UCB-flavored strategy.
+	Speculate
+	// EfficientFrontier maximizes mean reward at a variance penalty λ via
+	// greedy marginal allocation (diminishing returns per extra worker).
+	EfficientFrontier
+)
+
+// Allocate distributes workers across the equities according to the
+// strategy. The result maps equity ID to worker count and always sums to
+// workers (when equities is non-empty). λ is the risk-aversion parameter
+// for EfficientFrontier; ignored otherwise.
+func Allocate(equities []Equity, workers int, strategy Strategy, lambda float64) map[string]int {
+	out := make(map[string]int, len(equities))
+	if len(equities) == 0 || workers <= 0 {
+		return out
+	}
+	// Stable order for determinism.
+	eqs := append([]Equity(nil), equities...)
+	sort.Slice(eqs, func(i, j int) bool { return eqs[i].ID < eqs[j].ID })
+
+	switch strategy {
+	case Diversify:
+		base := workers / len(eqs)
+		rem := workers % len(eqs)
+		for i, e := range eqs {
+			out[e.ID] = base
+			if i < rem {
+				out[e.ID]++
+			}
+		}
+	case Speculate:
+		scores := make([]float64, len(eqs))
+		total := 0.0
+		for i, e := range eqs {
+			bonus := 1.0 / math.Sqrt(float64(e.Samples+1))
+			scores[i] = math.Max(e.Mean, 0) + bonus
+			total += scores[i]
+		}
+		assigned := 0
+		for i, e := range eqs {
+			n := int(float64(workers) * scores[i] / total)
+			out[e.ID] = n
+			assigned += n
+		}
+		// Distribute the rounding remainder to the highest scores.
+		idx := make([]int, len(eqs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+		for i := 0; assigned < workers; i++ {
+			out[eqs[idx[i%len(idx)]].ID]++
+			assigned++
+		}
+	case EfficientFrontier:
+		// Greedy marginal utility: each extra worker on equity e yields
+		// mean/(n+1) - λ·sqrt(var)/(n+1) (diminishing returns); assign one
+		// worker at a time to the best marginal.
+		counts := make([]int, len(eqs))
+		for w := 0; w < workers; w++ {
+			best, bestU := 0, math.Inf(-1)
+			for i, e := range eqs {
+				n := float64(counts[i] + 1)
+				u := (e.Mean - lambda*math.Sqrt(math.Max(e.Var, 0))) / n
+				if u > bestU {
+					best, bestU = i, u
+				}
+			}
+			counts[best]++
+		}
+		for i, e := range eqs {
+			out[e.ID] = counts[i]
+		}
+	}
+	return out
+}

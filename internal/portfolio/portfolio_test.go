@@ -1,0 +1,159 @@
+package portfolio
+
+import (
+	"testing"
+
+	"repro/internal/sat"
+	"repro/internal/stats"
+)
+
+func solvers() []sat.Solver {
+	return []sat.Solver{sat.NewChrono(), sat.NewJW(), sat.NewRandom(42)}
+}
+
+func TestRaceReturnsWinner(t *testing.T) {
+	rng := stats.NewRNG(1)
+	f := sat.Random3SAT(rng, 30, 4.26)
+	res := Race(f, solvers(), 0)
+	if res.Verdict == sat.Unknown {
+		t.Fatalf("race verdict = unknown")
+	}
+	if res.Winner == "" {
+		t.Fatal("no winner")
+	}
+	if res.Verdict == sat.SAT && !f.Eval(res.Model) {
+		t.Fatal("winning model invalid")
+	}
+	if res.TotalTicks < res.WinnerTicks {
+		t.Errorf("total %d < winner %d", res.TotalTicks, res.WinnerTicks)
+	}
+	if len(res.PerSolver) != 3 {
+		t.Errorf("per-solver entries = %d", len(res.PerSolver))
+	}
+}
+
+func TestRaceAgreesWithSequential(t *testing.T) {
+	rng := stats.NewRNG(2)
+	for i := 0; i < 10; i++ {
+		f := sat.Random3SAT(rng.Split(), 25, 4.26)
+		race := Race(f, solvers(), 0)
+		seq := SequentialRun(f, solvers(), 0)
+		for _, o := range seq {
+			if o.Verdict != sat.Unknown && o.Verdict != race.Verdict {
+				t.Fatalf("instance %d: race %v vs %s %v", i, race.Verdict, o.Name, o.Verdict)
+			}
+		}
+	}
+}
+
+func TestSequentialRunDeterministic(t *testing.T) {
+	rng := stats.NewRNG(3)
+	f := sat.Random3SAT(rng, 30, 4.26)
+	a := SequentialRun(f, solvers(), 0)
+	b := SequentialRun(f, solvers(), 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEvaluateBatchMetrics(t *testing.T) {
+	batch := sat.NewMixedBatch(7, 12)
+	m := EvaluateBatch(batch, solvers(), 2_000_000)
+	if m.Instances != 12 {
+		t.Fatalf("instances = %d", m.Instances)
+	}
+	if m.BestSingle == "" {
+		t.Fatal("no best single")
+	}
+	// The portfolio can never be slower than the best single solver: its
+	// per-instance time is the min over solvers.
+	if m.PortfolioTime > m.SingleTicks[m.BestSingle] {
+		t.Errorf("portfolio time %d > best single %d", m.PortfolioTime, m.SingleTicks[m.BestSingle])
+	}
+	if m.Speedup() < 1 {
+		t.Errorf("speedup = %v, want >= 1", m.Speedup())
+	}
+	// Resources are k× time.
+	if m.PortfolioResources != 3*m.PortfolioTime {
+		t.Errorf("resources = %d, want 3×%d", m.PortfolioResources, m.PortfolioTime)
+	}
+}
+
+func TestEquityObserveWelford(t *testing.T) {
+	var e Equity
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		e.Observe(v)
+	}
+	if e.Samples != 8 {
+		t.Fatalf("samples = %d", e.Samples)
+	}
+	if e.Mean != 5 {
+		t.Errorf("mean = %v, want 5", e.Mean)
+	}
+	if e.Var < 3.9 || e.Var > 4.1 { // population variance = 4
+		t.Errorf("var = %v, want ≈4", e.Var)
+	}
+}
+
+func TestAllocateDiversify(t *testing.T) {
+	eqs := []Equity{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	alloc := Allocate(eqs, 10, Diversify, 0)
+	total := 0
+	for _, n := range alloc {
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("allocated %d, want 10", total)
+	}
+	for id, n := range alloc {
+		if n < 3 || n > 4 {
+			t.Errorf("equity %s got %d, want 3-4", id, n)
+		}
+	}
+}
+
+func TestAllocateSpeculatePrefersUnsampled(t *testing.T) {
+	eqs := []Equity{
+		{ID: "explored", Samples: 100, Mean: 0.1},
+		{ID: "fresh", Samples: 0, Mean: 0},
+	}
+	alloc := Allocate(eqs, 10, Speculate, 0)
+	if alloc["fresh"] <= alloc["explored"] {
+		t.Errorf("speculate alloc = %v, want fresh favored", alloc)
+	}
+	total := 0
+	for _, n := range alloc {
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("allocated %d", total)
+	}
+}
+
+func TestAllocateEfficientFrontier(t *testing.T) {
+	eqs := []Equity{
+		{ID: "hi-mean-hi-var", Samples: 10, Mean: 10, Var: 100},
+		{ID: "mid-mean-lo-var", Samples: 10, Mean: 6, Var: 0.1},
+	}
+	// Risk-neutral: high mean wins.
+	neutral := Allocate(eqs, 10, EfficientFrontier, 0)
+	if neutral["hi-mean-hi-var"] <= neutral["mid-mean-lo-var"] {
+		t.Errorf("risk-neutral alloc = %v", neutral)
+	}
+	// Strongly risk-averse: low variance wins.
+	averse := Allocate(eqs, 10, EfficientFrontier, 1.0)
+	if averse["mid-mean-lo-var"] <= averse["hi-mean-hi-var"] {
+		t.Errorf("risk-averse alloc = %v", averse)
+	}
+}
+
+func TestAllocateEdgeCases(t *testing.T) {
+	if got := Allocate(nil, 5, Diversify, 0); len(got) != 0 {
+		t.Error("nil equities should allocate nothing")
+	}
+	if got := Allocate([]Equity{{ID: "a"}}, 0, Diversify, 0); len(got) != 0 {
+		t.Error("zero workers should allocate nothing")
+	}
+}

@@ -1,0 +1,483 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+)
+
+// run executes a single-threaded program with the given input.
+func run(t *testing.T, p *Program, input ...int64) Result {
+	t.Helper()
+	m, err := NewMachine(p, Config{Input: input})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	return m.Run()
+}
+
+func TestArithmetic(t *testing.T) {
+	p := NewBuilder("arith", 2).
+		Input(0, 0).
+		Input(1, 1).
+		Add(2, 0, 1).
+		Sub(3, 0, 1).
+		Mul(4, 0, 1).
+		Div(5, 0, 1).
+		Mod(6, 0, 1).
+		Halt().
+		MustBuild()
+	m, err := NewMachine(p, Config{Input: []int64{17, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v, want ok", res.Outcome)
+	}
+	want := []int64{17, 5, 22, 12, 85, 3, 2}
+	for r, w := range want {
+		if got := m.Reg(0, r); got != w {
+			t.Errorf("r%d = %d, want %d", r, got, w)
+		}
+	}
+}
+
+func TestDivByZeroCrashes(t *testing.T) {
+	p := NewBuilder("divzero", 1).
+		Input(0, 0).
+		Const(1, 100).
+		Div(2, 1, 0).
+		Halt().
+		MustBuild()
+	if res := run(t, p, 5); res.Outcome != OutcomeOK {
+		t.Fatalf("nonzero divisor: outcome = %v, want ok", res.Outcome)
+	}
+	res := run(t, p, 0)
+	if res.Outcome != OutcomeCrash {
+		t.Fatalf("zero divisor: outcome = %v, want crash", res.Outcome)
+	}
+	if res.FaultPC != 2 {
+		t.Errorf("FaultPC = %d, want 2", res.FaultPC)
+	}
+	if !strings.Contains(res.FaultInfo, "divide by zero") {
+		t.Errorf("FaultInfo = %q", res.FaultInfo)
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..n with a loop; n = input[0].
+	b := NewBuilder("sumloop", 1)
+	b.Input(0, 0) // r0 = n
+	b.Const(1, 0) // r1 = sum
+	b.Const(2, 1) // r2 = i
+	loop := b.Here()
+	exit := b.NewLabel()
+	b.Br(2, CmpGT, 0, exit) // if i > n goto exit
+	b.Add(1, 1, 2)          // sum += i
+	b.AddImm(2, 2, 1)       // i++
+	b.Jmp(loop)
+	b.Bind(exit)
+	b.Halt()
+	p := b.MustBuild()
+
+	m, err := NewMachine(p, Config{Input: []int64{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if got := m.Reg(0, 1); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestAssertFailure(t *testing.T) {
+	p := NewBuilder("assert", 1).
+		Input(0, 0).
+		Assert(0, 7).
+		Halt().
+		MustBuild()
+	res := run(t, p, 0)
+	if res.Outcome != OutcomeAssertFail {
+		t.Fatalf("outcome = %v, want assert-fail", res.Outcome)
+	}
+	if res.AssertID != 7 {
+		t.Errorf("AssertID = %d, want 7", res.AssertID)
+	}
+	if res := run(t, p, 1); res.Outcome != OutcomeOK {
+		t.Errorf("nonzero input: outcome = %v, want ok", res.Outcome)
+	}
+}
+
+func TestMemoryOutOfBoundsCrashes(t *testing.T) {
+	p := NewBuilder("oob", 1).
+		SetMem(4).
+		Input(0, 0).
+		LoadR(1, 0).
+		Halt().
+		MustBuild()
+	if res := run(t, p, 3); res.Outcome != OutcomeOK {
+		t.Fatalf("in-bounds: outcome = %v", res.Outcome)
+	}
+	if res := run(t, p, 4); res.Outcome != OutcomeCrash {
+		t.Fatalf("out-of-bounds: outcome = %v, want crash", res.Outcome)
+	}
+	if res := run(t, p, -1); res.Outcome != OutcomeCrash {
+		t.Fatalf("negative: outcome = %v, want crash", res.Outcome)
+	}
+}
+
+func TestHangOnFuelExhaustion(t *testing.T) {
+	b := NewBuilder("spin", 0)
+	loop := b.Here()
+	b.Jmp(loop)
+	p := b.MustBuild()
+	m, err := NewMachine(p, Config{Input: nil, MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Outcome != OutcomeHang {
+		t.Fatalf("outcome = %v, want hang", res.Outcome)
+	}
+	if res.Steps != 1000 {
+		t.Errorf("steps = %d, want 1000", res.Steps)
+	}
+}
+
+func TestUnlockNotHeldCrashes(t *testing.T) {
+	p := NewBuilder("badunlock", 0).
+		Unlock(0).
+		Halt().
+		MustBuild()
+	res := run(t, p)
+	if res.Outcome != OutcomeCrash {
+		t.Fatalf("outcome = %v, want crash", res.Outcome)
+	}
+}
+
+func TestRecursiveLockCrashes(t *testing.T) {
+	p := NewBuilder("recursive", 0).
+		Lock(0).
+		Lock(0).
+		Halt().
+		MustBuild()
+	res := run(t, p)
+	if res.Outcome != OutcomeCrash {
+		t.Fatalf("outcome = %v, want crash", res.Outcome)
+	}
+}
+
+// pickFirst is a trivial deterministic scheduler.
+type pickFirst struct{}
+
+func (pickFirst) Pick(step int64, runnable []int) int { return runnable[0] }
+
+// pickScript follows a fixed tid preference order per call.
+type pickLast struct{}
+
+func (pickLast) Pick(step int64, runnable []int) int { return runnable[len(runnable)-1] }
+
+// buildDiningPair builds the classic 2-lock deadlock: thread 0 takes L0,L1;
+// thread 1 takes L1,L0, with a yield between acquisitions to expose the
+// interleaving.
+func buildDiningPair() *Program {
+	b := NewBuilder("dining2", 0).SetLocks(2)
+	b.Thread()
+	b.Lock(0).Yield().Lock(1).Unlock(1).Unlock(0).Halt()
+	b.Thread()
+	b.Lock(1).Yield().Lock(0).Unlock(0).Unlock(1).Halt()
+	return b.MustBuild()
+}
+
+// alternating schedules threads in strict rotation each step.
+type alternating struct{ i int }
+
+func (a *alternating) Pick(step int64, runnable []int) int {
+	a.i++
+	return runnable[a.i%len(runnable)]
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	p := buildDiningPair()
+	// Alternating schedule forces T0:Lock(L0), T1:Lock(L1), then both block.
+	m, err := NewMachine(p, Config{Scheduler: &alternating{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Outcome != OutcomeDeadlock {
+		t.Fatalf("outcome = %v, want deadlock", res.Outcome)
+	}
+	if len(res.DeadlockCycle) != 2 {
+		t.Fatalf("cycle length = %d, want 2", len(res.DeadlockCycle))
+	}
+	seen := map[int]bool{}
+	for _, w := range res.DeadlockCycle {
+		seen[w.Wants] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("cycle locks = %+v, want waits on L0 and L1", res.DeadlockCycle)
+	}
+}
+
+func TestNoDeadlockUnderSerialSchedule(t *testing.T) {
+	p := buildDiningPair()
+	// pickFirst runs thread 0 to completion first: no deadlock.
+	m, err := NewMachine(p, Config{Scheduler: pickFirst{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v, want ok", res.Outcome)
+	}
+}
+
+// denyGate vetoes every acquisition of a specific lock by a specific thread
+// until the other thread halts — a hand-rolled immunity gate.
+type observingGate struct {
+	vetoes int
+}
+
+func (g *observingGate) Allow(tid, lockID, pc int, held []int) bool {
+	// Break the symmetric acquisition: thread 1 may not take L1 while
+	// holding nothing until it has been vetoed enough times for thread 0 to
+	// finish.
+	if tid == 1 && lockID == 1 && g.vetoes < 50 {
+		g.vetoes++
+		return false
+	}
+	return true
+}
+
+func TestLockGateAvertsDeadlock(t *testing.T) {
+	p := buildDiningPair()
+	m, err := NewMachine(p, Config{Scheduler: &alternating{}, Gate: &observingGate{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v, want ok (gate should break the race)", res.Outcome)
+	}
+}
+
+func TestSyscallModelAndFaultInjection(t *testing.T) {
+	p := NewBuilder("sys", 0).
+		Const(1, 42).
+		Syscall(0, 3, 1).
+		Halt().
+		MustBuild()
+
+	det := &DeterministicSyscalls{Seed: 7}
+	m, err := NewMachine(p, Config{Input: nil, Syscalls: det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	v1 := m.Reg(0, 0)
+
+	// Same seed, same value.
+	m2, _ := NewMachine(p, Config{Input: nil, Syscalls: &DeterministicSyscalls{Seed: 7}})
+	m2.Run()
+	if v2 := m2.Reg(0, 0); v2 != v1 {
+		t.Errorf("deterministic syscalls diverged: %d vs %d", v1, v2)
+	}
+
+	// Fault injection overrides.
+	inj := &FaultInjector{Base: det, Faults: []FaultSpec{{Sysno: 3, CallIndex: -1, Return: -1}}}
+	m3, _ := NewMachine(p, Config{Input: nil, Syscalls: inj})
+	m3.Run()
+	if got := m3.Reg(0, 0); got != -1 {
+		t.Errorf("injected return = %d, want -1", got)
+	}
+	if inj.Injected != 1 {
+		t.Errorf("Injected = %d, want 1", inj.Injected)
+	}
+}
+
+func TestBranchOverride(t *testing.T) {
+	// if input > 10 then r1 = 1 else r1 = 2.
+	b := NewBuilder("override", 1)
+	thenL, end := b.NewLabel(), b.NewLabel()
+	b.Input(0, 0)
+	b.BrImm(0, CmpGT, 10, thenL)
+	b.Const(1, 2)
+	b.Jmp(end)
+	b.Bind(thenL)
+	b.Const(1, 1)
+	b.Bind(end)
+	b.Halt()
+	p := b.MustBuild()
+
+	// Natural: input 0 -> not taken -> r1 = 2.
+	m, err := NewMachine(p, Config{Input: []int64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	if got := m.Reg(0, 1); got != 2 {
+		t.Fatalf("natural r1 = %d, want 2", got)
+	}
+
+	// Override forces taken despite input 0.
+	rec := &recordingObserver{}
+	m2, err := NewMachine(p, Config{
+		Input:          []int64{0},
+		Observer:       rec,
+		BranchOverride: func(tid, id int, natural bool) bool { return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Run()
+	if got := m2.Reg(0, 1); got != 1 {
+		t.Fatalf("overridden r1 = %d, want 1", got)
+	}
+	if len(rec.branches) != 1 || !rec.branches[0] {
+		t.Errorf("observer saw %v, want overridden direction [true]", rec.branches)
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	// Unbound label.
+	b := NewBuilder("bad", 0)
+	l := b.NewLabel()
+	b.Jmp(l)
+	if _, err := b.Build(); err == nil {
+		t.Error("unbound label: want error")
+	}
+
+	// Input index out of range.
+	p := &Program{Name: "badinput", Code: []Instr{{Op: OpInput, A: 0, Imm: 2}, {Op: OpHalt}}, Entries: []int{0}, NumInputs: 1}
+	if err := p.Validate(); err == nil {
+		t.Error("bad input index: want error")
+	}
+
+	// Empty code.
+	p2 := &Program{Name: "empty", Entries: []int{0}}
+	if err := p2.Validate(); err == nil {
+		t.Error("empty code: want error")
+	}
+}
+
+func TestInputArityChecked(t *testing.T) {
+	p := NewBuilder("arity", 2).Input(0, 0).Input(1, 1).Halt().MustBuild()
+	if _, err := NewMachine(p, Config{Input: []int64{1}}); err == nil {
+		t.Error("want arity error")
+	}
+}
+
+func TestMultiThreadNeedsScheduler(t *testing.T) {
+	b := NewBuilder("mt", 0)
+	b.Thread()
+	b.Halt()
+	b.Thread()
+	b.Halt()
+	p := b.MustBuild()
+	if _, err := NewMachine(p, Config{}); err == nil {
+		t.Error("want scheduler-required error")
+	}
+}
+
+func TestTaintAnalysis(t *testing.T) {
+	b := NewBuilder("taint", 1)
+	end := b.NewLabel()
+	b.Input(0, 0)             // r0 tainted
+	b.Const(1, 5)             // r1 clean
+	b.Add(2, 0, 1)            // r2 tainted
+	b.BrImm(2, CmpGT, 3, end) // branch 0: input-dependent
+	b.BrImm(1, CmpGT, 3, end) // branch 1: deterministic
+	b.Bind(end)
+	b.Halt()
+	p := b.MustBuild()
+
+	if p.NumBranches() != 2 {
+		t.Fatalf("branches = %d, want 2", p.NumBranches())
+	}
+	if !p.InputDependent(0) {
+		t.Error("branch 0 should be input-dependent")
+	}
+	if p.InputDependent(1) {
+		t.Error("branch 1 should be deterministic")
+	}
+	if p.NumInputDependentBranches() != 1 {
+		t.Errorf("input-dep count = %d, want 1", p.NumInputDependentBranches())
+	}
+}
+
+func TestProgramIDStableAndDistinct(t *testing.T) {
+	build := func(v int64) *Program {
+		return NewBuilder("idtest", 0).Const(0, v).Halt().MustBuild()
+	}
+	a1, a2, b := build(1), build(1), build(2)
+	if a1.ID != a2.ID {
+		t.Error("identical programs should share ID")
+	}
+	if a1.ID == b.ID {
+		t.Error("different programs should differ in ID")
+	}
+}
+
+func TestObserverSeesEvents(t *testing.T) {
+	b := NewBuilder("obs", 1).SetLocks(1)
+	end := b.NewLabel()
+	b.Input(0, 0)
+	b.Lock(0)
+	b.Syscall(1, 9, 0)
+	b.Unlock(0)
+	b.BrImm(0, CmpGT, 5, end)
+	b.Bind(end)
+	b.Halt()
+	p := b.MustBuild()
+
+	rec := &recordingObserver{}
+	m, err := NewMachine(p, Config{Input: []int64{7}, Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if rec.acquires != 1 || rec.releases != 1 {
+		t.Errorf("locks = %d/%d, want 1/1", rec.acquires, rec.releases)
+	}
+	if rec.syscalls != 1 {
+		t.Errorf("syscalls = %d, want 1", rec.syscalls)
+	}
+	if len(rec.branches) != 1 || rec.branches[0] != true {
+		t.Errorf("branches = %v, want [true] (7 > 5)", rec.branches)
+	}
+}
+
+type recordingObserver struct {
+	branches []bool
+	acquires int
+	releases int
+	syscalls int
+}
+
+func (r *recordingObserver) Branch(tid, id int, taken bool)   { r.branches = append(r.branches, taken) }
+func (r *recordingObserver) LockAcquire(tid, lockID, pc int)  { r.acquires++ }
+func (r *recordingObserver) LockRelease(tid, lockID, pc int)  { r.releases++ }
+func (r *recordingObserver) Syscall(tid int, s, a, ret int64) { r.syscalls++ }
+func (r *recordingObserver) Schedule(tid int)                 {}
+
+func TestDisassembleMentionsEveryOpcode(t *testing.T) {
+	p := NewBuilder("disasm", 1).SetMem(2).SetLocks(1).
+		Input(0, 0).
+		Const(1, 3).
+		Add(2, 0, 1).
+		Store(0, 2).
+		Load(3, 0).
+		Lock(0).
+		Unlock(0).
+		Halt().
+		MustBuild()
+	d := p.Disassemble()
+	for _, want := range []string{"input", "const", "add", "store", "load", "lock", "unlock", "halt"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}

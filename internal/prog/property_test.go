@@ -1,0 +1,211 @@
+package prog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// genProgram builds a small single-threaded program deterministically from a
+// seed, exercising arithmetic, branches, memory, syscalls and a bounded
+// loop. Used by the property tests below.
+func genProgram(seed uint64) *Program {
+	rng := stats.NewRNG(seed)
+	b := NewBuilder("prop", 2).SetMem(4)
+	end := b.NewLabel()
+	b.Input(0, 0)
+	b.Input(1, 1)
+	for i := 0; i < 3+rng.Intn(4); i++ {
+		switch rng.Intn(6) {
+		case 0:
+			b.Add(2, 0, 1)
+		case 1:
+			b.Sub(2, 1, 0)
+		case 2:
+			b.AddImm(2, 0, rng.Int63n(50))
+		case 3:
+			b.Store(int(rng.Int63n(4)), 0)
+			b.Load(3, int(rng.Int63n(4)))
+		case 4:
+			b.Syscall(4, rng.Int63n(5), 0)
+		case 5:
+			skip := b.NewLabel()
+			b.BrImm(0, CmpGT, rng.Int63n(256), skip)
+			b.AddImm(2, 2, 1)
+			b.Bind(skip)
+		}
+	}
+	// Bounded loop on input 1 % 8.
+	b.Const(5, 8)
+	b.Mod(6, 1, 5)
+	b.Const(7, 0)
+	head := b.Here()
+	b.Br(7, CmpGE, 6, end)
+	b.AddImm(7, 7, 1)
+	b.Jmp(head)
+	b.Bind(end)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// recordingObs captures the full event stream for comparison.
+type recordingObs struct {
+	events []int64
+}
+
+func (r *recordingObs) Branch(tid, id int, taken bool) {
+	v := int64(id) << 1
+	if taken {
+		v |= 1
+	}
+	r.events = append(r.events, 1000+v)
+}
+func (r *recordingObs) LockAcquire(tid, lockID, pc int) {
+	r.events = append(r.events, 2000+int64(lockID))
+}
+func (r *recordingObs) LockRelease(tid, lockID, pc int) {
+	r.events = append(r.events, 3000+int64(lockID))
+}
+func (r *recordingObs) Syscall(tid int, s, a, ret int64) { r.events = append(r.events, 4000+ret) }
+func (r *recordingObs) Schedule(tid int)                 {}
+
+// Property: execution is a pure function of (program, input, environment):
+// two runs with identical configuration produce identical results and
+// identical event streams. This is the determinism §3.1's reconstruction
+// argument rests on.
+func TestQuickDeterministicExecution(t *testing.T) {
+	check := func(seed uint64, a, b uint8) bool {
+		p := genProgram(seed % 50)
+		input := []int64{int64(a), int64(b)}
+		run := func() (Result, []int64) {
+			obs := &recordingObs{}
+			m, err := NewMachine(p, Config{
+				Input:    input,
+				Observer: obs,
+				Syscalls: &DeterministicSyscalls{Seed: seed},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m.Run(), obs.events
+		}
+		r1, e1 := run()
+		r2, e2 := run()
+		if r1.Outcome != r2.Outcome || r1.Steps != r2.Steps || r1.FaultPC != r2.FaultPC {
+			return false
+		}
+		if len(e1) != len(e2) {
+			return false
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generated property programs always terminate (no unbounded
+// loops) and never fail — they are bug-free by construction except for
+// div-by-zero, which the generator avoids.
+func TestQuickGenProgramsTerminateOK(t *testing.T) {
+	check := func(seed uint64, a, b uint8) bool {
+		p := genProgram(seed % 50)
+		m, err := NewMachine(p, Config{
+			Input:    []int64{int64(a), int64(b)},
+			MaxSteps: 100_000,
+		})
+		if err != nil {
+			return false
+		}
+		return m.Run().Outcome == OutcomeOK
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a recorded random schedule replays to the identical outcome on
+// multi-threaded programs (the pod's schedule capture is sufficient for the
+// hive to distinguish interleavings).
+func TestQuickScheduleReplayFaithful(t *testing.T) {
+	b := NewBuilder("mtprop", 0).SetLocks(2).SetMem(2)
+	b.Thread()
+	b.Lock(0).Load(0, 0).AddImm(0, 0, 1).Store(0, 0).Unlock(0).
+		Lock(1).Load(1, 1).AddImm(1, 1, 1).Store(1, 1).Unlock(1).Halt()
+	b.Thread()
+	b.Lock(1).Load(1, 1).AddImm(1, 1, 10).Store(1, 1).Unlock(1).
+		Lock(0).Load(0, 0).AddImm(0, 0, 10).Store(0, 0).Unlock(0).Halt()
+	p := b.MustBuild()
+
+	check := func(seed uint64) bool {
+		rec := newRecordingScheduler(seed)
+		m, err := NewMachine(p, Config{Scheduler: rec})
+		if err != nil {
+			return false
+		}
+		r1 := m.Run()
+		mem1 := m.Mem()
+
+		rep := &replayScheduler{script: rec.picks}
+		m2, err := NewMachine(p, Config{Scheduler: rep})
+		if err != nil {
+			return false
+		}
+		r2 := m2.Run()
+		mem2 := m2.Mem()
+
+		if r1.Outcome != r2.Outcome || r1.Steps != r2.Steps {
+			return false
+		}
+		for i := range mem1 {
+			if mem1[i] != mem2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recordingScheduler picks pseudo-randomly and records its picks.
+type recordingScheduler struct {
+	rng   *stats.RNG
+	picks []int
+}
+
+func newRecordingScheduler(seed uint64) *recordingScheduler {
+	return &recordingScheduler{rng: stats.NewRNG(seed)}
+}
+
+func (r *recordingScheduler) Pick(step int64, runnable []int) int {
+	p := runnable[r.rng.Intn(len(runnable))]
+	r.picks = append(r.picks, p)
+	return p
+}
+
+// replayScheduler replays recorded picks (falling back to runnable[0]).
+type replayScheduler struct {
+	script []int
+	pos    int
+}
+
+func (r *replayScheduler) Pick(step int64, runnable []int) int {
+	if r.pos < len(r.script) {
+		want := r.script[r.pos]
+		r.pos++
+		for _, tid := range runnable {
+			if tid == want {
+				return tid
+			}
+		}
+	}
+	return runnable[0]
+}

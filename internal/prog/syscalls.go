@@ -1,0 +1,90 @@
+package prog
+
+// DeterministicSyscalls is the default environment model: return values are
+// a pure function of (seed, tid, call index, sysno, arg), bounded to
+// [0, Range). Different seeds simulate different end-user environments, so a
+// population of pods running the same program with the same inputs can still
+// diverge at syscall-dependent branches — exactly the diversity the hive
+// aggregates.
+type DeterministicSyscalls struct {
+	// Seed selects the environment.
+	Seed uint64
+	// Range bounds return values to [0, Range); zero means 256.
+	Range int64
+}
+
+var _ SyscallModel = (*DeterministicSyscalls)(nil)
+
+// Call implements SyscallModel.
+func (d *DeterministicSyscalls) Call(tid, n int, sysno, arg int64) int64 {
+	r := d.Range
+	if r <= 0 {
+		r = 256
+	}
+	x := d.Seed ^ 0x9e3779b97f4a7c15
+	for _, v := range [...]uint64{uint64(tid) + 1, uint64(n) + 1, uint64(sysno), uint64(arg)} {
+		x ^= v
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+	}
+	return int64(x % uint64(r))
+}
+
+// FaultSpec identifies one syscall invocation to hijack and the value to
+// return. This is the paper's "test cases ... stated in terms of system call
+// faults to be injected (e.g., a short socket read())" (§3.3).
+type FaultSpec struct {
+	// Sysno is the system call number to target.
+	Sysno int64
+	// CallIndex targets the n-th syscall made by a thread; -1 targets every
+	// matching call.
+	CallIndex int
+	// Return is the injected return value (e.g., -1 for error, a small
+	// positive value for a short read).
+	Return int64
+}
+
+// FaultInjector wraps a SyscallModel and overrides designated calls.
+type FaultInjector struct {
+	// Base supplies return values for non-hijacked calls.
+	Base SyscallModel
+	// Faults are the injections to apply.
+	Faults []FaultSpec
+	// Injected counts how many injections fired.
+	Injected int
+}
+
+var _ SyscallModel = (*FaultInjector)(nil)
+
+// Call implements SyscallModel.
+func (f *FaultInjector) Call(tid, n int, sysno, arg int64) int64 {
+	for _, spec := range f.Faults {
+		if spec.Sysno == sysno && (spec.CallIndex == -1 || spec.CallIndex == n) {
+			f.Injected++
+			return spec.Return
+		}
+	}
+	return f.Base.Call(tid, n, sysno, arg)
+}
+
+// ScriptedSyscalls replays a fixed list of return values (per machine, in
+// call order across threads is not deterministic; this model is intended for
+// single-threaded replay where the order is the recorded order). When the
+// script runs out it falls back to zero.
+type ScriptedSyscalls struct {
+	// Returns are consumed in call order.
+	Returns []int64
+	next    int
+}
+
+var _ SyscallModel = (*ScriptedSyscalls)(nil)
+
+// Call implements SyscallModel.
+func (s *ScriptedSyscalls) Call(int, int, int64, int64) int64 {
+	if s.next < len(s.Returns) {
+		v := s.Returns[s.next]
+		s.next++
+		return v
+	}
+	return 0
+}

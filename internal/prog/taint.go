@@ -1,0 +1,61 @@
+package prog
+
+// analyzeInputDependence marks branches whose condition transitively depends
+// on program-external data: inputs, syscall return values, or shared memory
+// (which other threads may write, making it schedule-dependent).
+//
+// The paper (§3.1) observes that recording cost can be cut by capturing only
+// branches that depend on program-external events — once those are fixed,
+// the rest of the execution is deterministic and the hive can reconstruct
+// it. This analysis decides which branches fall in the "must record" set.
+//
+// The analysis is a conservative flow-insensitive taint fixpoint over
+// registers: a register is tainted if any instruction anywhere in the
+// program can write external data (or data derived from it) into that
+// register. Flow-insensitivity over-approximates, which is safe: we may
+// record a branch that was actually deterministic, never the reverse.
+func analyzeInputDependence(p *Program) []bool {
+	tainted := make([]bool, NumRegs)
+	changed := true
+	for changed {
+		changed = false
+		for _, in := range p.Code {
+			var newTaint bool
+			switch in.Op {
+			case OpInput, OpSyscall, OpLoad, OpLoadR:
+				// External data sources. Shared memory loads are tainted
+				// because another thread may have stored there.
+				newTaint = true
+			case OpMov:
+				newTaint = tainted[in.B]
+			case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor:
+				newTaint = tainted[in.B] || tainted[in.C]
+			case OpAddImm:
+				newTaint = tainted[in.B]
+			case OpConst:
+				// Constants never add taint, but flow-insensitivity means a
+				// register once tainted stays tainted: some other write to A
+				// may be the one that reaches the branch.
+				continue
+			default:
+				continue
+			}
+			if newTaint && !tainted[in.A] {
+				tainted[in.A] = true
+				changed = true
+			}
+		}
+	}
+
+	dep := make([]bool, p.NumBranches())
+	for id, pc := range p.branchPCs {
+		in := p.Code[pc]
+		switch in.Op {
+		case OpBr:
+			dep[id] = tainted[in.A] || tainted[in.B]
+		case OpBrImm:
+			dep[id] = tainted[in.A]
+		}
+	}
+	return dep
+}

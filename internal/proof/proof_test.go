@@ -1,0 +1,218 @@
+package proof
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exectree"
+	"repro/internal/prog"
+	"repro/internal/proggen"
+	"repro/internal/symbolic"
+)
+
+func engineFor(t *testing.T, p *prog.Program) *Engine {
+	t.Helper()
+	sym, err := symbolic.New(p, symbolic.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(p, sym)
+}
+
+// seed runs the program once on the zero input and merges the path.
+func seed(t *testing.T, p *prog.Program, tree *exectree.Tree) {
+	t.Helper()
+	sym, err := symbolic.New(p, symbolic.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := sym.Run(make([]int64, p.NumInputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Merge(path.Events(), path.Outcome)
+}
+
+func TestProveCleanProgram(t *testing.T) {
+	// No bugs: if x<50 {y=1} else if x<200 {y=2} else {y=3}.
+	b := prog.NewBuilder("clean3", 1)
+	l2, l3, end := b.NewLabel(), b.NewLabel(), b.NewLabel()
+	b.Input(0, 0)
+	b.BrImm(0, prog.CmpGE, 50, l2)
+	b.Const(1, 1)
+	b.Jmp(end)
+	b.Bind(l2)
+	b.BrImm(0, prog.CmpGE, 200, l3)
+	b.Const(1, 2)
+	b.Jmp(end)
+	b.Bind(l3)
+	b.Const(1, 3)
+	b.Bind(end)
+	b.Halt()
+	p := b.MustBuild()
+
+	tree := exectree.New(p.ID)
+	seed(t, p, tree)
+	e := engineFor(t, p)
+	pr, err := e.Attempt(tree, PropAllOK, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Complete || !pr.Holds {
+		t.Fatalf("%s", pr.Statement())
+	}
+	if pr.PathsCovered != 3 {
+		t.Errorf("paths = %d, want 3", pr.PathsCovered)
+	}
+	if !strings.HasPrefix(pr.Statement(), "PROVEN") {
+		t.Errorf("statement = %q", pr.Statement())
+	}
+}
+
+func TestRefuteBuggyProgram(t *testing.T) {
+	p, bugs := proggen.MustGenerate(proggen.Spec{Seed: 61, Depth: 3, Bugs: []proggen.BugKind{proggen.BugCrash}})
+	tree := exectree.New(p.ID)
+	seed(t, p, tree)
+	e := engineFor(t, p)
+	pr, err := e.Attempt(tree, PropNoCrash, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Holds {
+		t.Fatalf("buggy program proven: %s", pr.Statement())
+	}
+	// One of the counterexamples must carry a reproducing input inside the
+	// planted trigger range.
+	found := false
+	for _, ce := range pr.CounterExamples {
+		if len(ce.Input) > 0 && bugs[0].Triggered(ce.Input) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no counterexample reproduces the planted bug %+v: %+v", bugs[0], pr.CounterExamples)
+	}
+	if !strings.HasPrefix(pr.Statement(), "REFUTED") {
+		t.Errorf("statement = %q", pr.Statement())
+	}
+}
+
+func TestProofPropertySelectivity(t *testing.T) {
+	// A program that only assert-fails: NoCrash must hold, NoAssertFail
+	// must be refuted.
+	b := prog.NewBuilder("asserty", 1)
+	bad, end := b.NewLabel(), b.NewLabel()
+	b.Input(0, 0)
+	b.BrImm(0, prog.CmpEQ, 7, bad)
+	b.Jmp(end)
+	b.Bind(bad)
+	b.Const(1, 0)
+	b.Assert(1, 55)
+	b.Bind(end)
+	b.Halt()
+	p := b.MustBuild()
+
+	tree := exectree.New(p.ID)
+	seed(t, p, tree)
+	e := engineFor(t, p)
+
+	noCrash, err := e.Attempt(tree, PropNoCrash, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !noCrash.Holds || !noCrash.Complete {
+		t.Errorf("no-crash: %s", noCrash.Statement())
+	}
+
+	tree2 := exectree.New(p.ID)
+	seed(t, p, tree2)
+	noAssert, err := e.Attempt(tree2, PropNoAssertFail, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noAssert.Holds {
+		t.Errorf("no-assert-fail should be refuted: %s", noAssert.Statement())
+	}
+}
+
+func TestCertificatesMintedForInfeasible(t *testing.T) {
+	// if x > 200 { if x < 100 { dead } }: proof requires one certificate.
+	b := prog.NewBuilder("cert", 1)
+	outer, end := b.NewLabel(), b.NewLabel()
+	b.Input(0, 0)
+	b.BrImm(0, prog.CmpGT, 200, outer)
+	b.Jmp(end)
+	b.Bind(outer)
+	inner := b.NewLabel()
+	b.BrImm(0, prog.CmpLT, 100, inner)
+	b.Jmp(end)
+	b.Bind(inner)
+	b.Const(1, 0)
+	b.Div(2, 1, 1) // dead crash
+	b.Bind(end)
+	b.Halt()
+	p := b.MustBuild()
+
+	tree := exectree.New(p.ID)
+	seed(t, p, tree)
+	e := engineFor(t, p)
+	pr, err := e.Attempt(tree, PropNoCrash, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Complete || !pr.Holds {
+		t.Fatalf("%s", pr.Statement())
+	}
+	if pr.Certificates == 0 {
+		t.Error("proof needed an infeasibility certificate but minted none")
+	}
+}
+
+func TestCumulativeProofGrowsWithEvidence(t *testing.T) {
+	// The prover benefits from pre-existing evidence: with a rich tree, it
+	// synthesizes less itself.
+	p, _ := proggen.MustGenerate(proggen.Spec{Seed: 71, Depth: 4})
+	e := engineFor(t, p)
+
+	sparse := exectree.New(p.ID)
+	seed(t, p, sparse)
+	prSparse, err := e.Attempt(sparse, PropAllOK, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rich := exectree.New(p.ID)
+	sym, _ := symbolic.New(p, symbolic.Config{})
+	for v := int64(0); v < 256; v += 8 {
+		path, err := sym.Run([]int64{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rich.Merge(path.Events(), path.Outcome)
+	}
+	prRich, err := e.Attempt(rich, PropAllOK, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prRich.NewEvidence > prSparse.NewEvidence {
+		t.Errorf("rich tree needed more synthesized evidence (%d) than sparse (%d)",
+			prRich.NewEvidence, prSparse.NewEvidence)
+	}
+	if prSparse.Complete != prRich.Complete {
+		t.Errorf("completeness differs between evidence levels")
+	}
+}
+
+func TestEpochTagging(t *testing.T) {
+	p, _ := proggen.MustGenerate(proggen.Spec{Seed: 81, Depth: 2})
+	tree := exectree.New(p.ID)
+	seed(t, p, tree)
+	e := engineFor(t, p)
+	pr, err := e.Attempt(tree, PropAllOK, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Epoch != 42 {
+		t.Errorf("epoch = %d, want 42", pr.Epoch)
+	}
+}

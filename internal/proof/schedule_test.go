@@ -1,0 +1,139 @@
+package proof
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/deadlock"
+	"repro/internal/prog"
+	"repro/internal/sched"
+)
+
+func buildDining() *prog.Program {
+	b := prog.NewBuilder("dining2", 0).SetLocks(2)
+	b.Thread()
+	b.Lock(0).Yield().Lock(1).Unlock(1).Unlock(0).Halt()
+	b.Thread()
+	b.Lock(1).Yield().Lock(0).Unlock(0).Unlock(1).Halt()
+	return b.MustBuild()
+}
+
+func buildOrderedLocks() *prog.Program {
+	// Both threads acquire in the same order: deadlock-free by construction.
+	b := prog.NewBuilder("ordered", 0).SetLocks(2)
+	b.Thread()
+	b.Lock(0).Yield().Lock(1).Unlock(1).Unlock(0).Halt()
+	b.Thread()
+	b.Lock(0).Yield().Lock(1).Unlock(1).Unlock(0).Halt()
+	return b.MustBuild()
+}
+
+func TestBoundedScheduleRefutesDiningPair(t *testing.T) {
+	p := buildDining()
+	pr, err := AttemptBoundedSchedules(p, PropNoDeadlock, ScheduleConfig{Bound: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Holds {
+		t.Fatalf("dining pair proven deadlock-free: %s", pr.Statement())
+	}
+	if pr.CounterOutcome != prog.OutcomeDeadlock {
+		t.Errorf("counter outcome = %v", pr.CounterOutcome)
+	}
+	// The counter-schedule must reproduce the deadlock.
+	m, err := prog.NewMachine(p, prog.Config{Scheduler: sched.NewSystematic(pr.CounterSchedule)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res.Outcome != prog.OutcomeDeadlock {
+		t.Fatalf("counter-schedule %v does not reproduce: %v", pr.CounterSchedule, res.Outcome)
+	}
+}
+
+func TestBoundedScheduleProvesOrderedLocks(t *testing.T) {
+	p := buildOrderedLocks()
+	pr, err := AttemptBoundedSchedules(p, PropNoDeadlock, ScheduleConfig{Bound: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Holds || !pr.Complete {
+		t.Fatalf("ordered locks: %s", pr.Statement())
+	}
+	if !strings.HasPrefix(pr.Statement(), "PROVEN(bounded)") {
+		t.Errorf("statement = %q", pr.Statement())
+	}
+	if pr.Schedules < 2 {
+		t.Errorf("schedules = %d, want several", pr.Schedules)
+	}
+}
+
+func TestBoundedScheduleProvesImmunizedDiningPair(t *testing.T) {
+	p := buildDining()
+
+	// Learn the signature from one deadlocking schedule.
+	raw, err := AttemptBoundedSchedules(p, PropNoDeadlock, ScheduleConfig{Bound: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Holds {
+		t.Fatal("setup: expected a deadlock")
+	}
+	m, err := prog.NewMachine(p, prog.Config{Scheduler: sched.NewSystematic(raw.CounterSchedule)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	sig := deadlock.FromCycle(res.DeadlockCycle)
+
+	// Prove deadlock freedom of the program *under the immunity gate*.
+	fixed, err := AttemptBoundedSchedules(p, PropNoDeadlock, ScheduleConfig{
+		Bound: 6,
+		Instruments: func() (prog.LockGate, prog.Observer) {
+			g := deadlock.NewGate([]deadlock.Signature{sig})
+			return g, g
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fixed.Holds || !fixed.Complete {
+		t.Fatalf("immunized program not proven: %s (outcomes %v)", fixed.Statement(), fixed.Outcomes)
+	}
+	if fixed.Outcomes[prog.OutcomeDeadlock] != 0 {
+		t.Errorf("outcomes = %v", fixed.Outcomes)
+	}
+}
+
+func TestBoundedScheduleBudget(t *testing.T) {
+	p := buildDining()
+	pr, err := AttemptBoundedSchedules(p, PropAllOK, ScheduleConfig{Bound: 10, MaxRuns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Schedules > 3 {
+		t.Errorf("schedules = %d, want <= 3", pr.Schedules)
+	}
+	if pr.Complete {
+		t.Error("budget-capped run reported complete")
+	}
+}
+
+func TestBoundedScheduleInputArity(t *testing.T) {
+	b := prog.NewBuilder("witharg", 1)
+	b.Thread()
+	b.Input(0, 0)
+	b.Halt()
+	b.Thread()
+	b.Halt()
+	p := b.MustBuild()
+	if _, err := AttemptBoundedSchedules(p, PropAllOK, ScheduleConfig{}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	pr, err := AttemptBoundedSchedules(p, PropAllOK, ScheduleConfig{Input: []int64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Holds {
+		t.Fatalf("%s", pr.Statement())
+	}
+}

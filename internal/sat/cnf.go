@@ -1,0 +1,164 @@
+// Package sat implements the propositional-satisfiability substrate for
+// SoftBorg's cooperative solving experiments (paper §4): CNF formulas, a
+// DIMACS codec, three complete DPLL solvers with deliberately different
+// decision heuristics (so a portfolio of them exhibits the complementary
+// per-instance variance the paper exploits), and generators for random and
+// structured instances.
+//
+// Solver effort is measured in deterministic "ticks" (propagation visits +
+// decisions) rather than wall-clock time, so experiments replay exactly.
+package sat
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Lit is a literal: +v for variable v, -v for its negation. Variables are
+// numbered from 1.
+type Lit int32
+
+// Var returns the literal's variable.
+func (l Lit) Var() int32 {
+	if l < 0 {
+		return int32(-l)
+	}
+	return int32(l)
+}
+
+// Pos reports whether the literal is positive.
+func (l Lit) Pos() bool { return l > 0 }
+
+// Neg returns the negated literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Formula is a CNF formula.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks that every literal references a variable in range and no
+// clause is empty.
+func (f *Formula) Validate() error {
+	for i, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("sat: clause %d is empty", i)
+		}
+		for _, l := range c {
+			if l == 0 || int(l.Var()) > f.NumVars {
+				return fmt.Errorf("sat: clause %d has invalid literal %d", i, l)
+			}
+		}
+	}
+	return nil
+}
+
+// Eval checks an assignment (1-indexed; index 0 unused) against the formula.
+func (f *Formula) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if assign[l.Var()] == l.Pos() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the formula.
+func (f *Formula) Clone() *Formula {
+	out := &Formula{NumVars: f.NumVars, Clauses: make([]Clause, len(f.Clauses))}
+	for i, c := range f.Clauses {
+		out.Clauses[i] = append(Clause(nil), c...)
+	}
+	return out
+}
+
+// WriteDIMACS serializes the formula in DIMACS CNF format.
+func (f *Formula) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := fmt.Fprintf(bw, "%d ", l); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ErrDIMACS is wrapped by DIMACS parse failures.
+var ErrDIMACS = errors.New("sat: invalid DIMACS")
+
+// ParseDIMACS reads a DIMACS CNF formula.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	f := &Formula{}
+	sawHeader := false
+	var cur Clause
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("%w: bad header %q", ErrDIMACS, line)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			_, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 0 {
+				return nil, fmt.Errorf("%w: bad header %q", ErrDIMACS, line)
+			}
+			f.NumVars = nv
+			sawHeader = true
+			continue
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("%w: clause before header", ErrDIMACS)
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad literal %q", ErrDIMACS, tok)
+			}
+			if v == 0 {
+				f.Clauses = append(f.Clauses, cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, Lit(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		f.Clauses = append(f.Clauses, cur)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

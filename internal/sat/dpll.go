@@ -1,0 +1,413 @@
+package sat
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Verdict is a solver's answer.
+type Verdict uint8
+
+// Verdicts. Unknown means the tick budget expired first.
+const (
+	SAT Verdict = iota + 1
+	UNSAT
+	Unknown
+)
+
+var verdictNames = map[Verdict]string{SAT: "sat", UNSAT: "unsat", Unknown: "unknown"}
+
+// String returns the verdict label.
+func (v Verdict) String() string {
+	if s, ok := verdictNames[v]; ok {
+		return s
+	}
+	return fmt.Sprintf("verdict(%d)", uint8(v))
+}
+
+// Result is a solver run's outcome.
+type Result struct {
+	Verdict Verdict
+	// Model is a satisfying assignment (index 0 unused) when SAT.
+	Model []bool
+	// Ticks is the deterministic effort spent (clause visits + decisions).
+	Ticks int64
+}
+
+// Solver decides CNF formulas under a tick budget.
+type Solver interface {
+	// Name identifies the solver in reports.
+	Name() string
+	// Solve decides f, spending at most maxTicks effort (0 means
+	// DefaultMaxTicks). Closing cancel makes Solve return Unknown at the
+	// next tick check; nil means non-cancellable.
+	Solve(f *Formula, maxTicks int64, cancel <-chan struct{}) Result
+}
+
+// DefaultMaxTicks bounds solver effort when the caller passes zero.
+const DefaultMaxTicks = 50_000_000
+
+// heuristic selects the next decision literal.
+type heuristic interface {
+	// init prepares per-formula state.
+	init(f *Formula)
+	// pick returns a decision literal on an unassigned variable, or 0 when
+	// all variables are assigned.
+	pick(d *dpll) Lit
+}
+
+// DPLL is a complete Davis–Putnam–Logemann–Loveland solver with two-literal
+// watching and chronological backtracking. The decision heuristic is
+// pluggable; the three exported constructors differ only (but substantially)
+// in that choice, which is what makes them complementary in a portfolio —
+// the paper's §4 observation that "each solver is fast in solving some path
+// constraints but slow on others".
+type DPLL struct {
+	name string
+	mk   func() heuristic
+}
+
+var _ Solver = (*DPLL)(nil)
+
+// NewChrono returns a DPLL deciding variables in index order with negative
+// phase first — the "textbook" solver.
+func NewChrono() *DPLL {
+	return &DPLL{name: "chrono", mk: func() heuristic { return &chronoHeur{} }}
+}
+
+// NewJW returns a DPLL using static Jeroslow–Wang literal scoring: literals
+// in short clauses weigh exponentially more.
+func NewJW() *DPLL {
+	return &DPLL{name: "jw", mk: func() heuristic { return &jwHeur{} }}
+}
+
+// NewRandom returns a DPLL deciding in a seeded random variable order with
+// random phases; different seeds give different solvers.
+func NewRandom(seed uint64) *DPLL {
+	return &DPLL{
+		name: fmt.Sprintf("rand-%d", seed),
+		mk:   func() heuristic { return &randHeur{seed: seed} },
+	}
+}
+
+// Name implements Solver.
+func (s *DPLL) Name() string { return s.name }
+
+const (
+	unassigned int8 = 0
+	assignedT  int8 = 1
+	assignedF  int8 = -1
+)
+
+// decFrame is one decision-stack entry: where the decision's literal sits on
+// the trail and whether its complement has already been tried.
+type decFrame struct {
+	limit   int
+	flipped bool
+}
+
+// dpll is per-solve state.
+type dpll struct {
+	f       *Formula
+	clauses []Clause // private copy: watching reorders literals
+	assign  []int8   // 1-indexed
+	trail   []Lit
+	decs    []decFrame
+	qhead   int
+	// watches maps literal index (2v / 2v+1) to watching clause ids.
+	watches  [][]int32
+	ticks    int64
+	maxTicks int64
+	cancel   <-chan struct{}
+}
+
+func litIdx(l Lit) int32 {
+	v := l.Var()
+	if l.Pos() {
+		return 2 * v
+	}
+	return 2*v + 1
+}
+
+// value returns the literal's truth value under the current assignment.
+func (d *dpll) value(l Lit) int8 {
+	a := d.assign[l.Var()]
+	if a == unassigned {
+		return unassigned
+	}
+	if l.Pos() {
+		return a
+	}
+	return -a
+}
+
+// Solve implements Solver.
+func (s *DPLL) Solve(f *Formula, maxTicks int64, cancel <-chan struct{}) Result {
+	if maxTicks <= 0 {
+		maxTicks = DefaultMaxTicks
+	}
+	d := &dpll{
+		f:        f,
+		clauses:  make([]Clause, len(f.Clauses)),
+		assign:   make([]int8, f.NumVars+1),
+		watches:  make([][]int32, 2*(f.NumVars+1)),
+		maxTicks: maxTicks,
+		cancel:   cancel,
+	}
+	for i, c := range f.Clauses {
+		d.clauses[i] = append(Clause(nil), c...)
+	}
+	h := s.mk()
+	h.init(f)
+
+	// Handle empty and unit clauses up front; set up watches for the rest.
+	for ci, c := range d.clauses {
+		switch len(c) {
+		case 0:
+			return Result{Verdict: UNSAT, Ticks: d.ticks}
+		case 1:
+			switch d.value(c[0]) {
+			case assignedF:
+				return Result{Verdict: UNSAT, Ticks: d.ticks}
+			case unassigned:
+				d.enqueue(c[0])
+			}
+		default:
+			d.watches[litIdx(c[0])] = append(d.watches[litIdx(c[0])], int32(ci))
+			d.watches[litIdx(c[1])] = append(d.watches[litIdx(c[1])], int32(ci))
+		}
+	}
+	if !d.propagate() {
+		return Result{Verdict: UNSAT, Ticks: d.ticks}
+	}
+
+	for {
+		if d.ticks >= d.maxTicks || canceled(d.cancel) {
+			return Result{Verdict: Unknown, Ticks: d.ticks}
+		}
+		dec := h.pick(d)
+		if dec == 0 {
+			model := make([]bool, f.NumVars+1)
+			for v := 1; v <= f.NumVars; v++ {
+				model[v] = d.assign[v] == assignedT
+			}
+			return Result{Verdict: SAT, Model: model, Ticks: d.ticks}
+		}
+		d.ticks++
+		d.decs = append(d.decs, decFrame{limit: len(d.trail)})
+		d.enqueue(dec)
+		for !d.propagate() {
+			if !d.backtrack() {
+				return Result{Verdict: UNSAT, Ticks: d.ticks}
+			}
+			if d.ticks >= d.maxTicks || canceled(d.cancel) {
+				return Result{Verdict: Unknown, Ticks: d.ticks}
+			}
+		}
+	}
+}
+
+func canceled(c <-chan struct{}) bool {
+	if c == nil {
+		return false
+	}
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
+
+// enqueue assigns literal l true and pushes it on the trail.
+func (d *dpll) enqueue(l Lit) {
+	v := l.Var()
+	if l.Pos() {
+		d.assign[v] = assignedT
+	} else {
+		d.assign[v] = assignedF
+	}
+	d.trail = append(d.trail, l)
+}
+
+// backtrack undoes to the most recent decision with an untried phase, flips
+// it in place, and returns true; false means the search space is exhausted
+// (UNSAT).
+func (d *dpll) backtrack() bool {
+	for len(d.decs) > 0 {
+		top := &d.decs[len(d.decs)-1]
+		decision := d.trail[top.limit]
+		for i := len(d.trail) - 1; i >= top.limit; i-- {
+			d.assign[d.trail[i].Var()] = unassigned
+		}
+		d.trail = d.trail[:top.limit]
+		d.qhead = top.limit
+		if !top.flipped {
+			top.flipped = true
+			d.enqueue(decision.Neg())
+			return true
+		}
+		d.decs = d.decs[:len(d.decs)-1]
+	}
+	return false
+}
+
+// propagate runs unit propagation with two-literal watching; false on
+// conflict.
+func (d *dpll) propagate() bool {
+	for d.qhead < len(d.trail) {
+		l := d.trail[d.qhead]
+		d.qhead++
+		if !d.propagateLit(l.Neg()) {
+			return false
+		}
+	}
+	return true
+}
+
+// propagateLit visits clauses watching falseLit (a literal that just became
+// false) and updates their watches; false on conflict.
+func (d *dpll) propagateLit(falseLit Lit) bool {
+	wl := d.watches[litIdx(falseLit)]
+	kept := wl[:0]
+	for wi := 0; wi < len(wl); wi++ {
+		ci := wl[wi]
+		d.ticks++
+		clause := d.clauses[ci]
+		if clause[0] == falseLit {
+			clause[0], clause[1] = clause[1], clause[0]
+		}
+		if d.value(clause[0]) == assignedT {
+			kept = append(kept, ci)
+			continue
+		}
+		found := false
+		for k := 2; k < len(clause); k++ {
+			if d.value(clause[k]) != assignedF {
+				clause[1], clause[k] = clause[k], clause[1]
+				d.watches[litIdx(clause[1])] = append(d.watches[litIdx(clause[1])], ci)
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		kept = append(kept, ci)
+		switch d.value(clause[0]) {
+		case unassigned:
+			d.enqueue(clause[0])
+		case assignedF:
+			kept = append(kept, wl[wi+1:]...)
+			d.watches[litIdx(falseLit)] = kept
+			return false
+		}
+	}
+	d.watches[litIdx(falseLit)] = kept
+	return true
+}
+
+// --- heuristics ---
+
+type chronoHeur struct{}
+
+func (h *chronoHeur) init(*Formula) {}
+
+func (h *chronoHeur) pick(d *dpll) Lit {
+	for v := 1; v <= d.f.NumVars; v++ {
+		if d.assign[v] == unassigned {
+			return Lit(-int32(v))
+		}
+	}
+	return 0
+}
+
+type jwHeur struct {
+	order []int32 // variables by descending JW score
+	phase []bool  // preferred phase per variable
+}
+
+func (h *jwHeur) init(f *Formula) {
+	pos := make([]float64, f.NumVars+1)
+	neg := make([]float64, f.NumVars+1)
+	for _, c := range f.Clauses {
+		w := jwWeight(len(c))
+		for _, l := range c {
+			if l.Pos() {
+				pos[l.Var()] += w
+			} else {
+				neg[l.Var()] += w
+			}
+		}
+	}
+	h.order = make([]int32, 0, f.NumVars)
+	h.phase = make([]bool, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		h.order = append(h.order, int32(v))
+		h.phase[v] = pos[v] >= neg[v]
+	}
+	score := func(v int32) float64 { return pos[v] + neg[v] }
+	sortStableBy(h.order, func(a, b int32) bool { return score(a) > score(b) })
+}
+
+func jwWeight(clauseLen int) float64 {
+	w := 1.0
+	for i := 0; i < clauseLen && i < 30; i++ {
+		w /= 2
+	}
+	return w
+}
+
+func (h *jwHeur) pick(d *dpll) Lit {
+	for _, v := range h.order {
+		if d.assign[v] == unassigned {
+			if h.phase[v] {
+				return Lit(v)
+			}
+			return Lit(-v)
+		}
+	}
+	return 0
+}
+
+type randHeur struct {
+	seed  uint64
+	order []int32
+	phase []bool
+}
+
+func (h *randHeur) init(f *Formula) {
+	rng := stats.NewRNG(h.seed)
+	perm := rng.Perm(f.NumVars)
+	h.order = make([]int32, f.NumVars)
+	h.phase = make([]bool, f.NumVars+1)
+	for i, p := range perm {
+		h.order[i] = int32(p + 1)
+	}
+	for v := 1; v <= f.NumVars; v++ {
+		h.phase[v] = rng.Bool(0.5)
+	}
+}
+
+func (h *randHeur) pick(d *dpll) Lit {
+	for _, v := range h.order {
+		if d.assign[v] == unassigned {
+			if h.phase[v] {
+				return Lit(v)
+			}
+			return Lit(-v)
+		}
+	}
+	return 0
+}
+
+func sortStableBy(s []int32, less func(a, b int32) bool) {
+	// Insertion sort: n is the variable count (small) and this avoids a
+	// sort.Slice closure allocation.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package sat
+
+import (
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// Random3SAT generates a uniform random 3-SAT instance with nvars variables
+// and ratio*nvars clauses. Ratio ≈ 4.26 sits at the phase transition where
+// instances are hardest and solver runtimes are most variable — the regime
+// where a solver portfolio pays off most.
+func Random3SAT(rng *stats.RNG, nvars int, ratio float64) *Formula {
+	nclauses := int(float64(nvars) * ratio)
+	f := &Formula{NumVars: nvars, Clauses: make([]Clause, 0, nclauses)}
+	for i := 0; i < nclauses; i++ {
+		c := make(Clause, 0, 3)
+		used := map[int32]bool{}
+		for len(c) < 3 {
+			v := int32(rng.Intn(nvars) + 1)
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			if rng.Bool(0.5) {
+				c = append(c, Lit(v))
+			} else {
+				c = append(c, Lit(-v))
+			}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// Pigeonhole generates PHP(n+1, n): n+1 pigeons into n holes — UNSAT and
+// exponentially hard for resolution-based solvers. Variable p*n + h + 1
+// means "pigeon p in hole h".
+func Pigeonhole(n int) *Formula {
+	pigeons, holes := n+1, n
+	v := func(p, h int) Lit { return Lit(int32(p*holes + h + 1)) }
+	f := &Formula{NumVars: pigeons * holes}
+	// Each pigeon in some hole.
+	for p := 0; p < pigeons; p++ {
+		c := make(Clause, holes)
+		for h := 0; h < holes; h++ {
+			c[h] = v(p, h)
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	// No two pigeons share a hole.
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.Clauses = append(f.Clauses, Clause{v(p1, h).Neg(), v(p2, h).Neg()})
+			}
+		}
+	}
+	return f
+}
+
+// GraphColoring encodes k-coloring of a random graph with n nodes and m
+// edges. Variable node*k + color + 1 means "node has color".
+func GraphColoring(rng *stats.RNG, n, m, k int) *Formula {
+	v := func(node, color int) Lit { return Lit(int32(node*k + color + 1)) }
+	f := &Formula{NumVars: n * k}
+	// Each node has at least one color.
+	for node := 0; node < n; node++ {
+		c := make(Clause, k)
+		for color := 0; color < k; color++ {
+			c[color] = v(node, color)
+		}
+		f.Clauses = append(f.Clauses, c)
+		// At most one color.
+		for c1 := 0; c1 < k; c1++ {
+			for c2 := c1 + 1; c2 < k; c2++ {
+				f.Clauses = append(f.Clauses, Clause{v(node, c1).Neg(), v(node, c2).Neg()})
+			}
+		}
+	}
+	// Adjacent nodes differ.
+	seen := map[[2]int]bool{}
+	for len(seen) < m {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		for color := 0; color < k; color++ {
+			f.Clauses = append(f.Clauses, Clause{v(a, color).Neg(), v(b, color).Neg()})
+		}
+	}
+	return f
+}
+
+// MixedBatch generates the instance mix used by the portfolio experiments:
+// phase-transition random 3-SAT of varying sizes plus structured instances.
+// Each entry is labeled for reporting.
+type Instance struct {
+	Name    string
+	Formula *Formula
+}
+
+// NewMixedBatch builds count instances deterministically from seed.
+func NewMixedBatch(seed uint64, count int) []Instance {
+	rng := stats.NewRNG(seed)
+	out := make([]Instance, 0, count)
+	for i := 0; i < count; i++ {
+		switch i % 5 {
+		case 0, 1, 2:
+			n := 60 + rng.Intn(60)
+			out = append(out, Instance{
+				Name:    nameOf("r3sat", i, n),
+				Formula: Random3SAT(rng.Split(), n, 4.26),
+			})
+		case 3:
+			n := 30 + rng.Intn(40)
+			out = append(out, Instance{
+				Name:    nameOf("color", i, n),
+				Formula: GraphColoring(rng.Split(), n, n*2, 3),
+			})
+		default:
+			n := 5 + rng.Intn(3)
+			out = append(out, Instance{
+				Name:    nameOf("php", i, n),
+				Formula: Pigeonhole(n),
+			})
+		}
+	}
+	return out
+}
+
+func nameOf(kind string, i, n int) string {
+	return kind + "-" + strconv.Itoa(i) + "-n" + strconv.Itoa(n)
+}

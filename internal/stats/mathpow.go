@@ -1,0 +1,8 @@
+package stats
+
+import "math"
+
+// mathPow isolates the math.Pow dependency so rng.go stays readable.
+func mathPow(base, exp float64) float64 {
+	return math.Pow(base, exp)
+}

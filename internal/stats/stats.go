@@ -1,0 +1,229 @@
+// Package stats provides small statistical helpers used across SoftBorg:
+// summaries, percentiles, histograms, linear regression, and a deterministic
+// RNG wrapper. Everything is dependency-free and deterministic given a seed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics for a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes a Summary over xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(len(sorted))
+
+	var sq float64
+	for _, x := range sorted {
+		d := x - mean
+		sq += d * d
+	}
+	sd := 0.0
+	if len(sorted) > 1 {
+		sd = math.Sqrt(sq / float64(len(sorted)-1))
+	}
+
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		StdDev: sd,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: Percentile(sorted, 50),
+		P90:    Percentile(sorted, 90),
+		P99:    Percentile(sorted, 99),
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) of a sorted sample using
+// linear interpolation between closest ranks. The input must be sorted
+// ascending; it returns 0 for an empty sample.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the sample variance (n-1 denominator) of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sq float64
+	for _, x := range xs {
+		d := x - m
+		sq += d * d
+	}
+	return sq / float64(len(xs)-1)
+}
+
+// LinearFit fits y = a + b*x by ordinary least squares and returns the
+// intercept a, slope b, and the coefficient of determination r2. It returns
+// zeros when fewer than two points are supplied or x has zero variance.
+func LinearFit(x, y []float64) (a, b, r2 float64) {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return 0, 0, 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		return a, b, 1
+	}
+	r2 = (sxy * sxy) / (sxx * syy)
+	return a, b, r2
+}
+
+// Histogram is a fixed-bucket histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	// Under and Over count out-of-range observations.
+	Under, Over int
+}
+
+// NewHistogram creates a histogram with n equal-width buckets spanning
+// [lo, hi). It panics if n <= 0 or hi <= lo, which indicates programmer
+// error at construction time.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram bounds lo=%v hi=%v n=%d", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	if x >= h.Hi {
+		h.Over++
+		return
+	}
+	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if idx >= len(h.Buckets) {
+		idx = len(h.Buckets) - 1
+	}
+	h.Buckets[idx]++
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int {
+	total := h.Under + h.Over
+	for _, b := range h.Buckets {
+		total += b
+	}
+	return total
+}
+
+// String renders a compact ASCII sparkline of the histogram.
+func (h *Histogram) String() string {
+	marks := []rune(" ▁▂▃▄▅▆▇█")
+	maxCount := 1
+	for _, b := range h.Buckets {
+		if b > maxCount {
+			maxCount = b
+		}
+	}
+	out := make([]rune, len(h.Buckets))
+	for i, b := range h.Buckets {
+		idx := b * (len(marks) - 1) / maxCount
+		out[i] = marks[idx]
+	}
+	return fmt.Sprintf("[%g,%g) %s", h.Lo, h.Hi, string(out))
+}
+
+// Counter is a simple monotonically increasing named counter set.
+type Counter struct {
+	counts map[string]int64
+}
+
+// NewCounter creates an empty counter set.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta.
+func (c *Counter) Add(name string, delta int64) {
+	c.counts[name] += delta
+}
+
+// Get returns the value of the named counter.
+func (c *Counter) Get(name string) int64 {
+	return c.counts[name]
+}
+
+// Names returns the counter names in sorted order.
+func (c *Counter) Names() []string {
+	names := make([]string, 0, len(c.counts))
+	for name := range c.counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,257 @@
+package symbolic
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/exectree"
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// ExploreResult summarizes a directed exploration.
+type ExploreResult struct {
+	// Paths are the distinct concolic paths discovered (including the seed).
+	Paths []*Path
+	// Infeasible are edges certified unreachable, keyed by their position:
+	// the prefix of events leading to the decision point plus the missing
+	// direction.
+	Infeasible []InfeasibleEdge
+	// SolverTicks is the total solver effort expended.
+	SolverTicks int64
+	// Unknown counts flip attempts abandoned on budget or concretization.
+	Unknown int
+}
+
+// InfeasibleEdge is an infeasibility certificate: no in-domain input can
+// drive execution along Prefix and then through Missing.
+type InfeasibleEdge struct {
+	Prefix  []trace.BranchEvent
+	Missing exectree.Edge
+}
+
+// Explore performs DART-style directed exploration from seed inputs: run,
+// then repeatedly flip unexplored branch directions, bounded by maxPaths
+// total paths. Flips that the solver refutes become infeasibility
+// certificates. Deterministic branch directions are certified immediately
+// (their other side can never execute at that point).
+func (e *Engine) Explore(seed []int64, maxPaths int) (*ExploreResult, error) {
+	res := &ExploreResult{}
+	seen := make(map[string]bool)
+
+	type flipTask struct {
+		path *Path
+		k    int
+	}
+	var queue []flipTask
+
+	addPath := func(p *Path) {
+		key := pathKey(p)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		res.Paths = append(res.Paths, p)
+		for k := range p.Records {
+			queue = append(queue, flipTask{path: p, k: k})
+		}
+	}
+
+	first, err := e.Run(seed)
+	if err != nil {
+		return nil, err
+	}
+	addPath(first)
+
+	flipped := make(map[string]bool) // decision-point key -> already attempted
+	for len(queue) > 0 && len(res.Paths) < maxPaths {
+		task := queue[0]
+		queue = queue[1:]
+
+		rec := task.path.Records[task.k]
+		dp := decisionKey(task.path, task.k)
+		if flipped[dp] {
+			continue
+		}
+		flipped[dp] = true
+
+		id := int(rec.Event.ID)
+		if !e.prog.InputDependent(id) {
+			// Deterministic branch: at this decision point the direction is
+			// fixed, so the other side is trivially infeasible.
+			res.Infeasible = append(res.Infeasible, InfeasibleEdge{
+				Prefix:  prefixEvents(task.path, task.k),
+				Missing: exectree.Edge{ID: rec.Event.ID, Taken: !rec.Event.Taken},
+			})
+			continue
+		}
+		if !rec.Exact {
+			res.Unknown++
+			continue
+		}
+
+		input, verdict, ferr := e.Flip(task.path, task.k)
+		if ferr != nil {
+			res.Unknown++
+			continue
+		}
+		switch verdict {
+		case constraint.SAT:
+			p, rerr := e.Run(input)
+			if rerr != nil {
+				return nil, rerr
+			}
+			addPath(p)
+		case constraint.UNSAT:
+			res.Infeasible = append(res.Infeasible, InfeasibleEdge{
+				Prefix:  prefixEvents(task.path, task.k),
+				Missing: exectree.Edge{ID: rec.Event.ID, Taken: !rec.Event.Taken},
+			})
+		default:
+			res.Unknown++
+		}
+	}
+	return res, nil
+}
+
+// SolveFrontier attempts to produce an input that drives execution along
+// frontier.Prefix and then through frontier.Missing. It re-derives the path
+// condition by a forced concolic run along the prefix and solves
+// prefix-conditions ∧ missing-direction-condition. The returned verdict is
+// SAT (input found), UNSAT (certificate: the direction is infeasible), or
+// Unknown.
+func (e *Engine) SolveFrontier(f exectree.Frontier) ([]int64, constraint.Verdict, error) {
+	forced := make([]trace.BranchEvent, len(f.Prefix))
+	for i, edge := range f.Prefix {
+		forced[i] = trace.BranchEvent{ID: edge.ID, Taken: edge.Taken}
+	}
+	base := make([]int64, e.prog.NumInputs)
+	p, err := e.RunForced(base, forced)
+	if err != nil {
+		return nil, constraint.Unknown, err
+	}
+	// Locate the decision point: the record at depth len(f.Prefix) should be
+	// the frontier branch.
+	if len(p.Records) <= len(f.Prefix) {
+		return nil, constraint.Unknown, nil
+	}
+	rec := p.Records[len(f.Prefix)]
+	if rec.Event.ID != f.Missing.ID {
+		// Forced replay diverged (e.g. the prefix came from a different
+		// syscall environment); give up rather than certify wrongly.
+		return nil, constraint.Unknown, nil
+	}
+	if !e.prog.InputDependent(int(f.Missing.ID)) {
+		// Deterministic branch: missing direction is infeasible iff the
+		// natural direction differs.
+		if rec.Event.Taken != f.Missing.Taken {
+			return nil, constraint.UNSAT, nil
+		}
+		return p.Input, constraint.SAT, nil
+	}
+	if !rec.Exact {
+		return nil, constraint.Unknown, nil
+	}
+
+	pc := make(constraint.PathCondition, 0, len(f.Prefix)+1)
+	for i := 0; i < len(f.Prefix) && i < len(p.Records); i++ {
+		if p.Records[i].Exact {
+			pc = append(pc, p.Records[i].Cond)
+		}
+	}
+	target := rec.Cond
+	if rec.Event.Taken != f.Missing.Taken {
+		target = target.Negate()
+	}
+	pc = append(pc, target)
+	sres := e.solver().Solve(pc)
+	if sres.Verdict != constraint.SAT {
+		return nil, sres.Verdict, nil
+	}
+	return e.modelToInput(sres.Model, p.Input), constraint.SAT, nil
+}
+
+// SolveFrontierEnv is SolveFrontier under relaxed consistency: the engine
+// must have been created with SymbolicSyscalls, so syscall returns are fresh
+// variables the solver may choose. A SAT answer yields both an input and the
+// fault-injection specs that realize the solved environment — the paper's
+// §3.3 "test cases ... stated in terms of system call faults to be
+// injected". Returns of syscalls the solver left unconstrained keep their
+// natural value (no fault injected).
+func (e *Engine) SolveFrontierEnv(f exectree.Frontier) ([]int64, []prog.FaultSpec, constraint.Verdict, error) {
+	if !e.cfg.SymbolicSyscalls {
+		return nil, nil, constraint.Unknown, fmt.Errorf("%w: engine not in relaxed-consistency mode", ErrUnsupported)
+	}
+	forced := make([]trace.BranchEvent, len(f.Prefix))
+	for i, edge := range f.Prefix {
+		forced[i] = trace.BranchEvent{ID: edge.ID, Taken: edge.Taken}
+	}
+	base := make([]int64, e.prog.NumInputs)
+	p, err := e.RunForced(base, forced)
+	if err != nil {
+		return nil, nil, constraint.Unknown, err
+	}
+	if len(p.Records) <= len(f.Prefix) {
+		return nil, nil, constraint.Unknown, nil
+	}
+	rec := p.Records[len(f.Prefix)]
+	if rec.Event.ID != f.Missing.ID || !rec.Exact {
+		return nil, nil, constraint.Unknown, nil
+	}
+
+	pc := make(constraint.PathCondition, 0, len(f.Prefix)+1)
+	for i := 0; i < len(f.Prefix) && i < len(p.Records); i++ {
+		if p.Records[i].Exact {
+			pc = append(pc, p.Records[i].Cond)
+		}
+	}
+	target := rec.Cond
+	if rec.Event.Taken != f.Missing.Taken {
+		target = target.Negate()
+	}
+	pc = append(pc, target)
+	sres := e.solver().Solve(pc)
+	if sres.Verdict != constraint.SAT {
+		return nil, nil, sres.Verdict, nil
+	}
+
+	input := e.modelToInput(sres.Model, p.Input)
+	var faults []prog.FaultSpec
+	for i := 0; i < p.FreshVars && i < len(p.SyscallNums); i++ {
+		varIdx := e.prog.NumInputs + i
+		val, constrained := sres.Model[varIdx]
+		if !constrained {
+			continue // natural return suffices
+		}
+		faults = append(faults, prog.FaultSpec{
+			Sysno:     p.SyscallNums[i],
+			CallIndex: i,
+			Return:    val,
+		})
+	}
+	return input, faults, constraint.SAT, nil
+}
+
+func pathKey(p *Path) string {
+	key := make([]byte, 0, len(p.Records)*3)
+	for _, r := range p.Records {
+		b := byte(0)
+		if r.Event.Taken {
+			b = 1
+		}
+		key = append(key, byte(r.Event.ID), byte(r.Event.ID>>8), b)
+	}
+	return string(key)
+}
+
+func decisionKey(p *Path, k int) string {
+	return pathKey(&Path{Records: p.Records[:k]}) + "|" + p.Records[k].Event.String()
+}
+
+func prefixEvents(p *Path, k int) []trace.BranchEvent {
+	out := make([]trace.BranchEvent, k)
+	for i := 0; i < k; i++ {
+		out[i] = p.Records[i].Event
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCombine is wrapped by family-narrowing failures.
+var ErrCombine = errors.New("trace: cannot combine coordinated traces")
+
+// SiteDirections maps a static branch site to the direction it took during
+// one execution. It is the "family" representation of paper §3.1: a
+// coordinated-sampled trace constrains only its partition's sites; combining
+// traces of the same execution identity narrows the family until (for
+// programs whose sites decide at most once per run) it pins the exact path.
+type SiteDirections map[int32]bool
+
+// CombineCoordinated narrows the path family by merging coordinated-sampled
+// traces of the *same execution identity* — same program, input digest,
+// schedule hash, and outcome. It fails when the traces disagree on identity,
+// when a site was observed with both directions (a loop site whose direction
+// changed across iterations cannot be summarized by one bit), or when the
+// partitions overlap inconsistently.
+func CombineCoordinated(traces []*Trace) (SiteDirections, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("%w: no traces", ErrCombine)
+	}
+	first := traces[0]
+	sites := make(SiteDirections)
+	for _, tr := range traces {
+		if tr.Mode != CaptureCoordinated {
+			return nil, fmt.Errorf("%w: trace mode %s", ErrCombine, tr.Mode)
+		}
+		if tr.ProgramID != first.ProgramID || tr.InputDigest != first.InputDigest ||
+			tr.ScheduleHash != first.ScheduleHash || tr.Outcome != first.Outcome {
+			return nil, fmt.Errorf("%w: execution identities differ", ErrCombine)
+		}
+		for _, be := range tr.Branches {
+			if prev, seen := sites[be.ID]; seen && prev != be.Taken {
+				return nil, fmt.Errorf("%w: site #%d observed both directions (loop site)", ErrCombine, be.ID)
+			}
+			sites[be.ID] = be.Taken
+		}
+	}
+	return sites, nil
+}
+
+// MissingPhases reports which sampling phases of k are not yet represented
+// among traces — the fragments still needed before the family pins a path.
+func MissingPhases(traces []*Trace, k uint32) []uint32 {
+	if k == 0 {
+		return nil
+	}
+	have := make(map[uint32]bool, k)
+	for _, tr := range traces {
+		if tr.Mode == CaptureCoordinated && tr.SampleK == k {
+			have[tr.SamplePhase] = true
+		}
+	}
+	var missing []uint32
+	for p := uint32(0); p < k; p++ {
+		if !have[p] {
+			missing = append(missing, p)
+		}
+	}
+	return missing
+}

@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/fix"
+	"repro/internal/guidance"
+	"repro/internal/pod"
+	"repro/internal/trace"
+)
+
+// Client is a pod.HiveClient speaking the wire protocol to a remote hive.
+// It lazily (re)connects, serializes requests, and surfaces server-side
+// errors as Go errors.
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+var _ pod.HiveClient = (*Client)(nil)
+
+// Dial creates a client for the hive at addr. The connection is established
+// lazily on first use.
+func Dial(addr string) *Client {
+	return &Client{addr: addr}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// call performs one request/response exchange. On transport errors it drops
+// the connection and retries once with a fresh one.
+func (c *Client) call(reqType MsgType, payload []byte) (MsgType, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.conn == nil {
+			conn, err := net.Dial("tcp", c.addr)
+			if err != nil {
+				return 0, nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+			}
+			c.conn = conn
+		}
+		if err := WriteFrame(c.conn, reqType, payload); err != nil {
+			_ = c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		respType, resp, err := ReadFrame(c.conn)
+		if err != nil {
+			_ = c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		return respType, resp, nil
+	}
+	return 0, nil, fmt.Errorf("wire: %s unreachable after retry", c.addr)
+}
+
+// SubmitTraces implements pod.HiveClient.
+func (c *Client) SubmitTraces(traces []*trace.Trace) error {
+	encoded := make([][]byte, len(traces))
+	for i, tr := range traces {
+		encoded[i] = trace.Encode(tr)
+	}
+	respType, resp, err := c.call(MsgSubmitTraces, encodeTraceBatch(encoded))
+	if err != nil {
+		return err
+	}
+	if respType != MsgAck {
+		return fmt.Errorf("wire: unexpected response type %d", respType)
+	}
+	var ack AckPayload
+	if err := json.Unmarshal(resp, &ack); err != nil {
+		return fmt.Errorf("wire: bad ack: %w", err)
+	}
+	if ack.Error != "" {
+		return errors.New("wire: server: " + ack.Error)
+	}
+	if ack.Accepted != len(traces) {
+		return fmt.Errorf("wire: server accepted %d of %d traces", ack.Accepted, len(traces))
+	}
+	return nil
+}
+
+// FixesSince implements pod.HiveClient.
+func (c *Client) FixesSince(programID string, version int) ([]fix.Fix, int, error) {
+	payload, err := json.Marshal(GetFixesPayload{ProgramID: programID, Version: version})
+	if err != nil {
+		return nil, 0, err
+	}
+	respType, resp, err := c.call(MsgGetFixes, payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	if respType != MsgFixes {
+		return nil, 0, fmt.Errorf("wire: unexpected response type %d", respType)
+	}
+	var out FixesPayload
+	if err := json.Unmarshal(resp, &out); err != nil {
+		return nil, 0, fmt.Errorf("wire: bad fixes payload: %w", err)
+	}
+	if out.Error != "" {
+		return nil, 0, errors.New("wire: server: " + out.Error)
+	}
+	fixes := make([]fix.Fix, 0, len(out.Fixes))
+	for _, raw := range out.Fixes {
+		f, err := fix.Decode(raw)
+		if err != nil {
+			return nil, 0, err
+		}
+		fixes = append(fixes, *f)
+	}
+	return fixes, out.Version, nil
+}
+
+// Guidance implements pod.HiveClient.
+func (c *Client) Guidance(programID string, max int) ([]guidance.TestCase, error) {
+	payload, err := json.Marshal(GetGuidancePayload{ProgramID: programID, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	respType, resp, err := c.call(MsgGetGuidance, payload)
+	if err != nil {
+		return nil, err
+	}
+	if respType != MsgGuidance {
+		return nil, fmt.Errorf("wire: unexpected response type %d", respType)
+	}
+	var out GuidancePayload
+	if err := json.Unmarshal(resp, &out); err != nil {
+		return nil, fmt.Errorf("wire: bad guidance payload: %w", err)
+	}
+	if out.Error != "" {
+		return nil, errors.New("wire: server: " + out.Error)
+	}
+	cases := make([]guidance.TestCase, 0, len(out.Cases))
+	for _, raw := range out.Cases {
+		var tc guidance.TestCase
+		if err := json.Unmarshal(raw, &tc); err != nil {
+			return nil, fmt.Errorf("wire: bad test case: %w", err)
+		}
+		cases = append(cases, tc)
+	}
+	return cases, nil
+}

@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/pod"
+	"repro/internal/trace"
+)
+
+// Server exposes a pod.HiveClient backend (normally *hive.Hive) over TCP.
+type Server struct {
+	backend pod.HiveClient
+	ln      net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logf receives connection-level errors; defaults to log.Printf. Set it
+	// before Serve.
+	Logf func(format string, args ...any)
+}
+
+// NewServer wraps backend.
+func NewServer(backend pod.HiveClient) *Server {
+	return &Server{
+		backend: backend,
+		conns:   make(map[net.Conn]bool),
+		Logf:    log.Printf,
+	}
+}
+
+// Listen binds the address ("127.0.0.1:0" for an ephemeral port) and starts
+// serving in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wire: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the listener and all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	for {
+		msgType, payload, err := ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.Logf("wire: read from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := s.dispatch(conn, msgType, payload); err != nil {
+			s.Logf("wire: handle %v from %s: %v", msgType, conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, msgType MsgType, payload []byte) error {
+	switch msgType {
+	case MsgSubmitTraces:
+		return s.handleSubmit(conn, payload)
+	case MsgGetFixes:
+		return s.handleGetFixes(conn, payload)
+	case MsgGetGuidance:
+		return s.handleGetGuidance(conn, payload)
+	default:
+		return s.reply(conn, MsgError, ErrorPayload{Error: fmt.Sprintf("unknown message type %d", msgType)})
+	}
+}
+
+func (s *Server) handleSubmit(conn net.Conn, payload []byte) error {
+	raws, err := decodeTraceBatch(payload)
+	if err != nil {
+		return s.reply(conn, MsgAck, AckPayload{Error: err.Error()})
+	}
+	traces := make([]*trace.Trace, 0, len(raws))
+	for _, raw := range raws {
+		tr, err := trace.Decode(raw)
+		if err != nil {
+			return s.reply(conn, MsgAck, AckPayload{Error: err.Error()})
+		}
+		traces = append(traces, tr)
+	}
+	if err := s.backend.SubmitTraces(traces); err != nil {
+		return s.reply(conn, MsgAck, AckPayload{Error: err.Error()})
+	}
+	return s.reply(conn, MsgAck, AckPayload{Accepted: len(traces)})
+}
+
+func (s *Server) handleGetFixes(conn net.Conn, payload []byte) error {
+	var req GetFixesPayload
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return s.reply(conn, MsgFixes, FixesPayload{Error: err.Error()})
+	}
+	fixes, version, err := s.backend.FixesSince(req.ProgramID, req.Version)
+	if err != nil {
+		return s.reply(conn, MsgFixes, FixesPayload{Error: err.Error()})
+	}
+	out := FixesPayload{Version: version}
+	for i := range fixes {
+		raw, err := json.Marshal(&fixes[i])
+		if err != nil {
+			return s.reply(conn, MsgFixes, FixesPayload{Error: err.Error()})
+		}
+		out.Fixes = append(out.Fixes, raw)
+	}
+	return s.reply(conn, MsgFixes, out)
+}
+
+func (s *Server) handleGetGuidance(conn net.Conn, payload []byte) error {
+	var req GetGuidancePayload
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return s.reply(conn, MsgGuidance, GuidancePayload{Error: err.Error()})
+	}
+	cases, err := s.backend.Guidance(req.ProgramID, req.Max)
+	if err != nil {
+		return s.reply(conn, MsgGuidance, GuidancePayload{Error: err.Error()})
+	}
+	out := GuidancePayload{}
+	for i := range cases {
+		raw, err := json.Marshal(&cases[i])
+		if err != nil {
+			return s.reply(conn, MsgGuidance, GuidancePayload{Error: err.Error()})
+		}
+		out.Cases = append(out.Cases, raw)
+	}
+	return s.reply(conn, MsgGuidance, out)
+}
+
+func (s *Server) reply(conn net.Conn, t MsgType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(conn, t, payload)
+}

@@ -1,0 +1,144 @@
+// Package wire implements the pod↔hive telemetry protocol over TCP:
+// length-prefixed frames carrying a type byte and a payload (binary-encoded
+// traces for the hot path, JSON for control messages). The Client satisfies
+// pod.HiveClient, so a pod is pointed either at an in-process hive or at a
+// remote one without code changes; the Server wraps any pod.HiveClient
+// backend (normally *hive.Hive).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MsgType discriminates frames.
+type MsgType uint8
+
+// Frame types.
+const (
+	MsgSubmitTraces MsgType = iota + 1
+	MsgAck
+	MsgGetFixes
+	MsgFixes
+	MsgGetGuidance
+	MsgGuidance
+	MsgError
+)
+
+// MaxFrameSize bounds a frame; larger frames are rejected as hostile.
+const MaxFrameSize = 16 << 20
+
+// ErrFrame is wrapped by framing failures.
+var ErrFrame = errors.New("wire: bad frame")
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload)+1 > MaxFrameSize {
+		return fmt.Errorf("%w: payload %d exceeds max", ErrFrame, len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:4])
+	if size == 0 || size > MaxFrameSize {
+		return 0, nil, fmt.Errorf("%w: size %d", ErrFrame, size)
+	}
+	payload := make([]byte, size-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return MsgType(hdr[4]), payload, nil
+}
+
+// --- control-message payloads (JSON) ---
+
+// AckPayload acknowledges a submission.
+type AckPayload struct {
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+// GetFixesPayload requests fixes.
+type GetFixesPayload struct {
+	ProgramID string `json:"programId"`
+	Version   int    `json:"version"`
+}
+
+// FixesPayload returns fixes as raw JSON (fix.Fix marshals itself).
+type FixesPayload struct {
+	Fixes   []json.RawMessage `json:"fixes"`
+	Version int               `json:"version"`
+	Error   string            `json:"error,omitempty"`
+}
+
+// GetGuidancePayload requests steering test cases.
+type GetGuidancePayload struct {
+	ProgramID string `json:"programId"`
+	Max       int    `json:"max"`
+}
+
+// GuidancePayload returns test cases.
+type GuidancePayload struct {
+	Cases []json.RawMessage `json:"cases"`
+	Error string            `json:"error,omitempty"`
+}
+
+// ErrorPayload reports a server-side failure for unknown requests.
+type ErrorPayload struct {
+	Error string `json:"error"`
+}
+
+// encodeTraceBatch packs traces: uvarint count, then length-prefixed
+// binary-encoded traces.
+func encodeTraceBatch(encoded [][]byte) []byte {
+	size := binary.MaxVarintLen64
+	for _, e := range encoded {
+		size += binary.MaxVarintLen64 + len(e)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(encoded)))
+	for _, e := range encoded {
+		buf = binary.AppendUvarint(buf, uint64(len(e)))
+		buf = append(buf, e...)
+	}
+	return buf
+}
+
+// decodeTraceBatch unpacks a trace batch into raw per-trace bytes.
+func decodeTraceBatch(buf []byte) ([][]byte, error) {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: batch count", ErrFrame)
+	}
+	buf = buf[n:]
+	if count > uint64(len(buf)) {
+		return nil, fmt.Errorf("%w: implausible batch count %d", ErrFrame, count)
+	}
+	out := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		size, n := binary.Uvarint(buf)
+		if n <= 0 || size > uint64(len(buf[n:])) {
+			return nil, fmt.Errorf("%w: trace %d size", ErrFrame, i)
+		}
+		buf = buf[n:]
+		out = append(out, buf[:size])
+		buf = buf[size:]
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/hive"
+	"repro/internal/pod"
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgAck, []byte(`{"accepted":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgAck || string(payload) != `{"accepted":3}` {
+		t.Fatalf("got %v %q", typ, payload)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestTraceBatchRoundTrip(t *testing.T) {
+	batch := [][]byte{[]byte("aaa"), []byte(""), []byte("cc")}
+	enc := encodeTraceBatch(batch)
+	got, err := decodeTraceBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || string(got[0]) != "aaa" || len(got[1]) != 0 || string(got[2]) != "cc" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTraceBatchRejectsGarbage(t *testing.T) {
+	if _, err := decodeTraceBatch([]byte{0xFF}); err == nil {
+		t.Error("truncated varint accepted")
+	}
+	if _, err := decodeTraceBatch([]byte{200, 1, 2}); err == nil {
+		t.Error("implausible count accepted")
+	}
+}
+
+// buildCrashy crashes for input in [100,110).
+func buildCrashy(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("crashy-wire", 1)
+	hi, end := b.NewLabel(), b.NewLabel()
+	b.Input(0, 0)
+	b.BrImm(0, prog.CmpGE, 100, hi)
+	b.Jmp(end)
+	b.Bind(hi)
+	inner := b.NewLabel()
+	b.BrImm(0, prog.CmpLT, 110, inner)
+	b.Jmp(end)
+	b.Bind(inner)
+	b.Const(1, 0)
+	b.Div(2, 1, 1)
+	b.Bind(end)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func startServer(t *testing.T) (*hive.Hive, string, func()) {
+	t.Helper()
+	h := hive.New("fleet")
+	srv := NewServer(h)
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, addr, func() { _ = srv.Close() }
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	p := buildCrashy(t)
+	h, addr, stop := startServer(t)
+	defer stop()
+	if err := h.RegisterProgram(p); err != nil {
+		t.Fatal(err)
+	}
+
+	client := Dial(addr)
+	defer client.Close()
+
+	pd, err := pod.New(pod.Config{
+		Program: p, ID: "tcp-pod", Hive: client,
+		Privacy: trace.PrivacyHashed, Salt: "fleet", BatchSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash over the network; fix comes back over the network.
+	if _, err := pd.RunOnce([]int64{105}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := h.ProgramStats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingested != 1 || st.FixCount != 1 {
+		t.Fatalf("hive stats = %+v", st)
+	}
+	if err := pd.SyncFixes(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pd.RunOnce([]int64{105})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != prog.OutcomeOK {
+		t.Fatalf("post-fix outcome over TCP = %v", res.Outcome)
+	}
+
+	// Guidance over the network.
+	if _, err := pd.PullGuidance(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerErrorsSurfaceAsClientErrors(t *testing.T) {
+	_, addr, stop := startServer(t)
+	defer stop()
+	client := Dial(addr)
+	defer client.Close()
+
+	// Unregistered program.
+	err := client.SubmitTraces([]*trace.Trace{{ProgramID: "ghost"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown program") {
+		t.Fatalf("err = %v, want unknown-program", err)
+	}
+	if _, _, err := client.FixesSince("ghost", 0); err == nil {
+		t.Fatal("FixesSince for ghost program should error")
+	}
+	if _, err := client.Guidance("ghost", 1); err == nil {
+		t.Fatal("Guidance for ghost program should error")
+	}
+}
+
+func TestManyConcurrentClients(t *testing.T) {
+	p := buildCrashy(t)
+	h, addr, stop := startServer(t)
+	defer stop()
+	if err := h.RegisterProgram(p); err != nil {
+		t.Fatal(err)
+	}
+
+	const pods = 16
+	const runs = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, pods)
+	for i := 0; i < pods; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := Dial(addr)
+			defer client.Close()
+			pd, err := pod.New(pod.Config{
+				Program: p, ID: "conc-" + string(rune('a'+i)), Hive: client,
+				Salt: "fleet", Seed: uint64(i), BatchSize: 4,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for r := int64(0); r < runs; r++ {
+				if _, err := pd.RunOnce([]int64{r * 7 % 256}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- pd.Flush()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := h.ProgramStats(p.ID)
+	if st.Ingested != pods*runs {
+		t.Fatalf("ingested = %d, want %d", st.Ingested, pods*runs)
+	}
+}
+
+func TestClientReconnects(t *testing.T) {
+	p := buildCrashy(t)
+	h, addr, stop := startServer(t)
+	if err := h.RegisterProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	client := Dial(addr)
+	defer client.Close()
+
+	if err := client.SubmitTraces(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server; a new one on the same address picks up.
+	stop()
+	srv2 := NewServer(h)
+	srv2.Logf = t.Logf
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Skipf("address reuse unavailable: %v", err)
+	}
+	defer srv2.Close()
+
+	if err := client.SubmitTraces(nil); err != nil {
+		t.Fatalf("client did not reconnect: %v", err)
+	}
+}

@@ -1,0 +1,187 @@
+package softborg
+
+// Public-API tests: everything here goes through the softborg facade only,
+// the way a downstream user would.
+
+import (
+	"testing"
+
+	"repro/internal/sat"
+)
+
+func buildLeakyProgram(t *testing.T) *Program {
+	t.Helper()
+	// crash for 100 <= x < 110.
+	b := BuildProgram("api-demo", 1)
+	danger, end := b.NewLabel(), b.NewLabel()
+	b.Input(0, 0)
+	b.BrImm(0, CmpGE, 100, danger)
+	b.Jmp(end)
+	b.Bind(danger)
+	inner := b.NewLabel()
+	b.BrImm(0, CmpLT, 110, inner)
+	b.Jmp(end)
+	b.Bind(inner)
+	b.Const(1, 0)
+	b.Div(2, 1, 1)
+	b.Bind(end)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	p := buildLeakyProgram(t)
+	h := NewHive("salt")
+	if err := h.RegisterProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	pd, err := NewPod(PodConfig{
+		Program: p, ID: "api-pod", Hive: h,
+		Capture: CaptureExternalOnly, Privacy: PrivacyHashed,
+		Salt: "salt", BatchSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pd.RunOnce([]int64{3}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pd.RunOnce([]int64{105})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeCrash {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if err := pd.SyncFixes(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := pd.RunOnce([]int64{105})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Outcome != OutcomeOK {
+		t.Fatalf("post-fix outcome = %v", res2.Outcome)
+	}
+
+	pr, err := h.Prove(p.ID, PropNoAssertFail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Holds {
+		t.Fatalf("no-assert-fail refuted: %s", pr.Statement())
+	}
+}
+
+func TestPublicAPIOverTCP(t *testing.T) {
+	p := buildLeakyProgram(t)
+	h := NewHive("salt")
+	if err := h.RegisterProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	srv, addr, err := ServeHive(h, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := DialHive(addr)
+	defer client.Close()
+	pd, err := NewPod(PodConfig{Program: p, ID: "tcp", Hive: client, Salt: "salt", BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pd.RunOnce([]int64{105}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := h.ProgramStats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingested != 1 || st.FixCount != 1 {
+		t.Fatalf("hive stats over TCP = %+v", st)
+	}
+}
+
+func TestPublicAPIGeneratorAndSimulation(t *testing.T) {
+	p, bugs, err := GenerateProgram(GenSpec{
+		Seed: 5, Depth: 4, TriggerWidth: 16,
+		Bugs: []BugKind{BugCrash},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bugs) != 1 || bugs[0].Kind != BugCrash {
+		t.Fatalf("bugs = %+v", bugs)
+	}
+	sim, err := NewSimulation(SimulationConfig{
+		Seed:       2,
+		Programs:   []ProgramUnderTest{{Prog: p, Bugs: bugs}},
+		Population: PopulationConfig{Users: 10, MeanRunsPerDay: 5},
+		Days:       2,
+		Mode:       ModeSoftBorg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Runs == 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestPublicAPISolverPortfolio(t *testing.T) {
+	solvers := NewSATPortfolio()
+	if len(solvers) != 3 {
+		t.Fatalf("portfolio size = %d", len(solvers))
+	}
+	f := &SATFormula{NumVars: 2, Clauses: []sat.Clause{{1, 2}, {-1, 2}, {1, -2}}}
+	res := RaceSolvers(f, solvers, 0)
+	if res.Verdict != sat.SAT || res.Winner == "" {
+		t.Fatalf("race result = %+v", res)
+	}
+}
+
+func TestPublicAPIClusterExplore(t *testing.T) {
+	p, _, err := GenerateProgram(GenSpec{Seed: 9, Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExploreTree(p, 4, ClusterDynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("exploration incomplete: %+v", res)
+	}
+}
+
+func TestPublicAPIBoundedScheduleProof(t *testing.T) {
+	b := BuildProgram("mt-api", 0).SetLocks(2)
+	b.Thread()
+	b.Lock(0).Lock(1).Unlock(1).Unlock(0).Halt()
+	b.Thread()
+	b.Lock(0).Lock(1).Unlock(1).Unlock(0).Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHive("salt")
+	if err := h.RegisterProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := h.ProveNoDeadlock(p.ID, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Holds || !pr.Complete {
+		t.Fatalf("%s", pr.Statement())
+	}
+}
