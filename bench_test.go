@@ -10,10 +10,16 @@ package softborg
 // codec, tree merging, solving, wire round-trips) for -benchmem profiling.
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/exectree"
 	"repro/internal/experiments"
+	"repro/internal/hive"
+	"repro/internal/population"
 	"repro/internal/prog"
 	"repro/internal/proggen"
 	"repro/internal/sat"
@@ -164,3 +170,162 @@ func BenchmarkDPLLPhaseTransition(b *testing.B) {
 	}
 	b.ReportMetric(float64(ticks)/float64(b.N), "ticks/solve")
 }
+
+// --- hive sharding and fleet parallelism benchmarks ---
+
+// globalMutexClient reproduces the pre-sharding hive discipline: one
+// process-wide mutex serializing every ingest, regardless of which program
+// a batch describes. It is the measurable baseline BenchmarkHiveIngestParallel
+// is compared against.
+type globalMutexClient struct {
+	mu sync.Mutex
+	h  *hive.Hive
+}
+
+func (c *globalMutexClient) SubmitTraces(traces []*trace.Trace) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.h.SubmitTraces(traces)
+}
+
+// benchIngestSetup registers nProgs distinct programs and pre-captures a
+// pool of full-capture traces per program, so the benchmark measures pure
+// ingestion (grouping, bookkeeping, tree merging) with no VM time.
+func benchIngestSetup(b *testing.B, nProgs int) (*hive.Hive, [][]*trace.Trace) {
+	b.Helper()
+	h := hive.New("fleet")
+	pool := make([][]*trace.Trace, nProgs)
+	rng := stats.NewRNG(11)
+	for pi := 0; pi < nProgs; pi++ {
+		p, _, err := proggen.Generate(proggen.Spec{
+			Seed: uint64(900 + pi), Depth: 6, Loops: 1, NumInputs: 2, DetBranches: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.RegisterProgram(p); err != nil {
+			b.Fatal(err)
+		}
+		traces := make([]*trace.Trace, 64)
+		for i := range traces {
+			col := trace.NewCollector(p, trace.CaptureFull, 0, 1)
+			input := []int64{rng.Int63n(256), rng.Int63n(256)}
+			m, err := prog.NewMachine(p, prog.Config{Input: input, Observer: col})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := m.Run()
+			traces[i] = col.Finish(fmt.Sprintf("bench-pod-%d", pi), uint64(i), res, input, trace.PrivacyHashed, "fleet")
+		}
+		pool[pi] = traces
+	}
+	return h, pool
+}
+
+// submitTraces is the per-op client call both ingest benchmarks share.
+type submitter interface {
+	SubmitTraces([]*trace.Trace) error
+}
+
+// benchIngest drives b.N batch submissions (8 traces each) from 8
+// goroutines round-robining across the program pool — the ISSUE's
+// 8-goroutine / ≥4-program ingestion workload. traces/op is constant, so
+// ns/op directly compares the two locking disciplines.
+func benchIngest(b *testing.B, client submitter, pool [][]*trace.Trace) {
+	b.Helper()
+	const goroutines = 8
+	const batchSize = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	var (
+		wg   sync.WaitGroup
+		next int64
+		fail atomic.Value
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= b.N {
+					return
+				}
+				traces := pool[i%len(pool)]
+				off := (i * batchSize) % len(traces)
+				batch := make([]*trace.Trace, 0, batchSize)
+				for k := 0; k < batchSize; k++ {
+					batch = append(batch, traces[(off+k)%len(traces)])
+				}
+				if err := client.SubmitTraces(batch); err != nil {
+					fail.Store(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if err := fail.Load(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(batchSize, "traces/op")
+}
+
+// BenchmarkHiveIngestSerialBaseline measures fleet ingestion with the
+// pre-sharding single-global-mutex discipline.
+func BenchmarkHiveIngestSerialBaseline(b *testing.B) {
+	h, pool := benchIngestSetup(b, 4)
+	benchIngest(b, &globalMutexClient{h: h}, pool)
+}
+
+// BenchmarkHiveIngestParallel measures the same workload against the
+// per-program-sharded hive. On a multi-core runner the four program shards
+// ingest concurrently; compare ns/op against the serial baseline.
+func BenchmarkHiveIngestParallel(b *testing.B) {
+	h, pool := benchIngestSetup(b, 4)
+	benchIngest(b, h, pool)
+}
+
+// benchSimulation runs one whole-fleet SoftBorg day-loop per iteration.
+func benchSimulation(b *testing.B, workers int) {
+	b.Helper()
+	corpus := make([]core.ProgramUnderTest, 3)
+	for i := range corpus {
+		p, bugs, err := proggen.Generate(proggen.Spec{
+			Seed: uint64(700 + i), Depth: 4,
+			Bugs:         []proggen.BugKind{proggen.BugCrash},
+			TriggerWidth: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		corpus[i] = core.ProgramUnderTest{Prog: p, Bugs: bugs}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := core.NewSimulation(core.Config{
+			Seed:       9,
+			Programs:   corpus,
+			Population: population.Config{Users: 32, MeanRunsPerDay: 8},
+			Days:       2,
+			Mode:       core.ModeSoftBorg,
+			Workers:    workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationSequential is the one-worker fleet loop baseline.
+func BenchmarkSimulationSequential(b *testing.B) { benchSimulation(b, 1) }
+
+// BenchmarkSimulationParallel runs the same fleet across GOMAXPROCS
+// workers; results are bit-for-bit identical to the sequential run (see
+// core.TestParallelRunMatchesSequential), only the wall clock changes.
+func BenchmarkSimulationParallel(b *testing.B) { benchSimulation(b, 0) }

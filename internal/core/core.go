@@ -7,6 +7,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/baseline/cbi"
 	"repro/internal/baseline/wer"
@@ -76,6 +79,12 @@ type Config struct {
 	Privacy    trace.PrivacyLevel
 	// MaxSteps is the per-run fuel limit (hang detection latency).
 	MaxSteps int64
+	// Workers bounds the pool simulating pods each day; 0 means GOMAXPROCS,
+	// 1 is the sequential baseline. Each pod (and its user's input stream)
+	// is owned by exactly one worker per day and trace uploads are buffered
+	// until the day barrier, then ingested in pod order — so results are
+	// bit-for-bit identical across worker counts for a fixed Seed.
+	Workers int
 }
 
 // DayMetrics is the per-day measurement row.
@@ -109,6 +118,10 @@ type Simulation struct {
 	progs []ProgramUnderTest
 	// userProg maps user index -> program index.
 	userProg []int
+	// buffered holds each pod's deferred-upload client (nil in ModeNone);
+	// draining them in pod order at the day barrier keeps hive ingestion
+	// order independent of worker scheduling.
+	buffered []*pod.BufferedClient
 }
 
 // werClient adapts the WER collector to pod.HiveClient (upload-only).
@@ -197,13 +210,19 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	users := pop.Users()
 	s.pods = make([]*pod.Pod, len(users))
 	s.userProg = make([]int, len(users))
+	s.buffered = make([]*pod.BufferedClient, len(users))
 	for i, u := range users {
 		pi := i % len(cfg.Programs)
 		s.userProg[i] = pi
+		podClient := client
+		if client != nil {
+			s.buffered[i] = pod.NewBuffered(client)
+			podClient = s.buffered[i]
+		}
 		pd, err := pod.New(pod.Config{
 			Program:    cfg.Programs[pi].Prog,
 			ID:         fmt.Sprintf("pod-%s", u.ID),
-			Hive:       client,
+			Hive:       podClient,
 			Capture:    cfg.Capture,
 			SampleRate: cfg.SampleRate,
 			Privacy:    cfg.Privacy,
@@ -261,23 +280,146 @@ func (s *Simulation) Run() ([]DayMetrics, error) {
 	return out, nil
 }
 
-func (s *Simulation) simulateDay() error {
-	users := s.pop.Users()
-	for i, u := range users {
-		pd := s.pods[i]
-		p := s.progs[s.userProg[i]].Prog
-		for r := 0; r < u.RunsPerDay; r++ {
-			var input []int64
-			if p.NumInputs > 0 {
-				input = u.NextInput(p.NumInputs, s.pop.Domain())
+// workerCount resolves Config.Workers against the runtime and fleet size.
+func (s *Simulation) workerCount() int {
+	w := s.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(s.pods) {
+		w = len(s.pods)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runPodDay simulates one pod's full day. The calling worker owns the pod —
+// and its user's zipf/rng input streams — for the whole day, so the streams
+// are consumed in run order regardless of how many workers share the fleet.
+func (s *Simulation) runPodDay(i int) error {
+	u := s.pop.Users()[i]
+	pd := s.pods[i]
+	p := s.progs[s.userProg[i]].Prog
+	for r := 0; r < u.RunsPerDay; r++ {
+		var input []int64
+		if p.NumInputs > 0 {
+			input = u.NextInput(p.NumInputs, s.pop.Domain())
+		}
+		if _, err := pd.RunOnce(input); err != nil {
+			return err
+		}
+	}
+	return pd.Flush()
+}
+
+// runFleet executes every pod's day across a bounded worker pool and
+// streams each pod's buffered traces to the telemetry backend in pod order
+// as pods complete. Pods are handed out via a shared counter; each is
+// simulated by exactly one worker. Streaming the drain bounds peak memory
+// to the days still in flight (instead of the whole fleet-day) and overlaps
+// ingestion with simulation; because pods never read hive state mid-day,
+// it changes nothing observable versus draining at the barrier.
+func (s *Simulation) runFleet() error {
+	workers := s.workerCount()
+	if workers == 1 {
+		for i := range s.pods {
+			if err := s.runPodDay(i); err != nil {
+				return err
 			}
-			if _, err := pd.RunOnce(input); err != nil {
+			if err := s.drainPod(i); err != nil {
 				return err
 			}
 		}
-		if err := pd.Flush(); err != nil {
+		return nil
+	}
+	var (
+		next   int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		first  error
+	)
+	// completed carries finished pod indices to the drainer; buffered to
+	// fleet size so workers never block on it.
+	completed := make(chan int, len(s.pods))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(s.pods) {
+					return
+				}
+				if err := s.runPodDay(i); err != nil {
+					failed.Store(true)
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+					return
+				}
+				completed <- i
+			}
+		}()
+	}
+	// Drainer: advance a cursor through pod order, ingesting each pod's day
+	// as soon as every earlier pod has finished — the same ingestion order
+	// as a sequential fleet, overlapped with the still-running workers.
+	drainDone := make(chan error, 1)
+	go func() {
+		ready := make([]bool, len(s.pods))
+		cursor := 0
+		for i := range completed {
+			ready[i] = true
+			for cursor < len(s.pods) && ready[cursor] {
+				if err := s.drainPod(cursor); err != nil {
+					drainDone <- err
+					return
+				}
+				cursor++
+			}
+		}
+		drainDone <- nil
+	}()
+	wg.Wait()
+	close(completed)
+	drainErr := <-drainDone
+	if first != nil {
+		return first
+	}
+	return drainErr
+}
+
+// drainPod forwards one pod's queued traces to the backend.
+func (s *Simulation) drainPod(i int) error {
+	if bc := s.buffered[i]; bc != nil {
+		return bc.Drain()
+	}
+	return nil
+}
+
+// drainBuffers forwards each pod's queued traces to the telemetry backend
+// in pod order — the ingestion order a sequential fleet produces, which
+// pins down fix synthesis (first trace of a new signature wins) and every
+// other order-sensitive aggregate.
+func (s *Simulation) drainBuffers() error {
+	for i := range s.buffered {
+		if err := s.drainPod(i); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+func (s *Simulation) simulateDay() error {
+	// runFleet is the day barrier: every pod has finished and every pod's
+	// traces were ingested, in pod order.
+	if err := s.runFleet(); err != nil {
+		return err
 	}
 	// End of day: fix sync and optional steering (SoftBorg only).
 	if s.cfg.Mode == ModeSoftBorg {
@@ -301,6 +443,9 @@ func (s *Simulation) simulateDay() error {
 				if err := pd.Flush(); err != nil {
 					return err
 				}
+			}
+			if err := s.drainBuffers(); err != nil {
+				return err
 			}
 		}
 	}

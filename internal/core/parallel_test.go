@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/population"
+)
+
+// runWorkers executes the same simulation config with a given worker count.
+func runWorkers(t *testing.T, mode Mode, workers int) []DayMetrics {
+	t.Helper()
+	sim, err := NewSimulation(Config{
+		Seed:     9,
+		Programs: corpus(t, 3),
+		Population: population.Config{
+			Users: 24, MeanRunsPerDay: 8,
+		},
+		Days:           4,
+		Mode:           mode,
+		GuidancePerDay: 4,
+		Workers:        workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestParallelRunMatchesSequential is the determinism contract of the
+// worker-pool fleet: for a fixed seed, the parallel simulation must produce
+// bit-for-bit identical DayMetrics to the sequential baseline, for every
+// backend that ingests telemetry. Run under -race this also exercises the
+// pod pool and the buffered drain path concurrently.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	for _, mode := range []Mode{ModeSoftBorg, ModeWER} {
+		sequential := runWorkers(t, mode, 1)
+		for _, workers := range []int{3, 8} {
+			parallel := runWorkers(t, mode, workers)
+			if len(parallel) != len(sequential) {
+				t.Fatalf("%v workers=%d: %d rows vs %d", mode, workers, len(parallel), len(sequential))
+			}
+			for day := range sequential {
+				if sequential[day] != parallel[day] {
+					t.Errorf("%v workers=%d day %d diverged:\nsequential: %+v\nparallel:   %+v",
+						mode, workers, day, sequential[day], parallel[day])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkerCountResolution pins the Workers knob semantics.
+func TestWorkerCountResolution(t *testing.T) {
+	sim, err := NewSimulation(Config{
+		Seed:       1,
+		Programs:   corpus(t, 1),
+		Population: population.Config{Users: 4},
+		Days:       1,
+		Mode:       ModeNone,
+		Workers:    64, // clamped to fleet size
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.workerCount(); got != 4 {
+		t.Errorf("workerCount = %d, want clamp to 4 pods", got)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,13 @@
 // versions fixes (§3.3), serves execution guidance toward coverage gaps, and
 // attempts cumulative proofs. Failures that resist automated fixing land in
 // the repair lab for human review, exactly as the paper provisions.
+//
+// Concurrency: the hive is sharded per program. A top-level RWMutex guards
+// only the program registry; every program carries its own lock, so pods
+// reporting about different programs never contend. Trace batches are
+// grouped by program and each group's bookkeeping runs under a single lock
+// acquisition; expensive work (path reconstruction, tree merging, fix
+// synthesis) happens outside the lock.
 package hive
 
 import (
@@ -43,10 +50,18 @@ type FailureRecord struct {
 	// InRepairLab reports that automated synthesis gave up and the failure
 	// awaits a human.
 	InRepairLab bool
+
+	// synthesizing marks an in-flight fix synthesis for this signature
+	// (single-flight: exactly one goroutine ever attempts it).
+	synthesizing bool
 }
 
-// programState is the hive's per-program knowledge.
+// programState is the hive's per-program knowledge. Each program is its own
+// lock shard: mu guards every mutable field below, while prog, sym, and gen
+// are immutable after registration (gen and tree synchronize internally).
 type programState struct {
+	mu sync.Mutex
+
 	prog  *prog.Program
 	tree  *exectree.Tree
 	fixes fix.Set
@@ -69,7 +84,6 @@ type programState struct {
 	// traces expanded to full paths.
 	ingested      int64
 	reconstructed int64
-	rejected      int64
 
 	// coordinated buffers coordinated-sampling fragments by execution
 	// identity until every phase has arrived (paper §3.1: "subsequent
@@ -85,7 +99,7 @@ const maxCoordinatedFamilies = 4096
 // Hive is the aggregation and analysis center. All methods are safe for
 // concurrent use.
 type Hive struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex // guards the programs map only
 	programs map[string]*programState
 	salt     string
 }
@@ -127,86 +141,166 @@ func (h *Hive) RegisterProgram(p *prog.Program) error {
 	return nil
 }
 
-// Program returns the registered program by ID.
-func (h *Hive) Program(programID string) (*prog.Program, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+// state resolves a program shard by ID.
+func (h *Hive) state(programID string) (*programState, error) {
+	h.mu.RLock()
 	st, ok := h.programs[programID]
+	h.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	}
+	return st, nil
+}
+
+// Program returns the registered program by ID.
+func (h *Hive) Program(programID string) (*prog.Program, error) {
+	st, err := h.state(programID)
+	if err != nil {
+		return nil, err
 	}
 	return st.prog, nil
 }
 
-// SubmitTraces implements the pod-facing ingestion API. Each trace is
-// merged into the program's execution tree (reconstructing full paths from
-// external-only traces when possible), failure records are updated, and new
-// failure signatures trigger fix synthesis.
+// SubmitTraces implements the pod-facing ingestion API. The batch is grouped
+// by program and each group is ingested under a single acquisition of that
+// program's lock: traces are merged into the program's execution tree
+// (reconstructing full paths from external-only traces when possible),
+// failure records are updated, and new failure signatures trigger
+// single-flight fix synthesis.
+//
+// The call is all-or-nothing with respect to its only error (unknown
+// program): every ProgramID is resolved before any trace is ingested, so a
+// rejected batch can be re-submitted without double-counting the groups
+// that would otherwise already have been applied.
 func (h *Hive) SubmitTraces(traces []*trace.Trace) error {
+	if len(traces) == 0 {
+		return nil
+	}
+	// Group by program, preserving arrival order within each program and
+	// first-appearance order across programs.
+	order := make([]string, 0, 1)
+	groups := make(map[string][]*trace.Trace, 1)
 	for _, tr := range traces {
-		if err := h.ingest(tr); err != nil {
+		if _, ok := groups[tr.ProgramID]; !ok {
+			order = append(order, tr.ProgramID)
+		}
+		groups[tr.ProgramID] = append(groups[tr.ProgramID], tr)
+	}
+	states := make([]*programState, len(order))
+	for i, id := range order {
+		st, err := h.state(id)
+		if err != nil {
 			return err
 		}
+		states[i] = st
+	}
+	for i, id := range order {
+		h.ingestBatch(states[i], groups[id])
 	}
 	return nil
 }
 
-func (h *Hive) ingest(tr *trace.Trace) error {
-	h.mu.Lock()
-	st, ok := h.programs[tr.ProgramID]
-	h.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownProgram, tr.ProgramID)
+// pendingSynthesis is a single-flight election won during batch bookkeeping:
+// the trigger trace that will synthesize the signature's fix after the lock
+// is released.
+type pendingSynthesis struct {
+	rec *FailureRecord
+	tr  *trace.Trace
+}
+
+// ingestBatch folds one program's trace batch into the hive. The program
+// lock is held once, for bookkeeping only; reconstruction, narrowing, tree
+// merging, and fix synthesis all run outside it.
+//
+// Evidence visibility is batch-granular: known-good inputs harvested
+// anywhere in the batch are visible when fixes for the batch's failures are
+// validated (phase 4 runs after phase 2). A guard candidate therefore
+// competes against strictly more collective knowledge than under per-trace
+// ingestion — failing validation routes the signature to the repair lab
+// rather than shipping a guard that contradicts an observed-good input.
+func (h *Hive) ingestBatch(st *programState, batch []*trace.Trace) {
+	singleThreaded := st.prog.NumThreads() == 1
+
+	// Phase 1 (lock-free): expand external-only traces to full paths —
+	// reconstruction replays the immutable program. On failure fall back to
+	// merging at recorded granularity; the tree stays sound, only less
+	// detailed.
+	paths := make([][]trace.BranchEvent, len(batch))
+	var reconstructed int64
+	for i, tr := range batch {
+		paths[i] = tr.Branches
+		if tr.Mode == trace.CaptureExternalOnly && singleThreaded {
+			if full, err := exectree.Reconstruct(st.prog, tr); err == nil {
+				paths[i] = full
+				reconstructed++
+			}
+		}
 	}
 
-	// Expand external-only traces to full paths outside the lock —
-	// reconstruction replays the program.
-	path := tr.Branches
-	switch {
-	case tr.Mode == trace.CaptureExternalOnly && st.prog.NumThreads() == 1:
-		full, err := exectree.Reconstruct(st.prog, tr)
-		if err == nil {
-			path = full
-			h.mu.Lock()
-			st.reconstructed++
-			h.mu.Unlock()
+	// Phase 2 (single lock acquisition): coordinated fragment buffering,
+	// known-good harvesting, counters, failure aggregation, and the
+	// single-flight election for fix synthesis.
+	var toSynthesize []pendingSynthesis
+	var families map[int][]*trace.Trace // batch index -> completed family
+	st.mu.Lock()
+	for i, tr := range batch {
+		if tr.Mode == trace.CaptureCoordinated && singleThreaded {
+			if fam, complete := st.bufferCoordinatedLocked(tr); complete {
+				if families == nil {
+					families = make(map[int][]*trace.Trace)
+				}
+				families[i] = fam
+			}
 		}
-		// On reconstruction failure fall back to merging at recorded
-		// granularity; the tree stays sound, only less detailed.
-	case tr.Mode == trace.CaptureCoordinated && st.prog.NumThreads() == 1:
-		if full, ok := h.ingestCoordinated(st, tr); ok {
+		st.ingested++
+		if tr.Privacy == trace.PrivacyRaw && tr.Outcome == prog.OutcomeOK && len(tr.Input) > 0 {
+			if len(st.knownGood) < 1024 {
+				st.knownGood = append(st.knownGood, append([]int64(nil), tr.Input...))
+			}
+		}
+		if tr.Outcome.IsFailure() {
+			if pending, elected := st.recordFailureLocked(tr); elected {
+				toSynthesize = append(toSynthesize, pending)
+			}
+		}
+	}
+	st.reconstructed += reconstructed
+	st.mu.Unlock()
+
+	// Phase 3 (lock-free): narrow completed coordinated families and merge
+	// every path into the internally synchronized tree, in batch order.
+	var narrowed int64
+	for i, tr := range batch {
+		if fam, ok := families[i]; ok {
 			// The fragment completed its family: merge the narrowed full
-			// path instead of the fragment.
-			path = full
+			// path instead of the fragment. If narrowing fails the family is
+			// incomplete evidence (or ambiguous); merge the fragment at
+			// recorded granularity so the evidence still counts.
+			if full, ok := narrowFamily(st.prog, fam, tr.Outcome); ok {
+				paths[i] = full
+				narrowed++
+			}
 		}
-		// Otherwise the family is incomplete (or ambiguous): merge the
-		// fragment at recorded granularity so the evidence still counts.
+		st.tree.Merge(paths[i], tr.Outcome)
 	}
-	st.tree.Merge(path, tr.Outcome)
+	if narrowed > 0 {
+		st.mu.Lock()
+		st.narrowed += narrowed
+		st.mu.Unlock()
+	}
 
-	h.mu.Lock()
-	st.ingested++
-	if tr.Privacy == trace.PrivacyRaw && tr.Outcome == prog.OutcomeOK && len(tr.Input) > 0 {
-		if len(st.knownGood) < 1024 {
-			st.knownGood = append(st.knownGood, append([]int64(nil), tr.Input...))
-		}
+	// Phase 4: synthesize fixes for the signatures this batch saw first.
+	// Rare (once per signature ever), and single-flight by construction.
+	for _, p := range toSynthesize {
+		h.synthesizeFix(st, p.rec, p.tr)
 	}
-	h.mu.Unlock()
-
-	if tr.Outcome.IsFailure() {
-		h.recordFailure(st, tr)
-	}
-	return nil
 }
 
-// ingestCoordinated buffers a coordinated-sampling fragment; when every
-// phase of its execution identity has arrived, the family is narrowed to
-// per-site directions and reconstructed to a full path. It returns the
-// reconstructed path and true when the family completed successfully.
-func (h *Hive) ingestCoordinated(st *programState, tr *trace.Trace) ([]trace.BranchEvent, bool) {
+// bufferCoordinatedLocked appends a coordinated-sampling fragment to its
+// family buffer. When the last missing phase arrives the family is removed
+// from the buffer and returned for narrowing. Callers must hold st.mu.
+func (st *programState) bufferCoordinatedLocked(tr *trace.Trace) ([]*trace.Trace, bool) {
 	key := fmt.Sprintf("%s|%s|%s|%d|%d", tr.InputDigest, tr.ScheduleHash, tr.Outcome, tr.SampleK, tr.FaultPC)
-
-	h.mu.Lock()
 	if st.coordinated == nil {
 		st.coordinated = make(map[string][]*trace.Trace)
 	}
@@ -217,15 +311,17 @@ func (h *Hive) ingestCoordinated(st *programState, tr *trace.Trace) ([]trace.Bra
 	}
 	st.coordinated[key] = append(st.coordinated[key], tr.Clone())
 	family := st.coordinated[key]
-	complete := len(trace.MissingPhases(family, tr.SampleK)) == 0
-	if complete {
-		delete(st.coordinated, key)
-	}
-	h.mu.Unlock()
-
-	if !complete {
+	if len(trace.MissingPhases(family, tr.SampleK)) != 0 {
 		return nil, false
 	}
+	delete(st.coordinated, key)
+	return family, true
+}
+
+// narrowFamily combines a completed fragment family into per-site directions
+// and reconstructs the full path (paper §3.1 narrowing). It is pure with
+// respect to hive state and runs outside any lock.
+func narrowFamily(p *prog.Program, family []*trace.Trace, outcome prog.Outcome) ([]trace.BranchEvent, bool) {
 	sites, err := trace.CombineCoordinated(family)
 	if err != nil {
 		return nil, false
@@ -234,22 +330,20 @@ func (h *Hive) ingestCoordinated(st *programState, tr *trace.Trace) ([]trace.Bra
 	for _, s := range family[0].Syscalls {
 		sysRet = append(sysRet, s.Ret)
 	}
-	full, outcome, err := exectree.ReconstructFromSites(st.prog, sites, sysRet, family[0].Steps*2+1024)
-	if err != nil || outcome != tr.Outcome {
+	full, got, err := exectree.ReconstructFromSites(p, sites, sysRet, family[0].Steps*2+1024)
+	if err != nil || got != outcome {
 		return nil, false
 	}
-	h.mu.Lock()
-	st.narrowed++
-	h.mu.Unlock()
 	return full, true
 }
 
-// recordFailure updates aggregation and synthesizes a fix for first-seen
-// signatures.
-func (h *Hive) recordFailure(st *programState, tr *trace.Trace) {
+// recordFailureLocked updates the aggregation for one failing trace and
+// elects at most one synthesizer per signature: the first trace to see a
+// signature wins the election and must call synthesizeFix after the lock is
+// released; every other trace (concurrent or later) only bumps counters.
+// Callers must hold st.mu.
+func (st *programState) recordFailureLocked(tr *trace.Trace) (pendingSynthesis, bool) {
 	sig := tr.FailureSignature()
-
-	h.mu.Lock()
 	rec, ok := st.failures[sig]
 	if !ok {
 		rec = &FailureRecord{Signature: sig, Outcome: tr.Outcome, Sample: tr.Clone()}
@@ -261,19 +355,19 @@ func (h *Hive) recordFailure(st *programState, tr *trace.Trace) {
 		st.podsSeen[sig][tr.PodID] = true
 		rec.Pods = len(st.podsSeen[sig])
 	}
-	needFix := !rec.Fixed && !rec.InRepairLab
-	h.mu.Unlock()
-
-	if !needFix {
-		return
+	if rec.Fixed || rec.InRepairLab || rec.synthesizing {
+		return pendingSynthesis{}, false
 	}
-	h.synthesizeFix(st, rec, tr)
+	rec.synthesizing = true
+	return pendingSynthesis{rec: rec, tr: tr}, true
 }
 
 // synthesizeFix mints a fix for a newly observed failure signature:
 // deadlocks become immunity signatures; input-triggered crashes and
 // assertion failures become validated input guards; everything else goes to
-// the repair lab.
+// the repair lab. Exactly one call ever happens per signature (single-flight
+// via FailureRecord.synthesizing), so concurrent traces carrying the same
+// new signature cannot mint duplicate fixes or double-bump the epoch.
 func (h *Hive) synthesizeFix(st *programState, rec *FailureRecord, tr *trace.Trace) {
 	var minted *fix.Fix
 	switch tr.Outcome {
@@ -291,8 +385,9 @@ func (h *Hive) synthesizeFix(st *programState, rec *FailureRecord, tr *trace.Tra
 		minted = h.synthesizeInputGuard(st, rec, tr)
 	}
 
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rec.synthesizing = false
 	if minted == nil {
 		rec.InRepairLab = true
 		return
@@ -345,9 +440,9 @@ func (h *Hive) synthesizeInputGuard(st *programState, rec *FailureRecord, tr *tr
 	// Validation against collective knowledge: no known-good input may fall
 	// in the danger zone (the fix must not change any previously-correct
 	// behaviour).
-	h.mu.Lock()
+	st.mu.Lock()
 	goodInputs := st.knownGood
-	h.mu.Unlock()
+	st.mu.Unlock()
 	for _, g := range goodInputs {
 		if guard.Matches(g) {
 			return nil
@@ -365,9 +460,9 @@ func (h *Hive) synthesizeInputGuard(st *programState, rec *FailureRecord, tr *tr
 // input when available, otherwise one synthesized by solving the negated
 // condition.
 func (h *Hive) safeInput(st *programState, danger constraint.PathCondition) []int64 {
-	h.mu.Lock()
+	st.mu.Lock()
 	goodInputs := append([][]int64(nil), st.knownGood...)
-	h.mu.Unlock()
+	st.mu.Unlock()
 	holds := func(input []int64) bool {
 		assign := make(map[int]int64, len(input))
 		for i, v := range input {
@@ -402,24 +497,23 @@ func (h *Hive) safeInput(st *programState, danger constraint.PathCondition) []in
 
 // FixesSince implements the pod-facing fix distribution API.
 func (h *Hive) FixesSince(programID string, version int) ([]fix.Fix, int, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	st, ok := h.programs[programID]
-	if !ok {
-		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	st, err := h.state(programID)
+	if err != nil {
+		return nil, 0, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	fixes, cur := st.fixes.Since(version)
 	return fixes, cur, nil
 }
 
 // Guidance implements the pod-facing steering API: test cases toward the
-// program's current coverage gaps.
+// program's current coverage gaps. The generator and tree synchronize
+// internally, so guidance requests never touch the program shard lock.
 func (h *Hive) Guidance(programID string, max int) ([]guidance.TestCase, error) {
-	h.mu.Lock()
-	st, ok := h.programs[programID]
-	h.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	st, err := h.state(programID)
+	if err != nil {
+		return nil, err
 	}
 	return st.gen.Generate(st.tree, max), nil
 }
@@ -428,19 +522,18 @@ func (h *Hive) Guidance(programID string, max int) ([]guidance.TestCase, error) 
 // reusing a standing proof when the tree and fixes have not changed its
 // validity.
 func (h *Hive) Prove(programID string, property proof.Property) (*proof.Proof, error) {
-	h.mu.Lock()
-	st, ok := h.programs[programID]
-	if !ok {
-		h.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	st, err := h.state(programID)
+	if err != nil {
+		return nil, err
 	}
+	st.mu.Lock()
 	if pr, ok := st.proofs[property]; ok && pr.Epoch == st.epoch {
-		h.mu.Unlock()
+		st.mu.Unlock()
 		return pr, nil
 	}
 	sym := st.sym
 	epoch := st.epoch
-	h.mu.Unlock()
+	st.mu.Unlock()
 
 	if sym == nil {
 		return nil, fmt.Errorf("hive: proofs for multi-threaded program %s not supported", programID)
@@ -450,9 +543,9 @@ func (h *Hive) Prove(programID string, property proof.Property) (*proof.Proof, e
 	if err != nil {
 		return nil, err
 	}
-	h.mu.Lock()
+	st.mu.Lock()
 	st.proofs[property] = pr
-	h.mu.Unlock()
+	st.mu.Unlock()
 	return pr, nil
 }
 
@@ -460,12 +553,12 @@ func (h *Hive) Prove(programID string, property proof.Property) (*proof.Proof, e
 // program — the paper's "for correct behaviors, SoftBorg's hive produces
 // and publishes proofs of P's properties".
 func (h *Hive) PublishedProofs(programID string) ([]*proof.Proof, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	st, ok := h.programs[programID]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	st, err := h.state(programID)
+	if err != nil {
+		return nil, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	out := make([]*proof.Proof, 0, len(st.proofs))
 	for _, pr := range st.proofs {
 		if pr.Epoch == st.epoch {
@@ -483,20 +576,19 @@ func (h *Hive) PublishedProofs(programID string) ([]*proof.Proof, error) {
 // resulting path condition is solved for *an* input that takes the same
 // path (not necessarily the user's input — deliberately so).
 func (h *Hive) Reproducer(programID, signature string) (guidance.TestCase, error) {
-	h.mu.Lock()
-	st, ok := h.programs[programID]
-	if !ok {
-		h.mu.Unlock()
-		return guidance.TestCase{}, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	st, err := h.state(programID)
+	if err != nil {
+		return guidance.TestCase{}, err
 	}
+	st.mu.Lock()
 	rec, ok := st.failures[signature]
 	if !ok || rec.Sample == nil {
-		h.mu.Unlock()
+		st.mu.Unlock()
 		return guidance.TestCase{}, fmt.Errorf("hive: no failure record %q for program %s", signature, programID)
 	}
 	sample := rec.Sample.Clone()
 	sym := st.sym
-	h.mu.Unlock()
+	st.mu.Unlock()
 
 	if sym == nil {
 		return guidance.TestCase{}, fmt.Errorf("hive: reproducer for multi-threaded program %s not supported", programID)
@@ -541,20 +633,18 @@ func (h *Hive) Reproducer(programID, signature string) (guidance.TestCase, error
 // reports stopped (paper §3.3: "must reason about whether this
 // instrumentation could affect P in undesired ways").
 func (h *Hive) ProveNoDeadlock(programID string, input []int64, bound int) (*proof.ScheduleProof, error) {
-	h.mu.Lock()
-	st, ok := h.programs[programID]
-	if !ok {
-		h.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	st, err := h.state(programID)
+	if err != nil {
+		return nil, err
 	}
+	st.mu.Lock()
 	var sigs []deadlock.Signature
 	for _, f := range st.fixes.All() {
 		if f.Kind == fix.KindDeadlockImmunity && f.Deadlock != nil {
 			sigs = append(sigs, *f.Deadlock)
 		}
 	}
-	p := st.prog
-	h.mu.Unlock()
+	st.mu.Unlock()
 
 	cfg := proof.ScheduleConfig{Input: input, Bound: bound}
 	if len(sigs) > 0 {
@@ -563,7 +653,7 @@ func (h *Hive) ProveNoDeadlock(programID string, input []int64, bound int) (*pro
 			return g, g
 		}
 	}
-	return proof.AttemptBoundedSchedules(p, proof.PropNoDeadlock, cfg)
+	return proof.AttemptBoundedSchedules(st.prog, proof.PropNoDeadlock, cfg)
 }
 
 // Stats is a hive-side per-program snapshot.
@@ -583,12 +673,12 @@ type Stats struct {
 
 // ProgramStats returns a snapshot for one program.
 func (h *Hive) ProgramStats(programID string) (Stats, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	st, ok := h.programs[programID]
-	if !ok {
-		return Stats{}, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	st, err := h.state(programID)
+	if err != nil {
+		return Stats{}, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	out := Stats{
 		ProgramID:     programID,
 		Ingested:      st.ingested,
@@ -610,19 +700,17 @@ func (h *Hive) ProgramStats(programID string) (Stats, error) {
 
 // Tree exposes a program's execution tree (experiments and proof drivers).
 func (h *Hive) Tree(programID string) (*exectree.Tree, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	st, ok := h.programs[programID]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownProgram, programID)
+	st, err := h.state(programID)
+	if err != nil {
+		return nil, err
 	}
 	return st.tree, nil
 }
 
 // Programs lists registered program IDs.
 func (h *Hive) Programs() []string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	out := make([]string, 0, len(h.programs))
 	for id := range h.programs {
 		out = append(out, id)

@@ -1,0 +1,77 @@
+package pod
+
+import (
+	"sync"
+
+	"repro/internal/fix"
+	"repro/internal/guidance"
+	"repro/internal/trace"
+)
+
+// BufferedClient wraps a HiveClient and defers trace uploads: SubmitTraces
+// queues locally and Drain forwards everything queued to the backend in one
+// batch. Fix distribution and guidance pass through unbuffered.
+//
+// This is the determinism lever for parallel fleets: when many pods run
+// concurrently, giving each its own BufferedClient and draining them in a
+// fixed pod order at a barrier makes hive ingestion order — and therefore
+// which trace wins fix synthesis for a new failure signature — identical to
+// a sequential fleet, no matter how the pods were scheduled.
+type BufferedClient struct {
+	backend HiveClient
+
+	mu     sync.Mutex
+	queued []*trace.Trace
+}
+
+var _ HiveClient = (*BufferedClient)(nil)
+
+// NewBuffered wraps backend.
+func NewBuffered(backend HiveClient) *BufferedClient {
+	return &BufferedClient{backend: backend}
+}
+
+// SubmitTraces queues the batch for the next Drain.
+func (b *BufferedClient) SubmitTraces(traces []*trace.Trace) error {
+	b.mu.Lock()
+	b.queued = append(b.queued, traces...)
+	b.mu.Unlock()
+	return nil
+}
+
+// FixesSince passes through to the backend.
+func (b *BufferedClient) FixesSince(programID string, version int) ([]fix.Fix, int, error) {
+	return b.backend.FixesSince(programID, version)
+}
+
+// Guidance passes through to the backend.
+func (b *BufferedClient) Guidance(programID string, max int) ([]guidance.TestCase, error) {
+	return b.backend.Guidance(programID, max)
+}
+
+// Pending reports how many traces are queued.
+func (b *BufferedClient) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queued)
+}
+
+// Drain forwards all queued traces to the backend as one batch, preserving
+// queue order. On backend failure the batch is re-queued (ahead of anything
+// queued meanwhile) and the error returned.
+func (b *BufferedClient) Drain() error {
+	b.mu.Lock()
+	batch := b.queued
+	b.queued = nil
+	b.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := b.backend.SubmitTraces(batch); err != nil {
+		b.mu.Lock()
+		b.queued = append(batch, b.queued...)
+		b.mu.Unlock()
+		return err
+	}
+	return nil
+}

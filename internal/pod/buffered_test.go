@@ -1,0 +1,104 @@
+package pod
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fix"
+	"repro/internal/guidance"
+	"repro/internal/trace"
+)
+
+// recordingClient captures SubmitTraces batches and can be told to fail.
+type recordingClient struct {
+	batches [][]*trace.Trace
+	fail    bool
+}
+
+func (r *recordingClient) SubmitTraces(traces []*trace.Trace) error {
+	if r.fail {
+		return errors.New("backend down")
+	}
+	r.batches = append(r.batches, traces)
+	return nil
+}
+func (r *recordingClient) FixesSince(string, int) ([]fix.Fix, int, error) { return nil, 7, nil }
+func (r *recordingClient) Guidance(string, int) ([]guidance.TestCase, error) {
+	return []guidance.TestCase{{ProgramID: "x"}}, nil
+}
+
+func TestBufferedClientDefersAndDrainsInOrder(t *testing.T) {
+	backend := &recordingClient{}
+	bc := NewBuffered(backend)
+
+	t1 := &trace.Trace{ProgramID: "a", Seq: 1}
+	t2 := &trace.Trace{ProgramID: "a", Seq: 2}
+	t3 := &trace.Trace{ProgramID: "b", Seq: 3}
+	if err := bc.SubmitTraces([]*trace.Trace{t1, t2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.SubmitTraces([]*trace.Trace{t3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(backend.batches) != 0 {
+		t.Fatalf("backend saw %d batches before drain", len(backend.batches))
+	}
+	if bc.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", bc.Pending())
+	}
+
+	if err := bc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(backend.batches) != 1 || len(backend.batches[0]) != 3 {
+		t.Fatalf("drain batches = %+v", backend.batches)
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if backend.batches[0][i].Seq != want {
+			t.Errorf("drain order[%d] = %d, want %d", i, backend.batches[0][i].Seq, want)
+		}
+	}
+	if bc.Pending() != 0 {
+		t.Errorf("pending after drain = %d", bc.Pending())
+	}
+	// Empty drain is a no-op.
+	if err := bc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(backend.batches) != 1 {
+		t.Errorf("empty drain reached the backend")
+	}
+}
+
+func TestBufferedClientRequeuesOnBackendFailure(t *testing.T) {
+	backend := &recordingClient{fail: true}
+	bc := NewBuffered(backend)
+	if err := bc.SubmitTraces([]*trace.Trace{{Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Drain(); err == nil {
+		t.Fatal("drain against a down backend must error")
+	}
+	if bc.Pending() != 1 {
+		t.Fatalf("pending after failed drain = %d, want requeued 1", bc.Pending())
+	}
+	backend.fail = false
+	if err := bc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(backend.batches) != 1 || backend.batches[0][0].Seq != 1 {
+		t.Fatalf("recovered drain = %+v", backend.batches)
+	}
+}
+
+func TestBufferedClientPassesThrough(t *testing.T) {
+	backend := &recordingClient{}
+	bc := NewBuffered(backend)
+	if _, v, err := bc.FixesSince("a", 0); err != nil || v != 7 {
+		t.Errorf("FixesSince = %d, %v", v, err)
+	}
+	cases, err := bc.Guidance("a", 1)
+	if err != nil || len(cases) != 1 {
+		t.Errorf("Guidance = %+v, %v", cases, err)
+	}
+}

@@ -14,6 +14,14 @@ import (
 )
 
 // User is one simulated end user running one program instance (pod).
+//
+// A User is NOT safe for concurrent use: NextInput advances the user's
+// private zipf/rng streams. Parallel fleet drivers must give each User to
+// exactly one worker at a time (see core.Simulation's worker pool). Streams
+// are fully independent across users — every User is seeded by its own RNG
+// split at construction — so the per-user input sequence depends only on
+// the population seed and that user's own call order, never on when other
+// users draw.
 type User struct {
 	// ID names the user ("user-17").
 	ID string

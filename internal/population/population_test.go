@@ -102,3 +102,43 @@ func TestPopulationDiversityBeatsOneUser(t *testing.T) {
 		t.Errorf("fleet distinct inputs %d <= single user %d", len(fleet), len(solo))
 	}
 }
+
+func TestUserStreamsIndependentOfDrawOrder(t *testing.T) {
+	// The parallel fleet contract: each user's input stream depends only on
+	// the population seed and that user's own draw count — never on when
+	// other users draw. Two identical populations consumed in different
+	// global interleavings must yield identical per-user sequences.
+	const users, draws = 8, 16
+	sequential, err := New(Config{Seed: 42, Users: users, Domain: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interleaved, err := New(Config{Seed: 42, Users: users, Domain: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: user by user, all draws at once.
+	want := make([][][]int64, users)
+	for i, u := range sequential.Users() {
+		for d := 0; d < draws; d++ {
+			want[i] = append(want[i], u.NextInput(2, 256))
+		}
+	}
+	// Round-robin in reverse user order: a maximally different interleaving.
+	got := make([][][]int64, users)
+	for d := 0; d < draws; d++ {
+		for i := users - 1; i >= 0; i-- {
+			got[i] = append(got[i], interleaved.Users()[i].NextInput(2, 256))
+		}
+	}
+	for i := 0; i < users; i++ {
+		for d := 0; d < draws; d++ {
+			for k := range want[i][d] {
+				if want[i][d][k] != got[i][d][k] {
+					t.Fatalf("user %d draw %d differs: %v vs %v", i, d, want[i][d], got[i][d])
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -224,5 +225,91 @@ func TestClientReconnects(t *testing.T) {
 
 	if err := client.SubmitTraces(nil); err != nil {
 		t.Fatalf("client did not reconnect: %v", err)
+	}
+}
+
+func TestConcurrentClientsAcrossPrograms(t *testing.T) {
+	// Multi-client ingest across several registered programs at once: each
+	// program is its own hive shard, so concurrent connections reporting
+	// about different programs must neither contend incorrectly nor bleed
+	// state — and the crash signature each program's fleet hits must mint
+	// exactly one fix (single-flight over the wire).
+	h, addr, stop := startServer(t)
+	defer stop()
+
+	const programs = 4
+	progs := make([]*prog.Program, programs)
+	for i := range progs {
+		b := prog.NewBuilder("wire-multi-"+string(rune('a'+i)), 1)
+		hi, end := b.NewLabel(), b.NewLabel()
+		b.Input(0, 0)
+		b.BrImm(0, prog.CmpGE, 100, hi)
+		b.Jmp(end)
+		b.Bind(hi)
+		inner := b.NewLabel()
+		b.BrImm(0, prog.CmpLT, 110, inner)
+		b.Jmp(end)
+		b.Bind(inner)
+		b.Const(1, 0)
+		b.Div(2, 1, 1)
+		b.Bind(end)
+		b.Halt()
+		progs[i] = b.MustBuild()
+		if err := h.RegisterProgram(progs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const clientsPerProgram = 3
+	const runs = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, programs*clientsPerProgram)
+	for pi := 0; pi < programs; pi++ {
+		for c := 0; c < clientsPerProgram; c++ {
+			wg.Add(1)
+			go func(pi, c int) {
+				defer wg.Done()
+				client := Dial(addr)
+				defer client.Close()
+				pd, err := pod.New(pod.Config{
+					Program: progs[pi],
+					ID:      fmt.Sprintf("mp-%d-%d", pi, c),
+					Hive:    client, Salt: "fleet",
+					Seed: uint64(pi*10 + c), BatchSize: 4,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for r := 0; r < runs; r++ {
+					// Sweep through the crash zone once per client.
+					if _, err := pd.RunOnce([]int64{int64((r * 7) % 128)}); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- pd.Flush()
+			}(pi, c)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for pi := 0; pi < programs; pi++ {
+		st, err := h.ProgramStats(progs[pi].ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(clientsPerProgram * runs); st.Ingested != want {
+			t.Errorf("program %d ingested = %d, want %d", pi, st.Ingested, want)
+		}
+		if st.FixCount != 1 || st.Epoch != 1 {
+			t.Errorf("program %d fixes=%d epoch=%d, want exactly 1/1", pi, st.FixCount, st.Epoch)
+		}
 	}
 }
