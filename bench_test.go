@@ -18,6 +18,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/exectree"
 	"repro/internal/experiments"
+	"repro/internal/fix"
+	"repro/internal/guidance"
 	"repro/internal/hive"
 	"repro/internal/population"
 	"repro/internal/prog"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/sat"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // runExperiment executes one experiment table per iteration and reports its
@@ -329,3 +332,147 @@ func BenchmarkSimulationSequential(b *testing.B) { benchSimulation(b, 1) }
 // workers; results are bit-for-bit identical to the sequential run (see
 // core.TestParallelRunMatchesSequential), only the wall clock changes.
 func BenchmarkSimulationParallel(b *testing.B) { benchSimulation(b, 0) }
+
+// --- guidance read-path and wire pipelining benchmarks ---
+
+// buildGuidanceTree merges n real executions of p (random inputs) into a
+// fresh tree — the realistic tree shape the hive's guidance path reads.
+func buildGuidanceTree(b *testing.B, p *prog.Program, merges int) *exectree.Tree {
+	b.Helper()
+	rng := stats.NewRNG(5)
+	tree := exectree.New(p.ID)
+	col := trace.NewCollector(p, trace.CaptureFull, 0, 1)
+	for i := 0; i < merges; i++ {
+		col.Reset()
+		input := make([]int64, p.NumInputs)
+		for j := range input {
+			input[j] = rng.Int63n(256)
+		}
+		m, err := prog.NewMachine(p, prog.Config{Input: input, Observer: col})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := m.Run()
+		tr := col.Finish("bench-pod", uint64(i), res, input, trace.PrivacyHashed, "s")
+		tree.Merge(tr.Branches, tr.Outcome)
+	}
+	return tree
+}
+
+// BenchmarkGuidanceLargeTree measures the guidance read path as the tree
+// grows: the full-walk baseline (what Guidance used to do under the tree
+// read-lock on every request) against the incremental frontier index —
+// frontier snapshot and end-to-end test-case generation. The indexed cost
+// tracks the open-frontier count, not the tree size.
+func BenchmarkGuidanceLargeTree(b *testing.B) {
+	p, _, err := proggen.Generate(proggen.Spec{
+		Seed: 505, Depth: 8, Loops: 2, Syscalls: 1, NumInputs: 4, DetBranches: 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := guidance.NewGenerator(p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, merges := range []int{256, 2048, 16384} {
+		tree := buildGuidanceTree(b, p, merges)
+		nodes := tree.Stats().Nodes
+		b.Run(fmt.Sprintf("fullwalk-baseline/nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tree.FrontiersByWalk(32)
+			}
+		})
+		b.Run(fmt.Sprintf("indexed-snapshot/nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tree.Frontiers(32)
+			}
+		})
+		b.Run(fmt.Sprintf("generate/nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gen.Generate(tree, 8)
+			}
+		})
+	}
+}
+
+// nullHive is a no-op backend isolating wire-transport cost.
+type nullHive struct{ ingested atomic.Int64 }
+
+func (n *nullHive) SubmitTraces(traces []*trace.Trace) error {
+	n.ingested.Add(int64(len(traces)))
+	return nil
+}
+func (n *nullHive) FixesSince(string, int) ([]fix.Fix, int, error) { return nil, 0, nil }
+func (n *nullHive) Guidance(string, int) ([]guidance.TestCase, error) {
+	return nil, nil
+}
+
+// benchWireSubmit submits the same 32 batches × 8 traces per op, either one
+// frame per round trip (the pre-pipelining discipline) or streamed through
+// the pipelined per-program path.
+func benchWireSubmit(b *testing.B, pipelined bool) {
+	b.Helper()
+	p := benchProgram(b)
+	backend := &nullHive{}
+	srv := wire.NewServer(backend)
+	srv.Logf = func(string, ...any) {}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client := wire.Dial(addr)
+	defer client.Close()
+
+	col := trace.NewCollector(p, trace.CaptureFull, 0, 1)
+	m, err := prog.NewMachine(p, prog.Config{Input: []int64{42, 99}, Observer: col})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := m.Run()
+	tmpl := col.Finish("bench-pod", 0, res, []int64{42, 99}, trace.PrivacyHashed, "s")
+	const batches = 32
+	const perBatch = 8
+	all := make([][]*trace.Trace, batches)
+	for i := range all {
+		all[i] = make([]*trace.Trace, perBatch)
+		for j := range all[i] {
+			tr := tmpl.Clone()
+			tr.Seq = uint64(i*perBatch + j)
+			all[i][j] = tr
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pipelined {
+			if _, err := client.SubmitTraceBatches(p.ID, all); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for _, batch := range all {
+				if err := client.SubmitTracesFor(p.ID, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	if got := backend.ingested.Load(); got != int64(b.N*batches*perBatch) {
+		b.Fatalf("backend ingested %d, want %d", got, b.N*batches*perBatch)
+	}
+	b.ReportMetric(batches*perBatch, "traces/op")
+}
+
+// BenchmarkWireSubmitSerial is the one-frame-per-roundtrip baseline the
+// pre-PR-2 server forced.
+func BenchmarkWireSubmitSerial(b *testing.B) { benchWireSubmit(b, false) }
+
+// BenchmarkWireSubmitPipelined streams the same work through the pipelined
+// per-program submission path; compare ns/op at constant traces/op.
+func BenchmarkWireSubmitPipelined(b *testing.B) { benchWireSubmit(b, true) }

@@ -37,8 +37,11 @@ func run() error {
 	if err := hive.RegisterProgram(p); err != nil {
 		return err
 	}
+	// The pod uploads through a program-bound buffer: drains skip the
+	// hive's group-by via the per-program submission path.
+	buffer := softborg.NewTraceBufferFor(hive, p.ID)
 	pod, err := softborg.NewPod(softborg.PodConfig{
-		Program: p, ID: "steered-pod", Hive: hive, Salt: "fleet", BatchSize: 1,
+		Program: p, ID: "steered-pod", Hive: buffer, Salt: "fleet", BatchSize: 1,
 	})
 	if err != nil {
 		return err
@@ -50,13 +53,18 @@ func run() error {
 			return err
 		}
 	}
+	if err := buffer.Drain(); err != nil {
+		return err
+	}
 	tree, err := hive.Tree(p.ID)
 	if err != nil {
 		return err
 	}
 	cov, total := tree.EdgeCoverage(p)
+	// FrontierCount reads the tree's incrementally maintained frontier
+	// index — O(1), no tree walk.
 	fmt.Printf("after 12 natural runs: %d/%d branch directions covered, %d open frontiers\n",
-		cov, total, len(tree.Frontiers(0)))
+		cov, total, tree.FrontierCount())
 
 	// The hive now steers: each round it solves frontiers into concrete
 	// inputs and the pod executes them.
@@ -70,13 +78,19 @@ func run() error {
 		if n == 0 {
 			break
 		}
+		if err := pod.Flush(); err != nil {
+			return err
+		}
+		if err := buffer.Drain(); err != nil {
+			return err
+		}
 		st, err := hive.ProgramStats(p.ID)
 		if err != nil {
 			return err
 		}
 		cov, _ = tree.EdgeCoverage(p)
-		fmt.Printf("guidance round %d: %d steered runs, coverage %d/%d, failures seen %d\n",
-			round, n, cov, total, len(st.Failures))
+		fmt.Printf("guidance round %d: %d steered runs, coverage %d/%d, %d open frontiers, failures seen %d\n",
+			round, n, cov, total, tree.FrontierCount(), len(st.Failures))
 		if len(st.Failures) > 0 {
 			break
 		}

@@ -1,9 +1,11 @@
 // The Figure-1 loop over real sockets.
 //
 // A hive server listens on localhost TCP; a fleet of pods (each on its own
-// goroutine with its own connection) streams binary-encoded traces, pulls
-// fixes, and requests guidance — the same wire protocol cmd/hive and
-// cmd/pod speak across processes.
+// goroutine with its own connection) buffers binary-encoded traces and
+// drains them through the pipelined per-program submission path — batches
+// stream back-to-back with acks read afterwards, instead of one upload per
+// round trip. Fixes and guidance flow back over the same wire protocol
+// cmd/hive and cmd/pod speak across processes.
 //
 //	go run ./examples/telemetryserver
 package main
@@ -53,10 +55,13 @@ func run() error {
 			defer wg.Done()
 			client := softborg.DialHive(addr)
 			defer client.Close()
+			// The buffer is bound to the program, so its drain streams
+			// pipelined per-program frames over the TCP client.
+			buffer := softborg.NewTraceBufferFor(client, p.ID)
 			pd, err := softborg.NewPod(softborg.PodConfig{
 				Program: p,
 				ID:      fmt.Sprintf("tcp-pod-%d", i),
-				Hive:    client,
+				Hive:    buffer,
 				Salt:    "fleet",
 				Seed:    uint64(i*31 + 7),
 			})
@@ -71,6 +76,10 @@ func run() error {
 				}
 			}
 			if err := pd.Flush(); err != nil {
+				errs <- err
+				return
+			}
+			if err := buffer.Drain(); err != nil {
 				errs <- err
 				return
 			}
@@ -96,7 +105,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nhive ingested %d traces over TCP (%d reconstructed from external-only capture)\n",
+	fmt.Printf("\nhive ingested %d traces over TCP via pipelined per-program drains (%d reconstructed from external-only capture)\n",
 		st.Ingested, st.Reconstructed)
 	fmt.Printf("execution tree: %d nodes, %d distinct paths\n", st.Tree.Nodes, st.Tree.Paths)
 	for _, rec := range st.Failures {

@@ -118,10 +118,19 @@ type Simulation struct {
 	progs []ProgramUnderTest
 	// userProg maps user index -> program index.
 	userProg []int
+	// podsByProg lists pod indices per program, in pod order — the drain
+	// order each program's drainer preserves.
+	podsByProg [][]int
 	// buffered holds each pod's deferred-upload client (nil in ModeNone);
 	// draining them in pod order at the day barrier keeps hive ingestion
 	// order independent of worker scheduling.
 	buffered []*pod.BufferedClient
+	// shardedDrain enables one drainer goroutine per program instead of a
+	// single fleet-wide coordinator. Sound only when the backend's state is
+	// per-program (the hive), so cross-program ingestion order is
+	// unobservable; WER/CBI aggregate globally and keep the fleet-order
+	// coordinator.
+	shardedDrain bool
 }
 
 // werClient adapts the WER collector to pod.HiveClient (upload-only).
@@ -207,16 +216,22 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
 	}
 
+	s.shardedDrain = cfg.Mode == ModeSoftBorg
+
 	users := pop.Users()
 	s.pods = make([]*pod.Pod, len(users))
 	s.userProg = make([]int, len(users))
+	s.podsByProg = make([][]int, len(cfg.Programs))
 	s.buffered = make([]*pod.BufferedClient, len(users))
 	for i, u := range users {
 		pi := i % len(cfg.Programs)
 		s.userProg[i] = pi
+		s.podsByProg[pi] = append(s.podsByProg[pi], i)
 		podClient := client
 		if client != nil {
-			s.buffered[i] = pod.NewBuffered(client)
+			// Each pod runs exactly one program, so its buffer is bound to
+			// it: drains take the backend's per-program fast path.
+			s.buffered[i] = pod.NewBufferedFor(client, cfg.Programs[pi].Prog.ID)
 			podClient = s.buffered[i]
 		}
 		pd, err := pod.New(pod.Config{
@@ -315,12 +330,19 @@ func (s *Simulation) runPodDay(i int) error {
 }
 
 // runFleet executes every pod's day across a bounded worker pool and
-// streams each pod's buffered traces to the telemetry backend in pod order
-// as pods complete. Pods are handed out via a shared counter; each is
-// simulated by exactly one worker. Streaming the drain bounds peak memory
-// to the days still in flight (instead of the whole fleet-day) and overlaps
-// ingestion with simulation; because pods never read hive state mid-day,
-// it changes nothing observable versus draining at the barrier.
+// streams each pod's buffered traces to the telemetry backend as pods
+// complete. Pods are handed out via a shared counter; each is simulated by
+// exactly one worker. Streaming the drain bounds peak memory to the days
+// still in flight (instead of the whole fleet-day) and overlaps ingestion
+// with simulation; because pods never read hive state mid-day, it changes
+// nothing observable versus draining at the barrier.
+//
+// With a per-program backend (shardedDrain) every program gets its own
+// drainer goroutine feeding its own hive shard through the per-program
+// submission path — programs ingest concurrently, and within a program
+// traces still land in pod order, so results stay bit-for-bit identical to
+// the sequential fleet. Otherwise one coordinator drains the whole fleet in
+// pod order.
 func (s *Simulation) runFleet() error {
 	workers := s.workerCount()
 	if workers == 1 {
@@ -341,9 +363,7 @@ func (s *Simulation) runFleet() error {
 		errMu  sync.Mutex
 		first  error
 	)
-	// completed carries finished pod indices to the drainer; buffered to
-	// fleet size so workers never block on it.
-	completed := make(chan int, len(s.pods))
+	report := s.startDrainers()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -362,36 +382,89 @@ func (s *Simulation) runFleet() error {
 					errMu.Unlock()
 					return
 				}
-				completed <- i
+				report(i)
 			}
 		}()
 	}
-	// Drainer: advance a cursor through pod order, ingesting each pod's day
-	// as soon as every earlier pod has finished — the same ingestion order
-	// as a sequential fleet, overlapped with the still-running workers.
-	drainDone := make(chan error, 1)
-	go func() {
-		ready := make([]bool, len(s.pods))
+	wg.Wait()
+	drainErr := report(-1) // close drainers and collect their first error
+	if first != nil {
+		return first
+	}
+	return drainErr
+}
+
+// startDrainers launches the day's drain pipeline and returns a report
+// function: report(i) hands finished pod i to its drainer (never blocks —
+// channels are buffered to fleet size); report(-1) shuts the drainers down
+// and returns their first error.
+//
+// Sharded mode runs one drainer per program, each advancing a cursor
+// through that program's pods in pod order — the per-program ingestion
+// order a sequential fleet produces, without a fleet-wide coordinator
+// serializing all programs. Unsharded mode keeps the single fleet-order
+// coordinator.
+func (s *Simulation) startDrainers() func(int) error {
+	drainInOrder := func(list []int, completed <-chan int, done chan<- error) {
+		ready := make(map[int]bool, len(list))
 		cursor := 0
 		for i := range completed {
 			ready[i] = true
-			for cursor < len(s.pods) && ready[cursor] {
-				if err := s.drainPod(cursor); err != nil {
-					drainDone <- err
+			for cursor < len(list) && ready[list[cursor]] {
+				if err := s.drainPod(list[cursor]); err != nil {
+					done <- err
+					// Keep receiving so report() never blocks; the error
+					// already ends the day.
+					for range completed {
+					}
 					return
 				}
 				cursor++
 			}
 		}
-		drainDone <- nil
-	}()
-	wg.Wait()
-	close(completed)
-	drainErr := <-drainDone
-	if first != nil {
+		done <- nil
+	}
+
+	if !s.shardedDrain {
+		all := make([]int, len(s.pods))
+		for i := range all {
+			all[i] = i
+		}
+		completed := make(chan int, len(s.pods))
+		done := make(chan error, 1)
+		go drainInOrder(all, completed, done)
+		return func(i int) error {
+			if i >= 0 {
+				completed <- i
+				return nil
+			}
+			close(completed)
+			return <-done
+		}
+	}
+
+	chans := make([]chan int, len(s.podsByProg))
+	done := make(chan error, len(s.podsByProg))
+	for pi, list := range s.podsByProg {
+		chans[pi] = make(chan int, len(list))
+		go drainInOrder(list, chans[pi], done)
+	}
+	return func(i int) error {
+		if i >= 0 {
+			chans[s.userProg[i]] <- i
+			return nil
+		}
+		for _, ch := range chans {
+			close(ch)
+		}
+		var first error
+		for range chans {
+			if err := <-done; err != nil && first == nil {
+				first = err
+			}
+		}
 		return first
 	}
-	return drainErr
 }
 
 // drainPod forwards one pod's queued traces to the backend.

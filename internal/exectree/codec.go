@@ -79,6 +79,7 @@ func Decode(data []byte) (*Tree, error) {
 	if d.pos != len(d.buf) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(d.buf)-d.pos)
 	}
+	t.rebuildFrontierLocked()
 	return t, nil
 }
 
@@ -172,7 +173,7 @@ func (d *treeDecoder) node(t *Tree, depth int) (*Node, error) {
 		if d.err != nil {
 			return nil, d.err
 		}
-		n.MarkInfeasible(e)
+		n.markInfeasible(e)
 	}
 
 	nc := int(d.uvarint())

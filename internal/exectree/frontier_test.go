@@ -1,0 +1,147 @@
+package exectree
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prog"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// frontiersEqual compares two frontier slices elementwise (both sides are
+// produced in the deterministic sortFrontiers order).
+func frontiersEqual(a, b []Frontier) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Missing != b[i].Missing || a[i].SiblingVisits != b[i].SiblingVisits ||
+			len(a[i].Prefix) != len(b[i].Prefix) {
+			return false
+		}
+		for j := range a[i].Prefix {
+			if a[i].Prefix[j] != b[i].Prefix[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// randomMergeCertify drives a tree through a random interleaving of merges
+// and infeasibility certifications — the two operations that mutate the
+// frontier index.
+func randomMergeCertify(seed uint64, ops int) *Tree {
+	rng := stats.NewRNG(seed)
+	t := New("prog-frontier")
+	for i := 0; i < ops; i++ {
+		if rng.Bool(0.15) {
+			// Certify a currently open frontier (sometimes a stale one).
+			fr := t.Frontiers(0)
+			if len(fr) > 0 {
+				f := fr[rng.Intn(len(fr))]
+				t.CertifyInfeasible(f.Prefix, f.Missing)
+			}
+			continue
+		}
+		n := rng.Intn(9)
+		path := make([]trace.BranchEvent, n)
+		for j := range path {
+			path[j] = trace.BranchEvent{ID: int32(rng.Intn(5)), Taken: rng.Bool(0.5)}
+		}
+		outcome := prog.OutcomeOK
+		if rng.Bool(0.2) {
+			outcome = prog.OutcomeCrash
+		}
+		t.Merge(path, outcome)
+	}
+	return t
+}
+
+// TestQuickFrontierIndexMatchesWalk is the index≡recomputation property:
+// after any random merge/certify sequence, the incrementally maintained
+// frontier set must equal the set a full tree walk recomputes.
+func TestQuickFrontierIndexMatchesWalk(t *testing.T) {
+	check := func(seed uint64) bool {
+		tr := randomMergeCertify(seed, int(seed%120)+5)
+		if !frontiersEqual(tr.Frontiers(0), tr.FrontiersByWalk(0)) {
+			return false
+		}
+		// The limited snapshot (heap-selected top-k) must agree with the
+		// truncated full recomputation too.
+		limit := int(seed%7) + 1
+		return frontiersEqual(tr.Frontiers(limit), tr.FrontiersByWalk(limit))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrontierIndexSurvivesCodec checks Decode rebuilds the index: a
+// deserialized tree must serve the same frontiers as a full walk over it.
+func TestFrontierIndexSurvivesCodec(t *testing.T) {
+	tr := randomMergeCertify(42, 150)
+	got, err := Decode(tr.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frontiersEqual(got.Frontiers(0), got.FrontiersByWalk(0)) {
+		t.Fatal("decoded tree: index and walk disagree")
+	}
+	if !frontiersEqual(got.Frontiers(0), tr.Frontiers(0)) {
+		t.Fatal("decoded tree: frontiers differ from original")
+	}
+}
+
+// TestFrontierCount pins the O(1) count against the snapshot.
+func TestFrontierCount(t *testing.T) {
+	tr := randomMergeCertify(7, 200)
+	if got, want := tr.FrontierCount(), len(tr.Frontiers(0)); got != want {
+		t.Fatalf("FrontierCount = %d, want %d", got, want)
+	}
+	if tr.Complete() != (tr.FrontierCount() == 0) {
+		t.Fatal("Complete disagrees with FrontierCount")
+	}
+}
+
+// buildWideTree merges n random deep paths over a wide branch-ID space —
+// large trees with many interior nodes, the shape that made the full walk
+// starve merges.
+func buildWideTree(b *testing.B, merges int) *Tree {
+	b.Helper()
+	rng := stats.NewRNG(99)
+	t := New("prog-bench")
+	for i := 0; i < merges; i++ {
+		n := rng.Intn(24) + 8
+		path := make([]trace.BranchEvent, n)
+		for j := range path {
+			path[j] = trace.BranchEvent{ID: int32(rng.Intn(64)), Taken: rng.Bool(0.5)}
+		}
+		t.Merge(path, prog.OutcomeOK)
+	}
+	return t
+}
+
+// BenchmarkFrontiers compares the guidance read path's two snapshot
+// strategies as the tree grows: the incremental index (cost ~ open
+// frontiers) against the full-walk recomputation (cost ~ whole tree).
+func BenchmarkFrontiers(b *testing.B) {
+	for _, merges := range []int{256, 2048, 16384} {
+		tree := buildWideTree(b, merges)
+		nodes := tree.Stats().Nodes
+		b.Run(fmt.Sprintf("indexed/nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tree.Frontiers(32)
+			}
+		})
+		b.Run(fmt.Sprintf("fullwalk/nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tree.FrontiersByWalk(32)
+			}
+		})
+	}
+}

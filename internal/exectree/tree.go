@@ -85,9 +85,13 @@ func (n *Node) Terminals() map[prog.Outcome]int64 {
 	return out
 }
 
-// MarkInfeasible attaches an infeasibility certificate to the unexplored
-// direction e (both directions of e.ID at this node are then accounted for).
-func (n *Node) MarkInfeasible(e Edge) {
+// markInfeasible attaches an infeasibility certificate to the unexplored
+// direction e (both directions of e.ID at this node are then accounted
+// for). Unexported on purpose: certificates must go through
+// Tree.CertifyInfeasible, which also retires the frontier from the
+// incremental index — a bare node-level mark would leave a stale index
+// entry.
+func (n *Node) markInfeasible(e Edge) {
 	if n.infeasible == nil {
 		n.infeasible = make(map[Edge]bool)
 	}
@@ -97,8 +101,31 @@ func (n *Node) MarkInfeasible(e Edge) {
 // Infeasible reports whether e carries an infeasibility certificate.
 func (n *Node) Infeasible(e Edge) bool { return n.infeasible[e] }
 
+// frontierKey identifies one open frontier: the node it hangs off and the
+// unexplored direction.
+type frontierKey struct {
+	n       *Node
+	missing Edge
+}
+
+// frontierEntry is the index record behind one open frontier. prefix is the
+// decision path from the root to n; it is immutable (a node's root path never
+// changes) and shared between entries created by the same merge.
+type frontierEntry struct {
+	n       *Node
+	prefix  []Edge
+	missing Edge
+}
+
 // Tree is the collective execution tree for one program. It is safe for
 // concurrent use: the hive ingests trace batches from many pods at once.
+//
+// The tree maintains its open-frontier set incrementally: Merge opens a
+// frontier when it observes the first direction of a branch at a node and
+// retires it when the sibling direction arrives; CertifyInfeasible retires
+// the frontier its certificate discharges. Frontiers therefore serves a
+// cheap snapshot of the index instead of re-walking the whole tree under the
+// read lock — the guidance hot path no longer starves merges on large trees.
 type Tree struct {
 	mu sync.RWMutex
 
@@ -111,6 +138,8 @@ type Tree struct {
 	outcomes   map[prog.Outcome]int64
 	// edgeCover tracks distinct (branch, direction) pairs seen anywhere.
 	edgeCover map[Edge]int64
+	// frontier is the incrementally maintained open-frontier index.
+	frontier map[frontierKey]*frontierEntry
 }
 
 // New creates an empty tree for the program with the given ID.
@@ -121,6 +150,7 @@ func New(programID string) *Tree {
 		nodes:     1,
 		outcomes:  make(map[prog.Outcome]int64),
 		edgeCover: make(map[Edge]int64),
+		frontier:  make(map[frontierKey]*frontierEntry),
 	}
 }
 
@@ -150,8 +180,11 @@ func (t *Tree) Merge(path []trace.BranchEvent, outcome prog.Outcome) MergeResult
 	defer t.mu.Unlock()
 
 	res := MergeResult{Depth: len(path)}
+	// edges is the full path converted once, lazily; new frontier entries
+	// slice it so they share one immutable prefix array per merge.
+	var edges []Edge
 	node := t.root
-	for _, be := range path {
+	for depth, be := range path {
 		e := Edge{ID: be.ID, Taken: be.Taken}
 		if t.edgeCover[e] == 0 {
 			res.NewEdges++
@@ -167,6 +200,30 @@ func (t *Tree) Merge(path []trace.BranchEvent, outcome prog.Outcome) MergeResult
 			node.children[e] = child
 			t.nodes++
 			res.NewNodes++
+			// Frontier maintenance: e's first appearance at node either
+			// closes the frontier that pointed at e, or opens one for its
+			// still-unexplored sibling.
+			sibling := Edge{ID: e.ID, Taken: !e.Taken}
+			if node.children[sibling] != nil {
+				delete(t.frontier, frontierKey{n: node, missing: e})
+			} else if !node.Infeasible(sibling) {
+				if edges == nil {
+					edges = make([]Edge, len(path))
+					for j, b := range path {
+						edges[j] = Edge{ID: b.ID, Taken: b.Taken}
+					}
+				}
+				prefix := edges[:depth]
+				if len(path) > 2*depth {
+					// A shallow frontier on a deep path would pin the whole
+					// path array for as long as it stays open; copying what
+					// the entry actually uses bounds retention.
+					prefix = append([]Edge(nil), prefix...)
+				}
+				t.frontier[frontierKey{n: node, missing: sibling}] = &frontierEntry{
+					n: node, prefix: prefix, missing: sibling,
+				}
+			}
 		}
 		node.visits[e]++
 		node = child
@@ -241,7 +298,8 @@ func (t *Tree) CoveredEdges() map[Edge]int64 {
 
 // CertifyInfeasible attaches an infeasibility certificate to the missing
 // direction at the end of prefix, under the tree lock (safe against
-// concurrent merges). It reports whether the prefix still exists.
+// concurrent merges), and retires the frontier the certificate discharges
+// from the incremental index. It reports whether the prefix still exists.
 func (t *Tree) CertifyInfeasible(prefix []Edge, missing Edge) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -252,7 +310,8 @@ func (t *Tree) CertifyInfeasible(prefix []Edge, missing Edge) bool {
 			return false
 		}
 	}
-	n.MarkInfeasible(missing)
+	n.markInfeasible(missing)
+	delete(t.frontier, frontierKey{n: n, missing: missing})
 	return true
 }
 
@@ -289,14 +348,95 @@ type Frontier struct {
 	SiblingVisits int64
 }
 
+// frontierCand pairs an index entry with its rarity signal, read once under
+// the lock.
+type frontierCand struct {
+	fe  *frontierEntry
+	sib int64
+}
+
+func (c frontierCand) less(o frontierCand) bool {
+	return frontierLess(c.sib, c.fe.prefix, c.fe.missing, o.sib, o.fe.prefix, o.fe.missing)
+}
+
 // Frontiers enumerates unexplored branch directions, excluding those carrying
-// infeasibility certificates. limit <= 0 means no limit.
+// infeasibility certificates, in rarity order (most-visited sibling first,
+// ties broken deterministically). limit <= 0 means no limit.
+//
+// The result is served from the incrementally maintained index: the read
+// lock is held only long enough to snapshot the open set, O(frontiers)
+// instead of O(tree).
 func (t *Tree) Frontiers(limit int) []Frontier {
+	t.mu.RLock()
+	var cands []frontierCand
+	if limit > 0 && limit < len(t.frontier) {
+		// Top-k selection: a bounded heap whose root is the worst kept
+		// candidate, so a limited snapshot costs O(frontiers·log limit)
+		// with O(limit) memory instead of sorting the whole open set.
+		cands = make([]frontierCand, 0, limit)
+		for _, fe := range t.frontier {
+			sibling := Edge{ID: fe.missing.ID, Taken: !fe.missing.Taken}
+			c := frontierCand{fe: fe, sib: fe.n.visits[sibling]}
+			if len(cands) < limit {
+				cands = append(cands, c)
+				for i := len(cands) - 1; i > 0; {
+					parent := (i - 1) / 2
+					if !cands[parent].less(cands[i]) {
+						break
+					}
+					cands[parent], cands[i] = cands[i], cands[parent]
+					i = parent
+				}
+				continue
+			}
+			if !c.less(cands[0]) {
+				continue
+			}
+			cands[0] = c
+			for i := 0; ; {
+				worst := i
+				if l := 2*i + 1; l < len(cands) && cands[worst].less(cands[l]) {
+					worst = l
+				}
+				if r := 2*i + 2; r < len(cands) && cands[worst].less(cands[r]) {
+					worst = r
+				}
+				if worst == i {
+					break
+				}
+				cands[i], cands[worst] = cands[worst], cands[i]
+				i = worst
+			}
+		}
+	} else {
+		cands = make([]frontierCand, 0, len(t.frontier))
+		for _, fe := range t.frontier {
+			sibling := Edge{ID: fe.missing.ID, Taken: !fe.missing.Taken}
+			cands = append(cands, frontierCand{fe: fe, sib: fe.n.visits[sibling]})
+		}
+	}
+	t.mu.RUnlock()
+	// Order and materialize outside the lock: entry prefixes are immutable,
+	// so sorting needs no lock and only the returned frontiers pay for a
+	// prefix copy.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].less(cands[j]) })
+	out := make([]Frontier, len(cands))
+	for i, c := range cands {
+		out[i] = Frontier{
+			Prefix:        append([]Edge(nil), c.fe.prefix...),
+			Missing:       c.fe.missing,
+			SiblingVisits: c.sib,
+		}
+	}
+	return out
+}
+
+// FrontiersByWalk recomputes the frontier set with a full depth-first walk
+// under the read lock — the pre-index implementation, kept as the reference
+// the incremental index is property-tested and benchmarked against.
+func (t *Tree) FrontiersByWalk(limit int) []Frontier {
 	var out []Frontier
 	t.Walk(func(path []Edge, n *Node) bool {
-		if limit > 0 && len(out) >= limit {
-			return false
-		}
 		// Group observed edges by branch id; any id with exactly one
 		// direction (and no certificate for the other) is a frontier.
 		byID := make(map[int32][]Edge, len(n.children))
@@ -319,16 +459,74 @@ func (t *Tree) Frontiers(limit int) []Frontier {
 		}
 		return true
 	})
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].SiblingVisits != out[j].SiblingVisits {
-			return out[i].SiblingVisits > out[j].SiblingVisits
-		}
-		return len(out[i].Prefix) < len(out[j].Prefix)
-	})
+	sortFrontiers(out)
 	if limit > 0 && len(out) > limit {
 		out = out[:limit]
 	}
 	return out
+}
+
+// frontierLess imposes a deterministic total order on frontiers: rarity
+// signal first, then shortest prefix, then lexicographic path and missing
+// edge. Guidance output must not depend on map iteration order.
+func frontierLess(sibA int64, prefA []Edge, missA Edge, sibB int64, prefB []Edge, missB Edge) bool {
+	if sibA != sibB {
+		return sibA > sibB
+	}
+	if len(prefA) != len(prefB) {
+		return len(prefA) < len(prefB)
+	}
+	for k := range prefA {
+		if prefA[k] != prefB[k] {
+			return edgeLess(prefA[k], prefB[k])
+		}
+	}
+	return edgeLess(missA, missB)
+}
+
+// sortFrontiers orders a materialized frontier slice by frontierLess.
+func sortFrontiers(out []Frontier) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		return frontierLess(a.SiblingVisits, a.Prefix, a.Missing, b.SiblingVisits, b.Prefix, b.Missing)
+	})
+}
+
+// FrontierCount returns the number of open frontiers, O(1).
+func (t *Tree) FrontierCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.frontier)
+}
+
+// rebuildFrontierLocked recomputes the index from tree structure. Decode
+// uses it to restore the index of a deserialized tree; callers must hold the
+// write lock (or own the tree exclusively).
+func (t *Tree) rebuildFrontierLocked() {
+	t.frontier = make(map[frontierKey]*frontierEntry)
+	var rec func(prefix []Edge, n *Node)
+	rec = func(prefix []Edge, n *Node) {
+		byID := make(map[int32][]Edge, len(n.children))
+		for e := range n.children {
+			byID[e.ID] = append(byID[e.ID], e)
+		}
+		for id, edges := range byID {
+			if len(edges) != 1 {
+				continue
+			}
+			missing := Edge{ID: id, Taken: !edges[0].Taken}
+			if n.Infeasible(missing) {
+				continue
+			}
+			t.frontier[frontierKey{n: n, missing: missing}] = &frontierEntry{
+				n: n, prefix: append([]Edge(nil), prefix...), missing: missing,
+			}
+		}
+		for e, child := range n.children {
+			rec(append(prefix, e), child)
+		}
+	}
+	rec(nil, t.root)
 }
 
 // Complete reports whether the tree has no frontiers left: every decision
@@ -336,5 +534,5 @@ func (t *Tree) Frontiers(limit int) []Frontier {
 // complete tree is what turns the accumulated "test suite" into a proof
 // (paper §3.3: "a complete exploration of all paths leads to a proof").
 func (t *Tree) Complete() bool {
-	return len(t.Frontiers(1)) == 0
+	return t.FrontierCount() == 0
 }

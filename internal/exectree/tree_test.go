@@ -70,7 +70,9 @@ func TestFrontiers(t *testing.T) {
 	}
 
 	// Certify the frontier infeasible: tree becomes complete.
-	tr.Root().MarkInfeasible(Edge{ID: 0, Taken: false})
+	if !tr.CertifyInfeasible(nil, Edge{ID: 0, Taken: false}) {
+		t.Fatal("certify at root failed")
+	}
 	if len(tr.Frontiers(0)) != 0 {
 		t.Error("certified frontier still reported")
 	}

@@ -74,9 +74,12 @@ func NewGenerator(p *prog.Program, scheduleBound int) (*Generator, error) {
 }
 
 // Generate derives up to max test cases from the tree's current frontiers.
-// As a side effect, frontiers the solver refutes are certified infeasible in
-// the tree (the same discharge the proof engine performs — guidance and
-// proving share the gap analysis).
+// The frontier set is a snapshot of the tree's incrementally maintained
+// index — no full-tree walk happens under the tree's read lock, so guidance
+// requests do not starve merges on large trees. As a side effect, frontiers
+// the solver refutes are certified infeasible in the tree (the same
+// discharge the proof engine performs — guidance and proving share the gap
+// analysis).
 func (g *Generator) Generate(tree *exectree.Tree, max int) []TestCase {
 	g.mu.Lock()
 	defer g.mu.Unlock()

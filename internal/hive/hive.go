@@ -33,7 +33,9 @@ import (
 // ErrUnknownProgram is returned for traces about unregistered programs.
 var ErrUnknownProgram = errors.New("hive: unknown program")
 
-// FailureRecord aggregates one failure signature across the fleet.
+// FailureRecord is a point-in-time snapshot of one failure signature's
+// fleet-wide aggregation (the live bookkeeping is striped per signature, see
+// failureTable).
 type FailureRecord struct {
 	// Signature is the bucketing key (outcome @ fault site).
 	Signature string
@@ -50,10 +52,6 @@ type FailureRecord struct {
 	// InRepairLab reports that automated synthesis gave up and the failure
 	// awaits a human.
 	InRepairLab bool
-
-	// synthesizing marks an in-flight fix synthesis for this signature
-	// (single-flight: exactly one goroutine ever attempts it).
-	synthesizing bool
 }
 
 // programState is the hive's per-program knowledge. Each program is its own
@@ -67,8 +65,9 @@ type programState struct {
 	fixes fix.Set
 	epoch int
 
-	failures map[string]*FailureRecord
-	podsSeen map[string]map[string]bool // signature -> pod set
+	// failures stripes per-signature bookkeeping so a single hot program's
+	// failure traffic does not serialize on mu (it synchronizes internally).
+	failures failureTable
 
 	// knownGood holds raw inputs observed to succeed (only available from
 	// PrivacyRaw pods); used to pick safe replacements and validate guards.
@@ -119,11 +118,9 @@ func (h *Hive) RegisterProgram(p *prog.Program) error {
 		return nil
 	}
 	st := &programState{
-		prog:     p,
-		tree:     exectree.New(p.ID),
-		failures: make(map[string]*FailureRecord),
-		podsSeen: make(map[string]map[string]bool),
-		proofs:   make(map[proof.Property]*proof.Proof),
+		prog:   p,
+		tree:   exectree.New(p.ID),
+		proofs: make(map[proof.Property]*proof.Proof),
 	}
 	if p.NumThreads() == 1 {
 		sym, err := symbolic.New(p, symbolic.Config{})
@@ -200,11 +197,37 @@ func (h *Hive) SubmitTraces(traces []*trace.Trace) error {
 	return nil
 }
 
+// SubmitTracesFor is the per-program submission fast path: every trace in
+// the batch must describe programID, so ingestion resolves the program
+// shard once and skips SubmitTraces' group-by entirely. Sharded fleet
+// drains (core.Simulation) and the wire server's per-program frames use it.
+//
+// Like SubmitTraces, the call is all-or-nothing with respect to its errors:
+// an unknown program or a mismatched trace rejects the whole batch before
+// anything is ingested, so a rejected batch can be re-submitted without
+// double-counting.
+func (h *Hive) SubmitTracesFor(programID string, traces []*trace.Trace) error {
+	if len(traces) == 0 {
+		return nil
+	}
+	st, err := h.state(programID)
+	if err != nil {
+		return err
+	}
+	for _, tr := range traces {
+		if tr.ProgramID != programID {
+			return fmt.Errorf("hive: trace for program %q in batch submitted for %q", tr.ProgramID, programID)
+		}
+	}
+	h.ingestBatch(st, traces)
+	return nil
+}
+
 // pendingSynthesis is a single-flight election won during batch bookkeeping:
 // the trigger trace that will synthesize the signature's fix after the lock
 // is released.
 type pendingSynthesis struct {
-	rec *FailureRecord
+	rec *failureRecord
 	tr  *trace.Trace
 }
 
@@ -238,9 +261,10 @@ func (h *Hive) ingestBatch(st *programState, batch []*trace.Trace) {
 	}
 
 	// Phase 2 (single lock acquisition): coordinated fragment buffering,
-	// known-good harvesting, counters, failure aggregation, and the
-	// single-flight election for fix synthesis.
-	var toSynthesize []pendingSynthesis
+	// known-good harvesting, and counters. Failure aggregation runs after
+	// the shard lock drops — the failure table stripes per signature, so
+	// concurrent batches for one hot program contend only when they carry
+	// the same signature.
 	var families map[int][]*trace.Trace // batch index -> completed family
 	st.mu.Lock()
 	for i, tr := range batch {
@@ -258,14 +282,21 @@ func (h *Hive) ingestBatch(st *programState, batch []*trace.Trace) {
 				st.knownGood = append(st.knownGood, append([]int64(nil), tr.Input...))
 			}
 		}
-		if tr.Outcome.IsFailure() {
-			if pending, elected := st.recordFailureLocked(tr); elected {
-				toSynthesize = append(toSynthesize, pending)
-			}
-		}
 	}
 	st.reconstructed += reconstructed
 	st.mu.Unlock()
+
+	// Striped failure aggregation and the single-flight synthesis election,
+	// in batch order.
+	var toSynthesize []pendingSynthesis
+	for _, tr := range batch {
+		if !tr.Outcome.IsFailure() {
+			continue
+		}
+		if rec, elected := st.failures.record(tr); elected {
+			toSynthesize = append(toSynthesize, pendingSynthesis{rec: rec, tr: tr})
+		}
+	}
 
 	// Phase 3 (lock-free): narrow completed coordinated families and merge
 	// every path into the internally synchronized tree, in batch order.
@@ -337,38 +368,13 @@ func narrowFamily(p *prog.Program, family []*trace.Trace, outcome prog.Outcome) 
 	return full, true
 }
 
-// recordFailureLocked updates the aggregation for one failing trace and
-// elects at most one synthesizer per signature: the first trace to see a
-// signature wins the election and must call synthesizeFix after the lock is
-// released; every other trace (concurrent or later) only bumps counters.
-// Callers must hold st.mu.
-func (st *programState) recordFailureLocked(tr *trace.Trace) (pendingSynthesis, bool) {
-	sig := tr.FailureSignature()
-	rec, ok := st.failures[sig]
-	if !ok {
-		rec = &FailureRecord{Signature: sig, Outcome: tr.Outcome, Sample: tr.Clone()}
-		st.failures[sig] = rec
-		st.podsSeen[sig] = make(map[string]bool)
-	}
-	rec.Count++
-	if !st.podsSeen[sig][tr.PodID] {
-		st.podsSeen[sig][tr.PodID] = true
-		rec.Pods = len(st.podsSeen[sig])
-	}
-	if rec.Fixed || rec.InRepairLab || rec.synthesizing {
-		return pendingSynthesis{}, false
-	}
-	rec.synthesizing = true
-	return pendingSynthesis{rec: rec, tr: tr}, true
-}
-
 // synthesizeFix mints a fix for a newly observed failure signature:
 // deadlocks become immunity signatures; input-triggered crashes and
 // assertion failures become validated input guards; everything else goes to
 // the repair lab. Exactly one call ever happens per signature (single-flight
-// via FailureRecord.synthesizing), so concurrent traces carrying the same
+// via failureRecord.synthesizing), so concurrent traces carrying the same
 // new signature cannot mint duplicate fixes or double-bump the epoch.
-func (h *Hive) synthesizeFix(st *programState, rec *FailureRecord, tr *trace.Trace) {
+func (h *Hive) synthesizeFix(st *programState, rec *failureRecord, tr *trace.Trace) {
 	var minted *fix.Fix
 	switch tr.Outcome {
 	case prog.OutcomeDeadlock:
@@ -377,7 +383,7 @@ func (h *Hive) synthesizeFix(st *programState, rec *FailureRecord, tr *trace.Tra
 			minted = &fix.Fix{
 				ProgramID:       st.prog.ID,
 				Kind:            fix.KindDeadlockImmunity,
-				TargetSignature: rec.Signature,
+				TargetSignature: rec.signature,
 				Deadlock:        &sig,
 			}
 		}
@@ -385,32 +391,27 @@ func (h *Hive) synthesizeFix(st *programState, rec *FailureRecord, tr *trace.Tra
 		minted = h.synthesizeInputGuard(st, rec, tr)
 	}
 
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	rec.synthesizing = false
-	if minted == nil {
-		rec.InRepairLab = true
-		return
-	}
-	if err := minted.Validate(); err != nil {
-		rec.InRepairLab = true
+	if minted == nil || minted.Validate() != nil {
+		st.failures.finishSynthesis(rec, false)
 		return
 	}
 	minted.Validated = true
+	st.mu.Lock()
 	st.fixes.Add(*minted)
 	st.epoch++
-	rec.Fixed = true
 	// New fixes invalidate standing proofs (paper §3.3: the hive must decide
 	// whether instrumentation invalidates existing knowledge; we take the
 	// sound route and drop them for re-proving).
 	st.proofs = make(map[proof.Property]*proof.Proof)
+	st.mu.Unlock()
+	st.failures.finishSynthesis(rec, true)
 }
 
 // synthesizeInputGuard derives a danger-zone guard from the failing trace's
 // path condition. Privacy-friendly: it does not need the raw input — the
 // recorded input-dependent branch directions are replayed symbolically
 // (forced run) to recover the path condition.
-func (h *Hive) synthesizeInputGuard(st *programState, rec *FailureRecord, tr *trace.Trace) *fix.Fix {
+func (h *Hive) synthesizeInputGuard(st *programState, rec *failureRecord, tr *trace.Trace) *fix.Fix {
 	if st.sym == nil {
 		return nil
 	}
@@ -451,7 +452,7 @@ func (h *Hive) synthesizeInputGuard(st *programState, rec *FailureRecord, tr *tr
 	return &fix.Fix{
 		ProgramID:       st.prog.ID,
 		Kind:            fix.KindInputGuard,
-		TargetSignature: rec.Signature,
+		TargetSignature: rec.signature,
 		Guard:           guard,
 	}
 }
@@ -580,15 +581,13 @@ func (h *Hive) Reproducer(programID, signature string) (guidance.TestCase, error
 	if err != nil {
 		return guidance.TestCase{}, err
 	}
-	st.mu.Lock()
-	rec, ok := st.failures[signature]
-	if !ok || rec.Sample == nil {
-		st.mu.Unlock()
+	rec := st.failures.get(signature)
+	if rec == nil || rec.sample == nil {
 		return guidance.TestCase{}, fmt.Errorf("hive: no failure record %q for program %s", signature, programID)
 	}
-	sample := rec.Sample.Clone()
+	// sample and sym are immutable once published.
+	sample := rec.sample.Clone()
 	sym := st.sym
-	st.mu.Unlock()
 
 	if sym == nil {
 		return guidance.TestCase{}, fmt.Errorf("hive: reproducer for multi-threaded program %s not supported", programID)
@@ -678,7 +677,6 @@ func (h *Hive) ProgramStats(programID string) (Stats, error) {
 		return Stats{}, err
 	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	out := Stats{
 		ProgramID:     programID,
 		Ingested:      st.ingested,
@@ -688,13 +686,13 @@ func (h *Hive) ProgramStats(programID string) (Stats, error) {
 		FixCount:      st.fixes.Len(),
 		Epoch:         st.epoch,
 	}
-	for _, rec := range st.failures {
-		out.Failures = append(out.Failures, *rec)
+	st.mu.Unlock()
+	out.Failures = st.failures.snapshot()
+	for _, rec := range out.Failures {
 		if rec.InRepairLab {
 			out.RepairLab++
 		}
 	}
-	sort.Slice(out.Failures, func(i, j int) bool { return out.Failures[i].Count > out.Failures[j].Count })
 	return out, nil
 }
 

@@ -1,0 +1,166 @@
+package hive
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// buildTwoSiteCrashy builds a program with two distinct crash sites: inputs
+// below 10 divide by zero at one PC, inputs above 200 at another — two
+// failure signatures that land on different stripes of the failure table.
+func buildTwoSiteCrashy(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("hot-striped", 1)
+	lowLbl, highLbl, end := b.NewLabel(), b.NewLabel(), b.NewLabel()
+	b.Input(0, 0)
+	b.BrImm(0, prog.CmpLT, 10, lowLbl)
+	b.BrImm(0, prog.CmpGT, 200, highLbl)
+	b.Jmp(end)
+	b.Bind(lowLbl)
+	b.Const(1, 0)
+	b.Div(2, 1, 1) // crash site A
+	b.Jmp(end)
+	b.Bind(highLbl)
+	b.Const(1, 0)
+	b.Div(3, 1, 1) // crash site B
+	b.Bind(end)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestHotProgramStripedFailures hammers a single program's failure
+// bookkeeping from many goroutines through the per-program submission path:
+// two signatures, every goroutine reporting both from its own pod, with
+// concurrent stats and guidance readers. Run under -race this is the
+// regression test for the striped failure table (ROADMAP item a); the
+// counters must still be exact.
+func TestHotProgramStripedFailures(t *testing.T) {
+	p := buildTwoSiteCrashy(t)
+	h := New("fleet")
+	if err := h.RegisterProgram(p); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	const rounds = 25
+	// Per-goroutine traces so distinct-pod counting is exercised too.
+	lows := make([]*trace.Trace, goroutines)
+	highs := make([]*trace.Trace, goroutines)
+	oks := make([]*trace.Trace, goroutines)
+	for g := 0; g < goroutines; g++ {
+		podID := fmt.Sprintf("hot-pod-%d", g)
+		lows[g] = captureTrace(t, p, podID, []int64{5}, trace.PrivacyHashed)
+		highs[g] = captureTrace(t, p, podID, []int64{250}, trace.PrivacyHashed)
+		oks[g] = captureTrace(t, p, podID, []int64{50}, trace.PrivacyHashed)
+	}
+	if lows[0].FailureSignature() == highs[0].FailureSignature() {
+		t.Fatal("want two distinct signatures")
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines+2)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				if err := h.SubmitTracesFor(p.ID, []*trace.Trace{lows[g], oks[g], highs[g]}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	// Concurrent readers: stats snapshots and guidance generation must not
+	// race with the striped writers.
+	readerDone := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for {
+				select {
+				case <-readerDone:
+					errs <- nil
+					return
+				default:
+				}
+				if _, err := h.ProgramStats(p.ID); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := h.Guidance(p.ID, 2); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(readerDone)
+	wg.Wait()
+
+	st, err := h.ProgramStats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingested != goroutines*rounds*3 {
+		t.Errorf("ingested = %d, want %d", st.Ingested, goroutines*rounds*3)
+	}
+	if len(st.Failures) != 2 {
+		t.Fatalf("failure records = %+v, want 2 signatures", st.Failures)
+	}
+	for _, rec := range st.Failures {
+		if rec.Count != goroutines*rounds {
+			t.Errorf("%s: count = %d, want %d", rec.Signature, rec.Count, goroutines*rounds)
+		}
+		if rec.Pods != goroutines {
+			t.Errorf("%s: pods = %d, want %d", rec.Signature, rec.Pods, goroutines)
+		}
+		if !rec.Fixed && !rec.InRepairLab {
+			t.Errorf("%s: synthesis never concluded", rec.Signature)
+		}
+	}
+	if st.Epoch > 2 {
+		t.Errorf("epoch = %d, want at most one bump per signature", st.Epoch)
+	}
+}
+
+// TestSubmitTracesForRejectsMismatch pins the all-or-nothing contract of the
+// per-program path.
+func TestSubmitTracesForRejectsMismatch(t *testing.T) {
+	p := buildTwoSiteCrashy(t)
+	h := New("fleet")
+	if err := h.RegisterProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	good := captureTrace(t, p, "pod", []int64{50}, trace.PrivacyHashed)
+	stray := good.Clone()
+	stray.ProgramID = "someone-else"
+	if err := h.SubmitTracesFor(p.ID, []*trace.Trace{good, stray}); err == nil {
+		t.Fatal("mismatched trace accepted")
+	}
+	st, err := h.ProgramStats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingested != 0 {
+		t.Errorf("ingested = %d after rejected batch, want 0", st.Ingested)
+	}
+	if err := h.SubmitTracesFor("ghost", []*trace.Trace{good}); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+}

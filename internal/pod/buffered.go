@@ -17,8 +17,14 @@ import (
 // fixed pod order at a barrier makes hive ingestion order — and therefore
 // which trace wins fix synthesis for a new failure signature — identical to
 // a sequential fleet, no matter how the pods were scheduled.
+//
+// A buffer bound to a program (NewBufferedFor) drains through the backend's
+// fast paths when available: pipelined batch streaming (TraceStreamer, the
+// wire client) or per-program submission (ProgramSubmitter, the in-process
+// hive), falling back to plain SubmitTraces otherwise.
 type BufferedClient struct {
-	backend HiveClient
+	backend   HiveClient
+	programID string
 
 	mu     sync.Mutex
 	queued []*trace.Trace
@@ -26,9 +32,21 @@ type BufferedClient struct {
 
 var _ HiveClient = (*BufferedClient)(nil)
 
+// streamChunk is the per-frame batch size a bound buffer streams through a
+// TraceStreamer backend: small enough to keep frames far under the wire
+// limit, large enough to amortize framing.
+const streamChunk = 256
+
 // NewBuffered wraps backend.
 func NewBuffered(backend HiveClient) *BufferedClient {
 	return &BufferedClient{backend: backend}
+}
+
+// NewBufferedFor wraps backend for a pod that runs exactly one program:
+// every queued trace is asserted to describe programID, which unlocks the
+// backend's per-program and streaming drain paths.
+func NewBufferedFor(backend HiveClient, programID string) *BufferedClient {
+	return &BufferedClient{backend: backend, programID: programID}
 }
 
 // SubmitTraces queues the batch for the next Drain.
@@ -56,9 +74,13 @@ func (b *BufferedClient) Pending() int {
 	return len(b.queued)
 }
 
-// Drain forwards all queued traces to the backend as one batch, preserving
-// queue order. On backend failure the batch is re-queued (ahead of anything
-// queued meanwhile) and the error returned.
+// Drain forwards all queued traces to the backend, preserving queue order.
+// On backend failure the unaccepted remainder is re-queued (ahead of
+// anything queued meanwhile) and the error returned: a streaming backend
+// reports which chunks of the drain it acknowledged, so this client never
+// re-submits an acknowledged chunk. Chunks that were delivered but whose
+// acks were lost with the connection remain at-least-once — exactly-once
+// needs backend-side dedup (see ROADMAP: frame sequence numbers).
 func (b *BufferedClient) Drain() error {
 	b.mu.Lock()
 	batch := b.queued
@@ -67,11 +89,46 @@ func (b *BufferedClient) Drain() error {
 	if len(batch) == 0 {
 		return nil
 	}
-	if err := b.backend.SubmitTraces(batch); err != nil {
+	if requeue, err := b.submit(batch); err != nil {
 		b.mu.Lock()
-		b.queued = append(batch, b.queued...)
+		b.queued = append(requeue, b.queued...)
 		b.mu.Unlock()
 		return err
 	}
 	return nil
+}
+
+// submit picks the fastest submission path the backend offers for this
+// buffer: stream pipelined chunks, skip the group-by, or plain submission.
+// On error it returns the traces the backend did not accept, in queue
+// order (the non-streaming paths are all-or-nothing: a failure accepts
+// nothing).
+func (b *BufferedClient) submit(batch []*trace.Trace) ([]*trace.Trace, error) {
+	if b.programID == "" {
+		return batch, b.backend.SubmitTraces(batch)
+	}
+	if ts, ok := b.backend.(TraceStreamer); ok {
+		rest := batch
+		batches := make([][]*trace.Trace, 0, (len(rest)+streamChunk-1)/streamChunk)
+		for len(rest) > streamChunk {
+			batches = append(batches, rest[:streamChunk])
+			rest = rest[streamChunk:]
+		}
+		batches = append(batches, rest)
+		accepted, err := ts.SubmitTraceBatches(b.programID, batches)
+		if err == nil {
+			return nil, nil
+		}
+		var requeue []*trace.Trace
+		for i, chunk := range batches {
+			if i >= len(accepted) || !accepted[i] {
+				requeue = append(requeue, chunk...)
+			}
+		}
+		return requeue, err
+	}
+	if ps, ok := b.backend.(ProgramSubmitter); ok {
+		return batch, ps.SubmitTracesFor(b.programID, batch)
+	}
+	return batch, b.backend.SubmitTraces(batch)
 }

@@ -102,3 +102,157 @@ func TestBufferedClientPassesThrough(t *testing.T) {
 		t.Errorf("Guidance = %+v, %v", cases, err)
 	}
 }
+
+// programClient extends recordingClient with the per-program fast path.
+type programClient struct {
+	recordingClient
+	forCalls []string
+}
+
+func (p *programClient) SubmitTracesFor(programID string, traces []*trace.Trace) error {
+	p.forCalls = append(p.forCalls, programID)
+	return p.recordingClient.SubmitTraces(traces)
+}
+
+// streamingClient extends programClient with pipelined batch streaming.
+type streamingClient struct {
+	programClient
+	streamed [][][]*trace.Trace
+}
+
+func (s *streamingClient) SubmitTraceBatches(programID string, batches [][]*trace.Trace) ([]bool, error) {
+	s.forCalls = append(s.forCalls, programID)
+	s.streamed = append(s.streamed, batches)
+	accepted := make([]bool, len(batches))
+	for i, b := range batches {
+		if err := s.recordingClient.SubmitTraces(b); err != nil {
+			return accepted, err
+		}
+		accepted[i] = true
+	}
+	return accepted, nil
+}
+
+func TestBufferedForUsesProgramSubmitter(t *testing.T) {
+	backend := &programClient{}
+	bc := NewBufferedFor(backend, "prog-a")
+	if err := bc.SubmitTraces([]*trace.Trace{{ProgramID: "prog-a", Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(backend.forCalls) != 1 || backend.forCalls[0] != "prog-a" {
+		t.Fatalf("per-program calls = %v", backend.forCalls)
+	}
+	if len(backend.batches) != 1 {
+		t.Fatalf("batches = %d", len(backend.batches))
+	}
+}
+
+func TestBufferedForStreamsChunks(t *testing.T) {
+	backend := &streamingClient{}
+	bc := NewBufferedFor(backend, "prog-a")
+	n := streamChunk*2 + 5
+	queued := make([]*trace.Trace, n)
+	for i := range queued {
+		queued[i] = &trace.Trace{ProgramID: "prog-a", Seq: uint64(i)}
+	}
+	if err := bc.SubmitTraces(queued); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(backend.streamed) != 1 {
+		t.Fatalf("streamed drains = %d, want 1", len(backend.streamed))
+	}
+	batches := backend.streamed[0]
+	if len(batches) != 3 || len(batches[0]) != streamChunk || len(batches[2]) != 5 {
+		t.Fatalf("chunking = %d batches (first %d, last %d)", len(batches), len(batches[0]), len(batches[len(batches)-1]))
+	}
+	// Order across chunks is preserved.
+	seq := uint64(0)
+	for _, b := range backend.batches {
+		for _, tr := range b {
+			if tr.Seq != seq {
+				t.Fatalf("order broken at seq %d (got %d)", seq, tr.Seq)
+			}
+			seq++
+		}
+	}
+	// An unbound buffer must not stream.
+	plain := NewBuffered(backend)
+	if err := plain.SubmitTraces([]*trace.Trace{{Seq: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(backend.streamed) != 1 {
+		t.Fatal("unbound buffer took the streaming path")
+	}
+}
+
+// flakyStreamer acks exactly one batch then kills the stream, once.
+type flakyStreamer struct {
+	programClient
+	calls int
+	got   [][]*trace.Trace
+}
+
+func (f *flakyStreamer) SubmitTraceBatches(programID string, batches [][]*trace.Trace) ([]bool, error) {
+	accepted := make([]bool, len(batches))
+	f.calls++
+	if f.calls == 1 {
+		f.got = append(f.got, batches[0])
+		accepted[0] = true
+		return accepted, errors.New("stream died after first ack")
+	}
+	f.got = append(f.got, batches...)
+	for i := range accepted {
+		accepted[i] = true
+	}
+	return accepted, nil
+}
+
+// TestBufferedForRequeuesOnlyUnackedTail pins the partial-failure contract:
+// after a stream dies mid-drain, only the unacknowledged tail is re-queued,
+// so the retry delivers every trace exactly once.
+func TestBufferedForRequeuesOnlyUnackedTail(t *testing.T) {
+	backend := &flakyStreamer{}
+	bc := NewBufferedFor(backend, "prog-a")
+	n := streamChunk + 10
+	queued := make([]*trace.Trace, n)
+	for i := range queued {
+		queued[i] = &trace.Trace{ProgramID: "prog-a", Seq: uint64(i)}
+	}
+	if err := bc.SubmitTraces(queued); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Drain(); err == nil {
+		t.Fatal("drain over a dying stream must error")
+	}
+	if got := bc.Pending(); got != 10 {
+		t.Fatalf("pending after partial drain = %d, want the 10 unacked", got)
+	}
+	if err := bc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]int)
+	total := 0
+	for _, b := range backend.got {
+		for _, tr := range b {
+			seen[tr.Seq]++
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("delivered %d traces, want %d", total, n)
+	}
+	for seq, c := range seen {
+		if c != 1 {
+			t.Fatalf("seq %d delivered %d times", seq, c)
+		}
+	}
+}

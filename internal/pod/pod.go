@@ -30,6 +30,25 @@ type HiveClient interface {
 	Guidance(programID string, max int) ([]guidance.TestCase, error)
 }
 
+// ProgramSubmitter is an optional HiveClient extension: submission that
+// pre-asserts every trace in the batch describes programID, so the backend
+// can skip its group-by step and resolve the program once. hive.Hive and
+// wire.Client implement it; BufferedClient.Drain uses it when the buffer is
+// bound to a program.
+type ProgramSubmitter interface {
+	SubmitTracesFor(programID string, traces []*trace.Trace) error
+}
+
+// TraceStreamer is an optional HiveClient extension for pipelined
+// transports: submit many batches for one program with every batch in
+// flight at once, instead of one upload per round trip. wire.Client
+// implements it by streaming frames and collecting the pipelined acks.
+// The flags report, per batch, whether the backend acknowledged it — on
+// error, callers re-submit exactly the unacknowledged batches.
+type TraceStreamer interface {
+	SubmitTraceBatches(programID string, batches [][]*trace.Trace) ([]bool, error)
+}
+
 // Config parameterizes a pod.
 type Config struct {
 	// Program is the instrumented program.

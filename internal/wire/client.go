@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,6 +25,15 @@ type Client struct {
 }
 
 var _ pod.HiveClient = (*Client)(nil)
+var _ pod.ProgramSubmitter = (*Client)(nil)
+var _ pod.TraceStreamer = (*Client)(nil)
+
+// maxInflightFrames bounds how many submission frames SubmitTraceBatches
+// keeps unacknowledged on the socket. The window keeps the server's bounded
+// ingest queue and both TCP buffers from absorbing an arbitrarily large
+// drain (which could deadlock writer against writer) while still amortizing
+// a round trip across the whole window.
+const maxInflightFrames = 32
 
 // Dial creates a client for the hive at addr. The connection is established
 // lazily on first use.
@@ -57,6 +67,11 @@ func (c *Client) call(reqType MsgType, payload []byte) (MsgType, []byte, error) 
 			c.conn = conn
 		}
 		if err := WriteFrame(c.conn, reqType, payload); err != nil {
+			if errors.Is(err, ErrFrame) {
+				// Oversized payload fails on any connection; don't burn the
+				// retry or mask the cause as unreachability.
+				return 0, nil, err
+			}
 			_ = c.conn.Close()
 			c.conn = nil
 			continue
@@ -82,6 +97,143 @@ func (c *Client) SubmitTraces(traces []*trace.Trace) error {
 	if err != nil {
 		return err
 	}
+	return checkAck(respType, resp, len(traces))
+}
+
+// SubmitTracesFor implements pod.ProgramSubmitter: one per-program frame,
+// one ack — the server skips its group-by.
+func (c *Client) SubmitTracesFor(programID string, traces []*trace.Trace) error {
+	encoded := make([][]byte, len(traces))
+	for i, tr := range traces {
+		encoded[i] = trace.Encode(tr)
+	}
+	respType, resp, err := c.call(MsgSubmitTracesFor, encodeTraceBatchFor(programID, encoded))
+	if err != nil {
+		return err
+	}
+	return checkAck(respType, resp, len(traces))
+}
+
+// SubmitTraceBatches implements pod.TraceStreamer: every batch becomes its
+// own per-program frame, streamed back-to-back without waiting for acks
+// (bounded by maxInflightFrames), and the pipelined acks are read in frame
+// order. Against a pipelined server a drain of n batches costs ~n/window
+// round trips instead of n. The returned flags report, per batch, whether
+// the server acknowledged it — on error a caller re-submits exactly the
+// unacknowledged batches, never a batch the server already ingested.
+//
+// A transport failure drops the connection and retries once on a fresh one,
+// resuming after the last acknowledged frame. Frames written but unacked
+// when the connection died are at-least-once: up to a full window of them
+// may have been ingested before the failure and will be resent — servers
+// needing exactly-once must dedup (see ROADMAP: frame sequence numbers).
+func (c *Client) SubmitTraceBatches(programID string, batches [][]*trace.Trace) ([]bool, error) {
+	accepted := make([]bool, len(batches))
+	if len(batches) == 0 {
+		return accepted, nil
+	}
+	payloads := make([][]byte, len(batches))
+	counts := make([]int, len(batches))
+	for i, batch := range batches {
+		encoded := make([][]byte, len(batch))
+		for j, tr := range batch {
+			encoded[j] = trace.Encode(tr)
+		}
+		payloads[i] = encodeTraceBatchFor(programID, encoded)
+		counts[i] = len(batch)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	acked := 0
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.conn == nil {
+			conn, err := net.Dial("tcp", c.addr)
+			if err != nil {
+				return accepted, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+			}
+			c.conn = conn
+		}
+		err, transport := c.streamLocked(payloads, counts, &acked, accepted)
+		if err == nil {
+			return accepted, nil
+		}
+		if !transport {
+			return accepted, err
+		}
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	return accepted, fmt.Errorf("wire: %s unreachable after retry", c.addr)
+}
+
+// streamLocked runs one windowed write-ahead pass over the unacknowledged
+// suffix of payloads (resuming at *acked): frames are coalesced through a
+// buffered writer and flushed once per window refill, acks are read in
+// half-window chunks, and *acked / accepted advance as they arrive. The
+// second return distinguishes transport failures (retryable on a fresh
+// connection) from permanent ones (malformed frame, server rejection).
+func (c *Client) streamLocked(payloads [][]byte, counts []int, acked *int, accepted []bool) (error, bool) {
+	bw := bufio.NewWriterSize(c.conn, 64<<10)
+	written := *acked
+	for *acked < len(payloads) {
+		for written < len(payloads) && written-*acked < maxInflightFrames {
+			if err := WriteFrame(bw, MsgSubmitTracesFor, payloads[written]); err != nil {
+				// An oversized/malformed frame fails identically on any
+				// connection; only real transport errors are retryable.
+				return err, !errors.Is(err, ErrFrame)
+			}
+			written++
+		}
+		if err := bw.Flush(); err != nil {
+			return err, true
+		}
+		// Drain up to half a window of acks before refilling, so writes and
+		// acks both batch instead of alternating one syscall each.
+		target := *acked + maxInflightFrames/2
+		if target > written {
+			target = written
+		}
+		if err, transport := c.readAcks(counts, acked, target, written, accepted); err != nil {
+			return err, transport
+		}
+	}
+	return nil, false
+}
+
+// readAcks consumes acks until *acked reaches target, marking accepted
+// frames as it goes.
+func (c *Client) readAcks(counts []int, acked *int, target, written int, accepted []bool) (error, bool) {
+	for *acked < target {
+		respType, resp, err := ReadFrame(c.conn)
+		if err != nil {
+			return err, true
+		}
+		if err := checkAck(respType, resp, counts[*acked]); err != nil {
+			// Server-reported rejection mid-stream: keep reading the acks
+			// for frames already on the wire — the server keeps serving
+			// after rejecting one batch, so later frames may well have been
+			// ingested and must be marked accepted (re-submitting them
+			// would double-count). Then surface the first error.
+			for i := *acked + 1; i < written; i++ {
+				respType, resp, rerr := ReadFrame(c.conn)
+				if rerr != nil {
+					_ = c.conn.Close()
+					c.conn = nil
+					break
+				}
+				accepted[i] = checkAck(respType, resp, counts[i]) == nil
+			}
+			return err, false
+		}
+		accepted[*acked] = true
+		*acked++
+	}
+	return nil, false
+}
+
+// checkAck validates one submission acknowledgement.
+func checkAck(respType MsgType, resp []byte, want int) error {
 	if respType != MsgAck {
 		return fmt.Errorf("wire: unexpected response type %d", respType)
 	}
@@ -92,8 +244,8 @@ func (c *Client) SubmitTraces(traces []*trace.Trace) error {
 	if ack.Error != "" {
 		return errors.New("wire: server: " + ack.Error)
 	}
-	if ack.Accepted != len(traces) {
-		return fmt.Errorf("wire: server accepted %d of %d traces", ack.Accepted, len(traces))
+	if ack.Accepted != want {
+		return fmt.Errorf("wire: server accepted %d of %d traces", ack.Accepted, want)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,7 +14,21 @@ import (
 	"repro/internal/trace"
 )
 
+// ingestQueueDepth bounds the frames a connection may have queued between
+// its reader and its worker. A client pipelining submissions keeps reading
+// ahead of decoding up to this depth; beyond it the reader applies
+// backpressure to that connection only — other connections have their own
+// queues and keep ingesting.
+const ingestQueueDepth = 64
+
 // Server exposes a pod.HiveClient backend (normally *hive.Hive) over TCP.
+//
+// Each connection is served by a two-stage pipeline: the connection
+// goroutine only reads frames and hands them to a per-connection worker
+// through a bounded queue; the worker decodes payloads, dispatches to the
+// backend, and writes replies in request order (pipelined acks). Decoding
+// and backend calls therefore overlap with socket reads, and a slow or
+// blocked connection stalls only itself.
 type Server struct {
 	backend pod.HiveClient
 	ln      net.Listener
@@ -95,6 +110,13 @@ func (s *Server) Close() error {
 	return err
 }
 
+// request is one frame in flight between a connection's reader and its
+// worker.
+type request struct {
+	msgType MsgType
+	payload []byte
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -104,97 +126,174 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = conn.Close()
 	}()
 
+	// Worker: decode, dispatch, reply — in request order, off the
+	// connection goroutine. Replies coalesce through a buffered writer
+	// that flushes whenever the queue runs dry (a pipelining client gets
+	// its acks in bursts, not one syscall each). On a handler error the
+	// worker closes the connection (unblocking the reader) and drains the
+	// queue so the reader can never block on a send with no receiver.
+	reqs := make(chan request, ingestQueueDepth)
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		bw := bufio.NewWriterSize(conn, 32<<10)
+		bail := func(what string, err error) {
+			s.Logf("wire: %s for %s: %v", what, conn.RemoteAddr(), err)
+			_ = conn.Close()
+			for range reqs {
+			}
+		}
+		for req := range reqs {
+			if err := s.dispatch(bw, req.msgType, req.payload); err != nil {
+				bail(fmt.Sprintf("handle %v", req.msgType), err)
+				return
+			}
+			if len(reqs) == 0 {
+				if err := bw.Flush(); err != nil {
+					bail("flush", err)
+					return
+				}
+			}
+		}
+		_ = bw.Flush()
+	}()
+
+	// Reader: the connection goroutine only reads frames; backpressure is
+	// the bounded queue.
 	for {
 		msgType, payload, err := ReadFrame(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.Logf("wire: read from %s: %v", conn.RemoteAddr(), err)
 			}
-			return
+			break
 		}
-		if err := s.dispatch(conn, msgType, payload); err != nil {
-			s.Logf("wire: handle %v from %s: %v", msgType, conn.RemoteAddr(), err)
-			return
-		}
+		reqs <- request{msgType: msgType, payload: payload}
 	}
+	close(reqs)
+	<-workerDone
 }
 
-func (s *Server) dispatch(conn net.Conn, msgType MsgType, payload []byte) error {
+func (s *Server) dispatch(w io.Writer, msgType MsgType, payload []byte) error {
 	switch msgType {
 	case MsgSubmitTraces:
-		return s.handleSubmit(conn, payload)
+		return s.handleSubmit(w, payload)
+	case MsgSubmitTracesFor:
+		return s.handleSubmitFor(w, payload)
 	case MsgGetFixes:
-		return s.handleGetFixes(conn, payload)
+		return s.handleGetFixes(w, payload)
 	case MsgGetGuidance:
-		return s.handleGetGuidance(conn, payload)
+		return s.handleGetGuidance(w, payload)
 	default:
-		return s.reply(conn, MsgError, ErrorPayload{Error: fmt.Sprintf("unknown message type %d", msgType)})
+		return s.reply(w, MsgError, ErrorPayload{Error: fmt.Sprintf("unknown message type %d", msgType)})
 	}
 }
 
-func (s *Server) handleSubmit(conn net.Conn, payload []byte) error {
-	raws, err := decodeTraceBatch(payload)
-	if err != nil {
-		return s.reply(conn, MsgAck, AckPayload{Error: err.Error()})
-	}
+// decodeTraces expands raw per-trace bytes into traces.
+func decodeTraces(raws [][]byte) ([]*trace.Trace, error) {
 	traces := make([]*trace.Trace, 0, len(raws))
 	for _, raw := range raws {
 		tr, err := trace.Decode(raw)
 		if err != nil {
-			return s.reply(conn, MsgAck, AckPayload{Error: err.Error()})
+			return nil, err
 		}
 		traces = append(traces, tr)
 	}
-	if err := s.backend.SubmitTraces(traces); err != nil {
-		return s.reply(conn, MsgAck, AckPayload{Error: err.Error()})
-	}
-	return s.reply(conn, MsgAck, AckPayload{Accepted: len(traces)})
+	return traces, nil
 }
 
-func (s *Server) handleGetFixes(conn net.Conn, payload []byte) error {
+func (s *Server) handleSubmit(w io.Writer, payload []byte) error {
+	raws, err := decodeTraceBatch(payload)
+	if err != nil {
+		return s.reply(w, MsgAck, AckPayload{Error: err.Error()})
+	}
+	traces, err := decodeTraces(raws)
+	if err != nil {
+		return s.reply(w, MsgAck, AckPayload{Error: err.Error()})
+	}
+	if err := s.backend.SubmitTraces(traces); err != nil {
+		return s.reply(w, MsgAck, AckPayload{Error: err.Error()})
+	}
+	return s.reply(w, MsgAck, AckPayload{Accepted: len(traces)})
+}
+
+func (s *Server) handleSubmitFor(w io.Writer, payload []byte) error {
+	programID, raws, err := decodeTraceBatchFor(payload)
+	if err != nil {
+		return s.reply(w, MsgAck, AckPayload{Error: err.Error()})
+	}
+	traces, err := decodeTraces(raws)
+	if err != nil {
+		return s.reply(w, MsgAck, AckPayload{Error: err.Error()})
+	}
+	// The per-program frame is all-or-nothing on a program mismatch no
+	// matter what the backend is: enforce it here so a backend without the
+	// fast path can't silently ingest a stray trace the hive would reject.
+	for _, tr := range traces {
+		if tr.ProgramID != programID {
+			return s.reply(w, MsgAck, AckPayload{
+				Error: fmt.Sprintf("wire: trace for program %q in batch submitted for %q", tr.ProgramID, programID),
+			})
+		}
+	}
+	// Use the backend's per-program fast path when it has one; a plain
+	// HiveClient backend still accepts the frame through the grouped path.
+	var submitErr error
+	if ps, ok := s.backend.(pod.ProgramSubmitter); ok {
+		submitErr = ps.SubmitTracesFor(programID, traces)
+	} else {
+		submitErr = s.backend.SubmitTraces(traces)
+	}
+	if submitErr != nil {
+		return s.reply(w, MsgAck, AckPayload{Error: submitErr.Error()})
+	}
+	return s.reply(w, MsgAck, AckPayload{Accepted: len(traces)})
+}
+
+func (s *Server) handleGetFixes(w io.Writer, payload []byte) error {
 	var req GetFixesPayload
 	if err := json.Unmarshal(payload, &req); err != nil {
-		return s.reply(conn, MsgFixes, FixesPayload{Error: err.Error()})
+		return s.reply(w, MsgFixes, FixesPayload{Error: err.Error()})
 	}
 	fixes, version, err := s.backend.FixesSince(req.ProgramID, req.Version)
 	if err != nil {
-		return s.reply(conn, MsgFixes, FixesPayload{Error: err.Error()})
+		return s.reply(w, MsgFixes, FixesPayload{Error: err.Error()})
 	}
 	out := FixesPayload{Version: version}
 	for i := range fixes {
 		raw, err := json.Marshal(&fixes[i])
 		if err != nil {
-			return s.reply(conn, MsgFixes, FixesPayload{Error: err.Error()})
+			return s.reply(w, MsgFixes, FixesPayload{Error: err.Error()})
 		}
 		out.Fixes = append(out.Fixes, raw)
 	}
-	return s.reply(conn, MsgFixes, out)
+	return s.reply(w, MsgFixes, out)
 }
 
-func (s *Server) handleGetGuidance(conn net.Conn, payload []byte) error {
+func (s *Server) handleGetGuidance(w io.Writer, payload []byte) error {
 	var req GetGuidancePayload
 	if err := json.Unmarshal(payload, &req); err != nil {
-		return s.reply(conn, MsgGuidance, GuidancePayload{Error: err.Error()})
+		return s.reply(w, MsgGuidance, GuidancePayload{Error: err.Error()})
 	}
 	cases, err := s.backend.Guidance(req.ProgramID, req.Max)
 	if err != nil {
-		return s.reply(conn, MsgGuidance, GuidancePayload{Error: err.Error()})
+		return s.reply(w, MsgGuidance, GuidancePayload{Error: err.Error()})
 	}
 	out := GuidancePayload{}
 	for i := range cases {
 		raw, err := json.Marshal(&cases[i])
 		if err != nil {
-			return s.reply(conn, MsgGuidance, GuidancePayload{Error: err.Error()})
+			return s.reply(w, MsgGuidance, GuidancePayload{Error: err.Error()})
 		}
 		out.Cases = append(out.Cases, raw)
 	}
-	return s.reply(conn, MsgGuidance, out)
+	return s.reply(w, MsgGuidance, out)
 }
 
-func (s *Server) reply(conn net.Conn, t MsgType, v any) error {
+func (s *Server) reply(w io.Writer, t MsgType, v any) error {
 	payload, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	return WriteFrame(conn, t, payload)
+	return WriteFrame(w, t, payload)
 }

@@ -26,6 +26,11 @@ const (
 	MsgGetGuidance
 	MsgGuidance
 	MsgError
+	// MsgSubmitTracesFor is per-program submission: the payload carries the
+	// program ID once, followed by the trace batch, so the backend skips its
+	// group-by step. Clients may pipeline many of these frames back-to-back;
+	// the server acks each in arrival order.
+	MsgSubmitTracesFor
 )
 
 // MaxFrameSize bounds a frame; larger frames are rejected as hostile.
@@ -118,6 +123,31 @@ func encodeTraceBatch(encoded [][]byte) []byte {
 		buf = append(buf, e...)
 	}
 	return buf
+}
+
+// encodeTraceBatchFor packs a per-program batch: uvarint programID length,
+// programID bytes, then the standard trace batch encoding.
+func encodeTraceBatchFor(programID string, encoded [][]byte) []byte {
+	batch := encodeTraceBatch(encoded)
+	buf := make([]byte, 0, binary.MaxVarintLen64+len(programID)+len(batch))
+	buf = binary.AppendUvarint(buf, uint64(len(programID)))
+	buf = append(buf, programID...)
+	return append(buf, batch...)
+}
+
+// decodeTraceBatchFor unpacks a per-program batch into the program ID and
+// raw per-trace bytes.
+func decodeTraceBatchFor(buf []byte) (string, [][]byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || n > uint64(len(buf[sz:])) {
+		return "", nil, fmt.Errorf("%w: program id", ErrFrame)
+	}
+	programID := string(buf[sz : sz+int(n)])
+	raws, err := decodeTraceBatch(buf[sz+int(n):])
+	if err != nil {
+		return "", nil, err
+	}
+	return programID, raws, nil
 }
 
 // decodeTraceBatch unpacks a trace batch into raw per-trace bytes.

@@ -149,6 +149,11 @@ type (
 	HiveServer = wire.Server
 	// HiveConn is a TCP HiveClient.
 	HiveConn = wire.Client
+	// TraceBuffer defers a pod's trace uploads until Drain — the
+	// determinism lever for parallel fleets, and (bound to a program via
+	// NewTraceBufferFor) the entry to the backend's per-program and
+	// pipelined streaming submission paths.
+	TraceBuffer = pod.BufferedClient
 )
 
 // Provable properties (paper §3.3).
@@ -239,6 +244,17 @@ func NewHive(salt string) *Hive { return hive.New(salt) }
 
 // NewPod creates a pod.
 func NewPod(cfg PodConfig) (*Pod, error) { return pod.New(cfg) }
+
+// NewTraceBuffer wraps a hive client so trace uploads defer until Drain.
+func NewTraceBuffer(backend HiveClient) *TraceBuffer { return pod.NewBuffered(backend) }
+
+// NewTraceBufferFor wraps a hive client for a pod running exactly one
+// program: drains take the backend's per-program submission fast path, and
+// over TCP they stream pipelined batches instead of one upload per round
+// trip.
+func NewTraceBufferFor(backend HiveClient, programID string) *TraceBuffer {
+	return pod.NewBufferedFor(backend, programID)
+}
 
 // DialHive returns a HiveClient speaking the wire protocol to addr.
 func DialHive(addr string) *HiveConn { return wire.Dial(addr) }
