@@ -60,6 +60,7 @@ func BenchmarkE8DynamicPartitioning(b *testing.B) {
 func BenchmarkE9CumulativeProofs(b *testing.B) { runExperiment(b, experiments.E9CumulativeProofs) }
 func BenchmarkE10Privacy(b *testing.B)         { runExperiment(b, experiments.E10Privacy) }
 func BenchmarkE11WireThroughput(b *testing.B)  { runExperiment(b, experiments.E11WireThroughput) }
+func BenchmarkE12CrashRecovery(b *testing.B)   { runExperiment(b, experiments.E12CrashRecovery) }
 
 // --- hot-path micro-benchmarks ---
 

@@ -3,7 +3,13 @@
 // generated programs (pods must be started with the same -seed corpus; see
 // cmd/pod).
 //
-//	hive -addr 127.0.0.1:7070 -programs 4 -seed 1
+// With -data-dir the hive is durable: collective knowledge (execution
+// trees, failure signatures, fixes, proofs, and the exactly-once session
+// dedup table) is journaled ahead of being applied and snapshotted every
+// -snapshot-every; on boot the hive recovers snapshot + journal suffix, so
+// killing the process loses nothing that was acknowledged.
+//
+//	hive -addr 127.0.0.1:7070 -programs 4 -seed 1 -data-dir /var/lib/hive
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/hive"
+	"repro/internal/journal"
 	"repro/internal/proggen"
 	"repro/internal/wire"
 )
@@ -32,6 +39,9 @@ func run(args []string) error {
 	programs := fs.Int("programs", 4, "number of generated programs to serve")
 	seed := fs.Uint64("seed", 1, "program-corpus seed (must match pods)")
 	statsEvery := fs.Duration("stats", 5*time.Second, "stats reporting interval (0 disables)")
+	dataDir := fs.String("data-dir", "", "journal/snapshot directory; empty runs in-memory only")
+	snapshotEvery := fs.Duration("snapshot-every", 30*time.Second, "background snapshot interval (0 disables; requires -data-dir)")
+	fsync := fs.Bool("fsync", false, "fsync every journal append (power-failure durability)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,6 +60,26 @@ func run(args []string) error {
 		fmt.Printf("registered program %d: %s (%s)\n", i, p.Name, p.ID)
 	}
 
+	var store *journal.Store
+	if *dataDir != "" {
+		var err error
+		store, err = journal.Open(*dataDir, journal.Options{Fsync: *fsync})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		if err := h.Recover(store); err != nil {
+			return err
+		}
+		for i, id := range ids {
+			if st, err := h.ProgramStats(id); err == nil && st.Ingested > 0 {
+				fmt.Printf("recovered program %d: ingested=%d paths=%d fixes=%d failures=%d\n",
+					i, st.Ingested, st.Tree.Paths, st.FixCount, len(st.Failures))
+			}
+		}
+		fmt.Printf("durable hive: data in %s (snapshot every %v)\n", *dataDir, *snapshotEvery)
+	}
+
 	srv := wire.NewServer(h)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
@@ -61,17 +91,55 @@ func run(args []string) error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
+	// Background snapshotter: bounds journal-replay time after a crash.
+	snapDone := make(chan struct{})
+	if store != nil && *snapshotEvery > 0 {
+		ticker := time.NewTicker(*snapshotEvery)
+		go func() {
+			defer close(snapDone)
+			for {
+				select {
+				case <-snapDone:
+					return
+				case <-ticker.C:
+					if err := h.Checkpoint(); err != nil {
+						fmt.Fprintln(os.Stderr, "hive: snapshot:", err)
+					}
+				}
+			}
+		}()
+		defer func() {
+			ticker.Stop()
+			snapDone <- struct{}{}
+			<-snapDone
+		}()
+	}
+
+	shutdown := func() error {
+		fmt.Println("shutting down")
+		if store != nil {
+			// A final checkpoint makes the next boot replay-free; skipping it
+			// (kill -9) only costs replay time, never data.
+			if err := h.Checkpoint(); err != nil {
+				return err
+			}
+			if err := h.DurabilityError(); err != nil {
+				return fmt.Errorf("durability degraded during run: %w", err)
+			}
+		}
+		return nil
+	}
+
 	if *statsEvery <= 0 {
 		<-stop
-		return nil
+		return shutdown()
 	}
 	ticker := time.NewTicker(*statsEvery)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-stop:
-			fmt.Println("shutting down")
-			return nil
+			return shutdown()
 		case <-ticker.C:
 			for i, id := range ids {
 				st, err := h.ProgramStats(id)

@@ -2,6 +2,14 @@
 // cmd/hive): each pod executes its assigned generated program on simulated
 // user inputs, streams traces over TCP, and syncs fixes.
 //
+// Uploads buffer locally and drain through the pipelined sequenced
+// streaming path: every frame carries the client's session ID and a
+// sequence number, so a drain interrupted by a dropped link resubmits its
+// unacknowledged suffix with the original tags and the hive — including a
+// durable hive that crashed and recovered in between (cmd/hive -data-dir)
+// — ingests each batch exactly once. A drain whose retry also fails
+// re-queues its remainder and is at-least-once on the next drain.
+//
 //	pod -hive 127.0.0.1:7070 -pods 8 -programs 4 -seed 1 -runs 200
 package main
 
@@ -32,6 +40,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "program-corpus seed (must match hive)")
 	runs := fs.Int("runs", 200, "executions per pod")
 	syncEvery := fs.Int("sync", 25, "sync fixes every N runs")
+	drainEvery := fs.Int("drain", 50, "drain buffered traces every N runs (0 drains only at the end)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,7 +56,7 @@ func run(args []string) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs <- runPod(i, *hiveAddr, *seed, i%*programs, *runs, *syncEvery, pop)
+			errs <- runPod(i, *hiveAddr, *seed, i%*programs, *runs, *syncEvery, *drainEvery, pop)
 		}(i)
 	}
 	wg.Wait()
@@ -61,19 +70,22 @@ func run(args []string) error {
 	return nil
 }
 
-func runPod(idx int, hiveAddr string, seed uint64, programIdx, runs, syncEvery int, pop *population.Population) error {
+func runPod(idx int, hiveAddr string, seed uint64, programIdx, runs, syncEvery, drainEvery int, pop *population.Population) error {
 	p, _, err := proggen.Generate(proggen.CorpusSpec(seed, programIdx))
 	if err != nil {
 		return err
 	}
 	client := wire.Dial(hiveAddr)
 	defer client.Close()
+	// The buffer is bound to the pod's program, so drains stream pipelined
+	// sequenced frames — exactly-once across reconnects and hive restarts.
+	buffer := pod.NewBufferedFor(client, p.ID)
 
 	user := pop.Users()[idx]
 	pd, err := pod.New(pod.Config{
 		Program:  p,
 		ID:       fmt.Sprintf("pod-%d", idx),
-		Hive:     client,
+		Hive:     buffer,
 		Salt:     "fleet",
 		Seed:     uint64(idx) + 1,
 		Syscalls: user.Syscalls(),
@@ -91,8 +103,19 @@ func runPod(idx int, hiveAddr string, seed uint64, programIdx, runs, syncEvery i
 				return err
 			}
 		}
+		if drainEvery > 0 && r%drainEvery == drainEvery-1 {
+			if err := pd.Flush(); err != nil {
+				return err
+			}
+			if err := buffer.Drain(); err != nil {
+				return err
+			}
+		}
 	}
 	if err := pd.Flush(); err != nil {
+		return err
+	}
+	if err := buffer.Drain(); err != nil {
 		return err
 	}
 	st := pd.Stats()

@@ -1,11 +1,13 @@
-// The Figure-1 loop over real sockets.
+// The Figure-1 loop over real sockets — with a crash in the middle.
 //
-// A hive server listens on localhost TCP; a fleet of pods (each on its own
-// goroutine with its own connection) buffers binary-encoded traces and
-// drains them through the pipelined per-program submission path — batches
-// stream back-to-back with acks read afterwards, instead of one upload per
-// round trip. Fixes and guidance flow back over the same wire protocol
-// cmd/hive and cmd/pod speak across processes.
+// A durable hive server listens on localhost TCP; a fleet of pods (each on
+// its own goroutine with its own connection) buffers binary-encoded traces
+// and drains them through the pipelined sequenced submission path — batches
+// stream back-to-back with acks read afterwards, tagged with session IDs
+// and sequence numbers for exactly-once resubmission. Fixes and guidance
+// flow back over the same wire protocol cmd/hive and cmd/pod speak across
+// processes. Midway, the hive "crashes" (dropped without any shutdown) and
+// a fresh one recovers the collective knowledge from its journal.
 //
 //	go run ./examples/telemetryserver
 package main
@@ -13,6 +15,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"sync"
 
 	softborg "repro"
@@ -32,8 +35,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	dataDir, err := os.MkdirTemp("", "softborg-hive-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+
 	hive := softborg.NewHive("fleet")
 	if err := hive.RegisterProgram(p); err != nil {
+		return err
+	}
+	store, err := softborg.OpenJournal(dataDir, softborg.JournalOptions{})
+	if err != nil {
+		return err
+	}
+	if err := hive.Recover(store); err != nil {
 		return err
 	}
 
@@ -105,12 +121,43 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nhive ingested %d traces over TCP via pipelined per-program drains (%d reconstructed from external-only capture)\n",
+	fmt.Printf("\nhive ingested %d traces over TCP via pipelined sequenced drains (%d reconstructed from external-only capture)\n",
 		st.Ingested, st.Reconstructed)
 	fmt.Printf("execution tree: %d nodes, %d distinct paths\n", st.Tree.Nodes, st.Tree.Paths)
 	for _, rec := range st.Failures {
 		fmt.Printf("failure %s: %d report(s) from %d pod(s), fixed=%v\n",
 			rec.Signature, rec.Count, rec.Pods, rec.Fixed)
+	}
+
+	// Crash the hive: close the server and drop the hive object with no
+	// checkpoint, no graceful shutdown — everything in memory is gone.
+	_ = srv.Close()
+	if err := store.Close(); err != nil {
+		return err
+	}
+	fmt.Println("\n-- hive crashed (no shutdown, no checkpoint) --")
+
+	// A fresh process recovers the collective knowledge from the journal.
+	revived := softborg.NewHive("fleet")
+	if err := revived.RegisterProgram(p); err != nil {
+		return err
+	}
+	store2, err := softborg.OpenJournal(dataDir, softborg.JournalOptions{})
+	if err != nil {
+		return err
+	}
+	defer store2.Close()
+	if err := revived.Recover(store2); err != nil {
+		return err
+	}
+	rst, err := revived.ProgramStats(p.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recovered hive: %d traces, %d tree nodes, %d fix(es) — nothing lost\n",
+		rst.Ingested, rst.Tree.Nodes, rst.FixCount)
+	if rst.Ingested != st.Ingested || rst.Tree.Nodes != st.Tree.Nodes || rst.FixCount != st.FixCount {
+		return fmt.Errorf("recovery mismatch: %+v vs %+v", rst, st)
 	}
 	return nil
 }

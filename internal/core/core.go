@@ -502,18 +502,38 @@ func (s *Simulation) simulateDay() error {
 			}
 		}
 		if s.cfg.GuidancePerDay > 0 {
-			// One pod per program executes the day's steering budget.
-			seen := map[int]bool{}
-			for i, pd := range s.pods {
-				pi := s.userProg[i]
-				if seen[pi] {
-					continue
+			// One pod per program executes the day's steering budget; the
+			// pulls run concurrently across programs, since guidance reads
+			// (and certifies into) only its own program's hive shard and each
+			// steering pod is owned by exactly one goroutine. Results stay
+			// bit-for-bit deterministic: steered runs land in each pod's own
+			// buffer and drain in pod order afterwards, exactly as the
+			// sequential loop produced them (TestParallelRunMatchesSequential).
+			steer := make([]int, 0, len(s.progs))
+			seen := make([]bool, len(s.progs))
+			for i := range s.pods {
+				if pi := s.userProg[i]; !seen[pi] {
+					seen[pi] = true
+					steer = append(steer, i)
 				}
-				seen[pi] = true
-				if _, err := pd.PullGuidance(s.cfg.GuidancePerDay); err != nil {
-					return err
-				}
-				if err := pd.Flush(); err != nil {
+			}
+			errs := make([]error, len(steer))
+			var wg sync.WaitGroup
+			for k, i := range steer {
+				wg.Add(1)
+				go func(k, i int) {
+					defer wg.Done()
+					pd := s.pods[i]
+					if _, err := pd.PullGuidance(s.cfg.GuidancePerDay); err != nil {
+						errs[k] = err
+						return
+					}
+					errs[k] = pd.Flush()
+				}(k, i)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
 					return err
 				}
 			}

@@ -1,0 +1,153 @@
+package exectree
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// randomTree grows a tree from random merges over a bounded branch-ID space
+// (to force shared prefixes and siblings), with random outcomes, then
+// certifies a random subset of its open frontiers infeasible — the full
+// state space the codec must round-trip.
+func randomTree(rng *rand.Rand) *Tree {
+	t := New("prop-prog")
+	merges := 1 + rng.Intn(60)
+	for m := 0; m < merges; m++ {
+		depth := 1 + rng.Intn(12)
+		path := make([]trace.BranchEvent, depth)
+		for d := range path {
+			path[d] = trace.BranchEvent{ID: int32(rng.Intn(8)), Taken: rng.Intn(2) == 1}
+		}
+		outcomes := []prog.Outcome{prog.OutcomeOK, prog.OutcomeCrash, prog.OutcomeAssertFail, prog.OutcomeHang}
+		// Repeat some merges so visit counts exceed 1.
+		for r := 0; r <= rng.Intn(3); r++ {
+			t.Merge(path, outcomes[rng.Intn(len(outcomes))])
+		}
+	}
+	for _, f := range t.Frontiers(0) {
+		if rng.Intn(4) == 0 {
+			t.CertifyInfeasible(f.Prefix, f.Missing)
+		}
+	}
+	return t
+}
+
+// certificates collects every (path, edge) infeasibility certificate.
+func certificates(t *Tree) map[string]bool {
+	out := make(map[string]bool)
+	t.Walk(func(path []Edge, n *Node) bool {
+		for e := range n.infeasible {
+			key := ""
+			for _, pe := range path {
+				key += pe.String() + "/"
+			}
+			out[key+"!"+e.String()] = true
+		}
+		return true
+	})
+	return out
+}
+
+// visitCounts collects every (path, edge) -> visits entry.
+func visitCounts(t *Tree) map[string]int64 {
+	out := make(map[string]int64)
+	t.Walk(func(path []Edge, n *Node) bool {
+		for _, e := range n.Edges() {
+			key := ""
+			for _, pe := range path {
+				key += pe.String() + "/"
+			}
+			out[key+e.String()] = n.Visits(e)
+		}
+		return true
+	})
+	return out
+}
+
+// assertTreeRoundTrip checks the full decode-equals-original property the
+// acceptance criteria name: stats, visit counts, certificates, terminal
+// outcome counts, and an identical Frontiers(k) snapshot with the rebuilt
+// index agreeing with a full walk.
+func assertTreeRoundTrip(t *testing.T, orig *Tree) {
+	t.Helper()
+	enc := orig.Encode()
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode(Encode(t)): %v", err)
+	}
+	if !reflect.DeepEqual(orig.Stats(), dec.Stats()) {
+		t.Fatalf("stats mismatch:\n want %+v\n  got %+v", orig.Stats(), dec.Stats())
+	}
+	if !reflect.DeepEqual(visitCounts(orig), visitCounts(dec)) {
+		t.Fatal("visit counts mismatch after round-trip")
+	}
+	if !reflect.DeepEqual(certificates(orig), certificates(dec)) {
+		t.Fatal("infeasibility certificates mismatch after round-trip")
+	}
+	for _, k := range []int{0, 1, 3, 17, 1 << 20} {
+		a, b := orig.Frontiers(k), dec.Frontiers(k)
+		if len(a) == 0 && len(b) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Frontiers(%d) mismatch after round-trip", k)
+		}
+	}
+	// The rebuilt incremental index must agree with a from-scratch walk of
+	// the decoded structure.
+	walk := dec.FrontiersByWalk(0)
+	idx := dec.Frontiers(0)
+	if len(walk) != len(idx) || (len(walk) > 0 && !reflect.DeepEqual(walk, idx)) {
+		t.Fatalf("rebuilt index (%d) disagrees with full walk (%d)", len(idx), len(walk))
+	}
+	// Encode is deterministic: re-encoding the decoded tree is stable.
+	if !bytes.Equal(enc, dec.Encode()) {
+		t.Fatal("Encode(Decode(Encode(t))) is not byte-stable")
+	}
+}
+
+// TestPropTreeCodecRoundTrip drives the round-trip property over many
+// random merge/certify histories.
+func TestPropTreeCodecRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randomTree(rng)
+		assertTreeRoundTrip(t, orig)
+	}
+}
+
+// FuzzTreeCodec fuzzes the decoder: arbitrary bytes must never panic, and
+// any successfully decoded tree must re-encode byte-stably and satisfy the
+// index-equals-walk invariant.
+func FuzzTreeCodec(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f.Add(randomTree(rng).Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{codecVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := dec.Encode()
+		dec2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of valid encoding failed: %v", err)
+		}
+		if !bytes.Equal(re, dec2.Encode()) {
+			t.Fatal("encoding is not a fixed point")
+		}
+		walk := dec2.FrontiersByWalk(0)
+		idx := dec2.Frontiers(0)
+		if len(walk) != len(idx) || (len(walk) > 0 && !reflect.DeepEqual(walk, idx)) {
+			t.Fatal("rebuilt index disagrees with full walk")
+		}
+	})
+}

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function per
-// experiment in EXPERIMENTS.md (E1–E11), each regenerating a table or curve
+// experiment in EXPERIMENTS.md (E1–E12), each regenerating a table or curve
 // corresponding to a figure or quantitative claim of the paper. The same
 // functions back `go test -bench` (bench_test.go) and the standalone
 // `cmd/softborg-bench` driver, so printed tables and benchmark metrics come
@@ -101,6 +101,7 @@ func All() []Spec {
 		{"E9", "cumulative proofs (§3.3)", E9CumulativeProofs},
 		{"E10", "privacy vs diagnostic utility (§3.1)", E10Privacy},
 		{"E11", "pod→hive wire throughput (Fig. 1)", E11WireThroughput},
+		{"E12", "kill-and-restart crash recovery (§2: knowledge accumulates)", E12CrashRecovery},
 	}
 }
 

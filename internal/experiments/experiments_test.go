@@ -33,8 +33,8 @@ func TestAllSpecsDistinct(t *testing.T) {
 			t.Errorf("%s has no runner", s.ID)
 		}
 	}
-	if len(seen) != 11 {
-		t.Errorf("experiments = %d, want 11", len(seen))
+	if len(seen) != 12 {
+		t.Errorf("experiments = %d, want 12", len(seen))
 	}
 }
 

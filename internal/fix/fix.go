@@ -202,6 +202,20 @@ func (s *Set) All() []Fix {
 	return append([]Fix(nil), s.fixes...)
 }
 
+// Load replaces the set's contents with fixes previously produced by All
+// (hive recovery). Fixes must be in ID order with IDs 1..n — the invariant
+// Add maintains — so versions assigned before a restart stay valid after
+// it.
+func (s *Set) Load(fixes []Fix) error {
+	for i, f := range fixes {
+		if f.ID != i+1 {
+			return fmt.Errorf("%w: loaded fix %d has ID %d", ErrInvalid, i, f.ID)
+		}
+	}
+	s.fixes = append([]Fix(nil), fixes...)
+	return nil
+}
+
 // Len returns the number of fixes.
 func (s *Set) Len() int { return len(s.fixes) }
 

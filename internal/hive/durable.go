@@ -1,0 +1,316 @@
+package hive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/exectree"
+	"repro/internal/fix"
+	"repro/internal/journal"
+	"repro/internal/proof"
+	"repro/internal/trace"
+)
+
+// Recover restores the hive's durable state from store — newest snapshot
+// plus journal-suffix replay, per program — and attaches the store, so
+// every subsequent mutation is journaled ahead of being applied. Call it
+// after registering the program corpus and before serving traffic. A
+// recovered hive is semantically identical to the one that wrote the
+// journal: same program stats, same frontier sets (exectree.Decode rebuilds
+// the incremental index), same published fixes and standing proofs, and the
+// same exactly-once session dedup table.
+//
+// Persisted state for a program that is not registered is an error: it
+// means the data directory and the program corpus disagree (wrong -seed, or
+// a stale directory), and silently dropping collective knowledge is exactly
+// what the journal exists to prevent.
+func (h *Hive) Recover(store *journal.Store) error {
+	if h.journal != nil {
+		return errors.New("hive: journal already attached")
+	}
+	for _, id := range store.Programs() {
+		if _, err := h.state(id); err != nil {
+			return fmt.Errorf("hive: recover: journal holds state for unregistered program %s", id)
+		}
+	}
+	for _, id := range h.Programs() {
+		st, err := h.state(id)
+		if err != nil {
+			return err
+		}
+		snap, err := store.LoadSnapshot(id)
+		if err != nil {
+			return err
+		}
+		if snap != nil {
+			if err := h.restoreProgram(st, snap); err != nil {
+				return err
+			}
+		}
+		// Certificates minted during a proof attempt can reference nodes the
+		// attempt itself created; those merges replay later, inside the
+		// attempt's OpProof. A cert whose prefix is not in the tree yet is
+		// deferred and re-applied once the program's whole journal has
+		// replayed (certificates are order-independent facts). Certs still
+		// unresolvable then belong to an attempt that crashed before its
+		// OpProof landed — its merges are gone, so the frontier they
+		// discharged does not exist either.
+		var deferred []*journal.Op
+		if _, err := store.Replay(id, func(op *journal.Op) error {
+			if op.Kind == journal.OpCert && !st.tree.CertifyInfeasible(op.Prefix, op.Missing) {
+				deferred = append(deferred, op)
+				return nil
+			}
+			return h.applyOp(st, op)
+		}); err != nil {
+			return err
+		}
+		for _, op := range deferred {
+			st.tree.CertifyInfeasible(op.Prefix, op.Missing)
+		}
+	}
+	h.journal = store
+	// From here on, certificates minted anywhere — the prover discharging a
+	// frontier, the guidance generator refuting one — are journaled at the
+	// tree.
+	for _, id := range h.Programs() {
+		st, err := h.state(id)
+		if err != nil {
+			return err
+		}
+		h.observeCertificates(st)
+	}
+	return nil
+}
+
+// observeCertificates journals every newly minted infeasibility certificate
+// on the program's tree.
+func (h *Hive) observeCertificates(st *programState) {
+	programID := st.prog.ID
+	st.tree.SetCertifyObserver(func(prefix []exectree.Edge, missing exectree.Edge) {
+		op := &journal.Op{
+			Kind:    journal.OpCert,
+			Prefix:  append([]exectree.Edge(nil), prefix...),
+			Missing: missing,
+		}
+		if err := h.journal.Append(programID, op); err != nil {
+			h.noteDurability(err)
+		}
+	})
+}
+
+// restoreProgram rebuilds one program's state from a checkpoint snapshot.
+func (h *Hive) restoreProgram(st *programState, snap *journal.ProgramSnapshot) error {
+	tree, err := exectree.Decode(snap.Tree)
+	if err != nil {
+		return fmt.Errorf("hive: restore %s tree: %w", st.prog.ID, err)
+	}
+	if tree.ProgramID() != st.prog.ID {
+		return fmt.Errorf("hive: snapshot tree for %q restored into %q", tree.ProgramID(), st.prog.ID)
+	}
+	fixes := make([]fix.Fix, 0, len(snap.Fixes))
+	for i, raw := range snap.Fixes {
+		f, err := fix.Decode(raw)
+		if err != nil {
+			return fmt.Errorf("hive: restore %s fix %d: %w", st.prog.ID, i, err)
+		}
+		fixes = append(fixes, *f)
+	}
+	proofs := make(map[proof.Property]*proof.Proof, len(snap.Proofs))
+	for i, raw := range snap.Proofs {
+		pr, err := proof.Decode(raw)
+		if err != nil {
+			return fmt.Errorf("hive: restore %s proof %d: %w", st.prog.ID, i, err)
+		}
+		proofs[pr.Property] = pr
+	}
+	var coordinated map[string][]*trace.Trace
+	if len(snap.Coordinated) > 0 {
+		coordinated = make(map[string][]*trace.Trace, len(snap.Coordinated))
+		for key, raws := range snap.Coordinated {
+			fam := make([]*trace.Trace, 0, len(raws))
+			for _, raw := range raws {
+				tr, err := trace.Decode(raw)
+				if err != nil {
+					return fmt.Errorf("hive: restore %s coordinated fragment: %w", st.prog.ID, err)
+				}
+				fam = append(fam, tr)
+			}
+			coordinated[key] = fam
+		}
+	}
+	knownGood := make([][]int64, 0, len(snap.KnownGood))
+	for _, g := range snap.KnownGood {
+		knownGood = append(knownGood, append([]int64(nil), g...))
+	}
+
+	st.mu.Lock()
+	st.tree = tree
+	if err := st.fixes.Load(fixes); err != nil {
+		st.mu.Unlock()
+		return fmt.Errorf("hive: restore %s fixes: %w", st.prog.ID, err)
+	}
+	st.epoch = snap.Epoch
+	st.proofs = proofs
+	st.ingested = snap.Ingested
+	st.reconstructed = snap.Reconstructed
+	st.narrowed = snap.Narrowed
+	if len(knownGood) > 0 {
+		st.knownGood = knownGood
+	}
+	st.coordinated = coordinated
+	st.mu.Unlock()
+
+	for _, fs := range snap.Failures {
+		if err := st.failures.restore(fs); err != nil {
+			return err
+		}
+	}
+	h.mergeSessions(snap.Sessions)
+	return nil
+}
+
+// applyOp replays one journaled operation through the same apply path live
+// ingestion uses.
+func (h *Hive) applyOp(st *programState, op *journal.Op) error {
+	switch op.Kind {
+	case journal.OpBatch:
+		batch := make([]*trace.Trace, 0, len(op.Traces))
+		for i, raw := range op.Traces {
+			tr, err := trace.Decode(raw)
+			if err != nil {
+				return fmt.Errorf("hive: replay %s batch trace %d: %w", st.prog.ID, i, err)
+			}
+			batch = append(batch, tr)
+		}
+		h.applyBatch(st, batch, false)
+		if op.Session != "" {
+			h.markSession(op.Session, op.Seq)
+		}
+	case journal.OpSynthesis:
+		if len(op.Fix) == 0 {
+			st.failures.applyOutcome(op.Signature, 0, false)
+			return nil
+		}
+		f, err := fix.Decode(op.Fix)
+		if err != nil {
+			return fmt.Errorf("hive: replay %s fix for %q: %w", st.prog.ID, op.Signature, err)
+		}
+		st.mu.Lock()
+		// Synthesis ops were journaled in fix-ID order, so Add re-assigns
+		// the same IDs the live hive handed out.
+		st.fixes.Add(*f)
+		st.epoch++
+		st.proofs = make(map[proof.Property]*proof.Proof)
+		st.mu.Unlock()
+		st.failures.applyOutcome(op.Signature, 0, true)
+	case journal.OpProof:
+		pr, err := proof.Decode(op.Proof)
+		if err != nil {
+			return fmt.Errorf("hive: replay %s proof: %w", st.prog.ID, err)
+		}
+		for _, ev := range pr.Evidence {
+			st.tree.Merge(ev.Path, ev.Outcome)
+		}
+		st.mu.Lock()
+		st.proofs[pr.Property] = pr
+		st.mu.Unlock()
+	case journal.OpCert:
+		st.tree.CertifyInfeasible(op.Prefix, op.Missing)
+	default:
+		return fmt.Errorf("hive: unknown journal op kind %d", op.Kind)
+	}
+	return nil
+}
+
+// Checkpoint writes a fresh snapshot for every program and rotates its
+// journal. Each program is checkpointed independently under its checkpoint
+// gate: ingestion for other programs keeps flowing, and cross-program
+// session marks stay consistent because the dedup table is max-merged from
+// every snapshot at recovery.
+func (h *Hive) Checkpoint() error {
+	if h.journal == nil {
+		return errors.New("hive: checkpoint without an attached journal")
+	}
+	for _, id := range h.Programs() {
+		if err := h.CheckpointProgram(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckpointProgram snapshots one program and rotates its journal.
+func (h *Hive) CheckpointProgram(programID string) error {
+	if h.journal == nil {
+		return errors.New("hive: checkpoint without an attached journal")
+	}
+	st, err := h.state(programID)
+	if err != nil {
+		return err
+	}
+	st.ckpt.Lock()
+	defer st.ckpt.Unlock()
+	snap, err := h.snapshotProgram(st)
+	if err != nil {
+		return err
+	}
+	return h.journal.Checkpoint(snap)
+}
+
+// snapshotProgram serializes one program's durable state. The caller holds
+// the checkpoint gate exclusively, so no journaled mutation is in flight.
+func (h *Hive) snapshotProgram(st *programState) (*journal.ProgramSnapshot, error) {
+	st.mu.Lock()
+	snap := &journal.ProgramSnapshot{
+		ProgramID:     st.prog.ID,
+		Tree:          st.tree.Encode(),
+		Epoch:         st.epoch,
+		Ingested:      st.ingested,
+		Reconstructed: st.reconstructed,
+		Narrowed:      st.narrowed,
+	}
+	for _, g := range st.knownGood {
+		snap.KnownGood = append(snap.KnownGood, append([]int64(nil), g...))
+	}
+	if len(st.coordinated) > 0 {
+		snap.Coordinated = make(map[string][][]byte, len(st.coordinated))
+		for key, fam := range st.coordinated {
+			raws := make([][]byte, 0, len(fam))
+			for _, tr := range fam {
+				raws = append(raws, trace.Encode(tr))
+			}
+			snap.Coordinated[key] = raws
+		}
+	}
+	fixes := st.fixes.All()
+	props := make([]proof.Property, 0, len(st.proofs))
+	for p := range st.proofs {
+		props = append(props, p)
+	}
+	sort.Slice(props, func(i, j int) bool { return props[i] < props[j] })
+	proofs := make([]*proof.Proof, 0, len(props))
+	for _, p := range props {
+		proofs = append(proofs, st.proofs[p])
+	}
+	st.mu.Unlock()
+
+	for i := range fixes {
+		raw, err := fix.Encode(&fixes[i])
+		if err != nil {
+			return nil, fmt.Errorf("hive: snapshot %s fix %d: %w", st.prog.ID, i, err)
+		}
+		snap.Fixes = append(snap.Fixes, raw)
+	}
+	for _, pr := range proofs {
+		raw, err := proof.Encode(pr)
+		if err != nil {
+			return nil, fmt.Errorf("hive: snapshot %s proof: %w", st.prog.ID, err)
+		}
+		snap.Proofs = append(snap.Proofs, raw)
+	}
+	snap.Failures = st.failures.export()
+	snap.Sessions = h.sessionSnapshot()
+	return snap, nil
+}

@@ -1,0 +1,356 @@
+package hive
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/exectree"
+	"repro/internal/journal"
+	"repro/internal/prog"
+	"repro/internal/proggen"
+	"repro/internal/proof"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// durableCorpus generates a deterministic two-program corpus: one buggy
+// (crash fix synthesis) and one clean (provable).
+func durableCorpus(t testing.TB) []*prog.Program {
+	t.Helper()
+	buggy, _, err := proggen.Generate(proggen.Spec{
+		Seed: 6001, Depth: 5, NumInputs: 1, TriggerWidth: 24,
+		Bugs: []proggen.BugKind{proggen.BugCrash},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _, err := proggen.Generate(proggen.Spec{Seed: 6002, Depth: 5, NumInputs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*prog.Program{buggy, clean}
+}
+
+// captureTrace executes p on input and returns the shipped trace.
+func captureSeqTrace(t testing.TB, p *prog.Program, podID string, seq uint64, input []int64, privacy trace.PrivacyLevel) *trace.Trace {
+	t.Helper()
+	col := trace.NewCollector(p, trace.CaptureFull, 0, 1)
+	m, err := prog.NewMachine(p, prog.Config{Input: input, Observer: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	return col.Finish(podID, seq, res, input, privacy, "fleet")
+}
+
+// newDurableHive registers the corpus and recovers from dir.
+func newDurableHive(t testing.TB, dir string, corpus []*prog.Program) (*Hive, *journal.Store) {
+	t.Helper()
+	h := New("fleet")
+	for _, p := range corpus {
+		if err := h.RegisterProgram(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Recover(store); err != nil {
+		t.Fatal(err)
+	}
+	return h, store
+}
+
+// feedFleet drives a deterministic mixed workload into the hive: benign
+// runs, crash triggers (fix synthesis), and some raw-privacy traces
+// (known-good harvesting).
+func feedFleet(t testing.TB, h *Hive, corpus []*prog.Program, runs int, seed uint64) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	seq := uint64(0)
+	for r := 0; r < runs; r++ {
+		for pi, p := range corpus {
+			privacy := trace.PrivacyHashed
+			if r%3 == 0 {
+				privacy = trace.PrivacyRaw
+			}
+			input := []int64{rng.Int63n(256)}
+			seq++
+			tr := captureSeqTrace(t, p, fmt.Sprintf("pod-%d-%d", pi, r%4), seq, input, privacy)
+			if err := h.SubmitTracesFor(p.ID, []*trace.Trace{tr}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// assertHivesEqual asserts the full acceptance-criteria equality between
+// two hives: same ProgramStats, same Frontiers(k) for every program, same
+// published fixes and standing proofs.
+func assertHivesEqual(t *testing.T, want, got *Hive, corpus []*prog.Program) {
+	t.Helper()
+	for _, p := range corpus {
+		ws, err := want.ProgramStats(p.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := got.ProgramStats(p.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Samples are compared by content: pointer identity differs across
+		// processes by construction.
+		wf, gf := ws.Failures, gs.Failures
+		ws.Failures, gs.Failures = nil, nil
+		if !reflect.DeepEqual(ws, gs) {
+			t.Errorf("program %s: stats mismatch:\n want %+v\n  got %+v", p.Name, ws, gs)
+		}
+		if len(wf) != len(gf) {
+			t.Fatalf("program %s: %d failure records, want %d", p.Name, len(gf), len(wf))
+		}
+		for i := range wf {
+			if wf[i].Signature != gf[i].Signature || wf[i].Count != gf[i].Count ||
+				wf[i].Pods != gf[i].Pods || wf[i].Fixed != gf[i].Fixed ||
+				wf[i].InRepairLab != gf[i].InRepairLab {
+				t.Errorf("program %s: failure %d mismatch:\n want %+v\n  got %+v", p.Name, i, wf[i], gf[i])
+			}
+			if (wf[i].Sample == nil) != (gf[i].Sample == nil) {
+				t.Errorf("program %s: failure %d sample presence mismatch", p.Name, i)
+			} else if wf[i].Sample != nil && !reflect.DeepEqual(wf[i].Sample, gf[i].Sample) {
+				t.Errorf("program %s: failure %d sample mismatch", p.Name, i)
+			}
+		}
+
+		wt, _ := want.Tree(p.ID)
+		gt, _ := got.Tree(p.ID)
+		sameFrontiers := func(a, b []exectree.Frontier) bool {
+			if len(a) == 0 && len(b) == 0 {
+				return true // nil vs empty: both mean "no frontiers"
+			}
+			return reflect.DeepEqual(a, b)
+		}
+		for _, k := range []int{0, 1, 4, 64} {
+			if !sameFrontiers(wt.Frontiers(k), gt.Frontiers(k)) {
+				t.Errorf("program %s: Frontiers(%d) mismatch", p.Name, k)
+			}
+		}
+		if !sameFrontiers(gt.Frontiers(0), gt.FrontiersByWalk(0)) {
+			t.Errorf("program %s: recovered frontier index disagrees with full walk", p.Name)
+		}
+
+		wfx, wver, err := want.FixesSince(p.ID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gfx, gver, err := got.FixesSince(p.ID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wver != gver || !reflect.DeepEqual(wfx, gfx) {
+			t.Errorf("program %s: fixes mismatch: versions %d/%d", p.Name, wver, gver)
+		}
+
+		wpr, err := want.PublishedProofs(p.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpr, err := got.PublishedProofs(p.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wpr) != len(gpr) {
+			t.Fatalf("program %s: %d standing proofs, want %d", p.Name, len(gpr), len(wpr))
+		}
+		for i := range wpr {
+			w, g := *wpr[i], *gpr[i]
+			if w.Property != g.Property || w.Complete != g.Complete || w.Holds != g.Holds ||
+				w.PathsCovered != g.PathsCovered || w.Epoch != g.Epoch {
+				t.Errorf("program %s: proof %d mismatch:\n want %+v\n  got %+v", p.Name, i, w, g)
+			}
+		}
+	}
+}
+
+// TestHiveJournalReplayRoundTrip is the journal-only acceptance test: a
+// hive rebuilt from op replay alone (no snapshot was ever taken) is
+// semantically identical to the original.
+func TestHiveJournalReplayRoundTrip(t *testing.T) {
+	corpus := durableCorpus(t)
+	dir := t.TempDir()
+	h1, store1 := newDurableHive(t, dir, corpus)
+	feedFleet(t, h1, corpus, 40, 1)
+	if _, err := h1.Prove(corpus[1].ID, proof.PropNoCrash); err != nil {
+		t.Fatal(err)
+	}
+	st, err := h1.ProgramStats(corpus[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FixCount == 0 {
+		t.Fatal("workload minted no fixes; test would prove nothing")
+	}
+	if err := h1.DurabilityError(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no checkpoint, no graceful anything — just drop the hive.
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, store2 := newDurableHive(t, dir, corpus)
+	defer store2.Close()
+	assertHivesEqual(t, h1, h2, corpus)
+}
+
+// TestHiveSnapshotPlusSuffixRoundTrip checkpoints mid-workload so recovery
+// exercises snapshot-plus-journal-suffix reconstruction, then crashes and
+// compares.
+func TestHiveSnapshotPlusSuffixRoundTrip(t *testing.T) {
+	corpus := durableCorpus(t)
+	dir := t.TempDir()
+	h1, store1 := newDurableHive(t, dir, corpus)
+	feedFleet(t, h1, corpus, 25, 1)
+	if err := h1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	feedFleet(t, h1, corpus, 25, 2)
+	if _, err := h1.Prove(corpus[1].ID, proof.PropNoCrash); err != nil {
+		t.Fatal(err)
+	}
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, store2 := newDurableHive(t, dir, corpus)
+	defer store2.Close()
+	assertHivesEqual(t, h1, h2, corpus)
+
+	// The recovered hive is live: it keeps ingesting and checkpointing.
+	feedFleet(t, h2, corpus, 5, 3)
+	if err := h2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.DurabilityError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHiveKillRestartMidStream crashes the hive between two halves of a
+// sequenced stream: nothing acknowledged before the kill is lost, and
+// resubmitting the whole stream after recovery ingests each batch exactly
+// once.
+func TestHiveKillRestartMidStream(t *testing.T) {
+	corpus := durableCorpus(t)
+	p := corpus[0]
+	dir := t.TempDir()
+	h1, store1 := newDurableHive(t, dir, corpus)
+
+	rng := stats.NewRNG(7)
+	var batches [][]*trace.Trace
+	for i := 0; i < 12; i++ {
+		var batch []*trace.Trace
+		for j := 0; j < 4; j++ {
+			batch = append(batch, captureSeqTrace(t, p, "pod-s", uint64(i*4+j), []int64{rng.Int63n(256)}, trace.PrivacyHashed))
+		}
+		batches = append(batches, batch)
+	}
+
+	const session = "sess-kill-restart"
+	for i := 0; i < 7; i++ { // first 7 frames acknowledged, then the crash
+		dup, err := h1.SubmitTracesSession(session, uint64(i+1), p.ID, batches[i])
+		if err != nil || dup {
+			t.Fatalf("frame %d: dup=%v err=%v", i, dup, err)
+		}
+	}
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, store2 := newDurableHive(t, dir, corpus)
+	defer store2.Close()
+	st, err := h2.ProgramStats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(7 * 4); st.Ingested != want {
+		t.Fatalf("after recovery: ingested %d, want %d (no acknowledged trace lost)", st.Ingested, want)
+	}
+
+	// The client reconnects and, not knowing which frames survived,
+	// resubmits the entire stream with its original sequence numbers.
+	dups := 0
+	for i := range batches {
+		dup, err := h2.SubmitTracesSession(session, uint64(i+1), p.ID, batches[i])
+		if err != nil {
+			t.Fatalf("resubmit frame %d: %v", i, err)
+		}
+		if dup {
+			dups++
+		}
+	}
+	if dups != 7 {
+		t.Fatalf("resubmission deduplicated %d frames, want 7", dups)
+	}
+	st, err = h2.ProgramStats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len(batches) * 4); st.Ingested != want {
+		t.Fatalf("after resubmission: ingested %d, want %d (exactly once)", st.Ingested, want)
+	}
+}
+
+// TestHiveRecoverRejectsUnknownProgram guards against silently dropping a
+// data directory that disagrees with the registered corpus.
+func TestHiveRecoverRejectsUnknownProgram(t *testing.T) {
+	corpus := durableCorpus(t)
+	dir := t.TempDir()
+	h1, store1 := newDurableHive(t, dir, corpus)
+	feedFleet(t, h1, corpus, 2, 1)
+	store1.Close()
+
+	h2 := New("fleet") // empty corpus: every persisted program is unknown
+	store2, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if err := h2.Recover(store2); err == nil {
+		t.Fatal("Recover accepted a journal for unregistered programs")
+	}
+}
+
+// BenchmarkHiveRecover measures crash recovery: rebuilding a hive from a
+// journal of pre-captured batch ops (the dominant recovery cost is batch
+// replay through the ingest path).
+func BenchmarkHiveRecover(b *testing.B) {
+	corpus := durableCorpus(b)
+	dir := b.TempDir()
+	h, store := newDurableHive(b, dir, corpus)
+	feedFleet(b, h, corpus, 100, 1)
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h2 := New("fleet")
+		for _, p := range corpus {
+			if err := h2.RegisterProgram(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s, err := journal.Open(dir, journal.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h2.Recover(s); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package hive
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/journal"
 	"repro/internal/prog"
 	"repro/internal/trace"
 )
@@ -56,11 +58,13 @@ func (t *failureTable) stripeFor(sig string) *failureStripe {
 	return &t.stripes[h%failureStripes]
 }
 
-// record folds one failing trace into the table and elects at most one
-// synthesizer per signature: the first trace to see a signature wins the
-// election and must call finishSynthesis once a fix attempt concludes;
-// every other trace (concurrent or later) only bumps counters.
-func (t *failureTable) record(tr *trace.Trace) (*failureRecord, bool) {
+// record folds one failing trace into the table and — when elect is set —
+// elects at most one synthesizer per signature: the first trace to see a
+// signature wins the election and must call finishSynthesis once a fix
+// attempt concludes; every other trace (concurrent or later) only bumps
+// counters. Journal replay records with elect false: synthesis outcomes are
+// replayed from their own journal ops, never re-derived.
+func (t *failureTable) record(tr *trace.Trace, elect bool) (*failureRecord, bool) {
 	sig := tr.FailureSignature()
 	s := t.stripeFor(sig)
 	s.mu.Lock()
@@ -78,11 +82,97 @@ func (t *failureTable) record(tr *trace.Trace) (*failureRecord, bool) {
 		rec.podsSeen[tr.PodID] = true
 		rec.pods.Store(int64(len(rec.podsSeen)))
 	}
-	if rec.fixed || rec.inRepairLab || rec.synthesizing {
+	if !elect || rec.fixed || rec.inRepairLab || rec.synthesizing {
 		return nil, false
 	}
 	rec.synthesizing = true
 	return rec, true
+}
+
+// applyOutcome replays a journaled synthesis outcome onto a signature's
+// record, creating the record if the batch that elected it was snapshotted
+// away.
+func (t *failureTable) applyOutcome(sig string, outcome prog.Outcome, fixed bool) {
+	s := t.stripeFor(sig)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[sig]
+	if !ok {
+		rec = &failureRecord{signature: sig, outcome: outcome, podsSeen: make(map[string]bool)}
+		if s.recs == nil {
+			s.recs = make(map[string]*failureRecord)
+		}
+		s.recs[sig] = rec
+	}
+	rec.synthesizing = false
+	if fixed {
+		rec.fixed = true
+	} else {
+		rec.inRepairLab = true
+	}
+}
+
+// export renders every record with its full bookkeeping (distinct pod IDs
+// included) for a checkpoint snapshot, sorted by signature. In-flight
+// synthesis elections are exported as not-synthesizing: if the election's
+// outcome op never lands in the journal, recovery must be able to re-elect.
+func (t *failureTable) export() []journal.FailureState {
+	var out []journal.FailureState
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.Lock()
+		for _, rec := range s.recs {
+			fs := journal.FailureState{
+				Signature:   rec.signature,
+				Outcome:     uint8(rec.outcome),
+				Count:       rec.count.Load(),
+				Fixed:       rec.fixed,
+				InRepairLab: rec.inRepairLab,
+			}
+			for pod := range rec.podsSeen {
+				fs.Pods = append(fs.Pods, pod)
+			}
+			sort.Strings(fs.Pods)
+			if rec.sample != nil {
+				fs.Sample = trace.Encode(rec.sample)
+			}
+			out = append(out, fs)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Signature < out[j].Signature })
+	return out
+}
+
+// restore rebuilds one record from its snapshot state.
+func (t *failureTable) restore(fs journal.FailureState) error {
+	rec := &failureRecord{
+		signature:   fs.Signature,
+		outcome:     prog.Outcome(fs.Outcome),
+		podsSeen:    make(map[string]bool, len(fs.Pods)),
+		fixed:       fs.Fixed,
+		inRepairLab: fs.InRepairLab,
+	}
+	rec.count.Store(fs.Count)
+	for _, pod := range fs.Pods {
+		rec.podsSeen[pod] = true
+	}
+	rec.pods.Store(int64(len(rec.podsSeen)))
+	if len(fs.Sample) > 0 {
+		sample, err := trace.Decode(fs.Sample)
+		if err != nil {
+			return fmt.Errorf("hive: restore failure %q sample: %w", fs.Signature, err)
+		}
+		rec.sample = sample
+	}
+	s := t.stripeFor(fs.Signature)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recs == nil {
+		s.recs = make(map[string]*failureRecord)
+	}
+	s.recs[fs.Signature] = rec
+	return nil
 }
 
 // finishSynthesis concludes a signature's single-flight fix attempt: the

@@ -11,19 +11,30 @@
 // grouped by program and each group's bookkeeping runs under a single lock
 // acquisition; expensive work (path reconstruction, tree merging, fix
 // synthesis) happens outside the lock.
+//
+// Durability: a hive recovered from (and attached to) a journal.Store
+// writes every mutation — trace batches, fix synthesis outcomes, proof
+// attempts, infeasibility certificates — ahead of applying it, under a
+// per-program checkpoint gate, so snapshot + journal replay reconstructs
+// the hive exactly (see Recover, Checkpoint, and package journal for the
+// durability model and the privacy invariant: the journal stores only
+// post-privacy traces, exactly as pods shipped them).
 package hive
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/constraint"
 	"repro/internal/deadlock"
 	"repro/internal/exectree"
 	"repro/internal/fix"
 	"repro/internal/guidance"
+	"repro/internal/journal"
 	"repro/internal/prog"
 	"repro/internal/proof"
 	"repro/internal/symbolic"
@@ -60,6 +71,14 @@ type FailureRecord struct {
 type programState struct {
 	mu sync.Mutex
 
+	// ckpt is the checkpoint gate: every journaled mutation (ingest,
+	// synthesis, proof attempt, certificate) holds the read side across
+	// journal-append *and* apply, so a checkpoint (write side) always cuts
+	// between whole operations — an op is either fully reflected in the
+	// snapshot or fully contained in the journal suffix after it, never
+	// half in each.
+	ckpt sync.RWMutex
+
 	prog  *prog.Program
 	tree  *exectree.Tree
 	fixes fix.Set
@@ -95,18 +114,57 @@ type programState struct {
 // maxCoordinatedFamilies bounds the fragment buffer per program.
 const maxCoordinatedFamilies = 4096
 
+// maxSessions bounds the exactly-once dedup table. Least-recently-used
+// sessions are evicted past the bound; an evicted session degrades to
+// at-least-once on its next resubmission (documented wire contract).
+const maxSessions = 4096
+
+// sessionEntry is one client session's dedup state: the highest applied
+// frame sequence number, plus a logical-clock touch for LRU eviction.
+type sessionEntry struct {
+	// mu serializes the dedup-check + journaled-apply of one session's
+	// frames. Without it, a frame resent on a new connection while the old
+	// connection's worker is still draining its queue could race the
+	// original past the high-water check and double-ingest.
+	mu sync.Mutex
+
+	// seq and touched are guarded by the hive's sessMu.
+	seq     uint64
+	touched uint64
+}
+
 // Hive is the aggregation and analysis center. All methods are safe for
 // concurrent use.
 type Hive struct {
 	mu       sync.RWMutex // guards the programs map only
 	programs map[string]*programState
 	salt     string
+
+	// journal, when attached via Recover, receives every mutation ahead of
+	// application. Nil for a purely in-memory hive.
+	journal *journal.Store
+	// durabilityErr latches the first non-batch journal failure (batch
+	// append failures reject the batch instead). A pointer so the CAS
+	// never sees inconsistently typed values.
+	durabilityErr atomic.Pointer[error]
+
+	// sessions is the exactly-once dedup table for wire resubmission:
+	// session ID -> highest applied frame sequence number. Frames at or
+	// below the high-water mark were already ingested (possibly by journal
+	// replay after a crash) and are acknowledged without re-applying.
+	sessMu    sync.Mutex
+	sessions  map[string]*sessionEntry
+	sessClock uint64
 }
 
 // New creates an empty hive. salt is the fleet-wide input-digest salt
 // (needed to correlate hashed inputs).
 func New(salt string) *Hive {
-	return &Hive{programs: make(map[string]*programState), salt: salt}
+	return &Hive{
+		programs: make(map[string]*programState),
+		salt:     salt,
+		sessions: make(map[string]*sessionEntry),
+	}
 }
 
 // RegisterProgram tells the hive about a program so it can reconstruct,
@@ -165,10 +223,15 @@ func (h *Hive) Program(programID string) (*prog.Program, error) {
 // failure records are updated, and new failure signatures trigger
 // single-flight fix synthesis.
 //
-// The call is all-or-nothing with respect to its only error (unknown
-// program): every ProgramID is resolved before any trace is ingested, so a
-// rejected batch can be re-submitted without double-counting the groups
-// that would otherwise already have been applied.
+// The call is all-or-nothing with respect to validation (unknown program):
+// every ProgramID is resolved before any trace is ingested, so a batch
+// rejected for that reason can be re-submitted without double-counting. On
+// a durable hive there is one additional failure mode: a journal-append
+// failure (e.g. disk full) rejects the failing group un-applied and aborts
+// the call, leaving groups already ingested by the same call in place —
+// each group is atomic, the multi-program call is not. Requeue-on-failure
+// clients needing exactly-once should use the sequenced per-program path
+// (SubmitTracesSession / wire MsgSubmitTracesSeq) instead.
 func (h *Hive) SubmitTraces(traces []*trace.Trace) error {
 	if len(traces) == 0 {
 		return nil
@@ -192,7 +255,9 @@ func (h *Hive) SubmitTraces(traces []*trace.Trace) error {
 		states[i] = st
 	}
 	for i, id := range order {
-		h.ingestBatch(states[i], groups[id])
+		if err := h.ingestBatch(states[i], groups[id]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -219,8 +284,40 @@ func (h *Hive) SubmitTracesFor(programID string, traces []*trace.Trace) error {
 			return fmt.Errorf("hive: trace for program %q in batch submitted for %q", tr.ProgramID, programID)
 		}
 	}
-	h.ingestBatch(st, traces)
-	return nil
+	return h.ingestBatch(st, traces)
+}
+
+// SubmitTracesSession implements pod.SessionSubmitter: per-program
+// submission deduplicated by (session, seq) so a client resubmitting a
+// partially-acknowledged stream over a new connection ingests each batch
+// exactly once. Frames arrive in sequence order per session (one TCP
+// connection at a time), so a high-water mark is a complete dedup window:
+// seq at or below it was already applied — possibly by journal replay after
+// a crash, since the op carrying (session, seq) is journaled ahead of the
+// apply — and is acknowledged as a duplicate without re-ingesting.
+func (h *Hive) SubmitTracesSession(session string, seq uint64, programID string, traces []*trace.Trace) (bool, error) {
+	st, err := h.state(programID)
+	if err != nil {
+		return false, err
+	}
+	for _, tr := range traces {
+		if tr.ProgramID != programID {
+			return false, fmt.Errorf("hive: trace for program %q in batch submitted for %q", tr.ProgramID, programID)
+		}
+	}
+	if session == "" {
+		return false, h.ingestBatch(st, traces)
+	}
+	// One session's frames serialize across connections: the high-water
+	// check and the journaled apply must be atomic per session, or a
+	// duplicate in flight on two connections would pass the check twice.
+	e := h.sessionFor(session)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if h.sessionApplied(e, seq) {
+		return true, nil
+	}
+	return false, h.ingest(st, traces, session, seq)
 }
 
 // pendingSynthesis is a single-flight election won during batch bookkeeping:
@@ -231,9 +328,42 @@ type pendingSynthesis struct {
 	tr  *trace.Trace
 }
 
-// ingestBatch folds one program's trace batch into the hive. The program
+// ingestBatch is the journaled entry point for one program's trace batch.
+func (h *Hive) ingestBatch(st *programState, batch []*trace.Trace) error {
+	return h.ingest(st, batch, "", 0)
+}
+
+// ingest journals (when durable) and applies one program's batch, all under
+// the checkpoint gate. The batch op is appended *before* it is applied —
+// the write-ahead discipline — so an acknowledged batch is always
+// recoverable; if the journal cannot take the op the batch is rejected
+// un-applied and the client retries. session/seq, when set, ride in the op
+// so recovery also rebuilds the exactly-once dedup table.
+func (h *Hive) ingest(st *programState, batch []*trace.Trace, session string, seq uint64) error {
+	st.ckpt.RLock()
+	defer st.ckpt.RUnlock()
+	if h.journal != nil {
+		encoded := make([][]byte, len(batch))
+		for i, tr := range batch {
+			encoded[i] = trace.Encode(tr)
+		}
+		op := &journal.Op{Kind: journal.OpBatch, Session: session, Seq: seq, Traces: encoded}
+		if err := h.journal.Append(st.prog.ID, op); err != nil {
+			return fmt.Errorf("hive: journal %s: %w", st.prog.ID, err)
+		}
+	}
+	h.applyBatch(st, batch, true)
+	if session != "" {
+		h.markSession(session, seq)
+	}
+	return nil
+}
+
+// applyBatch folds one program's trace batch into the hive. The program
 // lock is held once, for bookkeeping only; reconstruction, narrowing, tree
-// merging, and fix synthesis all run outside it.
+// merging, and fix synthesis all run outside it. live distinguishes fresh
+// ingestion from journal replay: replay never re-elects fix synthesis —
+// synthesis outcomes are replayed from their own journal ops.
 //
 // Evidence visibility is batch-granular: known-good inputs harvested
 // anywhere in the batch are visible when fixes for the batch's failures are
@@ -241,7 +371,7 @@ type pendingSynthesis struct {
 // competes against strictly more collective knowledge than under per-trace
 // ingestion — failing validation routes the signature to the repair lab
 // rather than shipping a guard that contradicts an observed-good input.
-func (h *Hive) ingestBatch(st *programState, batch []*trace.Trace) {
+func (h *Hive) applyBatch(st *programState, batch []*trace.Trace, live bool) {
 	singleThreaded := st.prog.NumThreads() == 1
 
 	// Phase 1 (lock-free): expand external-only traces to full paths —
@@ -293,7 +423,7 @@ func (h *Hive) ingestBatch(st *programState, batch []*trace.Trace) {
 		if !tr.Outcome.IsFailure() {
 			continue
 		}
-		if rec, elected := st.failures.record(tr); elected {
+		if rec, elected := st.failures.record(tr, live); elected {
 			toSynthesize = append(toSynthesize, pendingSynthesis{rec: rec, tr: tr})
 		}
 	}
@@ -393,18 +523,128 @@ func (h *Hive) synthesizeFix(st *programState, rec *failureRecord, tr *trace.Tra
 
 	if minted == nil || minted.Validate() != nil {
 		st.failures.finishSynthesis(rec, false)
+		h.journalSynthesis(st, rec.signature, nil)
 		return
 	}
 	minted.Validated = true
 	st.mu.Lock()
-	st.fixes.Add(*minted)
+	minted.ID = st.fixes.Add(*minted)
 	st.epoch++
 	// New fixes invalidate standing proofs (paper §3.3: the hive must decide
 	// whether instrumentation invalidates existing knowledge; we take the
 	// sound route and drop them for re-proving).
 	st.proofs = make(map[proof.Property]*proof.Proof)
+	// Journal inside the critical section: synthesis ops land in the
+	// journal in fix-ID order, so replay re-assigns identical IDs.
+	h.journalSynthesis(st, rec.signature, minted)
 	st.mu.Unlock()
 	st.failures.finishSynthesis(rec, true)
+}
+
+// journalSynthesis appends a signature's synthesis outcome (a minted fix,
+// or nil for the repair lab). Synthesis runs inside an ingest's checkpoint
+// gate, so the op is atomic with its batch relative to checkpoints; an
+// append failure degrades durability (latched in DurabilityError) without
+// rejecting the already-applied batch.
+func (h *Hive) journalSynthesis(st *programState, signature string, minted *fix.Fix) {
+	if h.journal == nil {
+		return
+	}
+	op := &journal.Op{Kind: journal.OpSynthesis, Signature: signature}
+	if minted != nil {
+		data, err := fix.Encode(minted)
+		if err != nil {
+			h.noteDurability(err)
+			return
+		}
+		op.Fix = data
+	}
+	if err := h.journal.Append(st.prog.ID, op); err != nil {
+		h.noteDurability(err)
+	}
+}
+
+// noteDurability latches the first non-batch journal failure.
+func (h *Hive) noteDurability(err error) {
+	h.durabilityErr.CompareAndSwap(nil, &err)
+}
+
+// DurabilityError returns the first journal failure outside the batch path
+// (synthesis, proof, certificate ops), or nil. Batch append failures reject
+// their batch instead of degrading silently.
+func (h *Hive) DurabilityError() error {
+	if p := h.durabilityErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// sessionFor returns (creating if needed) a session's dedup entry, touching
+// it for LRU and evicting the least-recently-used session past the table
+// bound. An evicted session that reappears starts a fresh entry — it
+// degrades to at-least-once on resubmission, the documented wire contract.
+func (h *Hive) sessionFor(session string) *sessionEntry {
+	h.sessMu.Lock()
+	defer h.sessMu.Unlock()
+	h.sessClock++
+	e, ok := h.sessions[session]
+	if !ok {
+		if len(h.sessions) >= maxSessions {
+			var victim string
+			oldest := uint64(math.MaxUint64)
+			for id, se := range h.sessions {
+				if se.touched < oldest {
+					oldest, victim = se.touched, id
+				}
+			}
+			delete(h.sessions, victim)
+		}
+		e = &sessionEntry{}
+		h.sessions[session] = e
+	}
+	e.touched = h.sessClock
+	return e
+}
+
+// sessionApplied reports whether seq is at or below the entry's applied
+// high-water mark.
+func (h *Hive) sessionApplied(e *sessionEntry, seq uint64) bool {
+	h.sessMu.Lock()
+	defer h.sessMu.Unlock()
+	return seq <= e.seq
+}
+
+// markSession advances a session's high-water mark.
+func (h *Hive) markSession(session string, seq uint64) {
+	e := h.sessionFor(session)
+	h.sessMu.Lock()
+	defer h.sessMu.Unlock()
+	if seq > e.seq {
+		e.seq = seq
+	}
+}
+
+// sessionSnapshot copies the dedup table for a checkpoint.
+func (h *Hive) sessionSnapshot() map[string]uint64 {
+	h.sessMu.Lock()
+	defer h.sessMu.Unlock()
+	if len(h.sessions) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(h.sessions))
+	for id, e := range h.sessions {
+		out[id] = e.seq
+	}
+	return out
+}
+
+// mergeSessions folds recovered high-water marks into the dedup table
+// (max-merge: marks only ever grow, so merging snapshot and replayed-op
+// views in any order converges).
+func (h *Hive) mergeSessions(marks map[string]uint64) {
+	for id, seq := range marks {
+		h.markSession(id, seq)
+	}
 }
 
 // synthesizeInputGuard derives a danger-zone guard from the failing trace's
@@ -510,12 +750,16 @@ func (h *Hive) FixesSince(programID string, version int) ([]fix.Fix, int, error)
 
 // Guidance implements the pod-facing steering API: test cases toward the
 // program's current coverage gaps. The generator and tree synchronize
-// internally, so guidance requests never touch the program shard lock.
+// internally, so guidance requests never touch the program shard lock; the
+// checkpoint gate is held because the generator may certify refuted
+// frontiers infeasible — a journaled mutation.
 func (h *Hive) Guidance(programID string, max int) ([]guidance.TestCase, error) {
 	st, err := h.state(programID)
 	if err != nil {
 		return nil, err
 	}
+	st.ckpt.RLock()
+	defer st.ckpt.RUnlock()
 	return st.gen.Generate(st.tree, max), nil
 }
 
@@ -539,6 +783,11 @@ func (h *Hive) Prove(programID string, property proof.Property) (*proof.Proof, e
 	if sym == nil {
 		return nil, fmt.Errorf("hive: proofs for multi-threaded program %s not supported", programID)
 	}
+	// The attempt mutates the tree (synthesized evidence merges,
+	// certificates); hold the checkpoint gate so the whole attempt and its
+	// journal op are atomic relative to snapshots.
+	st.ckpt.RLock()
+	defer st.ckpt.RUnlock()
 	engine := proof.NewEngine(st.prog, sym)
 	pr, err := engine.Attempt(st.tree, property, epoch)
 	if err != nil {
@@ -546,6 +795,16 @@ func (h *Hive) Prove(programID string, property proof.Property) (*proof.Proof, e
 	}
 	st.mu.Lock()
 	st.proofs[property] = pr
+	if h.journal != nil {
+		// The op carries the proof and its merged evidence; certificates
+		// minted during the attempt were journaled by the tree's certify
+		// observer as they happened.
+		if data, encErr := proof.Encode(pr); encErr != nil {
+			h.noteDurability(encErr)
+		} else if aerr := h.journal.Append(st.prog.ID, &journal.Op{Kind: journal.OpProof, Proof: data}); aerr != nil {
+			h.noteDurability(aerr)
+		}
+	}
 	st.mu.Unlock()
 	return pr, nil
 }

@@ -1,0 +1,38 @@
+package journal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkJournalAppend measures the write-ahead append hot path at a
+// realistic op size: an 8-trace batch of ~200-byte encoded traces, the
+// shape a pod drain produces.
+func BenchmarkJournalAppend(b *testing.B) {
+	for _, traces := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("traces=%d", traces), func(b *testing.B) {
+			s, err := Open(b.TempDir(), Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			op := &Op{Kind: OpBatch, Session: "bench-session", Seq: 1}
+			payload := make([]byte, 200)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			for i := 0; i < traces; i++ {
+				op.Traces = append(op.Traces, payload)
+			}
+			b.SetBytes(int64(traces * len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op.Seq = uint64(i + 1)
+				if err := s.Append("bench-program", op); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

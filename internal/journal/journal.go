@@ -1,0 +1,495 @@
+// Package journal is the hive's persistence subsystem: an append-only
+// write-ahead journal of ingest operations plus periodic full snapshots,
+// giving the collective knowledge the paper's whole premise depends on —
+// execution trees, failure signatures, fixes, and proofs grow monotonically
+// as the fleet runs — a life beyond one hive process.
+//
+// # Durability model
+//
+// State is persisted per program: every program has its own journal file
+// (write-ahead log of replayable operations, see Op) and its own snapshot
+// generation. A mutation is appended to the program's journal *before* it is
+// applied to the in-memory hive, so an acknowledged submission is always
+// either in a snapshot or in the journal suffix after it. Recovery loads the
+// newest snapshot and replays the journal suffix through the same apply path
+// live ingestion uses; snapshot + suffix reconstructs the hive exactly —
+// including the execution tree's incremental frontier index, which
+// exectree.Decode rebuilds.
+//
+// Snapshots rotate atomically: the new snapshot is written to a temp file,
+// fsynced, and renamed before the journal is rotated and older generations
+// are deleted, so a crash at any point leaves a recoverable (snapshot,
+// journal) pair on disk. Journal records are CRC-framed; a torn tail from a
+// crash mid-append is detected and truncated on recovery — the torn record
+// was never applied (append happens before apply) and never acknowledged.
+//
+// By default writes go straight to the operating system without fsync:
+// state survives process death (kill -9, panics, OOM) but a machine-level
+// crash can lose the last instants of un-synced journal. Options.Fsync
+// forces an fsync per append for power-failure durability.
+//
+// # Privacy invariant
+//
+// The journal stores trace batches exactly as they were submitted — *after*
+// the pod-side privacy filter ran. Raw end-user inputs reach the journal
+// only when a pod explicitly ships at trace.PrivacyRaw; at the hashed,
+// bucketed, and opaque levels the durable state contains only the filtered
+// forms. Persisted aggregates are exactly where privacy-preserving schemes
+// historically leak, so the journal deliberately never re-derives or widens
+// what the pods chose to disclose.
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrCorrupt is wrapped by malformed journal or snapshot data.
+var ErrCorrupt = errors.New("journal: corrupt")
+
+// Options configures a Store.
+type Options struct {
+	// Fsync forces an fsync after every journal append. Off by default:
+	// appends then survive process death but not power loss.
+	Fsync bool
+}
+
+// Store manages the snapshot and journal files for many programs inside one
+// data directory. All methods are safe for concurrent use; operations on
+// distinct programs never contend.
+type Store struct {
+	dir   string
+	fsync bool
+
+	mu    sync.Mutex
+	progs map[string]*progLog // program ID -> log state
+	byKey map[string]string   // filename key -> program ID
+}
+
+// progLog is one program's on-disk state: the current snapshot generation
+// and the journal file appends go to.
+type progLog struct {
+	mu  sync.Mutex
+	id  string
+	key string
+	gen uint64
+	f   *os.File // current journal, opened lazily for append
+	// replayed records that Replay ran (or that the program is fresh), so
+	// appends cannot clobber an un-replayed torn tail.
+	replayed bool
+}
+
+const (
+	walMagic  = "SBWAL1\n"
+	snapMagic = "SBSNAP1\n"
+)
+
+// Open opens (creating if needed) a data directory and indexes the
+// snapshot/journal files already in it.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:   dir,
+		fsync: opts.Fsync,
+		progs: make(map[string]*progLog),
+		byKey: make(map[string]string),
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// fileKey derives the filename-safe key for a program ID.
+func fileKey(programID string) string {
+	sum := sha256.Sum256([]byte(programID))
+	return hex.EncodeToString(sum[:8])
+}
+
+// parseName splits "wal-<key>-<gen>.log" / "snap-<key>-<gen>.snap".
+func parseName(name string) (kind, key string, gen uint64, ok bool) {
+	var ext string
+	switch {
+	case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+		kind, ext = "wal", ".log"
+	case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+		kind, ext = "snap", ".snap"
+	default:
+		return "", "", 0, false
+	}
+	body := strings.TrimSuffix(name[len(kind)+1:], ext)
+	i := strings.LastIndexByte(body, '-')
+	if i <= 0 {
+		return "", "", 0, false
+	}
+	g, err := strconv.ParseUint(body[i+1:], 10, 64)
+	if err != nil {
+		return "", "", 0, false
+	}
+	return kind, body[:i], g, true
+}
+
+func (s *Store) walPath(key string, gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("wal-%s-%d.log", key, gen))
+}
+
+func (s *Store) snapPath(key string, gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("snap-%s-%d.snap", key, gen))
+}
+
+// scan indexes existing files: the current generation per program is the
+// highest snapshot generation (or the highest journal generation when no
+// snapshot exists); stale older generations are removed.
+func (s *Store) scan() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("journal: scan: %w", err)
+	}
+	type genState struct {
+		snapGen, walGen uint64
+		hasSnap, hasWal bool
+	}
+	seen := make(map[string]*genState)
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(filepath.Join(s.dir, name)) // torn snapshot write
+			continue
+		}
+		kind, key, gen, ok := parseName(name)
+		if !ok {
+			continue
+		}
+		g := seen[key]
+		if g == nil {
+			g = &genState{}
+			seen[key] = g
+		}
+		switch kind {
+		case "snap":
+			if !g.hasSnap || gen > g.snapGen {
+				g.snapGen, g.hasSnap = gen, true
+			}
+		case "wal":
+			if !g.hasWal || gen > g.walGen {
+				g.walGen, g.hasWal = gen, true
+			}
+		}
+	}
+	for key, g := range seen {
+		gen := g.walGen
+		if g.hasSnap && g.snapGen > gen {
+			gen = g.snapGen
+		}
+		id, err := s.programIDFor(key, gen)
+		if err != nil {
+			return err
+		}
+		s.progs[id] = &progLog{id: id, key: key, gen: gen}
+		s.byKey[key] = id
+		s.cleanStale(key, gen)
+	}
+	return nil
+}
+
+// programIDFor recovers the program ID recorded in a key's newest journal
+// or snapshot header (one of the two exists at the current generation by
+// construction).
+func (s *Store) programIDFor(key string, gen uint64) (string, error) {
+	if id, err := readWALHeader(s.walPath(key, gen)); err == nil {
+		return id, nil
+	}
+	if snap, err := readSnapshotFile(s.snapPath(key, gen)); err == nil {
+		return snap.ProgramID, nil
+	}
+	return "", fmt.Errorf("%w: no readable header for key %s", ErrCorrupt, key)
+}
+
+// cleanStale removes generations older than gen for key.
+func (s *Store) cleanStale(key string, gen uint64) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		_, k, g, ok := parseName(e.Name())
+		if !ok || k != key || g >= gen {
+			continue
+		}
+		_ = os.Remove(filepath.Join(s.dir, e.Name()))
+	}
+}
+
+// Programs returns the IDs of every program with persisted state, sorted.
+func (s *Store) Programs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.progs))
+	for id := range s.progs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// log resolves (creating if absent) a program's log state.
+func (s *Store) log(programID string) *progLog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pl, ok := s.progs[programID]
+	if !ok {
+		pl = &progLog{id: programID, key: fileKey(programID), gen: 0, replayed: true}
+		s.progs[programID] = pl
+		s.byKey[pl.key] = programID
+	}
+	return pl
+}
+
+// LoadSnapshot returns the program's newest snapshot, or nil when none
+// exists.
+func (s *Store) LoadSnapshot(programID string) (*ProgramSnapshot, error) {
+	pl := s.log(programID)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	snap, err := readSnapshotFile(s.snapPath(pl.key, pl.gen))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if snap.ProgramID != programID {
+		return nil, fmt.Errorf("%w: snapshot for %q found under key of %q", ErrCorrupt, snap.ProgramID, programID)
+	}
+	return snap, nil
+}
+
+// Replay feeds every journaled operation after the newest snapshot to
+// apply, in append order. A torn tail (crash mid-append) is truncated so
+// subsequent appends extend a valid journal. Replay must run before the
+// first Append for a recovered program; it returns the number of
+// operations replayed.
+func (s *Store) Replay(programID string, apply func(*Op) error) (int, error) {
+	pl := s.log(programID)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	path := s.walPath(pl.key, pl.gen)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		pl.replayed = true
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("journal: replay %s: %w", programID, err)
+	}
+	id, body, err := splitWALHeader(data)
+	if err != nil {
+		return 0, err
+	}
+	if id != programID {
+		return 0, fmt.Errorf("%w: journal for %q found under key of %q", ErrCorrupt, id, programID)
+	}
+	n := 0
+	valid := len(data) - len(body)
+	for len(body) > 0 {
+		payload, rest, ok := readRecord(body)
+		if !ok {
+			break // torn tail: never applied, never acked
+		}
+		op, err := decodeOp(payload)
+		if err != nil {
+			break // treat undecodable tail like a torn record
+		}
+		if err := apply(op); err != nil {
+			return n, fmt.Errorf("journal: replay %s op %d: %w", programID, n, err)
+		}
+		n++
+		valid += len(body) - len(rest)
+		body = rest
+	}
+	if valid < len(data) {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return n, fmt.Errorf("journal: truncate torn tail of %s: %w", programID, err)
+		}
+	}
+	pl.replayed = true
+	return n, nil
+}
+
+// Append journals one operation for the program. The record is on disk (in
+// the OS, fsynced with Options.Fsync) when Append returns; callers apply
+// the operation only after a successful append.
+func (s *Store) Append(programID string, op *Op) error {
+	pl := s.log(programID)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return s.appendLocked(pl, op)
+}
+
+func (s *Store) appendLocked(pl *progLog, op *Op) error {
+	if !pl.replayed {
+		return fmt.Errorf("journal: append to %s before Replay", pl.id)
+	}
+	if pl.f == nil {
+		f, err := openWAL(s.walPath(pl.key, pl.gen), pl.id)
+		if err != nil {
+			return err
+		}
+		pl.f = f
+	}
+	frame := appendRecord(nil, encodeOp(op))
+	if _, err := pl.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append %s: %w", pl.id, err)
+	}
+	if s.fsync {
+		if err := pl.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync %s: %w", pl.id, err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint installs a new snapshot for snap.ProgramID and rotates its
+// journal: the snapshot is written to a temp file, fsynced, and atomically
+// renamed; only then is a fresh journal generation started and the previous
+// generation deleted. The caller must guarantee no Append for this program
+// runs concurrently (the hive holds its per-program checkpoint gate).
+func (s *Store) Checkpoint(snap *ProgramSnapshot) error {
+	pl := s.log(snap.ProgramID)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+
+	next := pl.gen + 1
+	if err := writeSnapshotFile(s.snapPath(pl.key, next), snap); err != nil {
+		return err
+	}
+	// New generation is durable; switch appends over and drop the old one.
+	if pl.f != nil {
+		_ = pl.f.Close()
+		pl.f = nil
+	}
+	oldGen := pl.gen
+	pl.gen = next
+	pl.replayed = true
+	_ = os.Remove(s.walPath(pl.key, oldGen))
+	_ = os.Remove(s.snapPath(pl.key, oldGen))
+	return nil
+}
+
+// Close closes every open journal file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, pl := range s.progs {
+		pl.mu.Lock()
+		if pl.f != nil {
+			if err := pl.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			pl.f = nil
+		}
+		pl.mu.Unlock()
+	}
+	return first
+}
+
+// --- journal file helpers ---
+
+// openWAL opens (creating with a header if new) a journal for appending.
+// O_APPEND keeps writes landing at the true end of file even after a
+// recovery truncated a torn tail.
+func openWAL(path, programID string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("journal: stat wal: %w", err)
+	}
+	if st.Size() == 0 {
+		hdr := []byte(walMagic)
+		hdr = binary.AppendUvarint(hdr, uint64(len(programID)))
+		hdr = append(hdr, programID...)
+		if _, err := f.Write(hdr); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("journal: write wal header: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// readWALHeader returns the program ID recorded in a journal header.
+func readWALHeader(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	buf := make([]byte, len(walMagic)+binary.MaxVarintLen64+256)
+	n, err := f.Read(buf)
+	if err != nil && n == 0 {
+		return "", err
+	}
+	id, _, err := splitWALHeader(buf[:n])
+	return id, err
+}
+
+// splitWALHeader validates the header and returns (programID, records).
+func splitWALHeader(data []byte) (string, []byte, error) {
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return "", nil, fmt.Errorf("%w: bad wal magic", ErrCorrupt)
+	}
+	rest := data[len(walMagic):]
+	n, sz := binary.Uvarint(rest)
+	if sz <= 0 || n > uint64(len(rest)-sz) {
+		return "", nil, fmt.Errorf("%w: bad wal header", ErrCorrupt)
+	}
+	id := string(rest[sz : sz+int(n)])
+	return id, rest[sz+int(n):], nil
+}
+
+// appendRecord frames one payload: uvarint length, payload, CRC32.
+func appendRecord(buf, payload []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	return append(buf, crc[:]...)
+}
+
+// readRecord unframes the next record; ok is false on a torn or corrupt
+// record (recovery truncates there).
+func readRecord(data []byte) (payload, rest []byte, ok bool) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 || n > uint64(len(data)-sz) {
+		return nil, nil, false
+	}
+	body := data[sz:]
+	if uint64(len(body)) < n+4 {
+		return nil, nil, false
+	}
+	payload = body[:n]
+	want := binary.LittleEndian.Uint32(body[n : n+4])
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, nil, false
+	}
+	return payload, body[n+4:], true
+}

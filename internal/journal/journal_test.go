@@ -1,0 +1,294 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/exectree"
+)
+
+func batchOp(session string, seq uint64, traces ...string) *Op {
+	op := &Op{Kind: OpBatch, Session: session, Seq: seq}
+	for _, tr := range traces {
+		op.Traces = append(op.Traces, []byte(tr))
+	}
+	return op
+}
+
+func collect(t *testing.T, s *Store, programID string) []*Op {
+	t.Helper()
+	var out []*Op
+	if _, err := s.Replay(programID, func(op *Op) error {
+		out = append(out, op)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestOpCodecRoundTrip(t *testing.T) {
+	ops := []*Op{
+		batchOp("sess-1", 7, "trace-a", "trace-b"),
+		batchOp("", 0),
+		{Kind: OpSynthesis, Signature: "crash@3#-1", Fix: []byte(`{"id":1}`)},
+		{Kind: OpSynthesis, Signature: "hang@9#-1"},
+		{Kind: OpProof, Proof: []byte(`{"Property":1}`)},
+		{
+			Kind:    OpCert,
+			Prefix:  []exectree.Edge{{ID: 1, Taken: true}, {ID: 4, Taken: false}},
+			Missing: exectree.Edge{ID: 9, Taken: true},
+		},
+	}
+	for i, op := range ops {
+		got, err := decodeOp(encodeOp(op))
+		if err != nil {
+			t.Fatalf("op %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(op)) {
+			t.Fatalf("op %d: round-trip mismatch:\n got %+v\nwant %+v", i, got, op)
+		}
+	}
+}
+
+// normalize maps nil and empty slices to a comparable form.
+func normalize(op *Op) *Op {
+	c := *op
+	if len(c.Traces) == 0 {
+		c.Traces = nil
+	}
+	if len(c.Fix) == 0 {
+		c.Fix = nil
+	}
+	if len(c.Prefix) == 0 {
+		c.Prefix = nil
+	}
+	return &c
+}
+
+func TestAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []*Op{
+		batchOp("s", 1, "t1"),
+		batchOp("s", 2, "t2", "t3"),
+		{Kind: OpSynthesis, Signature: "sig", Fix: []byte("{}")},
+	}
+	for _, op := range want {
+		if err := s.Append("prog-A", op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Programs(); len(got) != 1 || got[0] != "prog-A" {
+		t.Fatalf("Programs() = %v, want [prog-A]", got)
+	}
+	got := collect(t, s2, "prog-A")
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d ops, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(normalize(got[i]), normalize(want[i])) {
+			t.Fatalf("op %d mismatch: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	// Replay then append continues the same journal.
+	if err := s2.Append("prog-A", batchOp("s", 3, "t4")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("prog-A", batchOp("s", 1, "good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("prog-A", batchOp("s", 2, "also-good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: chop bytes off the file tail.
+	path := walFileIn(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := collect(t, s2, "prog-A")
+	if len(got) != 1 || string(got[0].Traces[0]) != "good" {
+		t.Fatalf("after torn tail: got %d ops, want the 1 intact op", len(got))
+	}
+	// The torn bytes were truncated, so a new append yields a valid journal.
+	if err := s2.Append("prog-A", batchOp("s", 2, "resent")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	got = collect(t, s3, "prog-A")
+	if len(got) != 2 || string(got[1].Traces[0]) != "resent" {
+		t.Fatalf("after truncate+append: got %d ops", len(got))
+	}
+}
+
+func walFileIn(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") {
+			return filepath.Join(dir, e.Name())
+		}
+	}
+	t.Fatal("no wal file found")
+	return ""
+}
+
+func TestCheckpointRotatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("prog-A", batchOp("s", 1, "pre")); err != nil {
+		t.Fatal(err)
+	}
+	snap := &ProgramSnapshot{
+		ProgramID: "prog-A",
+		Tree:      []byte("tree-bytes"),
+		Epoch:     3,
+		Ingested:  11,
+		Sessions:  map[string]uint64{"s": 1},
+		Failures: []FailureState{
+			{Signature: "crash@1#-1", Outcome: 2, Count: 4, Pods: []string{"p1", "p2"}, Fixed: true},
+		},
+	}
+	if err := s.Checkpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Ops after the checkpoint land in the new generation.
+	if err := s.Append("prog-A", batchOp("s", 2, "post")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	loaded, err := s2.LoadSnapshot("prog-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded == nil || loaded.Epoch != 3 || loaded.Ingested != 11 ||
+		!bytes.Equal(loaded.Tree, snap.Tree) || loaded.Sessions["s"] != 1 {
+		t.Fatalf("snapshot mismatch: %+v", loaded)
+	}
+	if len(loaded.Failures) != 1 || loaded.Failures[0].Count != 4 || !loaded.Failures[0].Fixed {
+		t.Fatalf("failure state mismatch: %+v", loaded.Failures)
+	}
+	got := collect(t, s2, "prog-A")
+	if len(got) != 1 || string(got[0].Traces[0]) != "post" {
+		t.Fatalf("replay after checkpoint: got %d ops, want only the post-checkpoint op", len(got))
+	}
+}
+
+func TestSnapshotOnlyNoJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(&ProgramSnapshot{ProgramID: "prog-B", Tree: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Programs(); len(got) != 1 || got[0] != "prog-B" {
+		t.Fatalf("Programs() = %v", got)
+	}
+	snap, err := s2.LoadSnapshot("prog-B")
+	if err != nil || snap == nil {
+		t.Fatalf("LoadSnapshot: %v %v", snap, err)
+	}
+	if got := collect(t, s2, "prog-B"); len(got) != 0 {
+		t.Fatalf("expected empty journal, got %d ops", len(got))
+	}
+}
+
+func TestProgramsIsolated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append("prog-A", batchOp("s", 1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("prog-B", batchOp("s", 2, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(&ProgramSnapshot{ProgramID: "prog-A"}); err != nil {
+		t.Fatal(err)
+	}
+	// prog-A's checkpoint must not disturb prog-B's journal.
+	if got := collect(t, s, "prog-B"); len(got) != 1 || string(got[0].Traces[0]) != "b" {
+		t.Fatalf("prog-B journal disturbed: %d ops", len(got))
+	}
+}
+
+func TestFreshProgramHasNoState(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	snap, err := s.LoadSnapshot("never-seen")
+	if err != nil || snap != nil {
+		t.Fatalf("LoadSnapshot fresh: %v %v", snap, err)
+	}
+	if got := collect(t, s, "never-seen"); len(got) != 0 {
+		t.Fatalf("fresh program replayed %d ops", len(got))
+	}
+}

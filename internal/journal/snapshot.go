@@ -1,0 +1,131 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// ProgramSnapshot is one program's full durable state at a checkpoint: the
+// serialized execution tree (exectree.Encode, which Decode restores
+// bit-for-bit including the incremental frontier index), the versioned fix
+// set, standing proofs, failure-signature aggregation, ingestion counters,
+// collective known-good inputs, the coordinated-sampling fragment buffer,
+// and the exactly-once session dedup table as of the checkpoint.
+//
+// Trace payloads (failure samples, coordinated fragments) are stored in the
+// wire codec (trace.Encode); fixes and proofs in their JSON codecs. All of
+// them are post-privacy: the snapshot persists what pods shipped, never
+// more (see the package privacy invariant).
+type ProgramSnapshot struct {
+	ProgramID string `json:"programId"`
+	// Tree is the exectree.Encode serialization.
+	Tree []byte `json:"tree"`
+	// Fixes are fix JSON documents in ID order.
+	Fixes [][]byte `json:"fixes,omitempty"`
+	Epoch int      `json:"epoch"`
+	// Proofs are proof JSON documents (standing and superseded; readers
+	// filter by epoch).
+	Proofs [][]byte `json:"proofs,omitempty"`
+	// Failures is the per-signature aggregation state.
+	Failures []FailureState `json:"failures,omitempty"`
+
+	Ingested      int64 `json:"ingested"`
+	Reconstructed int64 `json:"reconstructed"`
+	Narrowed      int64 `json:"narrowed"`
+
+	// KnownGood are raw inputs observed to succeed (present only when pods
+	// shipped at PrivacyRaw).
+	KnownGood [][]int64 `json:"knownGood,omitempty"`
+	// Coordinated buffers incomplete coordinated-sampling families:
+	// family key -> encoded fragment traces.
+	Coordinated map[string][][]byte `json:"coordinated,omitempty"`
+
+	// Sessions is the exactly-once dedup table (session -> highest applied
+	// sequence number) as of this checkpoint. Recovery max-merges the maps
+	// from every program snapshot and replayed batch op.
+	Sessions map[string]uint64 `json:"sessions,omitempty"`
+}
+
+// FailureState is the serialized form of one failure signature's fleet-wide
+// aggregation — the codec for hive.FailureRecord plus the bookkeeping the
+// exported snapshot type omits (distinct reporting pods).
+type FailureState struct {
+	Signature string `json:"signature"`
+	Outcome   uint8  `json:"outcome"`
+	Count     int64  `json:"count"`
+	// Pods lists the distinct reporting pod IDs.
+	Pods []string `json:"pods,omitempty"`
+	// Sample is one representative trace (wire codec).
+	Sample      []byte `json:"sample,omitempty"`
+	Fixed       bool   `json:"fixed,omitempty"`
+	InRepairLab bool   `json:"inRepairLab,omitempty"`
+}
+
+// writeSnapshotFile persists a snapshot atomically: temp file, fsync,
+// rename.
+func writeSnapshotFile(path string, snap *ProgramSnapshot) error {
+	body, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("journal: encode snapshot: %w", err)
+	}
+	buf := []byte(snapMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	buf = append(buf, body...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	buf = append(buf, crc[:]...)
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: write snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("journal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("journal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("journal: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("journal: install snapshot: %w", err)
+	}
+	return nil
+}
+
+// readSnapshotFile loads and validates a snapshot file.
+func readSnapshotFile(path string) (*ProgramSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic in %s", ErrCorrupt, path)
+	}
+	rest := data[len(snapMagic):]
+	n, sz := binary.Uvarint(rest)
+	if sz <= 0 || uint64(len(rest)-sz) < n+4 {
+		return nil, fmt.Errorf("%w: truncated snapshot %s", ErrCorrupt, path)
+	}
+	body := rest[sz : sz+int(n)]
+	want := binary.LittleEndian.Uint32(rest[sz+int(n) : sz+int(n)+4])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch in %s", ErrCorrupt, path)
+	}
+	var snap ProgramSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, fmt.Errorf("%w: snapshot json: %v", ErrCorrupt, err)
+	}
+	return &snap, nil
+}

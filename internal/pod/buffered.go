@@ -78,9 +78,14 @@ func (b *BufferedClient) Pending() int {
 // On backend failure the unaccepted remainder is re-queued (ahead of
 // anything queued meanwhile) and the error returned: a streaming backend
 // reports which chunks of the drain it acknowledged, so this client never
-// re-submits an acknowledged chunk. Chunks that were delivered but whose
-// acks were lost with the connection remain at-least-once — exactly-once
-// needs backend-side dedup (see ROADMAP: frame sequence numbers).
+// re-submits an acknowledged chunk. Within one drain, a chunk whose ack was
+// lost with the connection is resent by the stream's transparent retry with
+// its original (session, sequence) tag, so a dedup-capable backend ingests
+// it exactly once. Across drains the guarantee weakens: a drain that fails
+// outright re-chunks and re-tags its remainder on the next call, so chunks
+// that were delivered but never acknowledged before both attempts failed
+// are at-least-once (see ROADMAP: persist sealed sequenced frames across
+// drains).
 func (b *BufferedClient) Drain() error {
 	b.mu.Lock()
 	batch := b.queued

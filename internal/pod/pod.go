@@ -49,6 +49,19 @@ type TraceStreamer interface {
 	SubmitTraceBatches(programID string, batches [][]*trace.Trace) ([]bool, error)
 }
 
+// SessionSubmitter is an optional backend extension for exactly-once
+// ingestion: a per-program batch tagged with the submitting client's
+// session ID and a per-frame sequence number. The backend keeps a
+// per-session high-water mark of applied sequence numbers (journaled with
+// the batch when the backend is durable), so a client resubmitting a
+// partially-acknowledged stream over a new connection — or across a backend
+// restart — has each batch ingested exactly once. The dup result reports
+// that the batch was already applied and acknowledged without re-ingesting.
+// hive.Hive implements it; wire.Server routes sequenced frames through it.
+type SessionSubmitter interface {
+	SubmitTracesSession(session string, seq uint64, programID string, traces []*trace.Trace) (dup bool, err error)
+}
+
 // Config parameterizes a pod.
 type Config struct {
 	// Program is the instrumented program.

@@ -8,6 +8,7 @@
 package proof
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/constraint"
@@ -74,6 +75,15 @@ type CounterExample struct {
 	Input []int64
 }
 
+// Evidence is one execution the prover synthesized and merged into the tree
+// while discharging frontiers. The attempt records every such merge so a
+// journaled hive can replay the attempt's tree mutations on recovery
+// (infeasibility certificates are journaled separately, at the tree).
+type Evidence struct {
+	Path    []trace.BranchEvent `json:"path"`
+	Outcome prog.Outcome        `json:"outcome"`
+}
+
 // Proof is the (possibly partial) result of a proving attempt. The paper's
 // spectrum is explicit here: Coverage < 1 with Holds=true is "a weaker
 // proof" (a test suite); Complete && Holds is a full proof over the input
@@ -97,6 +107,10 @@ type Proof struct {
 	NewEvidence int
 	// CounterExamples lists violations (empty when Holds).
 	CounterExamples []CounterExample
+	// Evidence lists the executions the prover merged into the tree during
+	// this attempt (replay support for hive persistence; len(Evidence) ==
+	// NewEvidence).
+	Evidence []Evidence `json:",omitempty"`
 	// Epoch is the fix-set version this proof is valid for; applying a new
 	// fix invalidates it.
 	Epoch int
@@ -157,6 +171,7 @@ func (e *Engine) Attempt(tree *exectree.Tree, property Property, epoch int) (*Pr
 				}
 				res := tree.Merge(path.Events(), path.Outcome)
 				pr.NewEvidence++
+				pr.Evidence = append(pr.Evidence, Evidence{Path: path.Events(), Outcome: path.Outcome})
 				if res.NewNodes > 0 || res.NewPath || res.NewEdges > 0 {
 					progress = true
 				}
@@ -211,6 +226,20 @@ func (e *Engine) Attempt(tree *exectree.Tree, property Property, epoch int) (*Pr
 	pr.Complete = tree.Complete()
 	pr.Holds = len(pr.CounterExamples) == 0
 	return pr, nil
+}
+
+// Encode serializes the proof for hive persistence.
+func Encode(p *Proof) ([]byte, error) {
+	return json.Marshal(p)
+}
+
+// Decode parses a proof serialized by Encode.
+func Decode(data []byte) (*Proof, error) {
+	var p Proof
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("proof: decode: %w", err)
+	}
+	return &p, nil
 }
 
 func edgesToEvents(path []exectree.Edge) []trace.BranchEvent {

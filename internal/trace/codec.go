@@ -99,26 +99,33 @@ func Decode(data []byte) (*Trace, error) {
 	t.SamplePhase = uint32(d.uvarint())
 	t.SampleK = uint32(d.uvarint())
 
+	// Zero-length sections decode to nil (not empty non-nil slices), so a
+	// decoded trace is DeepEqual to a Clone of the original — the property
+	// hive persistence round-trip tests rely on.
 	nb := int(d.uvarint())
 	if err := d.checkCount(nb, 1); err != nil {
 		return nil, err
 	}
-	t.Branches = make([]BranchEvent, nb)
-	for i := 0; i < nb; i++ {
-		v := d.uvarint()
-		t.Branches[i] = BranchEvent{ID: int32(v >> 1), Taken: v&1 == 1}
+	if nb > 0 {
+		t.Branches = make([]BranchEvent, nb)
+		for i := 0; i < nb; i++ {
+			v := d.uvarint()
+			t.Branches[i] = BranchEvent{ID: int32(v >> 1), Taken: v&1 == 1}
+		}
 	}
 
 	ns := int(d.uvarint())
 	if err := d.checkCount(ns, 3); err != nil {
 		return nil, err
 	}
-	t.Syscalls = make([]SyscallEvent, ns)
-	for i := 0; i < ns; i++ {
-		t.Syscalls[i] = SyscallEvent{
-			TID:   int32(d.uvarint()),
-			Sysno: d.varint(),
-			Ret:   d.varint(),
+	if ns > 0 {
+		t.Syscalls = make([]SyscallEvent, ns)
+		for i := 0; i < ns; i++ {
+			t.Syscalls[i] = SyscallEvent{
+				TID:   int32(d.uvarint()),
+				Sysno: d.varint(),
+				Ret:   d.varint(),
+			}
 		}
 	}
 
@@ -126,13 +133,15 @@ func Decode(data []byte) (*Trace, error) {
 	if err := d.checkCount(nl, 4); err != nil {
 		return nil, err
 	}
-	t.Locks = make([]LockEvent, nl)
-	for i := 0; i < nl; i++ {
-		t.Locks[i] = LockEvent{
-			TID:     int32(d.uvarint()),
-			LockID:  int32(d.uvarint()),
-			PC:      int32(d.uvarint()),
-			Acquire: d.byte() == 1,
+	if nl > 0 {
+		t.Locks = make([]LockEvent, nl)
+		for i := 0; i < nl; i++ {
+			t.Locks[i] = LockEvent{
+				TID:     int32(d.uvarint()),
+				LockID:  int32(d.uvarint()),
+				PC:      int32(d.uvarint()),
+				Acquire: d.byte() == 1,
+			}
 		}
 	}
 

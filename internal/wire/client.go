@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bufio"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,11 +19,21 @@ import (
 // Client is a pod.HiveClient speaking the wire protocol to a remote hive.
 // It lazily (re)connects, serializes requests, and surfaces server-side
 // errors as Go errors.
+//
+// Every client carries a random session ID and a monotonically increasing
+// frame sequence number. Submission frames are tagged with both, and a
+// frame resent after a reconnect keeps its original tag, so a backend with
+// a per-session dedup window (hive.Hive) ingests each batch exactly once no
+// matter how many times the link drops mid-stream.
 type Client struct {
-	addr string
+	addr    string
+	session string
 
 	mu   sync.Mutex
 	conn net.Conn
+	// seq numbers submission frames; guarded by mu and assigned in send
+	// order so the server's high-water dedup mark is complete.
+	seq uint64
 }
 
 var _ pod.HiveClient = (*Client)(nil)
@@ -38,7 +50,17 @@ const maxInflightFrames = 32
 // Dial creates a client for the hive at addr. The connection is established
 // lazily on first use.
 func Dial(addr string) *Client {
-	return &Client{addr: addr}
+	return &Client{addr: addr, session: newSessionID()}
+}
+
+// newSessionID draws a random 16-hex-digit session identity.
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Session-less operation degrades to at-least-once, never breaks.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Close tears down the connection.
@@ -54,10 +76,17 @@ func (c *Client) Close() error {
 }
 
 // call performs one request/response exchange. On transport errors it drops
-// the connection and retries once with a fresh one.
+// the connection and retries once with a fresh one; the final error wraps
+// the last underlying transport/decode failure instead of a generic
+// unreachability string.
 func (c *Client) call(reqType MsgType, payload []byte) (MsgType, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.callLocked(reqType, payload)
+}
+
+func (c *Client) callLocked(reqType MsgType, payload []byte) (MsgType, []byte, error) {
+	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		if c.conn == nil {
 			conn, err := net.Dial("tcp", c.addr)
@@ -72,19 +101,21 @@ func (c *Client) call(reqType MsgType, payload []byte) (MsgType, []byte, error) 
 				// retry or mask the cause as unreachability.
 				return 0, nil, err
 			}
+			lastErr = fmt.Errorf("write: %w", err)
 			_ = c.conn.Close()
 			c.conn = nil
 			continue
 		}
 		respType, resp, err := ReadFrame(c.conn)
 		if err != nil {
+			lastErr = fmt.Errorf("read: %w", err)
 			_ = c.conn.Close()
 			c.conn = nil
 			continue
 		}
 		return respType, resp, nil
 	}
-	return 0, nil, fmt.Errorf("wire: %s unreachable after retry", c.addr)
+	return 0, nil, fmt.Errorf("wire: %s unreachable after retry: %w", c.addr, lastErr)
 }
 
 // SubmitTraces implements pod.HiveClient.
@@ -101,13 +132,19 @@ func (c *Client) SubmitTraces(traces []*trace.Trace) error {
 }
 
 // SubmitTracesFor implements pod.ProgramSubmitter: one per-program frame,
-// one ack — the server skips its group-by.
+// one ack — the server skips its group-by. The frame is sequenced, so the
+// transparent retry after a lost ack cannot double-ingest against a
+// dedup-capable backend.
 func (c *Client) SubmitTracesFor(programID string, traces []*trace.Trace) error {
 	encoded := make([][]byte, len(traces))
 	for i, tr := range traces {
 		encoded[i] = trace.Encode(tr)
 	}
-	respType, resp, err := c.call(MsgSubmitTracesFor, encodeTraceBatchFor(programID, encoded))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	payload := encodeTraceBatchSeq(c.session, c.seq, programID, encoded)
+	respType, resp, err := c.callLocked(MsgSubmitTracesSeq, payload)
 	if err != nil {
 		return err
 	}
@@ -115,37 +152,48 @@ func (c *Client) SubmitTracesFor(programID string, traces []*trace.Trace) error 
 }
 
 // SubmitTraceBatches implements pod.TraceStreamer: every batch becomes its
-// own per-program frame, streamed back-to-back without waiting for acks
-// (bounded by maxInflightFrames), and the pipelined acks are read in frame
-// order. Against a pipelined server a drain of n batches costs ~n/window
-// round trips instead of n. The returned flags report, per batch, whether
-// the server acknowledged it — on error a caller re-submits exactly the
-// unacknowledged batches, never a batch the server already ingested.
+// own sequenced per-program frame, streamed back-to-back without waiting
+// for acks (bounded by maxInflightFrames), and the pipelined acks are read
+// in frame order. Against a pipelined server a drain of n batches costs
+// ~n/window round trips instead of n. The returned flags report, per batch,
+// whether the server acknowledged it — on error a caller re-submits exactly
+// the unacknowledged batches, never a batch the server already ingested.
 //
 // A transport failure drops the connection and retries once on a fresh one,
 // resuming after the last acknowledged frame. Frames written but unacked
-// when the connection died are at-least-once: up to a full window of them
-// may have been ingested before the failure and will be resent — servers
-// needing exactly-once must dedup (see ROADMAP: frame sequence numbers).
+// when the connection died keep their original (session, seq) tags on the
+// resend, so a dedup-capable backend (hive.Hive) acknowledges the ones it
+// already ingested without applying them again: resubmission is
+// exactly-once end to end, retiring the old at-least-once caveat. The final
+// error after a failed retry wraps the last underlying transport failure.
 func (c *Client) SubmitTraceBatches(programID string, batches [][]*trace.Trace) ([]bool, error) {
 	accepted := make([]bool, len(batches))
 	if len(batches) == 0 {
 		return accepted, nil
 	}
-	payloads := make([][]byte, len(batches))
+	encodedBatches := make([][][]byte, len(batches))
 	counts := make([]int, len(batches))
 	for i, batch := range batches {
 		encoded := make([][]byte, len(batch))
 		for j, tr := range batch {
 			encoded[j] = trace.Encode(tr)
 		}
-		payloads[i] = encodeTraceBatchFor(programID, encoded)
+		encodedBatches[i] = encoded
 		counts[i] = len(batch)
 	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Sequence numbers are assigned under the lock, in send order, and the
+	// payloads are reused verbatim across retries — the exactly-once
+	// contract hinges on a resent frame carrying its original tag.
+	payloads := make([][]byte, len(batches))
+	for i, encoded := range encodedBatches {
+		c.seq++
+		payloads[i] = encodeTraceBatchSeq(c.session, c.seq, programID, encoded)
+	}
 	acked := 0
+	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		if c.conn == nil {
 			conn, err := net.Dial("tcp", c.addr)
@@ -161,10 +209,11 @@ func (c *Client) SubmitTraceBatches(programID string, batches [][]*trace.Trace) 
 		if !transport {
 			return accepted, err
 		}
+		lastErr = err
 		_ = c.conn.Close()
 		c.conn = nil
 	}
-	return accepted, fmt.Errorf("wire: %s unreachable after retry", c.addr)
+	return accepted, fmt.Errorf("wire: %s unreachable after retry: %w", c.addr, lastErr)
 }
 
 // streamLocked runs one windowed write-ahead pass over the unacknowledged
@@ -178,7 +227,7 @@ func (c *Client) streamLocked(payloads [][]byte, counts []int, acked *int, accep
 	written := *acked
 	for *acked < len(payloads) {
 		for written < len(payloads) && written-*acked < maxInflightFrames {
-			if err := WriteFrame(bw, MsgSubmitTracesFor, payloads[written]); err != nil {
+			if err := WriteFrame(bw, MsgSubmitTracesSeq, payloads[written]); err != nil {
 				// An oversized/malformed frame fails identically on any
 				// connection; only real transport errors are retryable.
 				return err, !errors.Is(err, ErrFrame)

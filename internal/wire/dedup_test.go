@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"errors"
+
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/hive"
+	"repro/internal/prog"
+	"repro/internal/proggen"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ackProxy sits between a wire client and server and kills the first
+// connection after forwarding a fixed number of acknowledgements (dropping
+// the next one) — the deterministic reproduction of "the link died after
+// the server ingested a frame but before its ack reached the client".
+// Later connections pipe transparently.
+type ackProxy struct {
+	t           *testing.T
+	ln          net.Listener
+	backendAddr string
+	// forwardAcks is how many acks the first connection relays before the
+	// next ack is dropped and both sides are closed.
+	forwardAcks int
+
+	mu    sync.Mutex
+	conns int
+	wg    sync.WaitGroup
+}
+
+func newAckProxy(t *testing.T, backendAddr string, forwardAcks int) *ackProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &ackProxy{t: t, ln: ln, backendAddr: backendAddr, forwardAcks: forwardAcks}
+	go p.serve()
+	t.Cleanup(func() {
+		_ = ln.Close()
+		p.wg.Wait()
+	})
+	return p
+}
+
+func (p *ackProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *ackProxy) serve() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		idx := p.conns
+		p.conns++
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.pipe(conn, idx)
+	}
+}
+
+func (p *ackProxy) pipe(client net.Conn, idx int) {
+	defer p.wg.Done()
+	server, err := net.Dial("tcp", p.backendAddr)
+	if err != nil {
+		_ = client.Close()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // client -> server: transparent
+		defer wg.Done()
+		_, _ = io.Copy(server, client)
+		if tc, ok := server.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+	go func() { // server -> client: frame-aware, flaky on the first conn
+		defer wg.Done()
+		forwarded := 0
+		for {
+			msgType, payload, err := ReadFrame(server)
+			if err != nil {
+				return
+			}
+			if idx == 0 && forwarded == p.forwardAcks {
+				// Drop this ack and kill the link: the server applied the
+				// frame, the client never hears about it.
+				_ = client.Close()
+				_ = server.Close()
+				return
+			}
+			if err := WriteFrame(client, msgType, payload); err != nil {
+				return
+			}
+			forwarded++
+		}
+	}()
+	wg.Wait()
+	_ = client.Close()
+	_ = server.Close()
+}
+
+// dedupFixture serves a real hive over TCP behind an ackProxy.
+func dedupFixture(t *testing.T, forwardAcks int) (*hive.Hive, *prog.Program, *Client) {
+	t.Helper()
+	p, _, err := proggen.Generate(proggen.Spec{Seed: 7001, Depth: 4, NumInputs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hive.New("fleet")
+	if err := h.RegisterProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(h)
+	srv.Logf = func(string, ...any) {}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	proxy := newAckProxy(t, addr, forwardAcks)
+	client := Dial(proxy.addr())
+	t.Cleanup(func() { _ = client.Close() })
+	return h, p, client
+}
+
+func makeBatches(t *testing.T, p *prog.Program, batches, perBatch int) [][]*trace.Trace {
+	t.Helper()
+	rng := stats.NewRNG(5)
+	out := make([][]*trace.Trace, batches)
+	seq := uint64(0)
+	for i := range out {
+		for j := 0; j < perBatch; j++ {
+			input := []int64{rng.Int63n(256)}
+			col := trace.NewCollector(p, trace.CaptureFull, 0, 1)
+			m, err := prog.NewMachine(p, prog.Config{Input: input, Observer: col})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := m.Run()
+			seq++
+			out[i] = append(out[i], col.Finish("dedup-pod", seq, res, input, trace.PrivacyHashed, "fleet"))
+		}
+	}
+	return out
+}
+
+// TestStreamResubmitExactlyOnce kills the connection mid-stream after the
+// server ingested frames whose acks never arrived; the client's transparent
+// retry resends them with their original sequence numbers and the hive
+// ingests every batch exactly once.
+func TestStreamResubmitExactlyOnce(t *testing.T) {
+	const (
+		batches  = 10
+		perBatch = 4
+		acksSeen = 4 // client learns of 4 frames; the rest are in limbo
+	)
+	h, p, client := dedupFixture(t, acksSeen)
+	all := makeBatches(t, p, batches, perBatch)
+
+	accepted, err := client.SubmitTraceBatches(p.ID, all)
+	if err != nil {
+		t.Fatalf("SubmitTraceBatches: %v", err)
+	}
+	for i, ok := range accepted {
+		if !ok {
+			t.Fatalf("batch %d not accepted", i)
+		}
+	}
+	st, err := h.ProgramStats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(batches * perBatch); st.Ingested != want {
+		t.Fatalf("hive ingested %d traces, want exactly %d", st.Ingested, want)
+	}
+}
+
+// TestSubmitForLostAckExactlyOnce loses the single ack of a per-program
+// submission after the server applied it; the client's retry must not
+// double-ingest.
+func TestSubmitForLostAckExactlyOnce(t *testing.T) {
+	h, p, client := dedupFixture(t, 0) // drop the very first ack
+	batch := makeBatches(t, p, 1, 6)[0]
+	if err := client.SubmitTracesFor(p.ID, batch); err != nil {
+		t.Fatalf("SubmitTracesFor: %v", err)
+	}
+	st, err := h.ProgramStats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len(batch)); st.Ingested != want {
+		t.Fatalf("hive ingested %d traces, want exactly %d", st.Ingested, want)
+	}
+}
+
+// TestClientSurfacesUnderlyingError asserts the retry-exhausted error wraps
+// the real transport failure instead of a generic unreachability string.
+func TestClientSurfacesUnderlyingError(t *testing.T) {
+	// A listener that accepts and instantly closes: writes may succeed, the
+	// response read hits EOF, twice.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = conn.Close()
+		}
+	}()
+	client := Dial(ln.Addr().String())
+	defer client.Close()
+	_, gerr := client.Guidance("nope", 1)
+	if gerr == nil {
+		t.Fatal("expected an error from a dead server")
+	}
+	if !errors.Is(gerr, io.EOF) && !strings.Contains(gerr.Error(), "connection reset") {
+		t.Fatalf("error does not surface the underlying transport failure: %v", gerr)
+	}
+	if !strings.Contains(gerr.Error(), "unreachable after retry") {
+		t.Fatalf("error lost the retry context: %v", gerr)
+	}
+
+	batch := [][]*trace.Trace{{{ProgramID: "x"}}}
+	_, serr := client.SubmitTraceBatches("x", batch)
+	if serr == nil {
+		t.Fatal("expected an error from a dead server")
+	}
+	if !errors.Is(serr, io.EOF) && !strings.Contains(serr.Error(), "connection reset") &&
+		!strings.Contains(serr.Error(), "broken pipe") {
+		t.Fatalf("stream error does not surface the underlying transport failure: %v", serr)
+	}
+}

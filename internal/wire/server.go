@@ -180,6 +180,8 @@ func (s *Server) dispatch(w io.Writer, msgType MsgType, payload []byte) error {
 		return s.handleSubmit(w, payload)
 	case MsgSubmitTracesFor:
 		return s.handleSubmitFor(w, payload)
+	case MsgSubmitTracesSeq:
+		return s.handleSubmitSeq(w, payload)
 	case MsgGetFixes:
 		return s.handleGetFixes(w, payload)
 	case MsgGetGuidance:
@@ -238,6 +240,45 @@ func (s *Server) handleSubmitFor(w io.Writer, payload []byte) error {
 	}
 	// Use the backend's per-program fast path when it has one; a plain
 	// HiveClient backend still accepts the frame through the grouped path.
+	var submitErr error
+	if ps, ok := s.backend.(pod.ProgramSubmitter); ok {
+		submitErr = ps.SubmitTracesFor(programID, traces)
+	} else {
+		submitErr = s.backend.SubmitTraces(traces)
+	}
+	if submitErr != nil {
+		return s.reply(w, MsgAck, AckPayload{Error: submitErr.Error()})
+	}
+	return s.reply(w, MsgAck, AckPayload{Accepted: len(traces)})
+}
+
+func (s *Server) handleSubmitSeq(w io.Writer, payload []byte) error {
+	session, seq, programID, raws, err := decodeTraceBatchSeq(payload)
+	if err != nil {
+		return s.reply(w, MsgAck, AckPayload{Error: err.Error()})
+	}
+	traces, err := decodeTraces(raws)
+	if err != nil {
+		return s.reply(w, MsgAck, AckPayload{Error: err.Error()})
+	}
+	for _, tr := range traces {
+		if tr.ProgramID != programID {
+			return s.reply(w, MsgAck, AckPayload{
+				Error: fmt.Sprintf("wire: trace for program %q in batch submitted for %q", tr.ProgramID, programID),
+			})
+		}
+	}
+	// Exactly-once when the backend keeps a session dedup window; otherwise
+	// degrade gracefully to the per-program (at-least-once) paths.
+	if ss, ok := s.backend.(pod.SessionSubmitter); ok {
+		dup, err := ss.SubmitTracesSession(session, seq, programID, traces)
+		if err != nil {
+			return s.reply(w, MsgAck, AckPayload{Error: err.Error()})
+		}
+		// A duplicate counts as fully accepted: the batch is already part of
+		// the collective state, and the client must not resubmit it.
+		return s.reply(w, MsgAck, AckPayload{Accepted: len(traces), Dup: dup})
+	}
 	var submitErr error
 	if ps, ok := s.backend.(pod.ProgramSubmitter); ok {
 		submitErr = ps.SubmitTracesFor(programID, traces)

@@ -31,6 +31,13 @@ const (
 	// group-by step. Clients may pipeline many of these frames back-to-back;
 	// the server acks each in arrival order.
 	MsgSubmitTracesFor
+	// MsgSubmitTracesSeq is per-program submission tagged with the client's
+	// session ID and a per-frame sequence number for exactly-once
+	// resubmission: a frame resent after a reconnect carries its original
+	// (session, seq), so a backend keeping a per-session dedup window
+	// acknowledges already-applied frames without re-ingesting them.
+	// Pipelines like MsgSubmitTracesFor.
+	MsgSubmitTracesSeq
 )
 
 // MaxFrameSize bounds a frame; larger frames are rejected as hostile.
@@ -77,6 +84,9 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 type AckPayload struct {
 	Accepted int    `json:"accepted"`
 	Error    string `json:"error,omitempty"`
+	// Dup reports that a sequenced frame was already applied (exactly-once
+	// resubmission): the batch counts as accepted but was not re-ingested.
+	Dup bool `json:"dup,omitempty"`
 }
 
 // GetFixesPayload requests fixes.
@@ -133,6 +143,33 @@ func encodeTraceBatchFor(programID string, encoded [][]byte) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(programID)))
 	buf = append(buf, programID...)
 	return append(buf, batch...)
+}
+
+// encodeTraceBatchSeq packs a sequenced per-program batch: uvarint session
+// length, session bytes, uvarint seq, then the per-program batch encoding.
+func encodeTraceBatchSeq(session string, seq uint64, programID string, encoded [][]byte) []byte {
+	rest := encodeTraceBatchFor(programID, encoded)
+	buf := make([]byte, 0, binary.MaxVarintLen64*2+len(session)+len(rest))
+	buf = binary.AppendUvarint(buf, uint64(len(session)))
+	buf = append(buf, session...)
+	buf = binary.AppendUvarint(buf, seq)
+	return append(buf, rest...)
+}
+
+// decodeTraceBatchSeq unpacks a sequenced per-program batch.
+func decodeTraceBatchSeq(buf []byte) (session string, seq uint64, programID string, raws [][]byte, err error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || n > uint64(len(buf[sz:])) {
+		return "", 0, "", nil, fmt.Errorf("%w: session id", ErrFrame)
+	}
+	session = string(buf[sz : sz+int(n)])
+	buf = buf[sz+int(n):]
+	seq, sz = binary.Uvarint(buf)
+	if sz <= 0 {
+		return "", 0, "", nil, fmt.Errorf("%w: sequence number", ErrFrame)
+	}
+	programID, raws, err = decodeTraceBatchFor(buf[sz:])
+	return session, seq, programID, raws, err
 }
 
 // decodeTraceBatchFor unpacks a per-program batch into the program ID and

@@ -20,7 +20,18 @@
 //     buckets failures, synthesizes and versions fixes, serves guidance
 //     toward coverage gaps, and attempts cumulative proofs.
 //
-//   - DialHive / ServeHive put the same pod↔hive API over TCP.
+//   - A Journal (OpenJournal) makes the hive durable: every ingest
+//     operation is written ahead to an append-only per-program journal and
+//     periodically folded into full snapshots, so Hive.Recover rebuilds the
+//     collective state — trees with their frontier indexes, failure
+//     records, fixes, standing proofs, and the exactly-once wire dedup
+//     table — after a crash. The journal stores only post-privacy traces:
+//     exactly what pods chose to ship, never more.
+//
+//   - DialHive / ServeHive put the same pod↔hive API over TCP. Submission
+//     frames carry session IDs and sequence numbers, so a client
+//     resubmitting a partially-acknowledged stream after a reconnect (or a
+//     hive restart) has every batch ingested exactly once.
 //
 //   - NewSimulation runs whole-fleet experiments (population × days ×
 //     telemetry mode), the engine behind the headline bug-density results.
@@ -38,6 +49,7 @@ import (
 	"repro/internal/fix"
 	"repro/internal/guidance"
 	"repro/internal/hive"
+	"repro/internal/journal"
 	"repro/internal/pod"
 	"repro/internal/population"
 	"repro/internal/portfolio"
@@ -154,6 +166,11 @@ type (
 	// NewTraceBufferFor) the entry to the backend's per-program and
 	// pipelined streaming submission paths.
 	TraceBuffer = pod.BufferedClient
+	// Journal is the hive's persistence store: per-program write-ahead
+	// journals plus rotating snapshots (see Hive.Recover / Hive.Checkpoint).
+	Journal = journal.Store
+	// JournalOptions configures a Journal (e.g. fsync-per-append).
+	JournalOptions = journal.Options
 )
 
 // Provable properties (paper §3.3).
@@ -241,6 +258,14 @@ func GenerateProgram(spec GenSpec) (*Program, []Bug, error) {
 // NewHive creates an aggregation center. salt is the fleet-wide
 // input-digest salt.
 func NewHive(salt string) *Hive { return hive.New(salt) }
+
+// OpenJournal opens (creating if needed) a hive persistence directory.
+// Pass it to Hive.Recover after registering the program corpus: the hive
+// restores snapshot + journal suffix and journals every mutation from then
+// on; Hive.Checkpoint folds the journal into fresh snapshots.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+	return journal.Open(dir, opts)
+}
 
 // NewPod creates a pod.
 func NewPod(cfg PodConfig) (*Pod, error) { return pod.New(cfg) }
