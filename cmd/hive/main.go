@@ -6,10 +6,15 @@
 // With -data-dir the hive is durable: collective knowledge (execution
 // trees, failure signatures, fixes, proofs, and the exactly-once session
 // dedup table) is journaled ahead of being applied and snapshotted every
-// -snapshot-every; on boot the hive recovers snapshot + journal suffix, so
-// killing the process loses nothing that was acknowledged.
+// -snapshot-every; on boot the hive recovers snapshot chain + journal
+// suffix, so killing the process loses nothing that was acknowledged.
+// Journal appends group-commit (-group-batch/-group-window: concurrent
+// appends coalesce into one write+fsync) and snapshots are incremental
+// delta segments compacted into a full snapshot every -compact-every
+// checkpoints, so durable ingest and checkpoint pauses both track the
+// change rate, not the accumulated tree size.
 //
-//	hive -addr 127.0.0.1:7070 -programs 4 -seed 1 -data-dir /var/lib/hive
+//	hive -addr 127.0.0.1:7070 -programs 4 -seed 1 -data-dir /var/lib/hive -fsync
 package main
 
 import (
@@ -41,7 +46,10 @@ func run(args []string) error {
 	statsEvery := fs.Duration("stats", 5*time.Second, "stats reporting interval (0 disables)")
 	dataDir := fs.String("data-dir", "", "journal/snapshot directory; empty runs in-memory only")
 	snapshotEvery := fs.Duration("snapshot-every", 30*time.Second, "background snapshot interval (0 disables; requires -data-dir)")
-	fsync := fs.Bool("fsync", false, "fsync every journal append (power-failure durability)")
+	fsync := fs.Bool("fsync", false, "fsync every journal flush (power-failure durability)")
+	groupWindow := fs.Duration("group-window", 0, "group-commit flush window: how long an append waits for concurrent appends to coalesce (0 flushes as soon as the committer is free)")
+	groupBatch := fs.Int("group-batch", 256, "group-commit batch cap: max journal records coalesced into one write+fsync (<=1 disables group commit)")
+	compactEvery := fs.Int("compact-every", 8, "snapshots are incremental delta segments, compacted into a full snapshot every N checkpoints (<=0 makes every snapshot full)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,11 +71,16 @@ func run(args []string) error {
 	var store *journal.Store
 	if *dataDir != "" {
 		var err error
-		store, err = journal.Open(*dataDir, journal.Options{Fsync: *fsync})
+		store, err = journal.Open(*dataDir, journal.Options{
+			Fsync:       *fsync,
+			GroupWindow: *groupWindow,
+			MaxBatch:    *groupBatch,
+		})
 		if err != nil {
 			return err
 		}
 		defer store.Close()
+		h.SetCompactEvery(*compactEvery)
 		if err := h.Recover(store); err != nil {
 			return err
 		}

@@ -514,6 +514,19 @@ func (s *Simulation) simulateDay() error {
 			for i := range s.pods {
 				if pi := s.userProg[i]; !seen[pi] {
 					seen[pi] = true
+					// Completed single-threaded programs get no steering
+					// budget: with zero open frontiers the generator has no
+					// input gaps to target, so the pull would burn a round
+					// trip (and the checkpoint gate) to receive an empty
+					// case list. Multi-threaded programs still pull —
+					// guidance enumerates schedules for them regardless of
+					// the frontier set. FrontierCount is O(1) off the
+					// incremental index, so this gate is free.
+					if s.progs[pi].Prog.NumThreads() == 1 {
+						if tree, err := s.hive.Tree(s.progs[pi].Prog.ID); err == nil && tree.FrontierCount() == 0 {
+							continue
+						}
+					}
 					steer = append(steer, i)
 				}
 			}

@@ -71,7 +71,7 @@ func Decode(data []byte) (*Tree, error) {
 	}
 	t := New(programID)
 	t.nodes = 0
-	root, err := d.node(t, 0)
+	root, err := d.node(t, nil, Edge{}, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -136,11 +136,14 @@ func (d *treeDecoder) edge() Edge {
 	return Edge{ID: int32(v >> 1), Taken: v&1 == 1}
 }
 
-func (d *treeDecoder) node(t *Tree, depth int) (*Node, error) {
+func (d *treeDecoder) node(t *Tree, parent *Node, in Edge, depth int) (*Node, error) {
 	if depth > maxDecodeDepth {
 		return nil, fmt.Errorf("%w: depth exceeds %d", ErrCodec, maxDecodeDepth)
 	}
 	n := newNode()
+	if parent != nil {
+		n.parent, n.in, n.depth = parent, in, parent.depth+1
+	}
 	t.nodes++
 
 	nt := int(d.uvarint())
@@ -187,7 +190,7 @@ func (d *treeDecoder) node(t *Tree, depth int) (*Node, error) {
 		if d.err != nil {
 			return nil, d.err
 		}
-		child, err := d.node(t, depth+1)
+		child, err := d.node(t, n, e, depth+1)
 		if err != nil {
 			return nil, err
 		}

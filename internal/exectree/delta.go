@@ -1,0 +1,272 @@
+package exectree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/prog"
+)
+
+// Incremental (delta) tree snapshots.
+//
+// A full tree snapshot (Encode) is O(tree); on huge trees that cost lands
+// inside the hive's checkpoint gate and stalls ingestion. Delta tracking
+// bounds it to O(changes since the last boundary): the tree records every
+// node whose counts or structure changed since the last boundary, and
+// EncodeDelta serializes only those nodes — each as its full current state
+// (root path, terminal counts, certificates, outgoing edges with absolute
+// visit counts), so applying a delta is an idempotent overwrite and a chain
+// of deltas applied in order over the base snapshot reconstructs the live
+// tree exactly (see DecodeChain; property-tested in delta_test.go).
+
+// deltaVersion is bumped on any serialization-incompatible change to the
+// delta encoding.
+const deltaVersion = 1
+
+// SetDeltaTracking turns dirty-node recording on or off. Turning it on (or
+// on again) establishes a fresh delta boundary: the dirty set is cleared,
+// so the next EncodeDelta captures exactly the changes from this point.
+// The hive calls it right after a full checkpoint (the base the next delta
+// builds on) and right after restoring a snapshot chain at recovery —
+// journal-suffix replay then lands in the first post-recovery delta.
+func (t *Tree) SetDeltaTracking(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if on {
+		t.dirty = make(map[*Node]struct{})
+	} else {
+		t.dirty = nil
+	}
+}
+
+// DeltaTracking reports whether dirty-node recording is on.
+func (t *Tree) DeltaTracking() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.dirty != nil
+}
+
+// DirtyNodes returns the size of the pending delta working set.
+func (t *Tree) DirtyNodes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.dirty)
+}
+
+// EncodeDelta serializes every node changed since the last delta boundary,
+// in O(changed nodes) — it never walks the whole tree. It returns nil when
+// delta tracking is off (callers fall back to a full snapshot). The dirty
+// set is NOT cleared: callers call ResetDelta once the delta is durable, so
+// a failed snapshot write loses nothing.
+func (t *Tree) EncodeDelta() []byte {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.dirty == nil {
+		return nil
+	}
+	nodes := make([]*Node, 0, len(t.dirty))
+	for n := range t.dirty {
+		nodes = append(nodes, n)
+	}
+	// Deterministic order: depth first, then root path. Not required for
+	// correctness (entries are disjoint overwrites) but keeps the bytes
+	// reproducible.
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].depth != nodes[j].depth {
+			return nodes[i].depth < nodes[j].depth
+		}
+		return comparePaths(nodes[i], nodes[j]) < 0
+	})
+
+	buf := make([]byte, 0, 64+48*len(nodes))
+	buf = append(buf, deltaVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(t.programID)))
+	buf = append(buf, t.programID...)
+	buf = binary.AppendUvarint(buf, uint64(len(nodes)))
+	for _, n := range nodes {
+		buf = binary.AppendUvarint(buf, uint64(n.depth))
+		for _, e := range pathTo(n) {
+			buf = appendEdge(buf, e)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(n.terminal)))
+		for _, o := range orderedOutcomes(n.terminal) {
+			buf = append(buf, byte(o))
+			buf = binary.AppendUvarint(buf, uint64(n.terminal[o]))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(n.infeasible)))
+		for _, e := range orderedEdges(n.infeasible) {
+			buf = appendEdge(buf, e)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(n.children)))
+		for _, e := range n.Edges() {
+			buf = appendEdge(buf, e)
+			buf = binary.AppendUvarint(buf, uint64(n.visits[e]))
+		}
+	}
+	return buf
+}
+
+// ResetDelta clears the dirty set, establishing a new delta boundary.
+// Callers invoke it after the delta produced by EncodeDelta is durable.
+func (t *Tree) ResetDelta() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dirty != nil {
+		t.dirty = make(map[*Node]struct{})
+	}
+}
+
+// DecodeChain reconstructs a tree from a base snapshot (Encode bytes) plus
+// an ordered chain of delta segments (EncodeDelta bytes). The result is
+// bit-for-bit identical to the live tree that wrote the chain: node counts,
+// aggregates, and the rarity-ordered frontier index are all rebuilt.
+func DecodeChain(base []byte, deltas [][]byte) (*Tree, error) {
+	t, err := Decode(base)
+	if err != nil {
+		return nil, err
+	}
+	if len(deltas) == 0 {
+		return t, nil
+	}
+	for i, d := range deltas {
+		if err := t.applyDelta(d); err != nil {
+			return nil, fmt.Errorf("delta %d: %w", i, err)
+		}
+	}
+	t.recomputeAggregatesLocked()
+	t.rebuildFrontierLocked()
+	return t, nil
+}
+
+// applyDelta overlays one delta segment: every entry overwrites its node's
+// terminal counts, certificates, and outgoing-edge visit counts with the
+// absolute values recorded at encode time, creating missing nodes along the
+// way. Aggregates and the frontier index are left stale — DecodeChain
+// recomputes them once after the last segment.
+func (t *Tree) applyDelta(data []byte) error {
+	d := &treeDecoder{buf: data}
+	if v := d.byte(); v != deltaVersion {
+		return fmt.Errorf("%w: delta version %d", ErrCodec, v)
+	}
+	if id := d.string(); d.err == nil && id != t.programID {
+		return fmt.Errorf("%w: delta for %q applied to %q", ErrCodec, id, t.programID)
+	}
+	count := int(d.uvarint())
+	if d.err != nil || count > len(d.buf) {
+		d.fail()
+		return d.err
+	}
+	for i := 0; i < count; i++ {
+		depth := int(d.uvarint())
+		if d.err != nil || depth > maxDecodeDepth {
+			d.fail()
+			return d.err
+		}
+		n := t.root
+		for j := 0; j < depth; j++ {
+			e := d.edge()
+			if d.err != nil {
+				return d.err
+			}
+			child := n.children[e]
+			if child == nil {
+				child = newChild(n, e)
+				if n.children == nil {
+					n.children = make(map[Edge]*Node, 2)
+					n.visits = make(map[Edge]int64, 2)
+				}
+				n.children[e] = child
+			}
+			n = child
+		}
+
+		nt := int(d.uvarint())
+		if d.err != nil || nt > len(d.buf)-d.pos {
+			d.fail()
+			return d.err
+		}
+		n.terminal = nil
+		for j := 0; j < nt; j++ {
+			o := prog.Outcome(d.byte())
+			c := int64(d.uvarint())
+			if d.err != nil {
+				return d.err
+			}
+			if n.terminal == nil {
+				n.terminal = make(map[prog.Outcome]int64, nt)
+			}
+			n.terminal[o] = c
+		}
+
+		ni := int(d.uvarint())
+		if d.err != nil || ni > len(d.buf)-d.pos {
+			d.fail()
+			return d.err
+		}
+		n.infeasible = nil
+		for j := 0; j < ni; j++ {
+			e := d.edge()
+			if d.err != nil {
+				return d.err
+			}
+			n.markInfeasible(e)
+		}
+
+		nc := int(d.uvarint())
+		if d.err != nil || nc > len(d.buf)-d.pos {
+			d.fail()
+			return d.err
+		}
+		for j := 0; j < nc; j++ {
+			e := d.edge()
+			visits := int64(d.uvarint())
+			if d.err != nil {
+				return d.err
+			}
+			if n.children == nil {
+				n.children = make(map[Edge]*Node, nc)
+				n.visits = make(map[Edge]int64, nc)
+			}
+			if n.children[e] == nil {
+				n.children[e] = newChild(n, e)
+			}
+			n.visits[e] = visits
+		}
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.pos != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing delta bytes", ErrCodec, len(d.buf)-d.pos)
+	}
+	return nil
+}
+
+// recomputeAggregatesLocked rebuilds the tree-level aggregates (node count,
+// path/execution/outcome totals, edge coverage) from node state. Used after
+// overlaying delta segments, whose entries carry absolute per-node values
+// but no aggregate bookkeeping.
+func (t *Tree) recomputeAggregatesLocked() {
+	t.nodes = 0
+	t.paths = 0
+	t.executions = 0
+	t.outcomes = make(map[prog.Outcome]int64)
+	t.edgeCover = make(map[Edge]int64)
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		t.nodes++
+		for o, c := range n.terminal {
+			t.outcomes[o] += c
+			t.executions += c
+			t.paths++
+		}
+		for e, v := range n.visits {
+			t.edgeCover[e] += v
+		}
+		for _, child := range n.children {
+			rec(child)
+		}
+	}
+	rec(t.root)
+}

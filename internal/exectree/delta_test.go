@@ -1,0 +1,134 @@
+package exectree
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// randomMerge folds one random path into the tree.
+func randomMerge(t *Tree, rng *rand.Rand) {
+	depth := 1 + rng.Intn(12)
+	path := make([]trace.BranchEvent, depth)
+	for d := range path {
+		path[d] = trace.BranchEvent{ID: int32(rng.Intn(8)), Taken: rng.Intn(2) == 1}
+	}
+	outcomes := []prog.Outcome{prog.OutcomeOK, prog.OutcomeCrash, prog.OutcomeAssertFail, prog.OutcomeHang}
+	t.Merge(path, outcomes[rng.Intn(len(outcomes))])
+}
+
+// assertTreesEquivalent compares two trees on every observable axis the
+// snapshot acceptance criteria name.
+func assertTreesEquivalent(t *testing.T, want, got *Tree, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Stats(), got.Stats()) {
+		t.Fatalf("%s: stats mismatch:\n want %+v\n  got %+v", label, want.Stats(), got.Stats())
+	}
+	if !reflect.DeepEqual(visitCounts(want), visitCounts(got)) {
+		t.Fatalf("%s: visit counts mismatch", label)
+	}
+	if !reflect.DeepEqual(certificates(want), certificates(got)) {
+		t.Fatalf("%s: certificates mismatch", label)
+	}
+	a, b := want.Frontiers(0), got.Frontiers(0)
+	if (len(a) > 0 || len(b) > 0) && !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: frontier sets mismatch (%d vs %d)", label, len(a), len(b))
+	}
+}
+
+// TestPropDeltaChainRoundTrip is the incremental-snapshot property: a base
+// snapshot plus an ordered chain of delta segments, cut at random points in
+// a random merge/certify history, must reconstruct the live tree exactly.
+func TestPropDeltaChainRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		live := New("prop-prog")
+		// Phase 0: pre-base history.
+		for m := 0; m < rng.Intn(40); m++ {
+			randomMerge(live, rng)
+		}
+		base := live.Encode()
+		live.SetDeltaTracking(true)
+
+		var deltas [][]byte
+		segments := 1 + rng.Intn(4)
+		for s := 0; s < segments; s++ {
+			for m := 0; m < rng.Intn(30); m++ {
+				randomMerge(live, rng)
+				if rng.Intn(6) == 0 {
+					if fr := live.Frontiers(0); len(fr) > 0 {
+						f := fr[rng.Intn(len(fr))]
+						live.CertifyInfeasible(f.Prefix, f.Missing)
+					}
+				}
+			}
+			deltas = append(deltas, live.EncodeDelta())
+			live.ResetDelta()
+		}
+
+		rebuilt, err := DecodeChain(base, deltas)
+		if err != nil {
+			t.Fatalf("seed %d: DecodeChain: %v", seed, err)
+		}
+		assertTreesEquivalent(t, live, rebuilt, fmt.Sprintf("seed %d", seed))
+	}
+}
+
+// TestDeltaCostTracksChanges pins the incremental-snapshot cost claim: the
+// delta working set is bounded by the touched paths, not the tree size.
+func TestDeltaCostTracksChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	live := New("prop-prog")
+	for m := 0; m < 3000; m++ {
+		randomMerge(live, rng)
+	}
+	live.SetDeltaTracking(true)
+	if n := live.DirtyNodes(); n != 0 {
+		t.Fatalf("fresh boundary has %d dirty nodes", n)
+	}
+	// One shallow merge dirties at most depth+1 nodes even on a big tree.
+	live.Merge([]trace.BranchEvent{{ID: 1, Taken: true}, {ID: 2, Taken: false}}, prog.OutcomeOK)
+	if n := live.DirtyNodes(); n == 0 || n > 3 {
+		t.Fatalf("shallow merge dirtied %d nodes, want 1..3", n)
+	}
+	delta := live.EncodeDelta()
+	full := live.Encode()
+	if len(delta) >= len(full)/10 {
+		t.Fatalf("delta (%dB) not an order cheaper than full snapshot (%dB)", len(delta), len(full))
+	}
+	// EncodeDelta does not clear; ResetDelta does.
+	if live.DirtyNodes() == 0 {
+		t.Fatal("EncodeDelta cleared the dirty set")
+	}
+	live.ResetDelta()
+	if live.DirtyNodes() != 0 {
+		t.Fatal("ResetDelta left dirty nodes")
+	}
+}
+
+// TestDeltaTrackingOffReturnsNil pins the full-snapshot fallback contract.
+func TestDeltaTrackingOffReturnsNil(t *testing.T) {
+	live := New("prop-prog")
+	live.Merge([]trace.BranchEvent{{ID: 1, Taken: true}}, prog.OutcomeOK)
+	if d := live.EncodeDelta(); d != nil {
+		t.Fatalf("EncodeDelta without tracking returned %d bytes", len(d))
+	}
+	if live.DeltaTracking() {
+		t.Fatal("tracking reported on")
+	}
+}
+
+// TestDeltaRejectsWrongProgram pins cross-program application as an error.
+func TestDeltaRejectsWrongProgram(t *testing.T) {
+	a := New("prog-a")
+	a.SetDeltaTracking(true)
+	a.Merge([]trace.BranchEvent{{ID: 1, Taken: true}}, prog.OutcomeOK)
+	b := New("prog-b")
+	if _, err := DecodeChain(b.Encode(), [][]byte{a.EncodeDelta()}); err == nil {
+		t.Fatal("cross-program delta applied without error")
+	}
+}

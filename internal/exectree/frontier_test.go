@@ -106,6 +106,79 @@ func TestFrontierCount(t *testing.T) {
 	}
 }
 
+// TestQuickFrontierRarityChurn drives heavy revisit traffic (small ID
+// space, long paths) so open frontiers have their rarity signal bumped many
+// times, then checks the incrementally repositioned index still agrees with
+// recomputation — the cached sibling-visit counts must never go stale.
+func TestQuickFrontierRarityChurn(t *testing.T) {
+	rng := stats.NewRNG(1234)
+	tr := New("prog-churn")
+	for i := 0; i < 4000; i++ {
+		n := rng.Intn(10) + 2
+		path := make([]trace.BranchEvent, n)
+		for j := range path {
+			// Heavily biased directions: siblings stay unexplored while the
+			// explored side racks up visits.
+			path[j] = trace.BranchEvent{ID: int32(rng.Intn(6)), Taken: rng.Bool(0.9)}
+		}
+		tr.Merge(path, prog.OutcomeOK)
+		if i%512 == 0 {
+			if !frontiersEqual(tr.Frontiers(0), tr.FrontiersByWalk(0)) {
+				t.Fatalf("after %d merges: index and walk disagree", i+1)
+			}
+		}
+	}
+	if !frontiersEqual(tr.Frontiers(0), tr.FrontiersByWalk(0)) {
+		t.Fatal("final: index and walk disagree")
+	}
+	if !frontiersEqual(tr.Frontiers(16), tr.FrontiersByWalk(16)) {
+		t.Fatal("final limited: index and walk disagree")
+	}
+}
+
+// buildAdversarialTree grows a tree whose open-frontier set scales with the
+// tree itself: every merge explores one direction of fresh branch IDs, so
+// nearly every new node leaves an unexplored sibling behind. This is the
+// workload where any per-snapshot scan of the open set — even a top-k heap
+// — degrades linearly.
+func buildAdversarialTree(b *testing.B, merges int) *Tree {
+	b.Helper()
+	rng := stats.NewRNG(4242)
+	t := New("prog-adversarial")
+	for i := 0; i < merges; i++ {
+		n := rng.Intn(12) + 4
+		path := make([]trace.BranchEvent, n)
+		for j := range path {
+			path[j] = trace.BranchEvent{ID: int32(rng.Intn(1 << 16)), Taken: rng.Bool(0.5)}
+		}
+		t.Merge(path, prog.OutcomeOK)
+	}
+	return t
+}
+
+// BenchmarkFrontiersAdversarial pins the acceptance criterion that a
+// limited snapshot's cost is independent of open-set size: Frontiers(k) on
+// a tree whose open set grows with every merge must stay flat while the
+// open set grows 64×.
+func BenchmarkFrontiersAdversarial(b *testing.B) {
+	for _, merges := range []int{512, 4096, 32768} {
+		tree := buildAdversarialTree(b, merges)
+		open := tree.FrontierCount()
+		b.Run(fmt.Sprintf("indexed/open=%d", open), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tree.Frontiers(32)
+			}
+		})
+		b.Run(fmt.Sprintf("fullwalk/open=%d", open), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tree.FrontiersByWalk(32)
+			}
+		})
+	}
+}
+
 // buildWideTree merges n random deep paths over a wide branch-ID space —
 // large trees with many interior nodes, the shape that made the full walk
 // starve merges.

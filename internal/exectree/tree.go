@@ -34,6 +34,13 @@ func (e Edge) String() string {
 
 // Node is one decision point in the execution tree.
 type Node struct {
+	// parent/in/depth place the node on its (immutable) root path: a node's
+	// position never changes once created, so the frontier index derives
+	// prefixes from these links instead of storing a copy per entry — the
+	// whole tree shares one interned representation of every root prefix.
+	parent *Node
+	in     Edge
+	depth  int32
 	// children maps each observed decision to the subsequent subtree.
 	children map[Edge]*Node
 	// visits counts traversals of each outgoing edge.
@@ -48,6 +55,11 @@ type Node struct {
 
 func newNode() *Node {
 	return &Node{}
+}
+
+// newChild creates a node hanging off parent along e.
+func newChild(parent *Node, e Edge) *Node {
+	return &Node{parent: parent, in: e, depth: parent.depth + 1}
 }
 
 // Child returns the subtree along e, or nil.
@@ -101,6 +113,20 @@ func (n *Node) markInfeasible(e Edge) {
 // Infeasible reports whether e carries an infeasibility certificate.
 func (n *Node) Infeasible(e Edge) bool { return n.infeasible[e] }
 
+// pathTo materializes the root prefix of n from its parent links. The root
+// itself has a nil prefix (matching the walk-based enumeration).
+func pathTo(n *Node) []Edge {
+	if n.depth == 0 {
+		return nil
+	}
+	out := make([]Edge, n.depth)
+	for i := int(n.depth) - 1; i >= 0; i-- {
+		out[i] = n.in
+		n = n.parent
+	}
+	return out
+}
+
 // frontierKey identifies one open frontier: the node it hangs off and the
 // unexplored direction.
 type frontierKey struct {
@@ -108,24 +134,34 @@ type frontierKey struct {
 	missing Edge
 }
 
-// frontierEntry is the index record behind one open frontier. prefix is the
-// decision path from the root to n; it is immutable (a node's root path never
-// changes) and shared between entries created by the same merge.
+// frontierEntry is the index record behind one open frontier. It stores no
+// prefix — the node's parent links are the shared, interned root path — and
+// doubles as a treap node of the rarity order (see Tree.frontierRoot).
 type frontierEntry struct {
 	n       *Node
-	prefix  []Edge
 	missing Edge
+	// sib caches the traversal count of the explored sibling direction —
+	// the frontier's rarity signal, kept in sync by Merge so the index
+	// stays ordered without re-reading node state on every snapshot.
+	sib int64
+
+	// Treap linkage (guarded by the tree lock).
+	prio        uint64
+	left, right *frontierEntry
 }
 
 // Tree is the collective execution tree for one program. It is safe for
 // concurrent use: the hive ingests trace batches from many pods at once.
 //
-// The tree maintains its open-frontier set incrementally: Merge opens a
-// frontier when it observes the first direction of a branch at a node and
-// retires it when the sibling direction arrives; CertifyInfeasible retires
-// the frontier its certificate discharges. Frontiers therefore serves a
-// cheap snapshot of the index instead of re-walking the whole tree under the
-// read lock — the guidance hot path no longer starves merges on large trees.
+// The tree maintains its open-frontier set incrementally AND in rarity
+// order: Merge opens a frontier when it observes the first direction of a
+// branch at a node, retires it when the sibling direction arrives, and
+// repositions it whenever its rarity signal (explored-sibling visits)
+// changes; CertifyInfeasible retires the frontier its certificate
+// discharges. The open set lives in a treap ordered by frontierLess, so
+// Frontiers(k) reads the top k in O(k + log n) no matter how large the open
+// set grows — the guidance hot path is independent of both tree size and
+// open-set size.
 type Tree struct {
 	mu sync.RWMutex
 
@@ -138,8 +174,17 @@ type Tree struct {
 	outcomes   map[prog.Outcome]int64
 	// edgeCover tracks distinct (branch, direction) pairs seen anywhere.
 	edgeCover map[Edge]int64
-	// frontier is the incrementally maintained open-frontier index.
-	frontier map[frontierKey]*frontierEntry
+	// frontier indexes the open set by (node, missing direction);
+	// frontierRoot is the same set as a treap in frontierLess order.
+	frontier     map[frontierKey]*frontierEntry
+	frontierRoot *frontierEntry
+	// prioState seeds treap priorities deterministically, so rebuilds of
+	// the same tree shape produce the same structure run to run.
+	prioState uint64
+	// dirty is the incremental-snapshot working set: every node whose
+	// counts or structure changed since the last delta boundary (see
+	// delta.go). Nil when delta tracking is off.
+	dirty map[*Node]struct{}
 	// onCertify, when set, observes every newly minted infeasibility
 	// certificate (hive journaling). Called under the write lock; the
 	// prefix slice is the caller's and must not be retained.
@@ -155,6 +200,7 @@ func New(programID string) *Tree {
 		outcomes:  make(map[prog.Outcome]int64),
 		edgeCover: make(map[Edge]int64),
 		frontier:  make(map[frontierKey]*frontierEntry),
+		prioState: 0x9e3779b97f4a7c15,
 	}
 }
 
@@ -184,11 +230,8 @@ func (t *Tree) Merge(path []trace.BranchEvent, outcome prog.Outcome) MergeResult
 	defer t.mu.Unlock()
 
 	res := MergeResult{Depth: len(path)}
-	// edges is the full path converted once, lazily; new frontier entries
-	// slice it so they share one immutable prefix array per merge.
-	var edges []Edge
 	node := t.root
-	for depth, be := range path {
+	for _, be := range path {
 		e := Edge{ID: be.ID, Taken: be.Taken}
 		if t.edgeCover[e] == 0 {
 			res.NewEdges++
@@ -198,38 +241,36 @@ func (t *Tree) Merge(path []trace.BranchEvent, outcome prog.Outcome) MergeResult
 			node.children = make(map[Edge]*Node, 2)
 			node.visits = make(map[Edge]int64, 2)
 		}
+		if t.dirty != nil {
+			t.dirty[node] = struct{}{}
+		}
 		child := node.children[e]
-		if child == nil {
-			child = newNode()
+		isNew := child == nil
+		if isNew {
+			child = newChild(node, e)
 			node.children[e] = child
 			t.nodes++
 			res.NewNodes++
-			// Frontier maintenance: e's first appearance at node either
-			// closes the frontier that pointed at e, or opens one for its
-			// still-unexplored sibling.
-			sibling := Edge{ID: e.ID, Taken: !e.Taken}
-			if node.children[sibling] != nil {
-				delete(t.frontier, frontierKey{n: node, missing: e})
-			} else if !node.Infeasible(sibling) {
-				if edges == nil {
-					edges = make([]Edge, len(path))
-					for j, b := range path {
-						edges[j] = Edge{ID: b.ID, Taken: b.Taken}
-					}
-				}
-				prefix := edges[:depth]
-				if len(path) > 2*depth {
-					// A shallow frontier on a deep path would pin the whole
-					// path array for as long as it stays open; copying what
-					// the entry actually uses bounds retention.
-					prefix = append([]Edge(nil), prefix...)
-				}
-				t.frontier[frontierKey{n: node, missing: sibling}] = &frontierEntry{
-					n: node, prefix: prefix, missing: sibling,
-				}
+			// e's first appearance closes the frontier that pointed at it
+			// (if the sibling direction opened one earlier).
+			if fe := t.frontier[frontierKey{n: node, missing: e}]; fe != nil {
+				t.retireEntry(fe)
 			}
 		}
 		node.visits[e]++
+		sibling := Edge{ID: e.ID, Taken: !e.Taken}
+		if fe := t.frontier[frontierKey{n: node, missing: sibling}]; fe != nil {
+			// The explored side of an open frontier was traversed again: its
+			// rarity signal grew, so reposition it in the order index.
+			t.frontierRoot = treapRemove(t.frontierRoot, fe)
+			fe.left, fe.right = nil, nil
+			fe.sib = node.visits[e]
+			t.insertEntry(fe)
+		} else if isNew && node.children[sibling] == nil && !node.Infeasible(sibling) {
+			fe := &frontierEntry{n: node, missing: sibling, sib: node.visits[e]}
+			t.frontier[frontierKey{n: node, missing: sibling}] = fe
+			t.insertEntry(fe)
+		}
 		node = child
 	}
 	if node.terminal == nil {
@@ -240,6 +281,9 @@ func (t *Tree) Merge(path []trace.BranchEvent, outcome prog.Outcome) MergeResult
 		t.paths++
 	}
 	node.terminal[outcome]++
+	if t.dirty != nil {
+		t.dirty[node] = struct{}{}
+	}
 	t.outcomes[outcome]++
 	t.executions++
 	return res
@@ -318,7 +362,12 @@ func (t *Tree) CertifyInfeasible(prefix []Edge, missing Edge) bool {
 		return true // already certified; nothing new to observe
 	}
 	n.markInfeasible(missing)
-	delete(t.frontier, frontierKey{n: n, missing: missing})
+	if t.dirty != nil {
+		t.dirty[n] = struct{}{}
+	}
+	if fe := t.frontier[frontierKey{n: n, missing: missing}]; fe != nil {
+		t.retireEntry(fe)
+	}
 	if t.onCertify != nil {
 		t.onCertify(prefix, missing)
 	}
@@ -370,83 +419,49 @@ type Frontier struct {
 	SiblingVisits int64
 }
 
-// frontierCand pairs an index entry with its rarity signal, read once under
-// the lock.
-type frontierCand struct {
-	fe  *frontierEntry
-	sib int64
-}
-
-func (c frontierCand) less(o frontierCand) bool {
-	return frontierLess(c.sib, c.fe.prefix, c.fe.missing, o.sib, o.fe.prefix, o.fe.missing)
-}
-
-// Frontiers enumerates unexplored branch directions, excluding those carrying
-// infeasibility certificates, in rarity order (most-visited sibling first,
-// ties broken deterministically). limit <= 0 means no limit.
+// Frontiers enumerates unexplored branch directions, excluding those
+// carrying infeasibility certificates, in rarity order (most-visited
+// sibling first, ties broken deterministically). limit <= 0 means no limit.
 //
-// The result is served from the incrementally maintained index: the read
-// lock is held only long enough to snapshot the open set, O(frontiers)
-// instead of O(tree).
+// The result is served from the rarity-ordered treap: a limited snapshot
+// reads the first limit entries in order, O(limit + log n) regardless of
+// how large the open set is, and prefixes are materialized from the shared
+// parent links outside the lock.
 func (t *Tree) Frontiers(limit int) []Frontier {
-	t.mu.RLock()
-	var cands []frontierCand
-	if limit > 0 && limit < len(t.frontier) {
-		// Top-k selection: a bounded heap whose root is the worst kept
-		// candidate, so a limited snapshot costs O(frontiers·log limit)
-		// with O(limit) memory instead of sorting the whole open set.
-		cands = make([]frontierCand, 0, limit)
-		for _, fe := range t.frontier {
-			sibling := Edge{ID: fe.missing.ID, Taken: !fe.missing.Taken}
-			c := frontierCand{fe: fe, sib: fe.n.visits[sibling]}
-			if len(cands) < limit {
-				cands = append(cands, c)
-				for i := len(cands) - 1; i > 0; {
-					parent := (i - 1) / 2
-					if !cands[parent].less(cands[i]) {
-						break
-					}
-					cands[parent], cands[i] = cands[i], cands[parent]
-					i = parent
-				}
-				continue
-			}
-			if !c.less(cands[0]) {
-				continue
-			}
-			cands[0] = c
-			for i := 0; ; {
-				worst := i
-				if l := 2*i + 1; l < len(cands) && cands[worst].less(cands[l]) {
-					worst = l
-				}
-				if r := 2*i + 2; r < len(cands) && cands[worst].less(cands[r]) {
-					worst = r
-				}
-				if worst == i {
-					break
-				}
-				cands[i], cands[worst] = cands[worst], cands[i]
-				i = worst
-			}
-		}
-	} else {
-		cands = make([]frontierCand, 0, len(t.frontier))
-		for _, fe := range t.frontier {
-			sibling := Edge{ID: fe.missing.ID, Taken: !fe.missing.Taken}
-			cands = append(cands, frontierCand{fe: fe, sib: fe.n.visits[sibling]})
-		}
+	type cand struct {
+		n       *Node
+		missing Edge
+		sib     int64
 	}
+	t.mu.RLock()
+	want := len(t.frontier)
+	if limit > 0 && limit < want {
+		want = limit
+	}
+	cands := make([]cand, 0, want)
+	var walk func(fe *frontierEntry) bool
+	walk = func(fe *frontierEntry) bool {
+		if fe == nil {
+			return true
+		}
+		if !walk(fe.left) {
+			return false
+		}
+		if len(cands) >= want {
+			return false
+		}
+		cands = append(cands, cand{n: fe.n, missing: fe.missing, sib: fe.sib})
+		return walk(fe.right)
+	}
+	walk(t.frontierRoot)
 	t.mu.RUnlock()
-	// Order and materialize outside the lock: entry prefixes are immutable,
-	// so sorting needs no lock and only the returned frontiers pay for a
-	// prefix copy.
-	sort.Slice(cands, func(i, j int) bool { return cands[i].less(cands[j]) })
+	// Materialize outside the lock: parent links, in-edges, and depths are
+	// immutable once a node exists.
 	out := make([]Frontier, len(cands))
 	for i, c := range cands {
 		out[i] = Frontier{
-			Prefix:        append([]Edge(nil), c.fe.prefix...),
-			Missing:       c.fe.missing,
+			Prefix:        pathTo(c.n),
+			Missing:       c.missing,
 			SiblingVisits: c.sib,
 		}
 	}
@@ -521,13 +536,159 @@ func (t *Tree) FrontierCount() int {
 	return len(t.frontier)
 }
 
+// --- rarity-ordered index internals (all under the write lock) ---
+
+// compareEdges orders edges by ID, the untaken direction first.
+func compareEdges(a, b Edge) int {
+	if a.ID != b.ID {
+		if a.ID < b.ID {
+			return -1
+		}
+		return 1
+	}
+	if a.Taken == b.Taken {
+		return 0
+	}
+	if !a.Taken {
+		return -1
+	}
+	return 1
+}
+
+// comparePaths orders two same-depth nodes by their root paths
+// lexicographically, walking the shared parent links. The recursion
+// ascends only to the lowest common ancestor: above it the nodes are
+// identical and the comparison short-circuits.
+func comparePaths(x, y *Node) int {
+	if x == y {
+		return 0
+	}
+	if c := comparePaths(x.parent, y.parent); c != 0 {
+		return c
+	}
+	return compareEdges(x.in, y.in)
+}
+
+// compareEntries is frontierLess over index entries: rarity (desc), depth
+// (asc), root path (lex), missing edge — without materializing prefixes.
+func compareEntries(a, b *frontierEntry) int {
+	if a == b {
+		return 0
+	}
+	if a.sib != b.sib {
+		if a.sib > b.sib {
+			return -1
+		}
+		return 1
+	}
+	if a.n != b.n {
+		if a.n.depth != b.n.depth {
+			if a.n.depth < b.n.depth {
+				return -1
+			}
+			return 1
+		}
+		if c := comparePaths(a.n, b.n); c != 0 {
+			return c
+		}
+	}
+	return compareEdges(a.missing, b.missing)
+}
+
+// nextPrio draws the next deterministic treap priority (splitmix64).
+func (t *Tree) nextPrio() uint64 {
+	t.prioState += 0x9e3779b97f4a7c15
+	z := t.prioState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// insertEntry adds fe to the rarity treap.
+func (t *Tree) insertEntry(fe *frontierEntry) {
+	fe.prio = t.nextPrio()
+	t.frontierRoot = treapInsert(t.frontierRoot, fe)
+}
+
+// retireEntry removes fe from both the key map and the rarity treap.
+func (t *Tree) retireEntry(fe *frontierEntry) {
+	delete(t.frontier, frontierKey{n: fe.n, missing: fe.missing})
+	t.frontierRoot = treapRemove(t.frontierRoot, fe)
+	fe.left, fe.right = nil, nil
+}
+
+func treapInsert(root, fe *frontierEntry) *frontierEntry {
+	if root == nil {
+		return fe
+	}
+	if compareEntries(fe, root) < 0 {
+		root.left = treapInsert(root.left, fe)
+		if root.left.prio > root.prio {
+			root = rotateRight(root)
+		}
+	} else {
+		root.right = treapInsert(root.right, fe)
+		if root.right.prio > root.prio {
+			root = rotateLeft(root)
+		}
+	}
+	return root
+}
+
+func treapRemove(root, fe *frontierEntry) *frontierEntry {
+	if root == nil {
+		return nil
+	}
+	c := compareEntries(fe, root)
+	switch {
+	case c < 0:
+		root.left = treapRemove(root.left, fe)
+	case c > 0:
+		root.right = treapRemove(root.right, fe)
+	default:
+		return treapJoin(root.left, root.right)
+	}
+	return root
+}
+
+// treapJoin merges two treaps where every key in l precedes every key in r.
+func treapJoin(l, r *frontierEntry) *frontierEntry {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		l.right = treapJoin(l.right, r)
+		return l
+	default:
+		r.left = treapJoin(l, r.left)
+		return r
+	}
+}
+
+func rotateRight(n *frontierEntry) *frontierEntry {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	return l
+}
+
+func rotateLeft(n *frontierEntry) *frontierEntry {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	return r
+}
+
 // rebuildFrontierLocked recomputes the index from tree structure. Decode
 // uses it to restore the index of a deserialized tree; callers must hold the
 // write lock (or own the tree exclusively).
 func (t *Tree) rebuildFrontierLocked() {
 	t.frontier = make(map[frontierKey]*frontierEntry)
-	var rec func(prefix []Edge, n *Node)
-	rec = func(prefix []Edge, n *Node) {
+	t.frontierRoot = nil
+	var rec func(n *Node)
+	rec = func(n *Node) {
 		byID := make(map[int32][]Edge, len(n.children))
 		for e := range n.children {
 			byID[e.ID] = append(byID[e.ID], e)
@@ -540,15 +701,15 @@ func (t *Tree) rebuildFrontierLocked() {
 			if n.Infeasible(missing) {
 				continue
 			}
-			t.frontier[frontierKey{n: n, missing: missing}] = &frontierEntry{
-				n: n, prefix: append([]Edge(nil), prefix...), missing: missing,
-			}
+			fe := &frontierEntry{n: n, missing: missing, sib: n.visits[edges[0]]}
+			t.frontier[frontierKey{n: n, missing: missing}] = fe
+			t.insertEntry(fe)
 		}
-		for e, child := range n.children {
-			rec(append(prefix, e), child)
+		for _, child := range n.children {
+			rec(child)
 		}
 	}
-	rec(nil, t.root)
+	rec(t.root)
 }
 
 // Complete reports whether the tree has no frontiers left: every decision

@@ -39,15 +39,21 @@ func (h *Hive) Recover(store *journal.Store) error {
 		if err != nil {
 			return err
 		}
-		snap, err := store.LoadSnapshot(id)
+		base, deltas, err := store.LoadChain(id)
 		if err != nil {
 			return err
 		}
-		if snap != nil {
-			if err := h.restoreProgram(st, snap); err != nil {
+		if base != nil {
+			if err := h.restoreProgram(st, base, deltas); err != nil {
 				return err
 			}
+			st.hasBase = true
+			st.deltasSince = len(deltas)
 		}
+		// Track tree changes from this point: journal-suffix ops replayed
+		// below mark the dirty set, so the first post-recovery checkpoint
+		// can be an incremental segment capturing exactly the suffix.
+		st.tree.SetDeltaTracking(true)
 		// Certificates minted during a proof attempt can reference nodes the
 		// attempt itself created; those merges replay later, inside the
 		// attempt's OpProof. A cert whose prefix is not in the tree yet is
@@ -100,14 +106,25 @@ func (h *Hive) observeCertificates(st *programState) {
 	})
 }
 
-// restoreProgram rebuilds one program's state from a checkpoint snapshot.
-func (h *Hive) restoreProgram(st *programState, snap *journal.ProgramSnapshot) error {
-	tree, err := exectree.Decode(snap.Tree)
+// restoreProgram rebuilds one program's state from a checkpoint chain: the
+// base snapshot's tree with every delta segment's tree patch overlaid in
+// order, and the non-tree state from the newest segment (each segment
+// carries it in full).
+func (h *Hive) restoreProgram(st *programState, base *journal.ProgramSnapshot, deltas []*journal.ProgramSnapshot) error {
+	treeDeltas := make([][]byte, 0, len(deltas))
+	for _, d := range deltas {
+		treeDeltas = append(treeDeltas, d.TreeDelta)
+	}
+	tree, err := exectree.DecodeChain(base.Tree, treeDeltas)
 	if err != nil {
 		return fmt.Errorf("hive: restore %s tree: %w", st.prog.ID, err)
 	}
 	if tree.ProgramID() != st.prog.ID {
 		return fmt.Errorf("hive: snapshot tree for %q restored into %q", tree.ProgramID(), st.prog.ID)
+	}
+	snap := base
+	if len(deltas) > 0 {
+		snap = deltas[len(deltas)-1]
 	}
 	fixes := make([]fix.Fix, 0, len(snap.Fixes))
 	for i, raw := range snap.Fixes {
@@ -153,21 +170,25 @@ func (h *Hive) restoreProgram(st *programState, snap *journal.ProgramSnapshot) e
 	}
 	st.epoch = snap.Epoch
 	st.proofs = proofs
-	st.ingested = snap.Ingested
-	st.reconstructed = snap.Reconstructed
-	st.narrowed = snap.Narrowed
-	if len(knownGood) > 0 {
-		st.knownGood = knownGood
-	}
-	st.coordinated = coordinated
 	st.mu.Unlock()
+	st.ingested.Store(snap.Ingested)
+	st.reconstructed.Store(snap.Reconstructed)
+	st.narrowed.Store(snap.Narrowed)
+	if len(knownGood) > 0 {
+		st.kgMu.Lock()
+		st.knownGood = knownGood
+		st.kgMu.Unlock()
+	}
+	st.coordMu.Lock()
+	st.coordinated = coordinated
+	st.coordMu.Unlock()
 
 	for _, fs := range snap.Failures {
 		if err := st.failures.restore(fs); err != nil {
 			return err
 		}
 	}
-	h.mergeSessions(snap.Sessions)
+	h.mergeSessions(snap.Sessions, snap.SessionsAhead)
 	return nil
 }
 
@@ -241,7 +262,15 @@ func (h *Hive) Checkpoint() error {
 	return nil
 }
 
-// CheckpointProgram snapshots one program and rotates its journal.
+// CheckpointProgram snapshots one program and rotates its journal. With the
+// incremental policy (the default) most checkpoints write a delta segment —
+// only the tree nodes touched since the previous checkpoint plus the small
+// non-tree state — bounding the pause under the gate to O(changes) instead
+// of O(tree); a program's first checkpoint, and every compactEvery-th one
+// after, writes a full snapshot that compacts the chain. OpProof evidence
+// merges mark the dirty set like any other merge, so a proof attempt's
+// evidence paths are folded into the very next segment eagerly instead of
+// being replayed from the journal forever.
 func (h *Hive) CheckpointProgram(programID string) error {
 	if h.journal == nil {
 		return errors.New("hive: checkpoint without an attached journal")
@@ -252,28 +281,71 @@ func (h *Hive) CheckpointProgram(programID string) error {
 	}
 	st.ckpt.Lock()
 	defer st.ckpt.Unlock()
-	snap, err := h.snapshotProgram(st)
+
+	// Quiescent program: nothing merged since the last checkpoint and no
+	// journal ops to retire — a checkpoint would write an empty segment
+	// (or, on a compaction tick, re-encode an unchanged tree) for zero
+	// replay-debt reduction. Skipping never loses data: the journal, if it
+	// somehow had ops, stays in place. Session marks that advanced via
+	// other programs' traffic are carried by those programs' segments and
+	// ops (recovery max-merges all of them).
+	if st.hasBase && st.tree.DirtyNodes() == 0 &&
+		h.journal.AppendsSinceCheckpoint(programID) == 0 {
+		return nil
+	}
+
+	if st.hasBase && h.compactEvery > 0 && st.deltasSince < h.compactEvery {
+		if delta := st.tree.EncodeDelta(); delta != nil {
+			snap, err := h.snapshotProgramMeta(st)
+			if err != nil {
+				return err
+			}
+			snap.TreeDelta = delta
+			if err := h.journal.CheckpointDelta(snap); err != nil {
+				return err
+			}
+			// Only now that the segment is durable does the boundary move;
+			// a failed write above leaves the dirty set (and the journal)
+			// intact, so nothing acknowledged can fall between snapshots.
+			st.tree.ResetDelta()
+			st.deltasSince++
+			return nil
+		}
+	}
+
+	snap, err := h.snapshotProgramMeta(st)
 	if err != nil {
 		return err
 	}
-	return h.journal.Checkpoint(snap)
+	snap.Tree = st.tree.Encode()
+	if err := h.journal.Checkpoint(snap); err != nil {
+		return err
+	}
+	st.tree.SetDeltaTracking(true) // fresh boundary over the new base
+	st.hasBase = true
+	st.deltasSince = 0
+	return nil
 }
 
-// snapshotProgram serializes one program's durable state. The caller holds
-// the checkpoint gate exclusively, so no journaled mutation is in flight.
-func (h *Hive) snapshotProgram(st *programState) (*journal.ProgramSnapshot, error) {
-	st.mu.Lock()
+// snapshotProgramMeta serializes everything in one program's durable state
+// except the tree — fixes, proofs, failure aggregation, counters,
+// known-good inputs, the coordinated buffer, and the session table. Both
+// full snapshots and delta segments carry this in full; only the tree
+// differs. The caller holds the checkpoint gate exclusively, so no
+// journaled mutation is in flight.
+func (h *Hive) snapshotProgramMeta(st *programState) (*journal.ProgramSnapshot, error) {
 	snap := &journal.ProgramSnapshot{
 		ProgramID:     st.prog.ID,
-		Tree:          st.tree.Encode(),
-		Epoch:         st.epoch,
-		Ingested:      st.ingested,
-		Reconstructed: st.reconstructed,
-		Narrowed:      st.narrowed,
+		Ingested:      st.ingested.Load(),
+		Reconstructed: st.reconstructed.Load(),
+		Narrowed:      st.narrowed.Load(),
 	}
+	st.kgMu.Lock()
 	for _, g := range st.knownGood {
 		snap.KnownGood = append(snap.KnownGood, append([]int64(nil), g...))
 	}
+	st.kgMu.Unlock()
+	st.coordMu.Lock()
 	if len(st.coordinated) > 0 {
 		snap.Coordinated = make(map[string][][]byte, len(st.coordinated))
 		for key, fam := range st.coordinated {
@@ -284,6 +356,9 @@ func (h *Hive) snapshotProgram(st *programState) (*journal.ProgramSnapshot, erro
 			snap.Coordinated[key] = raws
 		}
 	}
+	st.coordMu.Unlock()
+	st.mu.Lock()
+	snap.Epoch = st.epoch
 	fixes := st.fixes.All()
 	props := make([]proof.Property, 0, len(st.proofs))
 	for p := range st.proofs {
@@ -311,6 +386,6 @@ func (h *Hive) snapshotProgram(st *programState) (*journal.ProgramSnapshot, erro
 		snap.Proofs = append(snap.Proofs, raw)
 	}
 	snap.Failures = st.failures.export()
-	snap.Sessions = h.sessionSnapshot()
+	snap.Sessions, snap.SessionsAhead = h.sessionSnapshot()
 	return snap, nil
 }

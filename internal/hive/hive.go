@@ -66,8 +66,13 @@ type FailureRecord struct {
 }
 
 // programState is the hive's per-program knowledge. Each program is its own
-// lock shard: mu guards every mutable field below, while prog, sym, and gen
-// are immutable after registration (gen and tree synchronize internally).
+// lock shard: mu guards the fix/proof/epoch state below, while prog, sym,
+// and gen are immutable after registration (gen and tree synchronize
+// internally). State that raw-privacy-heavy fleets hammer — known-good
+// inputs, the coordinated-fragment buffer, and the ingest counters — is
+// striped out from under the shard lock onto its own synchronization
+// (kgMu, coordMu, atomics), so a hot program's benign traffic never
+// serializes behind fix bookkeeping.
 type programState struct {
 	mu sync.Mutex
 
@@ -84,12 +89,21 @@ type programState struct {
 	fixes fix.Set
 	epoch int
 
+	// hasBase and deltasSince drive the incremental-checkpoint policy
+	// (full base snapshot first, then delta segments, recompacted every
+	// compactEvery deltas). Both are guarded by the ckpt write gate.
+	hasBase     bool
+	deltasSince int
+
 	// failures stripes per-signature bookkeeping so a single hot program's
 	// failure traffic does not serialize on mu (it synchronizes internally).
 	failures failureTable
 
 	// knownGood holds raw inputs observed to succeed (only available from
 	// PrivacyRaw pods); used to pick safe replacements and validate guards.
+	// Guarded by kgMu, not mu: harvesting happens on every raw-privacy OK
+	// trace, far hotter than the fix-state mutations mu protects.
+	kgMu      sync.Mutex
 	knownGood [][]int64
 
 	// sym and gen exist for single-threaded programs.
@@ -99,16 +113,19 @@ type programState struct {
 	proofs map[proof.Property]*proof.Proof
 
 	// ingested counts merged traces; reconstructed counts external-only
-	// traces expanded to full paths.
-	ingested      int64
-	reconstructed int64
+	// traces expanded to full paths; narrowed counts completed coordinated
+	// families merged as full paths. Atomics: bumped on every batch without
+	// touching any lock.
+	ingested      atomic.Int64
+	reconstructed atomic.Int64
+	narrowed      atomic.Int64
 
 	// coordinated buffers coordinated-sampling fragments by execution
 	// identity until every phase has arrived (paper §3.1: "subsequent
-	// aggregation of traces can narrow down this family"). Narrowed counts
-	// completed families merged as full paths.
+	// aggregation of traces can narrow down this family"). Guarded by
+	// coordMu.
+	coordMu     sync.Mutex
 	coordinated map[string][]*trace.Trace
-	narrowed    int64
 }
 
 // maxCoordinatedFamilies bounds the fragment buffer per program.
@@ -119,17 +136,30 @@ const maxCoordinatedFamilies = 4096
 // at-least-once on its next resubmission (documented wire contract).
 const maxSessions = 4096
 
-// sessionEntry is one client session's dedup state: the highest applied
-// frame sequence number, plus a logical-clock touch for LRU eviction.
+// maxSessionAhead bounds one session's out-of-order applied set. If a
+// permanently abandoned gap lets the set grow past the bound, the base
+// slides up to the oldest retained mark — seqs under the slide degrade to
+// at-most-once on resubmission, the same bounded-memory tradeoff as LRU
+// session eviction.
+const maxSessionAhead = 4096
+
+// sessionEntry is one client session's dedup state: an exact window of
+// applied frame sequence numbers — every seq at or below base is applied,
+// plus the out-of-order applied marks above it — and a logical-clock touch
+// for LRU eviction. Tracking the exact set (rather than a high-water mark)
+// makes deduplication independent of arrival order: frames may be
+// delivered, rejected, parked across drains, and resubmitted in any
+// interleaving, and a seq is re-applied iff it was never applied.
 type sessionEntry struct {
 	// mu serializes the dedup-check + journaled-apply of one session's
 	// frames. Without it, a frame resent on a new connection while the old
 	// connection's worker is still draining its queue could race the
-	// original past the high-water check and double-ingest.
+	// original past the applied check and double-ingest.
 	mu sync.Mutex
 
-	// seq and touched are guarded by the hive's sessMu.
-	seq     uint64
+	// base, ahead, and touched are guarded by the hive's sessMu.
+	base    uint64
+	ahead   map[uint64]struct{}
 	touched uint64
 }
 
@@ -143,6 +173,10 @@ type Hive struct {
 	// journal, when attached via Recover, receives every mutation ahead of
 	// application. Nil for a purely in-memory hive.
 	journal *journal.Store
+	// compactEvery is the incremental-checkpoint compaction interval: after
+	// this many delta checkpoints a program's next checkpoint is full,
+	// collapsing the chain. <= 0 forces every checkpoint full.
+	compactEvery int
 	// durabilityErr latches the first non-batch journal failure (batch
 	// append failures reject the batch instead). A pointer so the CAS
 	// never sees inconsistently typed values.
@@ -157,14 +191,27 @@ type Hive struct {
 	sessClock uint64
 }
 
+// defaultCompactEvery is how many delta checkpoints a program accumulates
+// before the next checkpoint compacts the chain with a full snapshot.
+const defaultCompactEvery = 8
+
 // New creates an empty hive. salt is the fleet-wide input-digest salt
 // (needed to correlate hashed inputs).
 func New(salt string) *Hive {
 	return &Hive{
-		programs: make(map[string]*programState),
-		salt:     salt,
-		sessions: make(map[string]*sessionEntry),
+		programs:     make(map[string]*programState),
+		salt:         salt,
+		sessions:     make(map[string]*sessionEntry),
+		compactEvery: defaultCompactEvery,
 	}
+}
+
+// SetCompactEvery tunes the incremental-checkpoint policy: a program's
+// checkpoint writes a delta segment (O(changes since last checkpoint))
+// until n deltas have accumulated, then a full snapshot compacts the chain.
+// n <= 0 makes every checkpoint full — the pre-incremental behavior.
+func (h *Hive) SetCompactEvery(n int) {
+	h.compactEvery = n
 }
 
 // RegisterProgram tells the hive about a program so it can reconstruct,
@@ -289,12 +336,14 @@ func (h *Hive) SubmitTracesFor(programID string, traces []*trace.Trace) error {
 
 // SubmitTracesSession implements pod.SessionSubmitter: per-program
 // submission deduplicated by (session, seq) so a client resubmitting a
-// partially-acknowledged stream over a new connection ingests each batch
-// exactly once. Frames arrive in sequence order per session (one TCP
-// connection at a time), so a high-water mark is a complete dedup window:
-// seq at or below it was already applied — possibly by journal replay after
-// a crash, since the op carrying (session, seq) is journaled ahead of the
-// apply — and is acknowledged as a duplicate without re-ingesting.
+// partially-acknowledged stream — over a new connection, or frames parked
+// across whole drains — ingests each batch exactly once. The dedup window
+// is the exact set of applied sequence numbers (a contiguous base plus
+// out-of-order marks), so arrival order does not matter: a frame is
+// re-applied iff it was never applied — possibly by journal replay after a
+// crash, since the op carrying (session, seq) is journaled ahead of the
+// apply — and is otherwise acknowledged as a duplicate without
+// re-ingesting.
 func (h *Hive) SubmitTracesSession(session string, seq uint64, programID string, traces []*trace.Trace) (bool, error) {
 	st, err := h.state(programID)
 	if err != nil {
@@ -390,31 +439,27 @@ func (h *Hive) applyBatch(st *programState, batch []*trace.Trace, live bool) {
 		}
 	}
 
-	// Phase 2 (single lock acquisition): coordinated fragment buffering,
-	// known-good harvesting, and counters. Failure aggregation runs after
-	// the shard lock drops — the failure table stripes per signature, so
-	// concurrent batches for one hot program contend only when they carry
-	// the same signature.
+	// Phase 2 (no shard lock at all): coordinated fragment buffering,
+	// known-good harvesting, and counters each ride their own striped
+	// synchronization — coordMu, kgMu, and atomics — so benign traffic on a
+	// raw-privacy-heavy program never serializes behind the fix/proof state
+	// mu protects. Failure aggregation runs after, striped per signature.
 	var families map[int][]*trace.Trace // batch index -> completed family
-	st.mu.Lock()
 	for i, tr := range batch {
 		if tr.Mode == trace.CaptureCoordinated && singleThreaded {
-			if fam, complete := st.bufferCoordinatedLocked(tr); complete {
+			if fam, complete := st.bufferCoordinated(tr); complete {
 				if families == nil {
 					families = make(map[int][]*trace.Trace)
 				}
 				families[i] = fam
 			}
 		}
-		st.ingested++
 		if tr.Privacy == trace.PrivacyRaw && tr.Outcome == prog.OutcomeOK && len(tr.Input) > 0 {
-			if len(st.knownGood) < 1024 {
-				st.knownGood = append(st.knownGood, append([]int64(nil), tr.Input...))
-			}
+			st.harvestKnownGood(tr.Input)
 		}
 	}
-	st.reconstructed += reconstructed
-	st.mu.Unlock()
+	st.ingested.Add(int64(len(batch)))
+	st.reconstructed.Add(reconstructed)
 
 	// Striped failure aggregation and the single-flight synthesis election,
 	// in batch order.
@@ -445,9 +490,7 @@ func (h *Hive) applyBatch(st *programState, batch []*trace.Trace, live bool) {
 		st.tree.Merge(paths[i], tr.Outcome)
 	}
 	if narrowed > 0 {
-		st.mu.Lock()
-		st.narrowed += narrowed
-		st.mu.Unlock()
+		st.narrowed.Add(narrowed)
 	}
 
 	// Phase 4: synthesize fixes for the signatures this batch saw first.
@@ -457,11 +500,31 @@ func (h *Hive) applyBatch(st *programState, batch []*trace.Trace, live bool) {
 	}
 }
 
-// bufferCoordinatedLocked appends a coordinated-sampling fragment to its
-// family buffer. When the last missing phase arrives the family is removed
-// from the buffer and returned for narrowing. Callers must hold st.mu.
-func (st *programState) bufferCoordinatedLocked(tr *trace.Trace) ([]*trace.Trace, bool) {
+// harvestKnownGood records a raw input observed to succeed, bounded, under
+// the dedicated known-good stripe.
+func (st *programState) harvestKnownGood(input []int64) {
+	st.kgMu.Lock()
+	if len(st.knownGood) < 1024 {
+		st.knownGood = append(st.knownGood, append([]int64(nil), input...))
+	}
+	st.kgMu.Unlock()
+}
+
+// knownGoodSnapshot copies the known-good input set under its stripe.
+func (st *programState) knownGoodSnapshot() [][]int64 {
+	st.kgMu.Lock()
+	defer st.kgMu.Unlock()
+	return append([][]int64(nil), st.knownGood...)
+}
+
+// bufferCoordinated appends a coordinated-sampling fragment to its family
+// buffer, under the dedicated coordination stripe. When the last missing
+// phase arrives the family is removed from the buffer and returned for
+// narrowing.
+func (st *programState) bufferCoordinated(tr *trace.Trace) ([]*trace.Trace, bool) {
 	key := fmt.Sprintf("%s|%s|%s|%d|%d", tr.InputDigest, tr.ScheduleHash, tr.Outcome, tr.SampleK, tr.FaultPC)
+	st.coordMu.Lock()
+	defer st.coordMu.Unlock()
 	if st.coordinated == nil {
 		st.coordinated = make(map[string][]*trace.Trace)
 	}
@@ -606,44 +669,123 @@ func (h *Hive) sessionFor(session string) *sessionEntry {
 	return e
 }
 
-// sessionApplied reports whether seq is at or below the entry's applied
-// high-water mark.
+// sessionApplied reports whether seq is in the entry's applied window.
 func (h *Hive) sessionApplied(e *sessionEntry, seq uint64) bool {
 	h.sessMu.Lock()
 	defer h.sessMu.Unlock()
-	return seq <= e.seq
+	if seq <= e.base {
+		return true
+	}
+	_, ok := e.ahead[seq]
+	return ok
 }
 
-// markSession advances a session's high-water mark.
+// markSession records one applied sequence number, compacting contiguous
+// marks into the base.
 func (h *Hive) markSession(session string, seq uint64) {
 	e := h.sessionFor(session)
 	h.sessMu.Lock()
 	defer h.sessMu.Unlock()
-	if seq > e.seq {
-		e.seq = seq
+	markAppliedLocked(e, seq)
+}
+
+// markAppliedLocked inserts seq into the entry's applied window. Callers
+// hold sessMu.
+func markAppliedLocked(e *sessionEntry, seq uint64) {
+	if seq <= e.base {
+		return
+	}
+	if e.ahead == nil {
+		e.ahead = make(map[uint64]struct{})
+	}
+	e.ahead[seq] = struct{}{}
+	compactWindowLocked(e)
+	if len(e.ahead) > maxSessionAhead {
+		// An abandoned gap is pinning the window open: slide the base to
+		// the oldest retained mark (bounded-memory degradation, see
+		// maxSessionAhead).
+		oldest := uint64(math.MaxUint64)
+		for s := range e.ahead {
+			if s < oldest {
+				oldest = s
+			}
+		}
+		if oldest > e.base {
+			e.base = oldest
+		}
+		compactWindowLocked(e)
 	}
 }
 
-// sessionSnapshot copies the dedup table for a checkpoint.
-func (h *Hive) sessionSnapshot() map[string]uint64 {
+// compactWindowLocked restores the window invariant after base or ahead
+// changed: marks at or below the base are dropped, and a contiguous run of
+// marks just above it folds into the base. Callers hold sessMu.
+func compactWindowLocked(e *sessionEntry) {
+	for s := range e.ahead {
+		if s <= e.base {
+			delete(e.ahead, s)
+		}
+	}
+	for {
+		if _, ok := e.ahead[e.base+1]; !ok {
+			break
+		}
+		delete(e.ahead, e.base+1)
+		e.base++
+	}
+}
+
+// markSessionBase raises a session's contiguous-applied floor (recovery
+// merge of a checkpointed base).
+func (h *Hive) markSessionBase(session string, base uint64) {
+	e := h.sessionFor(session)
+	h.sessMu.Lock()
+	defer h.sessMu.Unlock()
+	if base <= e.base {
+		return
+	}
+	e.base = base
+	compactWindowLocked(e)
+}
+
+// sessionSnapshot copies the dedup table for a checkpoint: the contiguous
+// base per session, plus any out-of-order applied marks above it.
+func (h *Hive) sessionSnapshot() (map[string]uint64, map[string][]uint64) {
 	h.sessMu.Lock()
 	defer h.sessMu.Unlock()
 	if len(h.sessions) == 0 {
-		return nil
+		return nil, nil
 	}
-	out := make(map[string]uint64, len(h.sessions))
+	bases := make(map[string]uint64, len(h.sessions))
+	var ahead map[string][]uint64
 	for id, e := range h.sessions {
-		out[id] = e.seq
+		bases[id] = e.base
+		if len(e.ahead) > 0 {
+			if ahead == nil {
+				ahead = make(map[string][]uint64)
+			}
+			marks := make([]uint64, 0, len(e.ahead))
+			for s := range e.ahead {
+				marks = append(marks, s)
+			}
+			sort.Slice(marks, func(i, j int) bool { return marks[i] < marks[j] })
+			ahead[id] = marks
+		}
 	}
-	return out
+	return bases, ahead
 }
 
-// mergeSessions folds recovered high-water marks into the dedup table
-// (max-merge: marks only ever grow, so merging snapshot and replayed-op
+// mergeSessions folds recovered dedup windows into the table (union-merge:
+// applied marks only ever accumulate, so merging snapshot and replayed-op
 // views in any order converges).
-func (h *Hive) mergeSessions(marks map[string]uint64) {
-	for id, seq := range marks {
-		h.markSession(id, seq)
+func (h *Hive) mergeSessions(bases map[string]uint64, ahead map[string][]uint64) {
+	for id, base := range bases {
+		h.markSessionBase(id, base)
+	}
+	for id, marks := range ahead {
+		for _, seq := range marks {
+			h.markSession(id, seq)
+		}
 	}
 }
 
@@ -681,9 +823,7 @@ func (h *Hive) synthesizeInputGuard(st *programState, rec *failureRecord, tr *tr
 	// Validation against collective knowledge: no known-good input may fall
 	// in the danger zone (the fix must not change any previously-correct
 	// behaviour).
-	st.mu.Lock()
-	goodInputs := st.knownGood
-	st.mu.Unlock()
+	goodInputs := st.knownGoodSnapshot()
 	for _, g := range goodInputs {
 		if guard.Matches(g) {
 			return nil
@@ -701,9 +841,7 @@ func (h *Hive) synthesizeInputGuard(st *programState, rec *failureRecord, tr *tr
 // input when available, otherwise one synthesized by solving the negated
 // condition.
 func (h *Hive) safeInput(st *programState, danger constraint.PathCondition) []int64 {
-	st.mu.Lock()
-	goodInputs := append([][]int64(nil), st.knownGood...)
-	st.mu.Unlock()
+	goodInputs := st.knownGoodSnapshot()
 	holds := func(input []int64) bool {
 		assign := make(map[int]int64, len(input))
 		for i, v := range input {
@@ -938,9 +1076,9 @@ func (h *Hive) ProgramStats(programID string) (Stats, error) {
 	st.mu.Lock()
 	out := Stats{
 		ProgramID:     programID,
-		Ingested:      st.ingested,
-		Reconstructed: st.reconstructed,
-		Narrowed:      st.narrowed,
+		Ingested:      st.ingested.Load(),
+		Reconstructed: st.reconstructed.Load(),
+		Narrowed:      st.narrowed.Load(),
 		Tree:          st.tree.Stats(),
 		FixCount:      st.fixes.Len(),
 		Epoch:         st.epoch,

@@ -1,32 +1,58 @@
 // Package journal is the hive's persistence subsystem: an append-only
-// write-ahead journal of ingest operations plus periodic full snapshots,
-// giving the collective knowledge the paper's whole premise depends on —
-// execution trees, failure signatures, fixes, and proofs grow monotonically
-// as the fleet runs — a life beyond one hive process.
+// write-ahead journal of ingest operations plus periodic snapshots, giving
+// the collective knowledge the paper's whole premise depends on — execution
+// trees, failure signatures, fixes, and proofs grow monotonically as the
+// fleet runs — a life beyond one hive process.
 //
 // # Durability model
 //
 // State is persisted per program: every program has its own journal file
 // (write-ahead log of replayable operations, see Op) and its own snapshot
-// generation. A mutation is appended to the program's journal *before* it is
+// chain. A mutation is appended to the program's journal *before* it is
 // applied to the in-memory hive, so an acknowledged submission is always
 // either in a snapshot or in the journal suffix after it. Recovery loads the
-// newest snapshot and replays the journal suffix through the same apply path
-// live ingestion uses; snapshot + suffix reconstructs the hive exactly —
-// including the execution tree's incremental frontier index, which
-// exectree.Decode rebuilds.
+// newest snapshot chain and replays the journal suffix through the same
+// apply path live ingestion uses; snapshot + suffix reconstructs the hive
+// exactly — including the execution tree's incremental frontier index,
+// which exectree.Decode rebuilds.
 //
-// Snapshots rotate atomically: the new snapshot is written to a temp file,
-// fsynced, and renamed before the journal is rotated and older generations
-// are deleted, so a crash at any point leaves a recoverable (snapshot,
-// journal) pair on disk. Journal records are CRC-framed; a torn tail from a
-// crash mid-append is detected and truncated on recovery — the torn record
-// was never applied (append happens before apply) and never acknowledged.
+// # Snapshot chains
+//
+// A checkpoint is either *full* (Checkpoint: the program's complete state,
+// O(tree)) or *incremental* (CheckpointDelta: only the state that changed
+// since the previous checkpoint, O(changes)). Each checkpoint bumps the
+// program's generation and rotates its journal, so the on-disk state is
+// always one base snapshot, zero or more delta segments in generation
+// order, and the current journal:
+//
+//	snap-<key>-<B>.snap  delta-<key>-<B+1>.snap ... delta-<key>-<T>.snap  wal-<key>-<T>.log
+//
+// Recovery merges base + deltas in order (LoadChain), then replays the
+// journal. A full checkpoint compacts the chain back to a single base and
+// deletes everything older. Snapshots rotate atomically: the new file is
+// written to a temp name, fsynced, and renamed before the journal is
+// rotated and superseded generations are deleted, so a crash at any point
+// leaves a recoverable chain on disk. Journal records are CRC-framed; a
+// torn tail from a crash mid-append is detected and truncated on recovery —
+// the torn record was never applied (append happens before apply) and never
+// acknowledged.
+//
+// # Group commit
+//
+// By default every Append is its own write (+fsync) syscall. With group
+// commit enabled (Options.GroupWindow / Options.MaxBatch) a per-program
+// committer goroutine coalesces concurrent appends into one buffered write
+// and one fsync; callers still block until their own record is durable, so
+// the write-ahead contract is unchanged — only the syscall count per record
+// drops. This is the aggregation-node batching move the sensor-network
+// aggregation literature keeps rediscovering: the aggregator is the
+// throughput bottleneck, and amortizing its per-message cost is what
+// restores scale.
 //
 // By default writes go straight to the operating system without fsync:
 // state survives process death (kill -9, panics, OOM) but a machine-level
 // crash can lose the last instants of un-synced journal. Options.Fsync
-// forces an fsync per append for power-failure durability.
+// forces an fsync per flushed group for power-failure durability.
 //
 // # Privacy invariant
 //
@@ -48,10 +74,12 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // ErrCorrupt is wrapped by malformed journal or snapshot data.
@@ -59,34 +87,81 @@ var ErrCorrupt = errors.New("journal: corrupt")
 
 // Options configures a Store.
 type Options struct {
-	// Fsync forces an fsync after every journal append. Off by default:
+	// Fsync forces an fsync after every journal flush (one per append, or
+	// one per coalesced group with group commit enabled). Off by default:
 	// appends then survive process death but not power loss.
 	Fsync bool
+
+	// GroupWindow is the maximum time the group committer waits after a
+	// record arrives for more records to coalesce before flushing. Zero
+	// flushes as soon as the committer is free — concurrent appends still
+	// coalesce naturally while a previous flush (typically its fsync) is in
+	// flight, which is the sweet spot on fast disks.
+	GroupWindow time.Duration
+
+	// MaxBatch caps the records flushed as one group; a full group flushes
+	// immediately, without waiting out GroupWindow. Group commit is enabled
+	// when MaxBatch > 1 or GroupWindow > 0; MaxBatch defaults to 256 when
+	// enabled and left zero.
+	MaxBatch int
 }
+
+// grouped reports whether the options enable the group committer.
+func (o Options) grouped() bool { return o.MaxBatch > 1 || o.GroupWindow > 0 }
 
 // Store manages the snapshot and journal files for many programs inside one
 // data directory. All methods are safe for concurrent use; operations on
 // distinct programs never contend.
 type Store struct {
-	dir   string
-	fsync bool
+	dir      string
+	fsync    bool
+	window   time.Duration
+	maxBatch int
+	grouped  bool
 
 	mu    sync.Mutex
 	progs map[string]*progLog // program ID -> log state
 	byKey map[string]string   // filename key -> program ID
 }
 
-// progLog is one program's on-disk state: the current snapshot generation
-// and the journal file appends go to.
+// progLog is one program's on-disk state: the snapshot chain (base
+// generation plus delta generations), the current journal generation, and
+// the group-commit queue.
 type progLog struct {
-	mu  sync.Mutex
-	id  string
-	key string
-	gen uint64
-	f   *os.File // current journal, opened lazily for append
+	mu      sync.Mutex
+	id      string
+	key     string
+	gen     uint64 // current journal generation (= newest checkpoint gen)
+	baseGen uint64 // newest full-snapshot generation
+	hasBase bool
+	deltas  []uint64 // delta generations in (baseGen, gen], ascending
+	f       *os.File // current journal, opened lazily for append
+	size    int64    // current journal length (the truncate point after a torn write)
+	wbuf    []byte   // reusable group write buffer
+	// broken latches a torn write that could not be truncated away: further
+	// appends would land beyond the tear and be silently discarded by
+	// recovery's truncate-at-first-bad-record, so they are refused instead.
+	broken bool
+	// appends counts records written to the current journal generation
+	// (including any found on disk at scan/replay time); checkpoints reset
+	// it. The hive uses it to skip checkpoints for quiescent programs.
+	appends uint64
 	// replayed records that Replay ran (or that the program is fresh), so
 	// appends cannot clobber an un-replayed torn tail.
 	replayed bool
+
+	// Group-commit queue: pending records awaiting the committer, and
+	// whether a committer goroutine is live. Guarded by pendMu (never held
+	// across I/O).
+	pendMu     sync.Mutex
+	pending    []*pendingAppend
+	committing bool
+}
+
+// pendingAppend is one enqueued record and its caller's completion channel.
+type pendingAppend struct {
+	frame []byte
+	done  chan error
 }
 
 const (
@@ -101,10 +176,16 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("journal: open %s: %w", dir, err)
 	}
 	s := &Store{
-		dir:   dir,
-		fsync: opts.Fsync,
-		progs: make(map[string]*progLog),
-		byKey: make(map[string]string),
+		dir:      dir,
+		fsync:    opts.Fsync,
+		window:   opts.GroupWindow,
+		maxBatch: opts.MaxBatch,
+		grouped:  opts.grouped(),
+		progs:    make(map[string]*progLog),
+		byKey:    make(map[string]string),
+	}
+	if s.grouped && s.maxBatch <= 1 {
+		s.maxBatch = 256
 	}
 	if err := s.scan(); err != nil {
 		return nil, err
@@ -121,7 +202,8 @@ func fileKey(programID string) string {
 	return hex.EncodeToString(sum[:8])
 }
 
-// parseName splits "wal-<key>-<gen>.log" / "snap-<key>-<gen>.snap".
+// parseName splits "wal-<key>-<gen>.log", "snap-<key>-<gen>.snap", and
+// "delta-<key>-<gen>.snap".
 func parseName(name string) (kind, key string, gen uint64, ok bool) {
 	var ext string
 	switch {
@@ -129,6 +211,8 @@ func parseName(name string) (kind, key string, gen uint64, ok bool) {
 		kind, ext = "wal", ".log"
 	case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
 		kind, ext = "snap", ".snap"
+	case strings.HasPrefix(name, "delta-") && strings.HasSuffix(name, ".snap"):
+		kind, ext = "delta", ".snap"
 	default:
 		return "", "", 0, false
 	}
@@ -152,9 +236,14 @@ func (s *Store) snapPath(key string, gen uint64) string {
 	return filepath.Join(s.dir, fmt.Sprintf("snap-%s-%d.snap", key, gen))
 }
 
-// scan indexes existing files: the current generation per program is the
-// highest snapshot generation (or the highest journal generation when no
-// snapshot exists); stale older generations are removed.
+func (s *Store) deltaPath(key string, gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("delta-%s-%d.snap", key, gen))
+}
+
+// scan indexes existing files: per program, the newest full snapshot is the
+// chain base, delta generations above it extend the chain, and the current
+// generation is the highest of any file; stale older generations are
+// removed.
 func (s *Store) scan() error {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -163,6 +252,7 @@ func (s *Store) scan() error {
 	type genState struct {
 		snapGen, walGen uint64
 		hasSnap, hasWal bool
+		deltas          []uint64
 	}
 	seen := make(map[string]*genState)
 	for _, e := range entries {
@@ -189,6 +279,8 @@ func (s *Store) scan() error {
 			if !g.hasWal || gen > g.walGen {
 				g.walGen, g.hasWal = gen, true
 			}
+		case "delta":
+			g.deltas = append(g.deltas, gen)
 		}
 	}
 	for key, g := range seen {
@@ -196,42 +288,86 @@ func (s *Store) scan() error {
 		if g.hasSnap && g.snapGen > gen {
 			gen = g.snapGen
 		}
-		id, err := s.programIDFor(key, gen)
+		var deltas []uint64
+		for _, dg := range g.deltas {
+			if dg > gen {
+				gen = dg
+			}
+		}
+		sort.Slice(g.deltas, func(i, j int) bool { return g.deltas[i] < g.deltas[j] })
+		for _, dg := range g.deltas {
+			if !g.hasSnap || dg > g.snapGen {
+				deltas = append(deltas, dg)
+			}
+		}
+		pl := &progLog{
+			key:     key,
+			gen:     gen,
+			baseGen: g.snapGen,
+			hasBase: g.hasSnap,
+			deltas:  deltas,
+		}
+		id, err := s.programIDFor(pl)
 		if err != nil {
 			return err
 		}
-		s.progs[id] = &progLog{id: id, key: key, gen: gen}
+		pl.id = id
+		s.progs[id] = pl
 		s.byKey[key] = id
-		s.cleanStale(key, gen)
+		s.cleanStale(pl)
 	}
 	return nil
 }
 
-// programIDFor recovers the program ID recorded in a key's newest journal
-// or snapshot header (one of the two exists at the current generation by
-// construction).
-func (s *Store) programIDFor(key string, gen uint64) (string, error) {
-	if id, err := readWALHeader(s.walPath(key, gen)); err == nil {
+// programIDFor recovers the program ID recorded in a key's newest journal,
+// base snapshot, or delta header (one of them exists at the current chain
+// by construction).
+func (s *Store) programIDFor(pl *progLog) (string, error) {
+	if id, err := readWALHeader(s.walPath(pl.key, pl.gen)); err == nil {
 		return id, nil
 	}
-	if snap, err := readSnapshotFile(s.snapPath(key, gen)); err == nil {
-		return snap.ProgramID, nil
+	if pl.hasBase {
+		if snap, err := readSnapshotFile(s.snapPath(pl.key, pl.baseGen)); err == nil {
+			return snap.ProgramID, nil
+		}
 	}
-	return "", fmt.Errorf("%w: no readable header for key %s", ErrCorrupt, key)
+	if n := len(pl.deltas); n > 0 {
+		if snap, err := readSnapshotFile(s.deltaPath(pl.key, pl.deltas[n-1])); err == nil {
+			return snap.ProgramID, nil
+		}
+	}
+	return "", fmt.Errorf("%w: no readable header for key %s", ErrCorrupt, pl.key)
 }
 
-// cleanStale removes generations older than gen for key.
-func (s *Store) cleanStale(key string, gen uint64) {
+// cleanStale removes files superseded by the program's current chain:
+// snapshots and deltas below the base, deltas above the base that fell out
+// of the chain, and journals below the current generation.
+func (s *Store) cleanStale(pl *progLog) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return
 	}
+	inChain := make(map[uint64]bool, len(pl.deltas))
+	for _, dg := range pl.deltas {
+		inChain[dg] = true
+	}
 	for _, e := range entries {
-		_, k, g, ok := parseName(e.Name())
-		if !ok || k != key || g >= gen {
+		kind, k, g, ok := parseName(e.Name())
+		if !ok || k != pl.key {
 			continue
 		}
-		_ = os.Remove(filepath.Join(s.dir, e.Name()))
+		stale := false
+		switch kind {
+		case "wal":
+			stale = g < pl.gen
+		case "snap":
+			stale = !pl.hasBase || g < pl.baseGen
+		case "delta":
+			stale = !inChain[g]
+		}
+		if stale {
+			_ = os.Remove(filepath.Join(s.dir, e.Name()))
+		}
 	}
 }
 
@@ -260,26 +396,60 @@ func (s *Store) log(programID string) *progLog {
 	return pl
 }
 
-// LoadSnapshot returns the program's newest snapshot, or nil when none
-// exists.
+// LoadSnapshot returns the program's newest *base* snapshot, or nil when
+// none exists, without touching the delta segments. Callers recovering
+// full state should use LoadChain.
 func (s *Store) LoadSnapshot(programID string) (*ProgramSnapshot, error) {
 	pl := s.log(programID)
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
-	snap, err := readSnapshotFile(s.snapPath(pl.key, pl.gen))
+	return s.loadBaseLocked(pl, programID)
+}
+
+// loadBaseLocked reads a program's base snapshot (nil when none exists).
+func (s *Store) loadBaseLocked(pl *progLog, programID string) (*ProgramSnapshot, error) {
+	if !pl.hasBase {
+		return nil, nil
+	}
+	base, err := readSnapshotFile(s.snapPath(pl.key, pl.baseGen))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	if snap.ProgramID != programID {
-		return nil, fmt.Errorf("%w: snapshot for %q found under key of %q", ErrCorrupt, snap.ProgramID, programID)
+	if base.ProgramID != programID {
+		return nil, fmt.Errorf("%w: snapshot for %q found under key of %q", ErrCorrupt, base.ProgramID, programID)
 	}
-	return snap, nil
+	return base, nil
 }
 
-// Replay feeds every journaled operation after the newest snapshot to
+// LoadChain returns the program's snapshot chain: the base full snapshot
+// (nil when the program has never been fully checkpointed) and the delta
+// segments layered over it, in application order.
+func (s *Store) LoadChain(programID string) (*ProgramSnapshot, []*ProgramSnapshot, error) {
+	pl := s.log(programID)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	base, err := s.loadBaseLocked(pl, programID)
+	if base == nil || err != nil {
+		return nil, nil, err
+	}
+	deltas := make([]*ProgramSnapshot, 0, len(pl.deltas))
+	for _, dg := range pl.deltas {
+		d, err := readSnapshotFile(s.deltaPath(pl.key, dg))
+		if err != nil {
+			return nil, nil, err
+		}
+		if d.ProgramID != programID {
+			return nil, nil, fmt.Errorf("%w: delta for %q found under key of %q", ErrCorrupt, d.ProgramID, programID)
+		}
+		deltas = append(deltas, d)
+	}
+	return base, deltas, nil
+}
+
+// Replay feeds every journaled operation after the newest checkpoint to
 // apply, in append order. A torn tail (crash mid-append) is truncated so
 // subsequent appends extend a valid journal. Replay must run before the
 // first Append for a recovered program; it returns the number of
@@ -328,47 +498,172 @@ func (s *Store) Replay(programID string, apply func(*Op) error) (int, error) {
 		}
 	}
 	pl.replayed = true
+	pl.appends = uint64(n)
 	return n, nil
+}
+
+// AppendsSinceCheckpoint reports how many records sit in the program's
+// current journal generation — the replay debt a checkpoint would retire.
+// Zero means a checkpoint would capture nothing the chain doesn't already
+// hold.
+func (s *Store) AppendsSinceCheckpoint(programID string) uint64 {
+	pl := s.log(programID)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.appends
 }
 
 // Append journals one operation for the program. The record is on disk (in
 // the OS, fsynced with Options.Fsync) when Append returns; callers apply
-// the operation only after a successful append.
+// the operation only after a successful append. With group commit enabled
+// the record may share its write and fsync with concurrent appends, but the
+// call still blocks until the record's group is durable.
 func (s *Store) Append(programID string, op *Op) error {
 	pl := s.log(programID)
+	if !s.grouped {
+		pl.mu.Lock()
+		defer pl.mu.Unlock()
+		return s.appendLocked(pl, op)
+	}
+	p := &pendingAppend{
+		frame: appendRecord(nil, encodeOp(op)),
+		done:  make(chan error, 1),
+	}
+	pl.pendMu.Lock()
+	pl.pending = append(pl.pending, p)
+	if !pl.committing {
+		pl.committing = true
+		go s.commitLoop(pl)
+	}
+	pl.pendMu.Unlock()
+	return <-p.done
+}
+
+// commitLoop is the per-program group committer: it drains the pending
+// queue in groups of up to maxBatch records, writing each group as one
+// buffered write plus (with Options.Fsync) one fsync, then delivers the
+// result to every caller in the group. It exits when the queue empties; the
+// next Append restarts it.
+func (s *Store) commitLoop(pl *progLog) {
+	for {
+		if s.window > 0 {
+			// Flush window: give concurrent appenders a beat to coalesce,
+			// unless a full group is already waiting.
+			pl.pendMu.Lock()
+			n := len(pl.pending)
+			pl.pendMu.Unlock()
+			if n < s.maxBatch {
+				time.Sleep(s.window)
+			}
+		} else {
+			// No timed window: yield once so appenders already woken by the
+			// previous group's delivery get to enqueue before this group is
+			// cut. A scheduler pass costs nanoseconds and routinely doubles
+			// the records per fsync under contention; a timer would cost
+			// its quantization (~1ms under load) instead.
+			runtime.Gosched()
+		}
+		pl.pendMu.Lock()
+		var batch []*pendingAppend
+		if len(pl.pending) > s.maxBatch {
+			batch = pl.pending[:s.maxBatch:s.maxBatch]
+			pl.pending = pl.pending[s.maxBatch:]
+		} else {
+			batch = pl.pending
+			pl.pending = nil
+		}
+		if len(batch) == 0 {
+			pl.committing = false
+			pl.pendMu.Unlock()
+			return
+		}
+		pl.pendMu.Unlock()
+
+		err := s.flushGroup(pl, batch)
+		for _, p := range batch {
+			p.done <- err
+		}
+	}
+}
+
+// flushGroup writes one group of framed records as a single write (+fsync)
+// under the program's file lock.
+func (s *Store) flushGroup(pl *progLog, batch []*pendingAppend) error {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
-	return s.appendLocked(pl, op)
+	buf := pl.wbuf[:0]
+	for _, p := range batch {
+		buf = append(buf, p.frame...)
+	}
+	pl.wbuf = buf[:0]
+	if err := s.writeFramesLocked(pl, buf); err != nil {
+		return err
+	}
+	pl.appends += uint64(len(batch))
+	return nil
 }
 
 func (s *Store) appendLocked(pl *progLog, op *Op) error {
+	if err := s.writeFramesLocked(pl, appendRecord(nil, encodeOp(op))); err != nil {
+		return err
+	}
+	pl.appends++
+	return nil
+}
+
+// writeFramesLocked lands one or more framed records at the end of the
+// program's journal, durably (per Options.Fsync). A failed or unsynced
+// write is rolled back by truncating to the last good record boundary —
+// otherwise later appends would be acknowledged *beyond* torn bytes, and
+// recovery's truncate-at-first-bad-record would silently discard them. If
+// the rollback itself fails the journal is poisoned: further appends are
+// refused until a checkpoint rotates to a fresh generation.
+func (s *Store) writeFramesLocked(pl *progLog, buf []byte) error {
+	if pl.broken {
+		return fmt.Errorf("journal: %s has an unremovable torn tail; appends disabled until checkpoint", pl.id)
+	}
 	if !pl.replayed {
 		return fmt.Errorf("journal: append to %s before Replay", pl.id)
 	}
 	if pl.f == nil {
-		f, err := openWAL(s.walPath(pl.key, pl.gen), pl.id)
+		f, size, err := openWAL(s.walPath(pl.key, pl.gen), pl.id)
 		if err != nil {
 			return err
 		}
 		pl.f = f
+		pl.size = size
 	}
-	frame := appendRecord(nil, encodeOp(op))
-	if _, err := pl.f.Write(frame); err != nil {
+	if _, err := pl.f.Write(buf); err != nil {
+		s.rollbackTornLocked(pl)
 		return fmt.Errorf("journal: append %s: %w", pl.id, err)
 	}
 	if s.fsync {
 		if err := pl.f.Sync(); err != nil {
+			// The bytes may sit in the page cache unsynced: the caller will
+			// reject the batch, so the record must not replay either.
+			s.rollbackTornLocked(pl)
 			return fmt.Errorf("journal: sync %s: %w", pl.id, err)
 		}
 	}
+	pl.size += int64(len(buf))
 	return nil
 }
 
-// Checkpoint installs a new snapshot for snap.ProgramID and rotates its
-// journal: the snapshot is written to a temp file, fsynced, and atomically
-// renamed; only then is a fresh journal generation started and the previous
-// generation deleted. The caller must guarantee no Append for this program
-// runs concurrently (the hive holds its per-program checkpoint gate).
+// rollbackTornLocked cuts the journal back to the last good record
+// boundary after a failed write, poisoning the generation if the cut
+// fails.
+func (s *Store) rollbackTornLocked(pl *progLog) {
+	if err := pl.f.Truncate(pl.size); err != nil {
+		pl.broken = true
+	}
+}
+
+// Checkpoint installs a new *full* snapshot for snap.ProgramID, compacting
+// its chain: the snapshot is written to a temp file, fsynced, and atomically
+// renamed; only then is a fresh journal generation started and every
+// superseded file (previous base, delta segments, old journal) deleted. The
+// caller must guarantee no Append for this program runs concurrently (the
+// hive holds its per-program checkpoint gate).
 func (s *Store) Checkpoint(snap *ProgramSnapshot) error {
 	pl := s.log(snap.ProgramID)
 	pl.mu.Lock()
@@ -378,17 +673,65 @@ func (s *Store) Checkpoint(snap *ProgramSnapshot) error {
 	if err := writeSnapshotFile(s.snapPath(pl.key, next), snap); err != nil {
 		return err
 	}
-	// New generation is durable; switch appends over and drop the old one.
+	// New base is durable; switch appends over and drop the old chain.
 	if pl.f != nil {
 		_ = pl.f.Close()
 		pl.f = nil
 	}
-	oldGen := pl.gen
+	_ = os.Remove(s.walPath(pl.key, pl.gen))
+	if pl.hasBase {
+		_ = os.Remove(s.snapPath(pl.key, pl.baseGen))
+	}
+	for _, dg := range pl.deltas {
+		_ = os.Remove(s.deltaPath(pl.key, dg))
+	}
+	pl.gen = next
+	pl.baseGen = next
+	pl.hasBase = true
+	pl.deltas = nil
+	pl.replayed = true
+	pl.appends = 0
+	pl.broken = false // a poisoned generation was rotated away
+	return nil
+}
+
+// CheckpointDelta installs an *incremental* snapshot: a delta segment
+// holding only the state that changed since the previous checkpoint,
+// layered over the existing chain, and rotates the journal (whose ops the
+// delta captures). The write is atomic like a full checkpoint's; the caller
+// holds the same no-concurrent-appends gate. Requires an existing base
+// snapshot — the first checkpoint for a program must be full.
+func (s *Store) CheckpointDelta(snap *ProgramSnapshot) error {
+	pl := s.log(snap.ProgramID)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if !pl.hasBase {
+		return fmt.Errorf("journal: delta checkpoint for %s without a base snapshot", snap.ProgramID)
+	}
+	next := pl.gen + 1
+	if err := writeSnapshotFile(s.deltaPath(pl.key, next), snap); err != nil {
+		return err
+	}
+	if pl.f != nil {
+		_ = pl.f.Close()
+		pl.f = nil
+	}
+	_ = os.Remove(s.walPath(pl.key, pl.gen))
+	pl.deltas = append(pl.deltas, next)
 	pl.gen = next
 	pl.replayed = true
-	_ = os.Remove(s.walPath(pl.key, oldGen))
-	_ = os.Remove(s.snapPath(pl.key, oldGen))
+	pl.appends = 0
+	pl.broken = false // a poisoned generation was rotated away
 	return nil
+}
+
+// ChainLength returns the number of delta segments layered over the
+// program's base snapshot (0 when compact or never checkpointed).
+func (s *Store) ChainLength(programID string) int {
+	pl := s.log(programID)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return len(pl.deltas)
 }
 
 // Close closes every open journal file.
@@ -411,29 +754,31 @@ func (s *Store) Close() error {
 
 // --- journal file helpers ---
 
-// openWAL opens (creating with a header if new) a journal for appending.
-// O_APPEND keeps writes landing at the true end of file even after a
-// recovery truncated a torn tail.
-func openWAL(path, programID string) (*os.File, error) {
+// openWAL opens (creating with a header if new) a journal for appending,
+// returning its current length. O_APPEND keeps writes landing at the true
+// end of file even after a recovery truncated a torn tail.
+func openWAL(path, programID string) (*os.File, int64, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("journal: open wal: %w", err)
+		return nil, 0, fmt.Errorf("journal: open wal: %w", err)
 	}
 	st, err := f.Stat()
 	if err != nil {
 		_ = f.Close()
-		return nil, fmt.Errorf("journal: stat wal: %w", err)
+		return nil, 0, fmt.Errorf("journal: stat wal: %w", err)
 	}
-	if st.Size() == 0 {
+	size := st.Size()
+	if size == 0 {
 		hdr := []byte(walMagic)
 		hdr = binary.AppendUvarint(hdr, uint64(len(programID)))
 		hdr = append(hdr, programID...)
 		if _, err := f.Write(hdr); err != nil {
 			_ = f.Close()
-			return nil, fmt.Errorf("journal: write wal header: %w", err)
+			return nil, 0, fmt.Errorf("journal: write wal header: %w", err)
 		}
+		size = int64(len(hdr))
 	}
-	return f, nil
+	return f, size, nil
 }
 
 // readWALHeader returns the program ID recorded in a journal header.

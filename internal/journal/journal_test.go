@@ -2,11 +2,14 @@ package journal
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/exectree"
 )
@@ -290,5 +293,208 @@ func TestFreshProgramHasNoState(t *testing.T) {
 	}
 	if got := collect(t, s, "never-seen"); len(got) != 0 {
 		t.Fatalf("fresh program replayed %d ops", len(got))
+	}
+}
+
+func TestGroupCommitAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fsync: true, GroupWindow: 200 * time.Microsecond, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent appenders: every acknowledged record must survive, exactly
+	// once, no matter how the committer grouped them.
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				op := batchOp(fmt.Sprintf("w%d", w), uint64(i+1), fmt.Sprintf("w%d-r%d", w, i))
+				if err := s.Append("prog-A", op); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	seen := make(map[string]int)
+	perSession := make(map[string]uint64)
+	for _, op := range collect(t, s2, "prog-A") {
+		seen[string(op.Traces[0])]++
+		// Within one appender the journal preserves submission order: each
+		// worker's sequence numbers must replay ascending.
+		if op.Seq <= perSession[op.Session] {
+			t.Fatalf("session %s: seq %d replayed after %d", op.Session, op.Seq, perSession[op.Session])
+		}
+		perSession[op.Session] = op.Seq
+	}
+	if len(seen) != workers*perWorker {
+		t.Fatalf("replayed %d distinct records, want %d", len(seen), workers*perWorker)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("record %s replayed %d times", k, n)
+		}
+	}
+}
+
+func TestGroupCommitSequentialOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		if err := s.Append("prog-A", batchOp("s", uint64(i), "r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := collect(t, s2, "prog-A")
+	if len(got) != 50 {
+		t.Fatalf("replayed %d ops, want 50", len(got))
+	}
+	for i, op := range got {
+		if op.Seq != uint64(i+1) {
+			t.Fatalf("op %d has seq %d: sequential appends reordered", i, op.Seq)
+		}
+	}
+}
+
+func TestGroupCommitBeforeReplayFails(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("prog-A", batchOp("s", 1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir, Options{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// prog-A has un-replayed state: appending before Replay must fail so a
+	// torn tail can never be buried under fresh records.
+	if err := s2.Append("prog-A", batchOp("s", 2, "b")); err == nil {
+		t.Fatal("group append before Replay succeeded")
+	}
+	if _, err := s2.Replay("prog-A", func(*Op) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append("prog-A", batchOp("s", 2, "b")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaCheckpointChain(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delta without a base must be refused: the chain would be headless.
+	if err := s.CheckpointDelta(&ProgramSnapshot{ProgramID: "prog-A", TreeDelta: []byte("d")}); err == nil {
+		t.Fatal("delta checkpoint without base succeeded")
+	}
+	if err := s.Append("prog-A", batchOp("s", 1, "pre-base")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(&ProgramSnapshot{ProgramID: "prog-A", Tree: []byte("base"), Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("prog-A", batchOp("s", 2, "in-delta-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckpointDelta(&ProgramSnapshot{ProgramID: "prog-A", TreeDelta: []byte("d1"), Epoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("prog-A", batchOp("s", 3, "in-delta-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckpointDelta(&ProgramSnapshot{ProgramID: "prog-A", TreeDelta: []byte("d2"), Epoch: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("prog-A", batchOp("s", 4, "post-chain")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ChainLength("prog-A"); got != 2 {
+		t.Fatalf("ChainLength = %d, want 2", got)
+	}
+	s.Close()
+
+	// A fresh Open must rediscover the whole chain.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, deltas, err := s2.LoadChain("prog-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == nil || string(base.Tree) != "base" || base.Epoch != 1 {
+		t.Fatalf("base mismatch: %+v", base)
+	}
+	if len(deltas) != 2 || string(deltas[0].TreeDelta) != "d1" || string(deltas[1].TreeDelta) != "d2" || deltas[1].Epoch != 3 {
+		t.Fatalf("delta chain mismatch: %d segments", len(deltas))
+	}
+	// Only the post-chain suffix replays.
+	got := collect(t, s2, "prog-A")
+	if len(got) != 1 || string(got[0].Traces[0]) != "post-chain" {
+		t.Fatalf("replay after chain: got %d ops", len(got))
+	}
+	// A full checkpoint compacts: chain collapses to one base, deltas gone.
+	if err := s2.Checkpoint(&ProgramSnapshot{ProgramID: "prog-A", Tree: []byte("base2"), Epoch: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.ChainLength("prog-A"); got != 0 {
+		t.Fatalf("ChainLength after compaction = %d, want 0", got)
+	}
+	s2.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "delta-") {
+			t.Fatalf("stale delta segment %s survived compaction", e.Name())
+		}
+	}
+	s3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	base, deltas, err = s3.LoadChain("prog-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == nil || string(base.Tree) != "base2" || len(deltas) != 0 {
+		t.Fatalf("after compaction: base=%v deltas=%d", base, len(deltas))
 	}
 }

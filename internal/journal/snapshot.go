@@ -19,10 +19,21 @@ import (
 // wire codec (trace.Encode); fixes and proofs in their JSON codecs. All of
 // them are post-privacy: the snapshot persists what pods shipped, never
 // more (see the package privacy invariant).
+// A snapshot is either *full* (Tree set: the complete exectree.Encode
+// serialization) or a *delta segment* (TreeDelta set: exectree.EncodeDelta
+// bytes holding only the nodes changed since the previous checkpoint, with
+// every non-tree field still carried in full — they are small relative to
+// the tree and replacing them wholesale keeps chain merging trivial).
+// Recovery overlays delta segments over the base in generation order
+// (exectree.DecodeChain) and takes the non-tree fields from the newest
+// segment.
 type ProgramSnapshot struct {
 	ProgramID string `json:"programId"`
-	// Tree is the exectree.Encode serialization.
-	Tree []byte `json:"tree"`
+	// Tree is the exectree.Encode serialization (full snapshots only).
+	Tree []byte `json:"tree,omitempty"`
+	// TreeDelta is the exectree.EncodeDelta serialization (delta segments
+	// only): the nodes changed since the previous checkpoint.
+	TreeDelta []byte `json:"treeDelta,omitempty"`
 	// Fixes are fix JSON documents in ID order.
 	Fixes [][]byte `json:"fixes,omitempty"`
 	Epoch int      `json:"epoch"`
@@ -43,10 +54,12 @@ type ProgramSnapshot struct {
 	// family key -> encoded fragment traces.
 	Coordinated map[string][][]byte `json:"coordinated,omitempty"`
 
-	// Sessions is the exactly-once dedup table (session -> highest applied
-	// sequence number) as of this checkpoint. Recovery max-merges the maps
-	// from every program snapshot and replayed batch op.
-	Sessions map[string]uint64 `json:"sessions,omitempty"`
+	// Sessions is the exactly-once dedup table (session -> contiguous
+	// applied-sequence base) as of this checkpoint; SessionsAhead carries
+	// any out-of-order applied marks above a session's base. Recovery
+	// union-merges both from every program snapshot and replayed batch op.
+	Sessions      map[string]uint64   `json:"sessions,omitempty"`
+	SessionsAhead map[string][]uint64 `json:"sessionsAhead,omitempty"`
 }
 
 // FailureState is the serialized form of one failure signature's fleet-wide

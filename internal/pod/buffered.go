@@ -19,15 +19,23 @@ import (
 // a sequential fleet, no matter how the pods were scheduled.
 //
 // A buffer bound to a program (NewBufferedFor) drains through the backend's
-// fast paths when available: pipelined batch streaming (TraceStreamer, the
-// wire client) or per-program submission (ProgramSubmitter, the in-process
-// hive), falling back to plain SubmitTraces otherwise.
+// fast paths when available: sealed sequenced streaming (SealedStreamer,
+// the wire client — exactly-once across drains), pipelined batch streaming
+// (TraceStreamer), or per-program submission (ProgramSubmitter, the
+// in-process hive), falling back to plain SubmitTraces otherwise.
 type BufferedClient struct {
 	backend   HiveClient
 	programID string
 
 	mu     sync.Mutex
 	queued []*trace.Trace
+	// sealed holds sequenced frames from earlier drains that were sealed
+	// (tags assigned) but never acknowledged: a drain whose transparent
+	// retry also failed parks its unacknowledged frames here, and the next
+	// drain re-submits them with their original (session, seq) tags — so
+	// cross-drain resubmission stays exactly-once against a dedup-capable
+	// backend instead of degrading to at-least-once.
+	sealed []SealedBatch
 }
 
 var _ HiveClient = (*BufferedClient)(nil)
@@ -67,30 +75,39 @@ func (b *BufferedClient) Guidance(programID string, max int) ([]guidance.TestCas
 	return b.backend.Guidance(programID, max)
 }
 
-// Pending reports how many traces are queued.
+// Pending reports how many traces are queued, including traces sealed into
+// frames by a failed drain and awaiting resubmission.
 func (b *BufferedClient) Pending() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.queued)
+	n := len(b.queued)
+	for _, sb := range b.sealed {
+		n += sb.Count
+	}
+	return n
 }
 
 // Drain forwards all queued traces to the backend, preserving queue order.
 // On backend failure the unaccepted remainder is re-queued (ahead of
 // anything queued meanwhile) and the error returned: a streaming backend
 // reports which chunks of the drain it acknowledged, so this client never
-// re-submits an acknowledged chunk. Within one drain, a chunk whose ack was
-// lost with the connection is resent by the stream's transparent retry with
-// its original (session, sequence) tag, so a dedup-capable backend ingests
-// it exactly once. Across drains the guarantee weakens: a drain that fails
-// outright re-chunks and re-tags its remainder on the next call, so chunks
-// that were delivered but never acknowledged before both attempts failed
-// are at-least-once (see ROADMAP: persist sealed sequenced frames across
-// drains).
+// re-submits an acknowledged chunk. A chunk whose ack was lost with the
+// connection is resent with its original (session, sequence) tag — by the
+// stream's transparent retry within one drain, and, against a
+// SealedStreamer backend, by later drains too: frames are sealed once,
+// parked on failure, and re-submitted verbatim until acknowledged, so a
+// dedup-capable backend ingests every chunk exactly once across any number
+// of failed drains.
 func (b *BufferedClient) Drain() error {
 	b.mu.Lock()
 	batch := b.queued
 	b.queued = nil
+	sealed := b.sealed
+	b.sealed = nil
 	b.mu.Unlock()
+	if ss, ok := b.backend.(SealedStreamer); ok && b.programID != "" {
+		return b.drainSealed(ss, sealed, batch)
+	}
 	if len(batch) == 0 {
 		return nil
 	}
@@ -101,6 +118,46 @@ func (b *BufferedClient) Drain() error {
 		return err
 	}
 	return nil
+}
+
+// drainSealed is the exactly-once drain path: leftover sealed frames from
+// failed drains go first (oldest tags first), the fresh queue is sealed
+// behind them, and whatever the backend does not acknowledge is parked —
+// still sealed — for the next drain.
+func (b *BufferedClient) drainSealed(ss SealedStreamer, sealed []SealedBatch, batch []*trace.Trace) error {
+	if len(batch) > 0 {
+		rest := batch
+		chunks := make([][]*trace.Trace, 0, (len(rest)+streamChunk-1)/streamChunk)
+		for len(rest) > streamChunk {
+			chunks = append(chunks, rest[:streamChunk])
+			rest = rest[streamChunk:]
+		}
+		chunks = append(chunks, rest)
+		sealed = append(sealed, ss.SealTraceBatches(b.programID, chunks)...)
+	}
+	if len(sealed) == 0 {
+		return nil
+	}
+	accepted, err := ss.SubmitSealed(sealed)
+	if err == nil {
+		return nil
+	}
+	// Park every unacknowledged frame with its tag intact, whatever the
+	// failure was. A frame in delivered-but-unacked limbo is dup-suppressed
+	// on resubmission; a frame the server rejected (never applied) is
+	// re-attempted under the same tag and ingested then — the backend's
+	// dedup window is the exact applied set, so neither case depends on
+	// ordering relative to other frames.
+	var park []SealedBatch
+	for i, sb := range sealed {
+		if i >= len(accepted) || !accepted[i] {
+			park = append(park, sb)
+		}
+	}
+	b.mu.Lock()
+	b.sealed = append(park, b.sealed...)
+	b.mu.Unlock()
+	return err
 }
 
 // submit picks the fastest submission path the backend offers for this

@@ -49,6 +49,36 @@ type TraceStreamer interface {
 	SubmitTraceBatches(programID string, batches [][]*trace.Trace) ([]bool, error)
 }
 
+// SealedBatch is one trace batch sealed into a transport frame whose
+// exactly-once identity (session ID + frame sequence number) was fixed at
+// seal time. The payload is opaque to the pod; what matters is that
+// resubmitting the same SealedBatch — on any connection, in any later
+// drain — presents the identical tag to the backend's dedup window, so a
+// batch delivered but never acknowledged is ingested exactly once no
+// matter how many drains retry it.
+type SealedBatch struct {
+	// ProgramID is the program every trace in the batch describes.
+	ProgramID string
+	// Count is the number of traces sealed in (ack validation and
+	// accounting).
+	Count int
+	// Payload is the transport-encoded frame, tags included.
+	Payload []byte
+}
+
+// SealedStreamer is an optional HiveClient extension splitting the
+// pipelined streaming path into seal and submit halves: SealTraceBatches
+// assigns each batch its durable (session, seq) tag and encodes the frame;
+// SubmitSealed streams previously sealed frames and reports, per frame,
+// whether the backend acknowledged it. wire.Client implements it;
+// BufferedClient uses it to persist sealed-but-unacknowledged frames
+// across drains, extending the exactly-once guarantee past a drain whose
+// transparent retry also failed.
+type SealedStreamer interface {
+	SealTraceBatches(programID string, batches [][]*trace.Trace) []SealedBatch
+	SubmitSealed(sealed []SealedBatch) ([]bool, error)
+}
+
 // SessionSubmitter is an optional backend extension for exactly-once
 // ingestion: a per-program batch tagged with the submitting client's
 // session ID and a per-frame sequence number. The backend keeps a

@@ -31,14 +31,19 @@ type Client struct {
 
 	mu   sync.Mutex
 	conn net.Conn
-	// seq numbers submission frames; guarded by mu and assigned in send
-	// order so the server's high-water dedup mark is complete.
+	// seq numbers submission frames; guarded by mu. The server's dedup
+	// window is the exact set of applied seqs per session, so tags only
+	// need to be unique and stable — frames may reach the server in any
+	// order (concurrent streams on a shared client, parked frames
+	// resubmitted drains later) without one frame's progress masking
+	// another's.
 	seq uint64
 }
 
 var _ pod.HiveClient = (*Client)(nil)
 var _ pod.ProgramSubmitter = (*Client)(nil)
 var _ pod.TraceStreamer = (*Client)(nil)
+var _ pod.SealedStreamer = (*Client)(nil)
 
 // maxInflightFrames bounds how many submission frames SubmitTraceBatches
 // keeps unacknowledged on the socket. The window keeps the server's bounded
@@ -167,31 +172,69 @@ func (c *Client) SubmitTracesFor(programID string, traces []*trace.Trace) error 
 // exactly-once end to end, retiring the old at-least-once caveat. The final
 // error after a failed retry wraps the last underlying transport failure.
 func (c *Client) SubmitTraceBatches(programID string, batches [][]*trace.Trace) ([]bool, error) {
-	accepted := make([]bool, len(batches))
-	if len(batches) == 0 {
-		return accepted, nil
-	}
+	return c.SubmitSealed(c.SealTraceBatches(programID, batches))
+}
+
+// SealTraceBatches implements pod.SealedStreamer: every batch becomes a
+// sequenced per-program frame whose (session, seq) tag is assigned here,
+// once, under the client lock. A sealed frame is a durable exactly-once
+// identity: SubmitSealed re-sends the payload verbatim however many times
+// (and across however many drains) it takes, so a dedup-capable backend
+// never applies it twice — in any submission order, because the backend's
+// dedup window is the exact applied set per session, not an in-order
+// high-water mark.
+func (c *Client) SealTraceBatches(programID string, batches [][]*trace.Trace) []pod.SealedBatch {
+	sealed := make([]pod.SealedBatch, len(batches))
 	encodedBatches := make([][][]byte, len(batches))
-	counts := make([]int, len(batches))
 	for i, batch := range batches {
 		encoded := make([][]byte, len(batch))
 		for j, tr := range batch {
 			encoded[j] = trace.Encode(tr)
 		}
 		encodedBatches[i] = encoded
-		counts[i] = len(batch)
 	}
-
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	// Sequence numbers are assigned under the lock, in send order, and the
-	// payloads are reused verbatim across retries — the exactly-once
-	// contract hinges on a resent frame carrying its original tag.
-	payloads := make([][]byte, len(batches))
 	for i, encoded := range encodedBatches {
 		c.seq++
-		payloads[i] = encodeTraceBatchSeq(c.session, c.seq, programID, encoded)
+		sealed[i] = pod.SealedBatch{
+			ProgramID: programID,
+			Count:     len(batches[i]),
+			Payload:   encodeTraceBatchSeq(c.session, c.seq, programID, encoded),
+		}
 	}
+	return sealed
+}
+
+// SubmitSealed implements pod.SealedStreamer: streams previously sealed
+// frames back-to-back without waiting for acks (bounded by
+// maxInflightFrames), reading the pipelined acks in frame order. Against a
+// pipelined server a drain of n frames costs ~n/window round trips instead
+// of n. The returned flags report, per frame, whether the server
+// acknowledged it — on error a caller re-submits exactly the
+// unacknowledged frames, never one the server already ingested.
+//
+// A transport failure drops the connection and retries once on a fresh one,
+// resuming after the last acknowledged frame. Frames written but unacked
+// when the connection died keep their original (session, seq) tags on the
+// resend — they were sealed before the first attempt — so a dedup-capable
+// backend (hive.Hive) acknowledges the ones it already ingested without
+// applying them again: resubmission is exactly-once end to end, within a
+// drain and across drains. The final error after a failed retry wraps the
+// last underlying transport failure.
+func (c *Client) SubmitSealed(sealed []pod.SealedBatch) ([]bool, error) {
+	accepted := make([]bool, len(sealed))
+	if len(sealed) == 0 {
+		return accepted, nil
+	}
+	payloads := make([][]byte, len(sealed))
+	counts := make([]int, len(sealed))
+	for i, sb := range sealed {
+		payloads[i] = sb.Payload
+		counts[i] = sb.Count
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	acked := 0
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {

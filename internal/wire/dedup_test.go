@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/hive"
+	"repro/internal/pod"
 	"repro/internal/prog"
 	"repro/internal/proggen"
 	"repro/internal/stats"
@@ -25,9 +26,14 @@ type ackProxy struct {
 	t           *testing.T
 	ln          net.Listener
 	backendAddr string
-	// forwardAcks is how many acks the first connection relays before the
+	// forwardAcks is how many acks a flaky connection relays before the
 	// next ack is dropped and both sides are closed.
 	forwardAcks int
+	// flakyConns is how many leading connections misbehave that way; later
+	// connections pipe transparently. Two flaky connections defeat both the
+	// original attempt and the transparent retry — the cross-drain failure
+	// mode.
+	flakyConns int
 
 	mu    sync.Mutex
 	conns int
@@ -35,12 +41,16 @@ type ackProxy struct {
 }
 
 func newAckProxy(t *testing.T, backendAddr string, forwardAcks int) *ackProxy {
+	return newFlakyProxy(t, backendAddr, forwardAcks, 1)
+}
+
+func newFlakyProxy(t *testing.T, backendAddr string, forwardAcks, flakyConns int) *ackProxy {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := &ackProxy{t: t, ln: ln, backendAddr: backendAddr, forwardAcks: forwardAcks}
+	p := &ackProxy{t: t, ln: ln, backendAddr: backendAddr, forwardAcks: forwardAcks, flakyConns: flakyConns}
 	go p.serve()
 	t.Cleanup(func() {
 		_ = ln.Close()
@@ -90,7 +100,7 @@ func (p *ackProxy) pipe(client net.Conn, idx int) {
 			if err != nil {
 				return
 			}
-			if idx == 0 && forwarded == p.forwardAcks {
+			if idx < p.flakyConns && forwarded == p.forwardAcks {
 				// Drop this ack and kill the link: the server applied the
 				// frame, the client never hears about it.
 				_ = client.Close()
@@ -242,5 +252,65 @@ func TestClientSurfacesUnderlyingError(t *testing.T) {
 	if !errors.Is(serr, io.EOF) && !strings.Contains(serr.Error(), "connection reset") &&
 		!strings.Contains(serr.Error(), "broken pipe") {
 		t.Fatalf("stream error does not surface the underlying transport failure: %v", serr)
+	}
+}
+
+// TestCrossDrainResubmitExactlyOnce defeats a drain's transparent retry
+// too: the proxy kills the first two connections after one ack each, so
+// the buffered client's first Drain fails outright with frames delivered
+// but unacknowledged. Those frames stay sealed with their original
+// (session, seq) tags; the next Drain re-submits them verbatim over a
+// healthy link, and the hive — which already ingested them — acknowledges
+// without re-applying: exactly-once across drains, not just within one.
+func TestCrossDrainResubmitExactlyOnce(t *testing.T) {
+	p, _, err := proggen.Generate(proggen.Spec{Seed: 7002, Depth: 4, NumInputs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hive.New("fleet")
+	if err := h.RegisterProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(h)
+	srv.Logf = func(string, ...any) {}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	proxy := newFlakyProxy(t, addr, 1, 2) // both attempts die after 1 ack
+	client := Dial(proxy.addr())
+	t.Cleanup(func() { _ = client.Close() })
+
+	buf := pod.NewBufferedFor(client, p.ID)
+	// Three stream chunks' worth of traces (256 per chunk).
+	batches := makeBatches(t, p, 3, 256)
+	total := 0
+	for _, b := range batches {
+		if err := buf.SubmitTraces(b); err != nil {
+			t.Fatal(err)
+		}
+		total += len(b)
+	}
+
+	if err := buf.Drain(); err == nil {
+		t.Fatal("first drain succeeded; proxy should have killed both attempts")
+	}
+	if pend := buf.Pending(); pend == 0 || pend%256 != 0 {
+		t.Fatalf("pending after failed drain = %d, want a whole number of sealed frames", pend)
+	}
+	// The link heals (connection #2 pipes transparently).
+	if err := buf.Drain(); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	if pend := buf.Pending(); pend != 0 {
+		t.Fatalf("pending after healed drain = %d", pend)
+	}
+	st, err := h.ProgramStats(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingested != int64(total) {
+		t.Fatalf("hive ingested %d traces, want exactly %d (cross-drain duplicate?)", st.Ingested, total)
 	}
 }
