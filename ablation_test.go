@@ -91,7 +91,7 @@ func dischargeAll(b *testing.B, sym *symbolic.Engine, tree *exectree.Tree) int64
 	b.Helper()
 	var queries int64
 	for round := 0; round < 10_000; round++ {
-		frontiers := tree.Frontiers(0)
+		frontiers := tree.FrontiersAll()
 		if len(frontiers) == 0 {
 			return queries
 		}

@@ -283,12 +283,126 @@ func BenchmarkHiveIngestSerialBaseline(b *testing.B) {
 	benchIngest(b, &globalMutexClient{h: h}, pool)
 }
 
-// BenchmarkHiveIngestParallel measures the same workload against the
-// per-program-sharded hive. On a multi-core runner the four program shards
-// ingest concurrently; compare ns/op against the serial baseline.
+// v2DecodeClient reproduces the PR-4 wire-worker ingest discipline for
+// pre-encoded batches: every trace is decoded into a fresh trace.Trace (6+
+// slice allocations each) before the per-program submit. It is the
+// measurable baseline the columnar view path is compared against.
+type v2DecodeClient struct{ h *hive.Hive }
+
+func (c *v2DecodeClient) submitEncoded(programID string, raws [][]byte) error {
+	traces := make([]*trace.Trace, len(raws))
+	for i, raw := range raws {
+		tr, err := trace.Decode(raw)
+		if err != nil {
+			return err
+		}
+		traces[i] = tr
+	}
+	return c.h.SubmitTracesFor(programID, traces)
+}
+
+// columnarViewClient is the zero-copy ingest path: one validated view over
+// the batch bytes, consumed in place.
+type columnarViewClient struct{ h *hive.Hive }
+
+func (c *columnarViewClient) submitEncoded(programID string, batch []byte) error {
+	view, err := trace.DecodeBatch(batch)
+	if err != nil {
+		return err
+	}
+	_, err = c.h.SubmitColumnarSession("", 0, view)
+	view.Release()
+	return err
+}
+
+// benchIngestEncodedSetup pre-encodes each program's trace pool both ways:
+// per-trace v2 payloads (batched 8 at a time, the PR-4 wire shape) and the
+// equivalent columnar batch payloads.
+func benchIngestEncodedSetup(b *testing.B, nProgs int) (*hive.Hive, []string, [][][][]byte, [][][]byte) {
+	b.Helper()
+	h, pool := benchIngestSetup(b, nProgs)
+	ids := make([]string, nProgs)
+	v2 := make([][][][]byte, nProgs)     // program -> batch -> trace -> bytes
+	columnar := make([][][]byte, nProgs) // program -> batch -> bytes
+	const batchSize = 8
+	for pi, traces := range pool {
+		ids[pi] = traces[0].ProgramID
+		for off := 0; off+batchSize <= len(traces); off += batchSize {
+			batch := traces[off : off+batchSize]
+			raws := make([][]byte, batchSize)
+			for i, tr := range batch {
+				raws[i] = trace.Encode(tr)
+			}
+			enc, err := trace.EncodeBatch(ids[pi], batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v2[pi] = append(v2[pi], raws)
+			columnar[pi] = append(columnar[pi], enc)
+		}
+	}
+	return h, ids, v2, columnar
+}
+
+// BenchmarkHiveIngestParallel measures the fleet ingest path — pre-encoded
+// batches (what the wire delivers), 8 goroutines round-robining across 4
+// program shards — under the two codec disciplines. The v2 sub-benchmark
+// is the PR-4 pipeline: per-trace decode into heap Trace structs, then
+// per-program submission. The columnar sub-benchmark is this PR's
+// tentpole: one zero-copy view per batch, merged straight from the frame
+// bytes. traces/op is constant, so ns/op and allocs/op compare directly.
+// The materialized sub-benchmark keeps the PR-1 in-process workload (no
+// codec at all) for continuity with BenchmarkHiveIngestSerialBaseline.
 func BenchmarkHiveIngestParallel(b *testing.B) {
-	h, pool := benchIngestSetup(b, 4)
-	benchIngest(b, h, pool)
+	const goroutines = 8
+	const batchSize = 8
+	run := func(b *testing.B, submit func(pi, batch int) error, batches int) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var (
+			wg   sync.WaitGroup
+			next int64
+			fail atomic.Value
+		)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= b.N {
+						return
+					}
+					if err := submit(i%4, (i/4)%batches); err != nil {
+						fail.Store(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		if err := fail.Load(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(batchSize, "traces/op")
+	}
+	b.Run("v2-decode", func(b *testing.B) {
+		h, ids, v2, _ := benchIngestEncodedSetup(b, 4)
+		c := &v2DecodeClient{h: h}
+		run(b, func(pi, batch int) error { return c.submitEncoded(ids[pi], v2[pi][batch]) }, len(v2[0]))
+	})
+	b.Run("columnar-view", func(b *testing.B) {
+		h, ids, _, columnar := benchIngestEncodedSetup(b, 4)
+		c := &columnarViewClient{h: h}
+		_ = ids
+		run(b, func(pi, batch int) error { return c.submitEncoded(ids[pi], columnar[pi][batch]) }, len(columnar[0]))
+	})
+	b.Run("materialized", func(b *testing.B) {
+		h, pool := benchIngestSetup(b, 4)
+		benchIngest(b, h, pool)
+	})
 }
 
 // benchSimulation runs one whole-fleet SoftBorg day-loop per iteration.
@@ -400,12 +514,24 @@ func BenchmarkGuidanceLargeTree(b *testing.B) {
 	}
 }
 
-// nullHive is a no-op backend isolating wire-transport cost.
-type nullHive struct{ ingested atomic.Int64 }
+// nullHive is a no-op backend isolating wire-transport cost. It accepts
+// the columnar path too (consuming the view's branch columns, as a real
+// backend would) so the codec disciplines compare on equal footing.
+type nullHive struct {
+	ingested atomic.Int64
+	scratch  []trace.BranchEvent // single-conn benchmarks: no concurrent use
+}
 
 func (n *nullHive) SubmitTraces(traces []*trace.Trace) error {
 	n.ingested.Add(int64(len(traces)))
 	return nil
+}
+func (n *nullHive) SubmitColumnarSession(_ string, _ uint64, batch *trace.BatchView) (bool, error) {
+	for i := 0; i < batch.Len(); i++ {
+		n.scratch = batch.AppendBranches(n.scratch[:0], i)
+	}
+	n.ingested.Add(int64(batch.Len()))
+	return false, nil
 }
 func (n *nullHive) FixesSince(string, int) ([]fix.Fix, int, error) { return nil, 0, nil }
 func (n *nullHive) Guidance(string, int) ([]guidance.TestCase, error) {
@@ -414,8 +540,10 @@ func (n *nullHive) Guidance(string, int) ([]guidance.TestCase, error) {
 
 // benchWireSubmit submits the same 32 batches × 8 traces per op, either one
 // frame per round trip (the pre-pipelining discipline) or streamed through
-// the pipelined per-program path.
-func benchWireSubmit(b *testing.B, pipelined bool) {
+// the pipelined per-program path; columnar selects the batch encoding the
+// client negotiates (false pins the per-trace v2 codec, the PR-4
+// discipline).
+func benchWireSubmit(b *testing.B, pipelined, columnar bool) {
 	b.Helper()
 	p := benchProgram(b)
 	backend := &nullHive{}
@@ -427,6 +555,7 @@ func benchWireSubmit(b *testing.B, pipelined bool) {
 	}
 	defer srv.Close()
 	client := wire.Dial(addr)
+	client.DisableColumnar = !columnar
 	defer client.Close()
 
 	col := trace.NewCollector(p, trace.CaptureFull, 0, 1)
@@ -472,8 +601,13 @@ func benchWireSubmit(b *testing.B, pipelined bool) {
 
 // BenchmarkWireSubmitSerial is the one-frame-per-roundtrip baseline the
 // pre-PR-2 server forced.
-func BenchmarkWireSubmitSerial(b *testing.B) { benchWireSubmit(b, false) }
+func BenchmarkWireSubmitSerial(b *testing.B) { benchWireSubmit(b, false, false) }
 
 // BenchmarkWireSubmitPipelined streams the same work through the pipelined
-// per-program submission path; compare ns/op at constant traces/op.
-func BenchmarkWireSubmitPipelined(b *testing.B) { benchWireSubmit(b, true) }
+// per-program submission path under both codecs: the v2 sub-benchmark pins
+// the per-trace encoding (the PR-4 discipline), columnar negotiates the
+// batch codec — same traces/op, so ns/op and allocs/op compare directly.
+func BenchmarkWireSubmitPipelined(b *testing.B) {
+	b.Run("v2", func(b *testing.B) { benchWireSubmit(b, true, false) })
+	b.Run("columnar", func(b *testing.B) { benchWireSubmit(b, true, true) })
+}

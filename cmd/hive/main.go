@@ -49,6 +49,7 @@ func run(args []string) error {
 	fsync := fs.Bool("fsync", false, "fsync every journal flush (power-failure durability)")
 	groupWindow := fs.Duration("group-window", 0, "group-commit flush window: how long an append waits for concurrent appends to coalesce (0 flushes as soon as the committer is free)")
 	groupBatch := fs.Int("group-batch", 256, "group-commit batch cap: max journal records coalesced into one write+fsync (<=1 disables group commit)")
+	commitWorkers := fs.Int("commit-workers", 0, "committer-pool cap shared across all programs' journals (0 uses the default; the pool bounds goroutines and fsync concurrency for the whole data dir)")
 	compactEvery := fs.Int("compact-every", 8, "snapshots are incremental delta segments, compacted into a full snapshot every N checkpoints (<=0 makes every snapshot full)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,9 +73,10 @@ func run(args []string) error {
 	if *dataDir != "" {
 		var err error
 		store, err = journal.Open(*dataDir, journal.Options{
-			Fsync:       *fsync,
-			GroupWindow: *groupWindow,
-			MaxBatch:    *groupBatch,
+			Fsync:         *fsync,
+			GroupWindow:   *groupWindow,
+			MaxBatch:      *groupBatch,
+			CommitWorkers: *commitWorkers,
 		})
 		if err != nil {
 			return err

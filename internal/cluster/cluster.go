@@ -92,11 +92,14 @@ func Explore(p *prog.Program, nodes int, mode Mode, maxRounds int) (*Result, err
 	equities := make(map[string]*portfolio.Equity)
 
 	for round := 0; round < maxRounds; round++ {
-		frontiers := tree.Frontiers(0)
-		if len(frontiers) == 0 {
+		if tree.FrontierCount() == 0 {
 			res.Complete = true
 			break
 		}
+		// Bounded pull: a round works the rarest roundBatch frontiers
+		// instead of materializing the whole open set (which grows with the
+		// tree); undischarged frontiers simply surface in a later round.
+		frontiers := tree.Frontiers(roundBatch(nodes))
 		progress := false
 		assignment := assign(frontiers, nodes, mode, res.PerNode, equities)
 		for i, f := range frontiers {
@@ -130,6 +133,17 @@ func Explore(p *prog.Program, nodes int, mode Mode, maxRounds int) (*Result, err
 	st := tree.Stats()
 	res.Paths, res.Nodes = st.Paths, st.Nodes
 	return res, nil
+}
+
+// roundBatch bounds one exploration round's frontier pull: enough work to
+// keep every node busy many times over, without ever materializing an
+// open set that grows with the tree.
+func roundBatch(nodes int) int {
+	const minBatch = 256
+	if b := nodes * 32; b > minBatch {
+		return b
+	}
+	return minBatch
 }
 
 // assign maps each frontier to a node index per the policy.

@@ -60,11 +60,13 @@ func ExploreConcurrent(p *prog.Program, workers int, maxRounds int) (*Concurrent
 	// The barrier keeps rounds deterministic in *content* (the set of
 	// frontiers) while the per-worker interleaving is real concurrency.
 	for round := 0; round < maxRounds; round++ {
-		frontiers := tree.Frontiers(0)
-		if len(frontiers) == 0 {
+		if tree.FrontierCount() == 0 {
 			res.Complete = true
 			break
 		}
+		// Bounded pull, as in Explore: rounds stay O(batch) even when the
+		// open set grows with the tree.
+		frontiers := tree.Frontiers(roundBatch(workers))
 		work := make(chan exectree.Frontier)
 		var progressMu sync.Mutex
 		progress := false

@@ -42,11 +42,12 @@ func (t *Tree) encodeNode(buf []byte, n *Node) []byte {
 		buf = appendEdge(buf, e)
 	}
 	// Children.
-	buf = binary.AppendUvarint(buf, uint64(len(n.children)))
+	buf = binary.AppendUvarint(buf, uint64(len(n.kids)))
 	for _, e := range n.Edges() {
+		i := n.kidIndex(e)
 		buf = appendEdge(buf, e)
-		buf = binary.AppendUvarint(buf, uint64(n.visits[e]))
-		buf = t.encodeNode(buf, n.children[e])
+		buf = binary.AppendUvarint(buf, uint64(n.kids[i].visits))
+		buf = t.encodeNode(buf, n.kids[i].node)
 	}
 	return buf
 }
@@ -194,13 +195,11 @@ func (d *treeDecoder) node(t *Tree, parent *Node, in Edge, depth int) (*Node, er
 		if err != nil {
 			return nil, err
 		}
-		if n.children == nil {
-			n.children = make(map[Edge]*Node, nc)
-			n.visits = make(map[Edge]int64, nc)
+		if n.kidIndex(e) >= 0 {
+			return nil, fmt.Errorf("%w: duplicate edge %v", ErrCodec, e)
 		}
-		n.children[e] = child
-		n.visits[e] = visits
-		t.edgeCover[e] += visits
+		n.addKid(e, child, visits)
+		t.addCover(e, visits)
 	}
 	return n, nil
 }

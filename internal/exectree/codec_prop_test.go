@@ -29,7 +29,7 @@ func randomTree(rng *rand.Rand) *Tree {
 			t.Merge(path, outcomes[rng.Intn(len(outcomes))])
 		}
 	}
-	for _, f := range t.Frontiers(0) {
+	for _, f := range t.FrontiersAll() {
 		if rng.Intn(4) == 0 {
 			t.CertifyInfeasible(f.Prefix, f.Missing)
 		}
@@ -90,7 +90,13 @@ func assertTreeRoundTrip(t *testing.T, orig *Tree) {
 		t.Fatal("infeasibility certificates mismatch after round-trip")
 	}
 	for _, k := range []int{0, 1, 3, 17, 1 << 20} {
-		a, b := orig.Frontiers(k), dec.Frontiers(k)
+		frontiersAt := func(t *Tree) []Frontier {
+			if k <= 0 {
+				return t.FrontiersAll()
+			}
+			return t.Frontiers(k)
+		}
+		a, b := frontiersAt(orig), frontiersAt(dec)
 		if len(a) == 0 && len(b) == 0 {
 			continue
 		}
@@ -101,7 +107,7 @@ func assertTreeRoundTrip(t *testing.T, orig *Tree) {
 	// The rebuilt incremental index must agree with a from-scratch walk of
 	// the decoded structure.
 	walk := dec.FrontiersByWalk(0)
-	idx := dec.Frontiers(0)
+	idx := dec.FrontiersAll()
 	if len(walk) != len(idx) || (len(walk) > 0 && !reflect.DeepEqual(walk, idx)) {
 		t.Fatalf("rebuilt index (%d) disagrees with full walk (%d)", len(idx), len(walk))
 	}
@@ -145,7 +151,7 @@ func FuzzTreeCodec(f *testing.F) {
 			t.Fatal("encoding is not a fixed point")
 		}
 		walk := dec2.FrontiersByWalk(0)
-		idx := dec2.Frontiers(0)
+		idx := dec2.FrontiersAll()
 		if len(walk) != len(idx) || (len(walk) > 0 && !reflect.DeepEqual(walk, idx)) {
 			t.Fatal("rebuilt index disagrees with full walk")
 		}

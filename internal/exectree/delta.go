@@ -33,25 +33,30 @@ const deltaVersion = 1
 func (t *Tree) SetDeltaTracking(on bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if on {
-		t.dirty = make(map[*Node]struct{})
-	} else {
-		t.dirty = nil
+	t.clearDirtyLocked()
+	t.tracking = on
+}
+
+// clearDirtyLocked unflags every dirty node and empties the working set.
+func (t *Tree) clearDirtyLocked() {
+	for _, n := range t.dirtyNodes {
+		n.dirty = false
 	}
+	t.dirtyNodes = t.dirtyNodes[:0]
 }
 
 // DeltaTracking reports whether dirty-node recording is on.
 func (t *Tree) DeltaTracking() bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.dirty != nil
+	return t.tracking
 }
 
 // DirtyNodes returns the size of the pending delta working set.
 func (t *Tree) DirtyNodes() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.dirty)
+	return len(t.dirtyNodes)
 }
 
 // EncodeDelta serializes every node changed since the last delta boundary,
@@ -62,13 +67,10 @@ func (t *Tree) DirtyNodes() int {
 func (t *Tree) EncodeDelta() []byte {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if t.dirty == nil {
+	if !t.tracking {
 		return nil
 	}
-	nodes := make([]*Node, 0, len(t.dirty))
-	for n := range t.dirty {
-		nodes = append(nodes, n)
-	}
+	nodes := append([]*Node(nil), t.dirtyNodes...)
 	// Deterministic order: depth first, then root path. Not required for
 	// correctness (entries are disjoint overwrites) but keeps the bytes
 	// reproducible.
@@ -98,10 +100,10 @@ func (t *Tree) EncodeDelta() []byte {
 		for _, e := range orderedEdges(n.infeasible) {
 			buf = appendEdge(buf, e)
 		}
-		buf = binary.AppendUvarint(buf, uint64(len(n.children)))
+		buf = binary.AppendUvarint(buf, uint64(len(n.kids)))
 		for _, e := range n.Edges() {
 			buf = appendEdge(buf, e)
-			buf = binary.AppendUvarint(buf, uint64(n.visits[e]))
+			buf = binary.AppendUvarint(buf, uint64(n.Visits(e)))
 		}
 	}
 	return buf
@@ -112,9 +114,7 @@ func (t *Tree) EncodeDelta() []byte {
 func (t *Tree) ResetDelta() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.dirty != nil {
-		t.dirty = make(map[*Node]struct{})
-	}
+	t.clearDirtyLocked()
 }
 
 // DecodeChain reconstructs a tree from a base snapshot (Encode bytes) plus
@@ -169,14 +169,10 @@ func (t *Tree) applyDelta(data []byte) error {
 			if d.err != nil {
 				return d.err
 			}
-			child := n.children[e]
+			child := n.Child(e)
 			if child == nil {
 				child = newChild(n, e)
-				if n.children == nil {
-					n.children = make(map[Edge]*Node, 2)
-					n.visits = make(map[Edge]int64, 2)
-				}
-				n.children[e] = child
+				n.addKid(e, child, 0)
 			}
 			n = child
 		}
@@ -224,14 +220,11 @@ func (t *Tree) applyDelta(data []byte) error {
 			if d.err != nil {
 				return d.err
 			}
-			if n.children == nil {
-				n.children = make(map[Edge]*Node, nc)
-				n.visits = make(map[Edge]int64, nc)
+			if i := n.kidIndex(e); i >= 0 {
+				n.kids[i].visits = visits
+			} else {
+				n.addKid(e, newChild(n, e), visits)
 			}
-			if n.children[e] == nil {
-				n.children[e] = newChild(n, e)
-			}
-			n.visits[e] = visits
 		}
 	}
 	if d.err != nil {
@@ -252,7 +245,7 @@ func (t *Tree) recomputeAggregatesLocked() {
 	t.paths = 0
 	t.executions = 0
 	t.outcomes = make(map[prog.Outcome]int64)
-	t.edgeCover = make(map[Edge]int64)
+	t.resetCover()
 	var rec func(n *Node)
 	rec = func(n *Node) {
 		t.nodes++
@@ -261,11 +254,9 @@ func (t *Tree) recomputeAggregatesLocked() {
 			t.executions += c
 			t.paths++
 		}
-		for e, v := range n.visits {
-			t.edgeCover[e] += v
-		}
-		for _, child := range n.children {
-			rec(child)
+		for i := range n.kids {
+			t.addCover(n.kids[i].e, n.kids[i].visits)
+			rec(n.kids[i].node)
 		}
 	}
 	rec(t.root)

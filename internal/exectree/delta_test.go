@@ -34,7 +34,7 @@ func assertTreesEquivalent(t *testing.T, want, got *Tree, label string) {
 	if !reflect.DeepEqual(certificates(want), certificates(got)) {
 		t.Fatalf("%s: certificates mismatch", label)
 	}
-	a, b := want.Frontiers(0), got.Frontiers(0)
+	a, b := want.FrontiersAll(), got.FrontiersAll()
 	if (len(a) > 0 || len(b) > 0) && !reflect.DeepEqual(a, b) {
 		t.Fatalf("%s: frontier sets mismatch (%d vs %d)", label, len(a), len(b))
 	}
@@ -60,7 +60,7 @@ func TestPropDeltaChainRoundTrip(t *testing.T) {
 			for m := 0; m < rng.Intn(30); m++ {
 				randomMerge(live, rng)
 				if rng.Intn(6) == 0 {
-					if fr := live.Frontiers(0); len(fr) > 0 {
+					if fr := live.FrontiersAll(); len(fr) > 0 {
 						f := fr[rng.Intn(len(fr))]
 						live.CertifyInfeasible(f.Prefix, f.Missing)
 					}

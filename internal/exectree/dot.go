@@ -54,11 +54,11 @@ func (t *Tree) WriteDot(w io.Writer, maxNodes int) error {
 				}
 				break
 			}
-			childID, err := rec(n.children[e])
+			childID, err := rec(n.Child(e))
 			if err != nil {
 				return 0, err
 			}
-			if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"%s ×%d\"];\n", id, childID, e, n.visits[e]); err != nil {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"%s ×%d\"];\n", id, childID, e, n.Visits(e)); err != nil {
 				return 0, err
 			}
 		}

@@ -39,7 +39,7 @@ func randomMergeCertify(seed uint64, ops int) *Tree {
 	for i := 0; i < ops; i++ {
 		if rng.Bool(0.15) {
 			// Certify a currently open frontier (sometimes a stale one).
-			fr := t.Frontiers(0)
+			fr := t.FrontiersAll()
 			if len(fr) > 0 {
 				f := fr[rng.Intn(len(fr))]
 				t.CertifyInfeasible(f.Prefix, f.Missing)
@@ -66,7 +66,7 @@ func randomMergeCertify(seed uint64, ops int) *Tree {
 func TestQuickFrontierIndexMatchesWalk(t *testing.T) {
 	check := func(seed uint64) bool {
 		tr := randomMergeCertify(seed, int(seed%120)+5)
-		if !frontiersEqual(tr.Frontiers(0), tr.FrontiersByWalk(0)) {
+		if !frontiersEqual(tr.FrontiersAll(), tr.FrontiersByWalk(0)) {
 			return false
 		}
 		// The limited snapshot (heap-selected top-k) must agree with the
@@ -87,10 +87,10 @@ func TestFrontierIndexSurvivesCodec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !frontiersEqual(got.Frontiers(0), got.FrontiersByWalk(0)) {
+	if !frontiersEqual(got.FrontiersAll(), got.FrontiersByWalk(0)) {
 		t.Fatal("decoded tree: index and walk disagree")
 	}
-	if !frontiersEqual(got.Frontiers(0), tr.Frontiers(0)) {
+	if !frontiersEqual(got.FrontiersAll(), tr.FrontiersAll()) {
 		t.Fatal("decoded tree: frontiers differ from original")
 	}
 }
@@ -98,7 +98,7 @@ func TestFrontierIndexSurvivesCodec(t *testing.T) {
 // TestFrontierCount pins the O(1) count against the snapshot.
 func TestFrontierCount(t *testing.T) {
 	tr := randomMergeCertify(7, 200)
-	if got, want := tr.FrontierCount(), len(tr.Frontiers(0)); got != want {
+	if got, want := tr.FrontierCount(), len(tr.FrontiersAll()); got != want {
 		t.Fatalf("FrontierCount = %d, want %d", got, want)
 	}
 	if tr.Complete() != (tr.FrontierCount() == 0) {
@@ -123,12 +123,12 @@ func TestQuickFrontierRarityChurn(t *testing.T) {
 		}
 		tr.Merge(path, prog.OutcomeOK)
 		if i%512 == 0 {
-			if !frontiersEqual(tr.Frontiers(0), tr.FrontiersByWalk(0)) {
+			if !frontiersEqual(tr.FrontiersAll(), tr.FrontiersByWalk(0)) {
 				t.Fatalf("after %d merges: index and walk disagree", i+1)
 			}
 		}
 	}
-	if !frontiersEqual(tr.Frontiers(0), tr.FrontiersByWalk(0)) {
+	if !frontiersEqual(tr.FrontiersAll(), tr.FrontiersByWalk(0)) {
 		t.Fatal("final: index and walk disagree")
 	}
 	if !frontiersEqual(tr.Frontiers(16), tr.FrontiersByWalk(16)) {

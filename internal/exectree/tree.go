@@ -32,6 +32,18 @@ func (e Edge) String() string {
 	return fmt.Sprintf("#%d-", e.ID)
 }
 
+// childRef is one outgoing edge slot: the decision, its traversal count,
+// and the subtree it leads to. Nodes keep their outgoing edges in a small
+// slice rather than maps — fan-out is tiny (two directions of one branch in
+// the common case, a handful under thread interleavings), so a linear scan
+// costs a few compares where a map costs a hash per access, and the merge
+// hot path is almost entirely such accesses.
+type childRef struct {
+	e      Edge
+	visits int64
+	node   *Node
+}
+
 // Node is one decision point in the execution tree.
 type Node struct {
 	// parent/in/depth place the node on its (immutable) root path: a node's
@@ -41,10 +53,16 @@ type Node struct {
 	parent *Node
 	in     Edge
 	depth  int32
-	// children maps each observed decision to the subsequent subtree.
-	children map[Edge]*Node
-	// visits counts traversals of each outgoing edge.
-	visits map[Edge]int64
+	// kids holds each observed decision with its traversal count and
+	// subtree, in first-observation order (Edges sorts on demand).
+	kids []childRef
+	// open holds this node's open-frontier index entries (at most one per
+	// half-observed branch ID, so almost always zero or one) — the
+	// per-node bucket that replaces a tree-global hash map on the merge
+	// hot path.
+	open []*frontierEntry
+	// dirty marks membership in the tree's delta working set (delta.go).
+	dirty bool
 	// terminal counts executions that ended exactly at this node, per
 	// outcome.
 	terminal map[prog.Outcome]int64
@@ -62,16 +80,34 @@ func newChild(parent *Node, e Edge) *Node {
 	return &Node{parent: parent, in: e, depth: parent.depth + 1}
 }
 
+// kidIndex returns the slot of edge e, or -1.
+func (n *Node) kidIndex(e Edge) int {
+	for i := range n.kids {
+		if n.kids[i].e == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// addKid appends a new outgoing edge slot. The edge must not be present.
+func (n *Node) addKid(e Edge, child *Node, visits int64) {
+	n.kids = append(n.kids, childRef{e: e, visits: visits, node: child})
+}
+
 // Child returns the subtree along e, or nil.
 func (n *Node) Child(e Edge) *Node {
-	return n.children[e]
+	if i := n.kidIndex(e); i >= 0 {
+		return n.kids[i].node
+	}
+	return nil
 }
 
 // Edges returns the observed outgoing edges in a stable order.
 func (n *Node) Edges() []Edge {
-	out := make([]Edge, 0, len(n.children))
-	for e := range n.children {
-		out = append(out, e)
+	out := make([]Edge, len(n.kids))
+	for i := range n.kids {
+		out[i] = n.kids[i].e
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].ID != out[j].ID {
@@ -83,7 +119,35 @@ func (n *Node) Edges() []Edge {
 }
 
 // Visits returns the traversal count of edge e.
-func (n *Node) Visits(e Edge) int64 { return n.visits[e] }
+func (n *Node) Visits(e Edge) int64 {
+	if i := n.kidIndex(e); i >= 0 {
+		return n.kids[i].visits
+	}
+	return 0
+}
+
+// openEntry returns the node's open-frontier entry for the missing
+// direction, or nil.
+func (n *Node) openEntry(missing Edge) *frontierEntry {
+	for _, fe := range n.open {
+		if fe.missing == missing {
+			return fe
+		}
+	}
+	return nil
+}
+
+// removeOpen unlinks fe from the node's open bucket.
+func (n *Node) removeOpen(fe *frontierEntry) {
+	for i, x := range n.open {
+		if x == fe {
+			n.open[i] = n.open[len(n.open)-1]
+			n.open[len(n.open)-1] = nil
+			n.open = n.open[:len(n.open)-1]
+			return
+		}
+	}
+}
 
 // TerminalCount returns how many executions ended here with outcome o.
 func (n *Node) TerminalCount(o prog.Outcome) int64 { return n.terminal[o] }
@@ -127,23 +191,25 @@ func pathTo(n *Node) []Edge {
 	return out
 }
 
-// frontierKey identifies one open frontier: the node it hangs off and the
-// unexplored direction.
-type frontierKey struct {
-	n       *Node
-	missing Edge
-}
-
 // frontierEntry is the index record behind one open frontier. It stores no
 // prefix — the node's parent links are the shared, interned root path — and
 // doubles as a treap node of the rarity order (see Tree.frontierRoot).
 type frontierEntry struct {
 	n       *Node
 	missing Edge
-	// sib caches the traversal count of the explored sibling direction —
-	// the frontier's rarity signal, kept in sync by Merge so the index
-	// stays ordered without re-reading node state on every snapshot.
+	// sib is the rarity signal the treap is currently ordered by (the
+	// explored sibling's visit count as of the entry's last reposition).
+	// It is the entry's search key: it must not change while the entry is
+	// linked into the treap, or removals would descend the wrong way.
 	sib int64
+	// pendingSib is the deferred rarity update: Merge bumps it on every
+	// sibling traversal (O(1)) instead of repositioning the entry
+	// (O(log n) with path-compare ties), and the next ordered snapshot
+	// batch-applies pending moves before reading. Zero means clean.
+	pendingSib int64
+	// retired marks an entry already unlinked (frontier closed); a stale
+	// reposition for it is dropped.
+	retired bool
 
 	// Treap linkage (guarded by the tree lock).
 	prio        uint64
@@ -172,19 +238,30 @@ type Tree struct {
 	paths      int64 // distinct root-to-terminal paths (new-path merges)
 	executions int64 // total merged executions
 	outcomes   map[prog.Outcome]int64
-	// edgeCover tracks distinct (branch, direction) pairs seen anywhere.
-	edgeCover map[Edge]int64
-	// frontier indexes the open set by (node, missing direction);
-	// frontierRoot is the same set as a treap in frontierLess order.
-	frontier     map[frontierKey]*frontierEntry
-	frontierRoot *frontierEntry
+	// cover is the per-direction traversal multiset, indexed by
+	// ID<<1|taken: static branch IDs are small and dense, so a slice
+	// (grown on demand, overflow map for hostile IDs from decoded bytes)
+	// turns the per-edge coverage bump from a hash into an index. covered
+	// counts the distinct directions seen.
+	cover         []int64
+	coverOverflow map[Edge]int64
+	covered       int
+	// The open frontier set lives in the nodes' open buckets (lookup) and
+	// in frontierRoot, a treap in frontierLess order (rarity-ordered
+	// snapshots); frontierCount tracks its size.
+	frontierCount int
+	frontierRoot  *frontierEntry
 	// prioState seeds treap priorities deterministically, so rebuilds of
 	// the same tree shape produce the same structure run to run.
 	prioState uint64
-	// dirty is the incremental-snapshot working set: every node whose
-	// counts or structure changed since the last delta boundary (see
-	// delta.go). Nil when delta tracking is off.
-	dirty map[*Node]struct{}
+	// repositions holds open entries whose rarity signal changed since the
+	// last ordered snapshot (deferred treap moves; see frontierEntry).
+	repositions []*frontierEntry
+	// Delta tracking (delta.go): when tracking is on, nodes flip their
+	// dirty flag on first change since the boundary and accumulate in
+	// dirtyNodes.
+	tracking   bool
+	dirtyNodes []*Node
 	// onCertify, when set, observes every newly minted infeasibility
 	// certificate (hive journaling). Called under the write lock; the
 	// prefix slice is the caller's and must not be retained.
@@ -198,9 +275,62 @@ func New(programID string) *Tree {
 		root:      newNode(),
 		nodes:     1,
 		outcomes:  make(map[prog.Outcome]int64),
-		edgeCover: make(map[Edge]int64),
-		frontier:  make(map[frontierKey]*frontierEntry),
 		prioState: 0x9e3779b97f4a7c15,
+	}
+}
+
+// maxDenseCoverID bounds the dense coverage slice: IDs at or beyond it
+// (possible only in decoded hostile bytes — real programs have small
+// branch spaces) fall into the overflow map instead of growing the slice.
+const maxDenseCoverID = 1 << 16
+
+// addCover bumps an edge's coverage count by v, reporting whether the
+// direction is new. Zero-visit bumps (possible only in degenerate decoded
+// bytes) do not count as coverage.
+func (t *Tree) addCover(e Edge, v int64) bool {
+	if v == 0 {
+		return false
+	}
+	if e.ID >= 0 && e.ID < maxDenseCoverID {
+		idx := int(e.ID) << 1
+		if e.Taken {
+			idx |= 1
+		}
+		if idx >= len(t.cover) {
+			grown := make([]int64, idx+16)
+			copy(grown, t.cover)
+			t.cover = grown
+		}
+		isNew := t.cover[idx] == 0
+		t.cover[idx] += v
+		if isNew {
+			t.covered++
+		}
+		return isNew
+	}
+	if t.coverOverflow == nil {
+		t.coverOverflow = make(map[Edge]int64)
+	}
+	isNew := t.coverOverflow[e] == 0
+	t.coverOverflow[e] += v
+	if isNew {
+		t.covered++
+	}
+	return isNew
+}
+
+// resetCover clears the coverage multiset.
+func (t *Tree) resetCover() {
+	t.cover = t.cover[:0]
+	t.coverOverflow = nil
+	t.covered = 0
+}
+
+// markDirty flags a changed node into the delta working set.
+func (t *Tree) markDirty(n *Node) {
+	if t.tracking && !n.dirty {
+		n.dirty = true
+		t.dirtyNodes = append(t.dirtyNodes, n)
 	}
 }
 
@@ -233,43 +363,41 @@ func (t *Tree) Merge(path []trace.BranchEvent, outcome prog.Outcome) MergeResult
 	node := t.root
 	for _, be := range path {
 		e := Edge{ID: be.ID, Taken: be.Taken}
-		if t.edgeCover[e] == 0 {
+		if t.addCover(e, 1) {
 			res.NewEdges++
 		}
-		t.edgeCover[e]++
-		if node.children == nil {
-			node.children = make(map[Edge]*Node, 2)
-			node.visits = make(map[Edge]int64, 2)
-		}
-		if t.dirty != nil {
-			t.dirty[node] = struct{}{}
-		}
-		child := node.children[e]
-		isNew := child == nil
+		t.markDirty(node)
+		ci := node.kidIndex(e)
+		isNew := ci < 0
+		var child *Node
 		if isNew {
 			child = newChild(node, e)
-			node.children[e] = child
+			node.addKid(e, child, 0)
+			ci = len(node.kids) - 1
 			t.nodes++
 			res.NewNodes++
 			// e's first appearance closes the frontier that pointed at it
 			// (if the sibling direction opened one earlier).
-			if fe := t.frontier[frontierKey{n: node, missing: e}]; fe != nil {
+			if fe := node.openEntry(e); fe != nil {
 				t.retireEntry(fe)
 			}
+		} else {
+			child = node.kids[ci].node
 		}
-		node.visits[e]++
+		node.kids[ci].visits++
+		vis := node.kids[ci].visits
 		sibling := Edge{ID: e.ID, Taken: !e.Taken}
-		if fe := t.frontier[frontierKey{n: node, missing: sibling}]; fe != nil {
+		if fe := node.openEntry(sibling); fe != nil {
 			// The explored side of an open frontier was traversed again: its
-			// rarity signal grew, so reposition it in the order index.
-			t.frontierRoot = treapRemove(t.frontierRoot, fe)
-			fe.left, fe.right = nil, nil
-			fe.sib = node.visits[e]
-			t.insertEntry(fe)
-		} else if isNew && node.children[sibling] == nil && !node.Infeasible(sibling) {
-			fe := &frontierEntry{n: node, missing: sibling, sib: node.visits[e]}
-			t.frontier[frontierKey{n: node, missing: sibling}] = fe
-			t.insertEntry(fe)
+			// rarity signal grew. Record the move instead of paying the
+			// O(log n) reposition here — the next ordered snapshot applies
+			// every pending move at once (flushRepositionsLocked).
+			if fe.pendingSib == 0 {
+				t.repositions = append(t.repositions, fe)
+			}
+			fe.pendingSib = vis
+		} else if isNew && node.kidIndex(sibling) < 0 && !node.Infeasible(sibling) {
+			t.openFrontier(node, sibling, vis)
 		}
 		node = child
 	}
@@ -281,9 +409,7 @@ func (t *Tree) Merge(path []trace.BranchEvent, outcome prog.Outcome) MergeResult
 		t.paths++
 	}
 	node.terminal[outcome]++
-	if t.dirty != nil {
-		t.dirty[node] = struct{}{}
-	}
+	t.markDirty(node)
 	t.outcomes[outcome]++
 	t.executions++
 	return res
@@ -316,7 +442,7 @@ func (t *Tree) Stats() Stats {
 		Nodes:        t.nodes,
 		Paths:        t.paths,
 		Executions:   t.executions,
-		EdgesCovered: len(t.edgeCover),
+		EdgesCovered: t.covered,
 		Outcomes:     make(map[prog.Outcome]int64, len(t.outcomes)),
 	}
 	for k, v := range t.outcomes {
@@ -330,16 +456,21 @@ func (t *Tree) Stats() Stats {
 func (t *Tree) EdgeCoverage(p *prog.Program) (covered, total int) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.edgeCover), 2 * p.NumBranches()
+	return t.covered, 2 * p.NumBranches()
 }
 
 // CoveredEdges returns a copy of the edge coverage multiset.
 func (t *Tree) CoveredEdges() map[Edge]int64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make(map[Edge]int64, len(t.edgeCover))
-	for k, v := range t.edgeCover {
-		out[k] = v
+	out := make(map[Edge]int64, t.covered)
+	for idx, v := range t.cover {
+		if v != 0 {
+			out[Edge{ID: int32(idx >> 1), Taken: idx&1 == 1}] = v
+		}
+	}
+	for e, v := range t.coverOverflow {
+		out[e] = v
 	}
 	return out
 }
@@ -353,7 +484,7 @@ func (t *Tree) CertifyInfeasible(prefix []Edge, missing Edge) bool {
 	defer t.mu.Unlock()
 	n := t.root
 	for _, e := range prefix {
-		n = n.children[e]
+		n = n.Child(e)
 		if n == nil {
 			return false
 		}
@@ -362,10 +493,8 @@ func (t *Tree) CertifyInfeasible(prefix []Edge, missing Edge) bool {
 		return true // already certified; nothing new to observe
 	}
 	n.markInfeasible(missing)
-	if t.dirty != nil {
-		t.dirty[n] = struct{}{}
-	}
-	if fe := t.frontier[frontierKey{n: n, missing: missing}]; fe != nil {
+	t.markDirty(n)
+	if fe := n.openEntry(missing); fe != nil {
 		t.retireEntry(fe)
 	}
 	if t.onCertify != nil {
@@ -398,7 +527,7 @@ func (t *Tree) Walk(fn func(path []Edge, n *Node) bool) {
 			return
 		}
 		for _, e := range n.Edges() {
-			rec(append(path, e), n.children[e])
+			rec(append(path, e), n.Child(e))
 		}
 	}
 	rec(nil, t.root)
@@ -419,22 +548,46 @@ type Frontier struct {
 	SiblingVisits int64
 }
 
-// Frontiers enumerates unexplored branch directions, excluding those
-// carrying infeasibility certificates, in rarity order (most-visited
-// sibling first, ties broken deterministically). limit <= 0 means no limit.
+// Frontiers enumerates the top limit unexplored branch directions,
+// excluding those carrying infeasibility certificates, in rarity order
+// (most-visited sibling first, ties broken deterministically).
 //
 // The result is served from the rarity-ordered treap: a limited snapshot
 // reads the first limit entries in order, O(limit + log n) regardless of
 // how large the open set is, and prefixes are materialized from the shared
 // parent links outside the lock.
+//
+// limit must be positive: every production consumer bounds its pull (the
+// proof engine takes 64, guidance 4×max, cluster exploration a per-round
+// batch), because an unlimited snapshot is O(open set) and the open set can
+// grow with the tree. The debug/test-only full enumeration lives behind
+// FrontiersAll; asking this path for it is a programming error and panics.
 func (t *Tree) Frontiers(limit int) []Frontier {
+	if limit <= 0 {
+		panic("exectree: Frontiers(limit <= 0) is debug-only; bound the pull or use FrontiersAll")
+	}
+	return t.frontiers(limit)
+}
+
+// FrontiersAll enumerates the whole open frontier set — O(open set), for
+// tests, debugging, and reference comparisons only. Production code bounds
+// its pulls through Frontiers.
+func (t *Tree) FrontiersAll() []Frontier {
+	return t.frontiers(0)
+}
+
+func (t *Tree) frontiers(limit int) []Frontier {
 	type cand struct {
 		n       *Node
 		missing Edge
 		sib     int64
 	}
-	t.mu.RLock()
-	want := len(t.frontier)
+	// Write lock: the snapshot first applies any rarity moves merges
+	// deferred. Snapshots are O(limit + log n), so the exclusivity window
+	// is tiny next to the merge traffic it relieves.
+	t.mu.Lock()
+	t.flushRepositionsLocked()
+	want := t.frontierCount
 	if limit > 0 && limit < want {
 		want = limit
 	}
@@ -454,7 +607,7 @@ func (t *Tree) Frontiers(limit int) []Frontier {
 		return walk(fe.right)
 	}
 	walk(t.frontierRoot)
-	t.mu.RUnlock()
+	t.mu.Unlock()
 	// Materialize outside the lock: parent links, in-edges, and depths are
 	// immutable once a node exists.
 	out := make([]Frontier, len(cands))
@@ -474,26 +627,13 @@ func (t *Tree) Frontiers(limit int) []Frontier {
 func (t *Tree) FrontiersByWalk(limit int) []Frontier {
 	var out []Frontier
 	t.Walk(func(path []Edge, n *Node) bool {
-		// Group observed edges by branch id; any id with exactly one
-		// direction (and no certificate for the other) is a frontier.
-		byID := make(map[int32][]Edge, len(n.children))
-		for e := range n.children {
-			byID[e.ID] = append(byID[e.ID], e)
-		}
-		for id, edges := range byID {
-			if len(edges) != 1 {
-				continue
-			}
-			missing := Edge{ID: id, Taken: !edges[0].Taken}
-			if n.Infeasible(missing) {
-				continue
-			}
+		forEachHalfObserved(n, func(missing Edge, sib int64) {
 			out = append(out, Frontier{
 				Prefix:        append([]Edge(nil), path...),
 				Missing:       missing,
-				SiblingVisits: n.visits[edges[0]],
+				SiblingVisits: sib,
 			})
-		}
+		})
 		return true
 	})
 	sortFrontiers(out)
@@ -533,7 +673,7 @@ func sortFrontiers(out []Frontier) {
 func (t *Tree) FrontierCount() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.frontier)
+	return t.frontierCount
 }
 
 // --- rarity-ordered index internals (all under the write lock) ---
@@ -604,17 +744,47 @@ func (t *Tree) nextPrio() uint64 {
 	return z ^ (z >> 31)
 }
 
-// insertEntry adds fe to the rarity treap.
-func (t *Tree) insertEntry(fe *frontierEntry) {
-	fe.prio = t.nextPrio()
+// openFrontier creates and indexes a fresh open-frontier entry at n.
+func (t *Tree) openFrontier(n *Node, missing Edge, sib int64) {
+	fe := &frontierEntry{n: n, missing: missing, sib: sib, prio: t.nextPrio()}
+	n.open = append(n.open, fe)
 	t.frontierRoot = treapInsert(t.frontierRoot, fe)
+	t.frontierCount++
 }
 
-// retireEntry removes fe from both the key map and the rarity treap.
+// retireEntry removes fe from its node's open bucket and the rarity treap
+// (by its current key — any pending reposition is dropped via the retired
+// mark).
 func (t *Tree) retireEntry(fe *frontierEntry) {
-	delete(t.frontier, frontierKey{n: fe.n, missing: fe.missing})
+	fe.n.removeOpen(fe)
 	t.frontierRoot = treapRemove(t.frontierRoot, fe)
 	fe.left, fe.right = nil, nil
+	fe.retired = true
+	t.frontierCount--
+}
+
+// flushRepositionsLocked applies every deferred rarity move: each pending
+// entry is unlinked at its old key and reinserted at the new one. Callers
+// hold the write lock. Amortization: merges record moves in O(1) and the
+// ordered-snapshot consumer pays O(pending · log n) once, instead of every
+// merge paying O(log n) — under fleet ingest, snapshots (guidance pulls)
+// are orders of magnitude rarer than merges.
+func (t *Tree) flushRepositionsLocked() {
+	if len(t.repositions) == 0 {
+		return
+	}
+	for _, fe := range t.repositions {
+		if fe.retired || fe.pendingSib == 0 || fe.pendingSib == fe.sib {
+			fe.pendingSib = 0
+			continue
+		}
+		t.frontierRoot = treapRemove(t.frontierRoot, fe)
+		fe.left, fe.right = nil, nil
+		fe.sib = fe.pendingSib
+		fe.pendingSib = 0
+		t.frontierRoot = treapInsert(t.frontierRoot, fe)
+	}
+	t.repositions = t.repositions[:0]
 }
 
 func treapInsert(root, fe *frontierEntry) *frontierEntry {
@@ -685,31 +855,40 @@ func rotateLeft(n *frontierEntry) *frontierEntry {
 // uses it to restore the index of a deserialized tree; callers must hold the
 // write lock (or own the tree exclusively).
 func (t *Tree) rebuildFrontierLocked() {
-	t.frontier = make(map[frontierKey]*frontierEntry)
 	t.frontierRoot = nil
+	t.frontierCount = 0
+	t.repositions = t.repositions[:0]
 	var rec func(n *Node)
 	rec = func(n *Node) {
-		byID := make(map[int32][]Edge, len(n.children))
-		for e := range n.children {
-			byID[e.ID] = append(byID[e.ID], e)
-		}
-		for id, edges := range byID {
-			if len(edges) != 1 {
-				continue
-			}
-			missing := Edge{ID: id, Taken: !edges[0].Taken}
-			if n.Infeasible(missing) {
-				continue
-			}
-			fe := &frontierEntry{n: n, missing: missing, sib: n.visits[edges[0]]}
-			t.frontier[frontierKey{n: n, missing: missing}] = fe
-			t.insertEntry(fe)
-		}
-		for _, child := range n.children {
-			rec(child)
+		n.open = nil
+		forEachHalfObserved(n, func(missing Edge, sib int64) {
+			t.openFrontier(n, missing, sib)
+		})
+		for i := range n.kids {
+			rec(n.kids[i].node)
 		}
 	}
 	rec(t.root)
+}
+
+// forEachHalfObserved calls fn for every branch ID at n with exactly one
+// observed direction and no certificate on the other — the node's open
+// frontiers — passing the missing direction and the explored sibling's
+// visit count. Visits in first-observation order; neither caller depends
+// on it (both sort downstream: the treap by comparator, the walk by
+// sortFrontiers).
+func forEachHalfObserved(n *Node, fn func(missing Edge, sib int64)) {
+	for i := range n.kids {
+		e := n.kids[i].e
+		sibling := Edge{ID: e.ID, Taken: !e.Taken}
+		if n.kidIndex(sibling) >= 0 {
+			continue // both directions observed
+		}
+		if n.Infeasible(sibling) {
+			continue
+		}
+		fn(sibling, n.kids[i].visits)
+	}
 }
 
 // Complete reports whether the tree has no frontiers left: every decision

@@ -54,7 +54,7 @@ func TestFrontiers(t *testing.T) {
 	tr.Merge([]trace.BranchEvent{ev(0, true), ev(1, true)}, prog.OutcomeOK)
 	tr.Merge([]trace.BranchEvent{ev(0, true), ev(1, false)}, prog.OutcomeOK)
 
-	fr := tr.Frontiers(0)
+	fr := tr.FrontiersAll()
 	// Branch 0 at root has only "taken": one frontier. Branch 1 has both.
 	if len(fr) != 1 {
 		t.Fatalf("frontiers = %+v, want 1", fr)
@@ -73,7 +73,7 @@ func TestFrontiers(t *testing.T) {
 	if !tr.CertifyInfeasible(nil, Edge{ID: 0, Taken: false}) {
 		t.Fatal("certify at root failed")
 	}
-	if len(tr.Frontiers(0)) != 0 {
+	if len(tr.FrontiersAll()) != 0 {
 		t.Error("certified frontier still reported")
 	}
 	if !tr.Complete() {

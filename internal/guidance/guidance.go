@@ -81,6 +81,16 @@ func NewGenerator(p *prog.Program, scheduleBound int) (*Generator, error) {
 // discharge the proof engine performs — guidance and proving share the gap
 // analysis).
 func (g *Generator) Generate(tree *exectree.Tree, max int) []TestCase {
+	// Clamp untrusted maxima (max rides in verbatim from the wire's
+	// GetGuidance payload): non-positive asks for nothing, and a huge ask
+	// is bounded so the 4× frontier over-pull below cannot overflow or
+	// materialize an unbounded snapshot.
+	if max <= 0 {
+		return nil
+	}
+	if max > maxGuidanceCases {
+		max = maxGuidanceCases
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	var out []TestCase
@@ -92,6 +102,10 @@ func (g *Generator) Generate(tree *exectree.Tree, max int) []TestCase {
 	}
 	return out
 }
+
+// maxGuidanceCases bounds one guidance request (wire clients ask for a
+// handful; anything larger is hostile or a bug).
+const maxGuidanceCases = 1 << 16
 
 func (g *Generator) generateInputs(tree *exectree.Tree, max int) []TestCase {
 	frontiers := tree.Frontiers(max * 4)

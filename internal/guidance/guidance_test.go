@@ -170,7 +170,7 @@ func TestGuidanceCertifiesInfeasibleFrontiers(t *testing.T) {
 	g.Generate(tree, 8)
 	if !tree.Complete() {
 		t.Errorf("tree should be complete after guidance certifies the dead side; frontiers: %+v",
-			tree.Frontiers(0))
+			tree.FrontiersAll())
 	}
 }
 
@@ -190,5 +190,35 @@ func TestGenerateOnCompleteTreeIsEmpty(t *testing.T) {
 	}
 	if cases := g.Generate(tree, 4); len(cases) != 0 {
 		t.Errorf("complete tree produced guidance: %+v", cases)
+	}
+}
+
+// TestGenerateClampsHostileMax pins the wire-facing bounds: a GetGuidance
+// request whose max is zero (the JSON zero value), negative, or absurdly
+// large must neither panic (Frontiers asserts positive limits) nor
+// materialize an unbounded snapshot.
+func TestGenerateClampsHostileMax(t *testing.T) {
+	b := prog.NewBuilder("clamp", 1)
+	hi, end := b.NewLabel(), b.NewLabel()
+	b.Input(0, 0)
+	b.BrImm(0, prog.CmpGT, 100, hi)
+	b.Jmp(end)
+	b.Bind(hi)
+	b.Const(1, 1)
+	b.Bind(end)
+	b.Halt()
+	p := b.MustBuild()
+	tree := seedTree(t, p, 1, 2)
+	g, err := NewGenerator(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, max := range []int{0, -1, -1 << 40} {
+		if cases := g.Generate(tree, max); len(cases) != 0 {
+			t.Errorf("Generate(max=%d) produced %d cases, want 0", max, len(cases))
+		}
+	}
+	if cases := g.Generate(tree, 1<<62); len(cases) == 0 {
+		t.Error("huge max clamped to nothing; want clamped-but-working guidance")
 	}
 }

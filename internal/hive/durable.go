@@ -196,6 +196,19 @@ func (h *Hive) restoreProgram(st *programState, base *journal.ProgramSnapshot, d
 // ingestion uses.
 func (h *Hive) applyOp(st *programState, op *journal.Op) error {
 	switch op.Kind {
+	case journal.OpBatchColumnar:
+		view, err := trace.DecodeBatch(op.Raw)
+		if err != nil {
+			return fmt.Errorf("hive: replay %s columnar batch: %w", st.prog.ID, err)
+		}
+		// Replay runs through the same view-based apply path live columnar
+		// ingestion uses — the journaled bytes ARE the wire bytes, so a
+		// recovered hive reproduces the live one's state exactly.
+		h.applyBatchView(st, view, false)
+		view.Release()
+		if op.Session != "" {
+			h.markSession(op.Session, op.Seq)
+		}
 	case journal.OpBatch:
 		batch := make([]*trace.Trace, 0, len(op.Traces))
 		for i, raw := range op.Traces {

@@ -131,12 +131,15 @@ func assertHivesEqual(t *testing.T, want, got *Hive, corpus []*prog.Program) {
 			}
 			return reflect.DeepEqual(a, b)
 		}
-		for _, k := range []int{0, 1, 4, 64} {
+		if !sameFrontiers(wt.FrontiersAll(), gt.FrontiersAll()) {
+			t.Errorf("program %s: full frontier sets mismatch", p.Name)
+		}
+		for _, k := range []int{1, 4, 64} {
 			if !sameFrontiers(wt.Frontiers(k), gt.Frontiers(k)) {
 				t.Errorf("program %s: Frontiers(%d) mismatch", p.Name, k)
 			}
 		}
-		if !sameFrontiers(gt.Frontiers(0), gt.FrontiersByWalk(0)) {
+		if !sameFrontiers(gt.FrontiersAll(), gt.FrontiersByWalk(0)) {
 			t.Errorf("program %s: recovered frontier index disagrees with full walk", p.Name)
 		}
 

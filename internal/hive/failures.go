@@ -65,21 +65,28 @@ func (t *failureTable) stripeFor(sig string) *failureStripe {
 // counters. Journal replay records with elect false: synthesis outcomes are
 // replayed from their own journal ops, never re-derived.
 func (t *failureTable) record(tr *trace.Trace, elect bool) (*failureRecord, bool) {
-	sig := tr.FailureSignature()
+	return t.recordLazy(tr.FailureSignature(), tr.PodID, tr.Outcome, tr.Clone, elect)
+}
+
+// recordLazy is record with the sample supplied lazily: sample() runs only
+// when the signature is new. The zero-copy ingest path uses it to aggregate
+// repeat failures from a batch view without materializing a Trace — the
+// sample is built (not cloned) exactly once per signature ever.
+func (t *failureTable) recordLazy(sig, podID string, outcome prog.Outcome, sample func() *trace.Trace, elect bool) (*failureRecord, bool) {
 	s := t.stripeFor(sig)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.recs[sig]
 	if !ok {
-		rec = &failureRecord{signature: sig, outcome: tr.Outcome, sample: tr.Clone(), podsSeen: make(map[string]bool)}
+		rec = &failureRecord{signature: sig, outcome: outcome, sample: sample(), podsSeen: make(map[string]bool)}
 		if s.recs == nil {
 			s.recs = make(map[string]*failureRecord)
 		}
 		s.recs[sig] = rec
 	}
 	rec.count.Add(1)
-	if !rec.podsSeen[tr.PodID] {
-		rec.podsSeen[tr.PodID] = true
+	if !rec.podsSeen[podID] {
+		rec.podsSeen[podID] = true
 		rec.pods.Store(int64(len(rec.podsSeen)))
 	}
 	if !elect || rec.fixed || rec.inRepairLab || rec.synthesizing {

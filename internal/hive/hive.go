@@ -369,6 +369,54 @@ func (h *Hive) SubmitTracesSession(session string, seq uint64, programID string,
 	return false, h.ingest(st, traces, session, seq)
 }
 
+// SubmitColumnarSession implements pod.ColumnarSubmitter: zero-copy batch
+// ingestion. The view's fields are consumed straight out of the wire
+// frame's bytes — traces are materialized only where the hive must retain
+// one (failure samples, coordinated fragments, external-only reconstruction
+// inputs) — and on a durable hive the journal records *those same bytes*
+// (journal.OpBatchColumnar), so a batch is serialized exactly once in its
+// lifetime: on the pod. Dedup semantics are identical to
+// SubmitTracesSession; the (session, seq) tag spaces are shared.
+func (h *Hive) SubmitColumnarSession(session string, seq uint64, batch *trace.BatchView) (bool, error) {
+	if batch.Len() == 0 {
+		return false, nil
+	}
+	st, err := h.state(batch.ProgramID())
+	if err != nil {
+		return false, err
+	}
+	if session == "" {
+		return false, h.ingestView(st, batch, "", 0)
+	}
+	e := h.sessionFor(session)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if h.sessionApplied(e, seq) {
+		return true, nil
+	}
+	return false, h.ingestView(st, batch, session, seq)
+}
+
+// ingestView journals (when durable) and applies one columnar batch under
+// the checkpoint gate — the view-based twin of ingest. The journaled op
+// carries the batch's raw bytes verbatim: no re-encode, and recovery
+// replays them through the same view-based apply path.
+func (h *Hive) ingestView(st *programState, v *trace.BatchView, session string, seq uint64) error {
+	st.ckpt.RLock()
+	defer st.ckpt.RUnlock()
+	if h.journal != nil {
+		op := &journal.Op{Kind: journal.OpBatchColumnar, Session: session, Seq: seq, Raw: v.Bytes()}
+		if err := h.journal.Append(st.prog.ID, op); err != nil {
+			return fmt.Errorf("hive: journal %s: %w", st.prog.ID, err)
+		}
+	}
+	h.applyBatchView(st, v, true)
+	if session != "" {
+		h.markSession(session, seq)
+	}
+	return nil
+}
+
 // pendingSynthesis is a single-flight election won during batch bookkeeping:
 // the trigger trace that will synthesize the signature's fix after the lock
 // is released.
@@ -495,6 +543,104 @@ func (h *Hive) applyBatch(st *programState, batch []*trace.Trace, live bool) {
 
 	// Phase 4: synthesize fixes for the signatures this batch saw first.
 	// Rare (once per signature ever), and single-flight by construction.
+	for _, p := range toSynthesize {
+		h.synthesizeFix(st, p.rec, p.tr)
+	}
+}
+
+// ingestScratch is the pooled per-batch working set of the view-based
+// apply path: one branch-path buffer, one input buffer, and one signature
+// buffer serve a whole batch, so steady-state ingestion of benign traces
+// allocates nothing per trace.
+type ingestScratch struct {
+	path  []trace.BranchEvent
+	input []int64
+	sig   []byte
+}
+
+var ingestScratchPool = sync.Pool{New: func() any { return &ingestScratch{} }}
+
+// applyBatchView folds one columnar batch into the hive, reading fields
+// directly out of the view. It is semantically applyBatch over
+// view.MaterializeAll() — the equivalence TestColumnarIngestMatchesV2 pins
+// — but materializes a Trace only where one is retained or re-executed:
+// failure samples (once per signature ever), coordinated fragments, and
+// external-only reconstruction. Benign full-capture traffic — the fleet's
+// overwhelming majority — is merged straight from the frame bytes through
+// a reused path buffer.
+func (h *Hive) applyBatchView(st *programState, v *trace.BatchView, live bool) {
+	singleThreaded := st.prog.NumThreads() == 1
+	n := v.Len()
+	sc := ingestScratchPool.Get().(*ingestScratch)
+	defer ingestScratchPool.Put(sc)
+
+	// Pass 1 — striped bookkeeping, no shard lock (applyBatch's phase 2):
+	// coordinated fragment buffering, known-good harvesting, and failure
+	// aggregation with its single-flight synthesis election.
+	var families map[int][]*trace.Trace
+	var toSynthesize []pendingSynthesis
+	for i := 0; i < n; i++ {
+		if v.Mode(i) == trace.CaptureCoordinated && singleThreaded {
+			if fam, complete := st.bufferCoordinated(v.Materialize(i)); complete {
+				if families == nil {
+					families = make(map[int][]*trace.Trace)
+				}
+				families[i] = fam
+			}
+		}
+		if v.Privacy(i) == trace.PrivacyRaw && v.Outcome(i) == prog.OutcomeOK && v.NumInputs(i) > 0 {
+			sc.input = v.AppendInput(sc.input[:0], i)
+			st.harvestKnownGood(sc.input)
+		}
+		if v.Outcome(i).IsFailure() {
+			sc.sig = v.FailureSignature(sc.sig[:0], i)
+			i := i
+			rec, elected := st.failures.recordLazy(string(sc.sig), v.PodID(i), v.Outcome(i),
+				func() *trace.Trace { return v.Materialize(i) }, live)
+			if elected {
+				// The sample is the materialized trigger trace; synthesis
+				// reads it after the batch's locks are gone.
+				toSynthesize = append(toSynthesize, pendingSynthesis{rec: rec, tr: rec.sample})
+			}
+		}
+	}
+	st.ingested.Add(int64(n))
+
+	// Pass 2 — path expansion and tree merging, in batch order
+	// (applyBatch's phases 1 and 3): external-only traces reconstruct to
+	// full paths, completed coordinated families narrow, everything else
+	// merges at recorded granularity straight from the view.
+	var reconstructed, narrowed int64
+	for i := 0; i < n; i++ {
+		outcome := v.Outcome(i)
+		var path []trace.BranchEvent
+		if v.Mode(i) == trace.CaptureExternalOnly && singleThreaded {
+			if full, err := exectree.Reconstruct(st.prog, v.Materialize(i)); err == nil {
+				path = full
+				reconstructed++
+			}
+		}
+		if fam, ok := families[i]; ok {
+			if full, ok := narrowFamily(st.prog, fam, outcome); ok {
+				path = full
+				narrowed++
+			}
+		}
+		if path == nil {
+			sc.path = v.AppendBranches(sc.path[:0], i)
+			path = sc.path
+		}
+		st.tree.Merge(path, outcome)
+	}
+	if reconstructed > 0 {
+		st.reconstructed.Add(reconstructed)
+	}
+	if narrowed > 0 {
+		st.narrowed.Add(narrowed)
+	}
+
+	// Pass 3 — synthesize fixes for the signatures this batch saw first
+	// (applyBatch's phase 4).
 	for _, p := range toSynthesize {
 		h.synthesizeFix(st, p.rec, p.tr)
 	}

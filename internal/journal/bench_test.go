@@ -2,6 +2,7 @@ package journal
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 )
 
@@ -77,6 +78,43 @@ func BenchmarkJournalAppend(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkJournalAppendColdFleet models a fleet of many mostly-cold
+// programs trickling durable appends concurrently: every op lands on a
+// different program's journal, so per-record coalescing within one program
+// is rare and the cost is dominated by committer scheduling and fsync
+// traffic across files. This is the yardstick for pooling group committers
+// across programs (one bounded committer pool per data directory instead of
+// one goroutine per hot program).
+func BenchmarkJournalAppendColdFleet(b *testing.B) {
+	for _, programs := range []int{64, 512} {
+		b.Run(fmt.Sprintf("programs=%d", programs), func(b *testing.B) {
+			s, err := Open(b.TempDir(), Options{Fsync: true, MaxBatch: 256})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			payload := make([]byte, 200)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			var next atomic.Int64
+			b.SetParallelism(16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				op := &Op{Kind: OpBatch, Session: "bench-session", Seq: 1,
+					Traces: [][]byte{payload}}
+				for pb.Next() {
+					id := fmt.Sprintf("bench-program-%d", next.Add(1)%int64(programs))
+					if err := s.Append(id, op); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		})
 	}
 }

@@ -104,6 +104,14 @@ type Options struct {
 	// when MaxBatch > 1 or GroupWindow > 0; MaxBatch defaults to 256 when
 	// enabled and left zero.
 	MaxBatch int
+
+	// CommitWorkers caps the store-wide committer pool (default 32).
+	// Committers are shared across programs: a worker pops the next
+	// program with pending records, flushes one group for it, and moves
+	// on, so a fleet of thousands of mostly-cold programs costs at most
+	// CommitWorkers goroutines — not one per program — while a few hot
+	// programs still get concurrent (overlapping) fsyncs up to the cap.
+	CommitWorkers int
 }
 
 // grouped reports whether the options enable the group committer.
@@ -113,15 +121,24 @@ func (o Options) grouped() bool { return o.MaxBatch > 1 || o.GroupWindow > 0 }
 // data directory. All methods are safe for concurrent use; operations on
 // distinct programs never contend.
 type Store struct {
-	dir      string
-	fsync    bool
-	window   time.Duration
-	maxBatch int
-	grouped  bool
+	dir        string
+	fsync      bool
+	window     time.Duration
+	maxBatch   int
+	grouped    bool
+	maxWorkers int
 
 	mu    sync.Mutex
 	progs map[string]*progLog // program ID -> log state
 	byKey map[string]string   // filename key -> program ID
+
+	// Committer pool state: programs with pending records queue here, and
+	// up to maxWorkers committer goroutines (spawned on demand, exiting
+	// when the queue drains) pop them round-robin. Guarded by commitMu,
+	// never held across I/O.
+	commitMu    sync.Mutex
+	commitQueue []*progLog
+	workers     int
 }
 
 // progLog is one program's on-disk state: the snapshot chain (base
@@ -149,20 +166,34 @@ type progLog struct {
 	// replayed records that Replay ran (or that the program is fresh), so
 	// appends cannot clobber an un-replayed torn tail.
 	replayed bool
+	// scratch is the op-payload encode buffer, owned by whoever holds the
+	// flush (pl.mu for direct appends; the flushing claim for committers).
+	scratch []byte
 
-	// Group-commit queue: pending records awaiting the committer, and
-	// whether a committer goroutine is live. Guarded by pendMu (never held
-	// across I/O).
-	pendMu     sync.Mutex
-	pending    []*pendingAppend
-	committing bool
+	// Group-commit queue: pending records awaiting a committer. Guarded by
+	// pendMu (never held across I/O). queued and flushing are the store
+	// committer pool's claims on this program, guarded by the store's
+	// commitMu: queued means the program sits in the commit queue, flushing
+	// means a worker is mid-flush (a program is never flushed by two
+	// workers at once, so its records land in arrival order).
+	pendMu  sync.Mutex
+	pending []*pendingAppend
+
+	queued   bool
+	flushing bool
 }
 
-// pendingAppend is one enqueued record and its caller's completion channel.
+// pendingAppend is one enqueued operation and its caller's completion
+// channel. The op is encoded by the committer, straight into the group
+// buffer's scratch — the caller's Append blocks until delivery, so the op
+// stays immutable for exactly as long as the committer needs it.
 type pendingAppend struct {
-	frame []byte
-	done  chan error
+	op   *Op
+	done chan error
 }
+
+// donePool recycles completion channels (one send, one receive per use).
+var donePool = sync.Pool{New: func() any { return make(chan error, 1) }}
 
 const (
 	walMagic  = "SBWAL1\n"
@@ -176,16 +207,24 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("journal: open %s: %w", dir, err)
 	}
 	s := &Store{
-		dir:      dir,
-		fsync:    opts.Fsync,
-		window:   opts.GroupWindow,
-		maxBatch: opts.MaxBatch,
-		grouped:  opts.grouped(),
-		progs:    make(map[string]*progLog),
-		byKey:    make(map[string]string),
+		dir:        dir,
+		fsync:      opts.Fsync,
+		window:     opts.GroupWindow,
+		maxBatch:   opts.MaxBatch,
+		grouped:    opts.grouped(),
+		maxWorkers: opts.CommitWorkers,
+		progs:      make(map[string]*progLog),
+		byKey:      make(map[string]string),
 	}
 	if s.grouped && s.maxBatch <= 1 {
 		s.maxBatch = 256
+	}
+	if s.maxWorkers <= 0 {
+		// Committers are fsync-bound, not CPU-bound: a generous cap keeps
+		// distinct programs' fsyncs overlapping (the filesystem coalesces
+		// concurrent journal commits) while still bounding a fleet of
+		// thousands of programs to a fixed goroutine budget.
+		s.maxWorkers = 32
 	}
 	if err := s.scan(); err != nil {
 		return nil, err
@@ -525,34 +564,69 @@ func (s *Store) Append(programID string, op *Op) error {
 		defer pl.mu.Unlock()
 		return s.appendLocked(pl, op)
 	}
-	p := &pendingAppend{
-		frame: appendRecord(nil, encodeOp(op)),
-		done:  make(chan error, 1),
-	}
+	p := &pendingAppend{op: op, done: donePool.Get().(chan error)}
 	pl.pendMu.Lock()
 	pl.pending = append(pl.pending, p)
-	if !pl.committing {
-		pl.committing = true
-		go s.commitLoop(pl)
-	}
 	pl.pendMu.Unlock()
-	return <-p.done
+	s.enqueueCommit(pl)
+	err := <-p.done
+	donePool.Put(p.done)
+	return err
 }
 
-// commitLoop is the per-program group committer: it drains the pending
-// queue in groups of up to maxBatch records, writing each group as one
-// buffered write plus (with Options.Fsync) one fsync, then delivers the
-// result to every caller in the group. It exits when the queue empties; the
-// next Append restarts it.
-func (s *Store) commitLoop(pl *progLog) {
+// enqueueCommit registers a program with pending records in the store-wide
+// commit queue and makes sure a committer will see it: a worker is spawned
+// unless the pool is at its cap. A program already queued — or currently
+// being flushed, in which case the flushing worker re-checks its pending
+// queue before releasing the claim — is not re-added.
+func (s *Store) enqueueCommit(pl *progLog) {
+	s.commitMu.Lock()
+	if !pl.queued && !pl.flushing {
+		pl.queued = true
+		s.commitQueue = append(s.commitQueue, pl)
+	}
+	spawn := s.workers < s.maxWorkers && len(s.commitQueue) > 0
+	if spawn {
+		s.workers++
+	}
+	s.commitMu.Unlock()
+	if spawn {
+		go s.commitWorker()
+	}
+}
+
+// commitWorker is one committer in the store's shared pool: it pops the
+// next program with pending records, cuts a group of up to maxBatch of
+// them, writes the group as one buffered write plus (with Options.Fsync)
+// one fsync, and delivers the result to every blocked appender — then moves
+// to the next program. Workers exit when the queue drains; the next Append
+// restarts one. Sharing the pool across programs is what keeps a fleet of
+// thousands of cold programs at a handful of goroutines, while distinct hot
+// programs still flush (and fsync) concurrently up to the pool cap.
+func (s *Store) commitWorker() {
 	for {
+		s.commitMu.Lock()
+		if len(s.commitQueue) == 0 {
+			s.workers--
+			s.commitMu.Unlock()
+			return
+		}
+		pl := s.commitQueue[0]
+		s.commitQueue = s.commitQueue[1:]
+		pl.queued = false
+		pl.flushing = true
+		alone := len(s.commitQueue) == 0
+		s.commitMu.Unlock()
+
 		if s.window > 0 {
 			// Flush window: give concurrent appenders a beat to coalesce,
-			// unless a full group is already waiting.
+			// unless a full group is already waiting or other programs are
+			// queued behind this one (their latency would pay for our
+			// coalescing).
 			pl.pendMu.Lock()
 			n := len(pl.pending)
 			pl.pendMu.Unlock()
-			if n < s.maxBatch {
+			if n < s.maxBatch && alone {
 				time.Sleep(s.window)
 			}
 		} else {
@@ -563,37 +637,53 @@ func (s *Store) commitLoop(pl *progLog) {
 			// its quantization (~1ms under load) instead.
 			runtime.Gosched()
 		}
-		pl.pendMu.Lock()
-		var batch []*pendingAppend
-		if len(pl.pending) > s.maxBatch {
-			batch = pl.pending[:s.maxBatch:s.maxBatch]
-			pl.pending = pl.pending[s.maxBatch:]
-		} else {
-			batch = pl.pending
-			pl.pending = nil
-		}
-		if len(batch) == 0 {
-			pl.committing = false
-			pl.pendMu.Unlock()
-			return
-		}
-		pl.pendMu.Unlock()
 
-		err := s.flushGroup(pl, batch)
-		for _, p := range batch {
-			p.done <- err
+		for {
+			pl.pendMu.Lock()
+			var batch []*pendingAppend
+			if len(pl.pending) > s.maxBatch {
+				batch = pl.pending[:s.maxBatch:s.maxBatch]
+				pl.pending = pl.pending[s.maxBatch:]
+			} else {
+				batch = pl.pending
+				pl.pending = nil
+			}
+			pl.pendMu.Unlock()
+			if len(batch) == 0 {
+				// Release the flush claim with a final pending re-check
+				// under commitMu: an append that slipped in after the last
+				// cut but saw flushing still set (and so did not queue the
+				// program) is re-queued here instead of stranding until the
+				// next append.
+				s.commitMu.Lock()
+				pl.pendMu.Lock()
+				if len(pl.pending) > 0 && !pl.queued {
+					pl.queued = true
+					s.commitQueue = append(s.commitQueue, pl)
+				}
+				pl.flushing = false
+				pl.pendMu.Unlock()
+				s.commitMu.Unlock()
+				break
+			}
+			err := s.flushGroup(pl, batch)
+			for _, p := range batch {
+				p.done <- err
+			}
 		}
 	}
 }
 
-// flushGroup writes one group of framed records as a single write (+fsync)
-// under the program's file lock.
+// flushGroup writes one group of records as a single write (+fsync) under
+// the program's file lock, encoding each op straight into the reused group
+// buffer — no per-record allocations.
 func (s *Store) flushGroup(pl *progLog, batch []*pendingAppend) error {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	buf := pl.wbuf[:0]
 	for _, p := range batch {
-		buf = append(buf, p.frame...)
+		pl.scratch = appendOp(pl.scratch[:0], p.op)
+		buf = appendRecord(buf, pl.scratch)
 	}
 	pl.wbuf = buf[:0]
 	if err := s.writeFramesLocked(pl, buf); err != nil {
@@ -604,9 +694,13 @@ func (s *Store) flushGroup(pl *progLog, batch []*pendingAppend) error {
 }
 
 func (s *Store) appendLocked(pl *progLog, op *Op) error {
-	if err := s.writeFramesLocked(pl, appendRecord(nil, encodeOp(op))); err != nil {
+	pl.scratch = appendOp(pl.scratch[:0], op)
+	pl.wbuf = appendRecord(pl.wbuf[:0], pl.scratch)
+	if err := s.writeFramesLocked(pl, pl.wbuf); err != nil {
+		pl.wbuf = pl.wbuf[:0]
 		return err
 	}
+	pl.wbuf = pl.wbuf[:0]
 	pl.appends++
 	return nil
 }

@@ -30,6 +30,11 @@ const (
 	OpProof
 	// OpCert records one infeasibility certificate attached to the tree.
 	OpCert
+	// OpBatchColumnar is one ingested columnar trace batch: Raw holds the
+	// batch bytes exactly as the wire frame carried them (trace.BatchCodec
+	// encoding, program ID in the batch header) — the write-once-bytes
+	// pipeline's journal leg. Session/Seq as in OpBatch.
+	OpBatchColumnar
 )
 
 // Op is one replayable journal operation. Exactly the fields for its Kind
@@ -37,10 +42,13 @@ const (
 type Op struct {
 	Kind Kind
 
-	// OpBatch.
+	// OpBatch (Session/Seq shared with OpBatchColumnar).
 	Session string
 	Seq     uint64
 	Traces  [][]byte
+
+	// OpBatchColumnar: the verbatim wire-batch bytes.
+	Raw []byte
 
 	// OpSynthesis.
 	Signature string
@@ -57,7 +65,13 @@ type Op struct {
 // encodeOp serializes an op (the record payload; framing and CRC are the
 // journal file's concern).
 func encodeOp(op *Op) []byte {
-	buf := []byte{opVersion, byte(op.Kind)}
+	return appendOp(nil, op)
+}
+
+// appendOp appends an op's payload encoding to buf — the zero-alloc form
+// the append hot path uses with a reused scratch buffer.
+func appendOp(buf []byte, op *Op) []byte {
+	buf = append(buf, opVersion, byte(op.Kind))
 	switch op.Kind {
 	case OpBatch:
 		buf = appendBytes(buf, []byte(op.Session))
@@ -66,6 +80,10 @@ func encodeOp(op *Op) []byte {
 		for _, tr := range op.Traces {
 			buf = appendBytes(buf, tr)
 		}
+	case OpBatchColumnar:
+		buf = appendBytes(buf, []byte(op.Session))
+		buf = binary.AppendUvarint(buf, op.Seq)
+		buf = appendBytes(buf, op.Raw)
 	case OpSynthesis:
 		buf = appendBytes(buf, []byte(op.Signature))
 		buf = appendBytes(buf, op.Fix)
@@ -99,6 +117,10 @@ func decodeOp(data []byte) (*Op, error) {
 		for i := 0; i < n && d.err == nil; i++ {
 			op.Traces = append(op.Traces, d.bytes())
 		}
+	case OpBatchColumnar:
+		op.Session = string(d.bytes())
+		op.Seq = d.uvarint()
+		op.Raw = d.bytes()
 	case OpSynthesis:
 		op.Signature = string(d.bytes())
 		op.Fix = d.bytes()

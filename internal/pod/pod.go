@@ -64,6 +64,9 @@ type SealedBatch struct {
 	Count int
 	// Payload is the transport-encoded frame, tags included.
 	Payload []byte
+	// Columnar marks a payload in the columnar batch encoding (sent as its
+	// own frame type); the exactly-once tag semantics are identical.
+	Columnar bool
 }
 
 // SealedStreamer is an optional HiveClient extension splitting the
@@ -77,6 +80,20 @@ type SealedBatch struct {
 type SealedStreamer interface {
 	SealTraceBatches(programID string, batches [][]*trace.Trace) []SealedBatch
 	SubmitSealed(sealed []SealedBatch) ([]bool, error)
+}
+
+// ColumnarSubmitter is an optional backend extension for zero-copy batch
+// ingestion: a columnar-encoded batch (trace.BatchCodec) arrives as a
+// validated BatchView over the wire frame's own bytes, tagged like a
+// SessionSubmitter submission. The backend reads fields straight out of the
+// view — materializing traces only where it must retain or mutate them —
+// and, when durable, journals view.Bytes() verbatim, so the pod's one
+// serialization of the batch survives to the journal unchanged. The view is
+// only valid for the duration of the call: the transport recycles the
+// underlying frame buffer after it returns. hive.Hive implements it;
+// wire.Server routes columnar frames through it.
+type ColumnarSubmitter interface {
+	SubmitColumnarSession(session string, seq uint64, batch *trace.BatchView) (dup bool, err error)
 }
 
 // SessionSubmitter is an optional backend extension for exactly-once

@@ -1,0 +1,9 @@
+//go:build race
+
+// Package race reports whether the race detector instruments this build.
+// Allocation-regression guards consult it: the detector's shadow memory
+// adds allocations that would make testing.AllocsPerRun bounds flaky.
+package race
+
+// Enabled is true under -race.
+const Enabled = true

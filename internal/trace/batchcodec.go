@@ -1,0 +1,729 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/prog"
+)
+
+// batchVersion is bumped on any wire-incompatible change to the columnar
+// batch encoding.
+const batchVersion = 1
+
+// The columnar batch codec is the fleet-scale answer to per-trace encode
+// cost: a whole pod batch is serialized column-wise — the program ID once,
+// a pod-ID dictionary, delta-varint sequence numbers, raw byte columns for
+// the per-trace enums, and one concatenated slab per variable-length
+// section (branches, syscalls, locks, deadlock waits, strings, inputs)
+// with per-trace counts and byte lengths. The layout buys three things:
+//
+//   - Encoding amortizes the per-trace framing across the batch (shared
+//     header, one length column instead of N interleaved prefixes).
+//   - Decoding can stop at *indexing*: BatchView records column offsets
+//     into the original buffer and serves field reads directly out of it,
+//     so the hive ingests a batch without materializing Trace structs.
+//   - The validated frame bytes are a self-contained replayable record:
+//     the hive journals them verbatim (journal.OpBatchColumnar), so one
+//     serialization per trace survives pod → wire → hive → journal.
+//
+// Layout (all integers varint unless noted):
+//
+//	byte    batchVersion
+//	string  programID
+//	uvarint podCount, then podCount strings (the pod-ID dictionary)
+//	uvarint n (trace count)
+//	scalar columns, each n entries:
+//	  pod index (uvarint), mode (raw byte), outcome (raw byte),
+//	  privacy (raw byte), sampleRate/samplePhase/sampleK (uvarint),
+//	  seq (first absolute, then zigzag deltas), faultPC/assertID
+//	  (varint), steps (uvarint)
+//	variable sections, each: counts column (events per trace, omitted for
+//	string sections), lens column (slab bytes per trace), slab:
+//	  branches, syscalls, locks, deadlock, scheduleHash, inputDigest,
+//	  input, inputBuckets
+//
+// Event encodings inside the slabs are identical to the per-trace v2
+// codec, so the columnar form is a reshuffling, not a new dialect.
+
+// batchSection indexes the variable-length sections in layout order.
+const (
+	secBranches = iota
+	secSyscalls
+	secLocks
+	secDeadlock
+	secSchedHash
+	secInputDigest
+	secInput
+	secInputBuckets
+	numSections
+)
+
+// sectionHasCounts reports whether the section carries an event-count
+// column distinct from its byte-length column (string sections do not).
+func sectionHasCounts(sec int) bool {
+	return sec != secSchedHash && sec != secInputDigest
+}
+
+// --- encoder ---
+
+// batchEncoder is the pooled scratch for AppendBatch: per-section length
+// columns and the slab staging buffer survive across batches.
+type batchEncoder struct {
+	counts [numSections][]uint32
+	lens   [numSections][]uint32
+	slabs  [numSections][]byte
+	pods   []string
+	podIdx []uint32
+}
+
+var batchEncoderPool = sync.Pool{New: func() any { return &batchEncoder{} }}
+
+// EncodeBatch serializes a whole batch column-wise. Every trace must carry
+// programID (the header stores it once); an empty batch is valid.
+func EncodeBatch(programID string, traces []*Trace) ([]byte, error) {
+	return AppendBatch(nil, programID, traces)
+}
+
+// AppendBatch appends the columnar encoding of traces to dst and returns
+// the extended slice. Every trace must describe programID — the batch
+// header is the frame's single source of truth for it. Scratch state is
+// pooled: steady-state encoding allocates only when dst needs to grow.
+func AppendBatch(dst []byte, programID string, traces []*Trace) ([]byte, error) {
+	for _, tr := range traces {
+		if tr.ProgramID != programID {
+			return dst, fmt.Errorf("%w: trace for program %q in batch for %q", ErrCodec, tr.ProgramID, programID)
+		}
+	}
+	e := batchEncoderPool.Get().(*batchEncoder)
+	defer batchEncoderPool.Put(e)
+	e.pods = e.pods[:0]
+	e.podIdx = e.podIdx[:0]
+	for s := 0; s < numSections; s++ {
+		e.counts[s] = e.counts[s][:0]
+		e.lens[s] = e.lens[s][:0]
+		e.slabs[s] = e.slabs[s][:0]
+	}
+
+	// Pod dictionary: linear scan — batches come from one pod (a drain) or
+	// a handful (hive-side re-encode), never enough to want a map.
+	for _, tr := range traces {
+		idx := -1
+		for i, p := range e.pods {
+			if p == tr.PodID {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(e.pods)
+			e.pods = append(e.pods, tr.PodID)
+		}
+		e.podIdx = append(e.podIdx, uint32(idx))
+	}
+
+	// Stage the variable sections: concatenate each trace's events into the
+	// section slab, recording per-trace event counts and byte lengths.
+	for _, tr := range traces {
+		stageSection(e, secBranches, len(tr.Branches), func(buf []byte) []byte {
+			for _, b := range tr.Branches {
+				v := uint64(b.ID) << 1
+				if b.Taken {
+					v |= 1
+				}
+				buf = binary.AppendUvarint(buf, v)
+			}
+			return buf
+		})
+		stageSection(e, secSyscalls, len(tr.Syscalls), func(buf []byte) []byte {
+			for _, s := range tr.Syscalls {
+				buf = binary.AppendUvarint(buf, uint64(s.TID))
+				buf = binary.AppendVarint(buf, s.Sysno)
+				buf = binary.AppendVarint(buf, s.Ret)
+			}
+			return buf
+		})
+		stageSection(e, secLocks, len(tr.Locks), func(buf []byte) []byte {
+			for _, l := range tr.Locks {
+				buf = binary.AppendUvarint(buf, uint64(l.TID))
+				buf = binary.AppendUvarint(buf, uint64(l.LockID))
+				buf = binary.AppendUvarint(buf, uint64(l.PC))
+				if l.Acquire {
+					buf = append(buf, 1)
+				} else {
+					buf = append(buf, 0)
+				}
+			}
+			return buf
+		})
+		stageSection(e, secDeadlock, len(tr.Deadlock), func(buf []byte) []byte {
+			for _, w := range tr.Deadlock {
+				buf = binary.AppendUvarint(buf, uint64(w.TID))
+				buf = binary.AppendUvarint(buf, uint64(w.PC))
+				buf = binary.AppendUvarint(buf, uint64(w.Wants))
+			}
+			return buf
+		})
+		stageSection(e, secSchedHash, 0, func(buf []byte) []byte {
+			return append(buf, tr.ScheduleHash...)
+		})
+		stageSection(e, secInputDigest, 0, func(buf []byte) []byte {
+			return append(buf, tr.InputDigest...)
+		})
+		stageSection(e, secInput, len(tr.Input), func(buf []byte) []byte {
+			for _, v := range tr.Input {
+				buf = binary.AppendVarint(buf, v)
+			}
+			return buf
+		})
+		stageSection(e, secInputBuckets, len(tr.InputBuckets), func(buf []byte) []byte {
+			for _, v := range tr.InputBuckets {
+				buf = binary.AppendVarint(buf, v)
+			}
+			return buf
+		})
+	}
+
+	// Header.
+	dst = append(dst, batchVersion)
+	dst = appendString(dst, programID)
+	dst = binary.AppendUvarint(dst, uint64(len(e.pods)))
+	for _, p := range e.pods {
+		dst = appendString(dst, p)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(traces)))
+
+	// Scalar columns.
+	for _, idx := range e.podIdx {
+		dst = binary.AppendUvarint(dst, uint64(idx))
+	}
+	for _, tr := range traces {
+		dst = append(dst, byte(tr.Mode))
+	}
+	for _, tr := range traces {
+		dst = append(dst, byte(tr.Outcome))
+	}
+	for _, tr := range traces {
+		dst = append(dst, byte(tr.Privacy))
+	}
+	for _, tr := range traces {
+		dst = binary.AppendUvarint(dst, uint64(tr.SampleRate))
+	}
+	for _, tr := range traces {
+		dst = binary.AppendUvarint(dst, uint64(tr.SamplePhase))
+	}
+	for _, tr := range traces {
+		dst = binary.AppendUvarint(dst, uint64(tr.SampleK))
+	}
+	var prev uint64
+	for i, tr := range traces {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, tr.Seq)
+		} else {
+			dst = binary.AppendVarint(dst, int64(tr.Seq-prev))
+		}
+		prev = tr.Seq
+	}
+	for _, tr := range traces {
+		dst = binary.AppendVarint(dst, int64(tr.FaultPC))
+	}
+	for _, tr := range traces {
+		dst = binary.AppendVarint(dst, tr.AssertID)
+	}
+	for _, tr := range traces {
+		dst = binary.AppendUvarint(dst, uint64(tr.Steps))
+	}
+
+	// Variable sections.
+	for s := 0; s < numSections; s++ {
+		if sectionHasCounts(s) {
+			for _, c := range e.counts[s] {
+				dst = binary.AppendUvarint(dst, uint64(c))
+			}
+		}
+		for _, l := range e.lens[s] {
+			dst = binary.AppendUvarint(dst, uint64(l))
+		}
+		dst = append(dst, e.slabs[s]...)
+	}
+	return dst, nil
+}
+
+// stageSection appends one trace's events to a section slab via write,
+// recording the event count and slab byte length.
+func stageSection(e *batchEncoder, sec, count int, write func([]byte) []byte) {
+	before := len(e.slabs[sec])
+	e.slabs[sec] = write(e.slabs[sec])
+	if sectionHasCounts(sec) {
+		e.counts[sec] = append(e.counts[sec], uint32(count))
+	}
+	e.lens[sec] = append(e.lens[sec], uint32(len(e.slabs[sec])-before))
+}
+
+// --- zero-copy view ---
+
+// viewScratch is the pooled per-batch index a BatchView builds over the
+// encoded buffer: decoded scalar columns plus per-trace offsets into the
+// variable-section slabs. Slices are reused across batches.
+type viewScratch struct {
+	podIdx      []uint32
+	sampleRate  []uint32
+	samplePhase []uint32
+	sampleK     []uint32
+	seq         []uint64
+	faultPC     []int32
+	assertID    []int64
+	steps       []int64
+
+	counts [numSections][]uint32
+	// offs[s] holds n+1 absolute buffer offsets: trace i's slab bytes for
+	// section s are buf[offs[s][i]:offs[s][i+1]].
+	offs [numSections][]uint32
+}
+
+var viewScratchPool = sync.Pool{New: func() any { return &viewScratch{} }}
+
+// BatchView is a read-only view over a columnar-encoded batch. All field
+// accessors read directly out of the encoded buffer (or the small decoded
+// scalar columns) without materializing Trace values; DecodeBatch validates
+// the whole buffer up front, so accessors cannot fail. A view holds pooled
+// index state — call Release when done with it; the view (and any
+// sub-slices of Bytes) must not be used after Release, and the underlying
+// buffer must not be mutated while the view is live.
+type BatchView struct {
+	buf       []byte
+	programID string
+	pods      []string
+	n         int
+
+	mode    []byte // raw columns: sub-slices of buf
+	outcome []byte
+	privacy []byte
+
+	sc *viewScratch
+}
+
+// DecodeBatch indexes and validates a columnar batch. The returned view
+// borrows data: it keeps buf and serves reads from it.
+func DecodeBatch(buf []byte) (*BatchView, error) {
+	if len(buf) > 1<<30 {
+		// The view indexes the buffer with 32-bit offsets; real batches are
+		// wire frames (≤16MB) or journal records of the same payloads.
+		return nil, fmt.Errorf("%w: batch of %d bytes exceeds view limit", ErrCodec, len(buf))
+	}
+	d := &decoder{buf: buf}
+	if v := d.byte(); v != batchVersion {
+		return nil, fmt.Errorf("%w: batch version %d", ErrCodec, v)
+	}
+	v := &BatchView{buf: buf}
+	v.programID = d.string()
+	npods := int(d.uvarint())
+	if err := d.checkCount(npods, 1); err != nil {
+		return nil, err
+	}
+	if npods > 0 {
+		v.pods = make([]string, npods)
+		for i := range v.pods {
+			v.pods[i] = d.string()
+		}
+	}
+	n := int(d.uvarint())
+	if err := d.checkCount(n, 8); err != nil {
+		return nil, err
+	}
+	v.n = n
+
+	sc := viewScratchPool.Get().(*viewScratch)
+	v.sc = sc
+	release := func() { v.Release() }
+
+	sc.podIdx = growU32(sc.podIdx, n)
+	for i := 0; i < n; i++ {
+		idx := d.uvarint()
+		if d.err == nil && idx >= uint64(npods) {
+			release()
+			return nil, fmt.Errorf("%w: pod index %d of %d", ErrCodec, idx, npods)
+		}
+		sc.podIdx[i] = uint32(idx)
+	}
+	v.mode = d.raw(n)
+	v.outcome = d.raw(n)
+	v.privacy = d.raw(n)
+	sc.sampleRate = growU32(sc.sampleRate, n)
+	for i := 0; i < n; i++ {
+		sc.sampleRate[i] = uint32(d.uvarint())
+	}
+	sc.samplePhase = growU32(sc.samplePhase, n)
+	for i := 0; i < n; i++ {
+		sc.samplePhase[i] = uint32(d.uvarint())
+	}
+	sc.sampleK = growU32(sc.sampleK, n)
+	for i := 0; i < n; i++ {
+		sc.sampleK[i] = uint32(d.uvarint())
+	}
+	sc.seq = growU64(sc.seq, n)
+	var prev uint64
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			prev = d.uvarint()
+		} else {
+			prev += uint64(d.varint())
+		}
+		sc.seq[i] = prev
+	}
+	sc.faultPC = growI32(sc.faultPC, n)
+	for i := 0; i < n; i++ {
+		sc.faultPC[i] = int32(d.varint())
+	}
+	sc.assertID = growI64(sc.assertID, n)
+	for i := 0; i < n; i++ {
+		sc.assertID[i] = d.varint()
+	}
+	sc.steps = growI64(sc.steps, n)
+	for i := 0; i < n; i++ {
+		sc.steps[i] = int64(d.uvarint())
+	}
+
+	for s := 0; s < numSections; s++ {
+		if sectionHasCounts(s) {
+			sc.counts[s] = growU32(sc.counts[s], n)
+			for i := 0; i < n; i++ {
+				c := d.uvarint()
+				if d.err == nil && c > uint64(len(buf)) {
+					release()
+					return nil, fmt.Errorf("%w: implausible section count %d", ErrCodec, c)
+				}
+				sc.counts[s][i] = uint32(c)
+			}
+		}
+		offs := growU32(sc.offs[s], n+1)
+		total := uint64(0)
+		for i := 0; i < n; i++ {
+			l := d.uvarint()
+			// Reject any single hostile length before summing: a length
+			// near 2^64 would wrap total past the bounds check below and
+			// leave offs non-monotonic (out-of-range slab slices).
+			if d.err == nil && l > uint64(len(buf)) {
+				release()
+				return nil, fmt.Errorf("%w: implausible section length %d", ErrCodec, l)
+			}
+			total += l
+			if d.err == nil && total > uint64(len(buf)) {
+				release()
+				return nil, fmt.Errorf("%w: section slab overruns buffer", ErrCodec)
+			}
+			offs[i+1] = uint32(total) // lengths for now; rebased below
+		}
+		if d.err != nil {
+			release()
+			return nil, d.err
+		}
+		base := uint32(d.pos)
+		if uint64(d.pos)+total > uint64(len(buf)) {
+			release()
+			return nil, fmt.Errorf("%w: truncated section slab", ErrCodec)
+		}
+		offs[0] = base
+		for i := 1; i <= n; i++ {
+			offs[i] += base
+		}
+		d.pos += int(total)
+		sc.offs[s] = offs
+	}
+	if d.err != nil {
+		release()
+		return nil, d.err
+	}
+	if d.pos != len(buf) {
+		release()
+		return nil, fmt.Errorf("%w: %d trailing batch bytes", ErrCodec, len(buf)-d.pos)
+	}
+	if err := v.validateSlabs(); err != nil {
+		release()
+		return nil, err
+	}
+	return v, nil
+}
+
+// validateSlabs fully parses every per-trace event stream once so the
+// accessors can decode without error paths: each stream must contain
+// exactly its column's event count and consume exactly its recorded bytes.
+func (v *BatchView) validateSlabs() error {
+	// One reused cursor for the whole pass: slab validation runs per trace
+	// per section and must not allocate.
+	var d decoder
+	for i := 0; i < v.n; i++ {
+		if err := v.checkEvents(&d, secBranches, i, 1, checkBranch); err != nil {
+			return err
+		}
+		if err := v.checkEvents(&d, secSyscalls, i, 3, checkSyscall); err != nil {
+			return err
+		}
+		if err := v.checkEvents(&d, secLocks, i, 4, checkLock); err != nil {
+			return err
+		}
+		if err := v.checkEvents(&d, secDeadlock, i, 3, checkDeadlock); err != nil {
+			return err
+		}
+		if err := v.checkEvents(&d, secInput, i, 1, checkVarint); err != nil {
+			return err
+		}
+		if err := v.checkEvents(&d, secInputBuckets, i, 1, checkVarint); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Per-section event skippers for validation.
+func checkBranch(d *decoder)   { d.uvarint() }
+func checkSyscall(d *decoder)  { d.uvarint(); d.varint(); d.varint() }
+func checkLock(d *decoder)     { d.uvarint(); d.uvarint(); d.uvarint(); d.byte() }
+func checkDeadlock(d *decoder) { d.uvarint(); d.uvarint(); d.uvarint() }
+func checkVarint(d *decoder)   { d.varint() }
+
+// checkEvents parses trace i's slab for one section and verifies the event
+// count and byte length agree.
+func (v *BatchView) checkEvents(d *decoder, sec, i, minBytes int, one func(*decoder)) error {
+	slab := v.slab(sec, i)
+	count := int(v.sc.counts[sec][i])
+	if count > len(slab)/minBytes {
+		return fmt.Errorf("%w: section %d trace %d: %d events in %d bytes", ErrCodec, sec, i, count, len(slab))
+	}
+	d.buf, d.pos, d.err = slab, 0, nil
+	for k := 0; k < count; k++ {
+		one(d)
+	}
+	if d.err != nil {
+		return fmt.Errorf("%w: section %d trace %d: %v", ErrCodec, sec, i, d.err)
+	}
+	if d.pos != len(slab) {
+		return fmt.Errorf("%w: section %d trace %d: %d trailing bytes", ErrCodec, sec, i, len(slab)-d.pos)
+	}
+	return nil
+}
+
+// Release returns the view's pooled index state. The view must not be used
+// afterwards.
+func (v *BatchView) Release() {
+	if v.sc == nil {
+		return
+	}
+	viewScratchPool.Put(v.sc)
+	v.sc = nil
+	v.buf = nil
+}
+
+// Bytes returns the encoded batch exactly as decoded — the bytes a durable
+// hive journals verbatim.
+func (v *BatchView) Bytes() []byte { return v.buf }
+
+// Len returns the number of traces in the batch.
+func (v *BatchView) Len() int { return v.n }
+
+// ProgramID returns the batch-wide program ID.
+func (v *BatchView) ProgramID() string { return v.programID }
+
+// PodID returns trace i's pod ID (shared dictionary string — no per-call
+// allocation).
+func (v *BatchView) PodID(i int) string { return v.pods[v.sc.podIdx[i]] }
+
+// Mode returns trace i's capture mode.
+func (v *BatchView) Mode(i int) CaptureMode { return CaptureMode(v.mode[i]) }
+
+// Outcome returns trace i's outcome label.
+func (v *BatchView) Outcome(i int) prog.Outcome { return prog.Outcome(v.outcome[i]) }
+
+// Privacy returns the privacy level trace i was shipped at.
+func (v *BatchView) Privacy(i int) PrivacyLevel { return PrivacyLevel(v.privacy[i]) }
+
+// Seq returns trace i's pod-local sequence number.
+func (v *BatchView) Seq(i int) uint64 { return v.sc.seq[i] }
+
+// Steps returns trace i's executed instruction count.
+func (v *BatchView) Steps(i int) int64 { return v.sc.steps[i] }
+
+// FaultPC returns trace i's fault location (-1 when not applicable).
+func (v *BatchView) FaultPC(i int) int32 { return v.sc.faultPC[i] }
+
+// AssertID returns trace i's assertion ID (-1 when not applicable).
+func (v *BatchView) AssertID(i int) int64 { return v.sc.assertID[i] }
+
+// SampleK returns trace i's coordinated-sampling partition count.
+func (v *BatchView) SampleK(i int) uint32 { return v.sc.sampleK[i] }
+
+// NumBranches returns trace i's dynamic branch count.
+func (v *BatchView) NumBranches(i int) int { return int(v.sc.counts[secBranches][i]) }
+
+// NumInputs returns the length of trace i's raw input vector (non-zero only
+// at PrivacyRaw).
+func (v *BatchView) NumInputs(i int) int { return int(v.sc.counts[secInput][i]) }
+
+// slab returns trace i's raw bytes for one section.
+func (v *BatchView) slab(sec, i int) []byte {
+	offs := v.sc.offs[sec]
+	return v.buf[offs[i]:offs[i+1]]
+}
+
+// AppendBranches decodes trace i's branch events into dst (reusing its
+// capacity) and returns the extended slice — the zero-copy path tree
+// merging consumes: one scratch slice serves a whole batch.
+func (v *BatchView) AppendBranches(dst []BranchEvent, i int) []BranchEvent {
+	d := &decoder{buf: v.slab(secBranches, i)}
+	count := v.NumBranches(i)
+	for k := 0; k < count; k++ {
+		raw := d.uvarint()
+		dst = append(dst, BranchEvent{ID: int32(raw >> 1), Taken: raw&1 == 1})
+	}
+	return dst
+}
+
+// AppendInput decodes trace i's raw input vector into dst (reusing its
+// capacity) — the known-good harvesting path, which copies anyway.
+func (v *BatchView) AppendInput(dst []int64, i int) []int64 {
+	d := &decoder{buf: v.slab(secInput, i)}
+	count := v.NumInputs(i)
+	for k := 0; k < count; k++ {
+		dst = append(dst, d.varint())
+	}
+	return dst
+}
+
+// FailureSignature appends trace i's failure-signature key to dst — the
+// same string Trace.FailureSignature builds, composed without materializing
+// the trace. Empty (dst unchanged) for non-failure outcomes.
+func (v *BatchView) FailureSignature(dst []byte, i int) []byte {
+	out := v.Outcome(i)
+	if !out.IsFailure() {
+		return dst
+	}
+	dst = append(dst, out.String()...)
+	dst = append(dst, '@')
+	dst = strconv.AppendInt(dst, int64(v.FaultPC(i)), 10)
+	dst = append(dst, '#')
+	dst = strconv.AppendInt(dst, v.AssertID(i), 10)
+	return dst
+}
+
+// Materialize builds a full Trace for index i — the escape hatch for the
+// few consumers that must retain or mutate one (failure samples,
+// coordinated-fragment buffering, privacy re-application). The result
+// shares no memory with the view except the pod-ID dictionary string and is
+// bit-for-bit what the per-trace v2 codec would have decoded.
+func (v *BatchView) Materialize(i int) *Trace {
+	t := &Trace{
+		ProgramID:   v.programID,
+		PodID:       v.PodID(i),
+		Seq:         v.Seq(i),
+		Mode:        v.Mode(i),
+		SampleRate:  uint32(v.sc.sampleRate[i]),
+		SamplePhase: v.sc.samplePhase[i],
+		SampleK:     v.sc.sampleK[i],
+		Outcome:     v.Outcome(i),
+		FaultPC:     v.FaultPC(i),
+		AssertID:    v.AssertID(i),
+		Steps:       v.Steps(i),
+		Privacy:     v.Privacy(i),
+	}
+	if n := v.NumBranches(i); n > 0 {
+		t.Branches = v.AppendBranches(make([]BranchEvent, 0, n), i)
+	}
+	if n := int(v.sc.counts[secSyscalls][i]); n > 0 {
+		t.Syscalls = make([]SyscallEvent, n)
+		d := &decoder{buf: v.slab(secSyscalls, i)}
+		for k := range t.Syscalls {
+			t.Syscalls[k] = SyscallEvent{TID: int32(d.uvarint()), Sysno: d.varint(), Ret: d.varint()}
+		}
+	}
+	if n := int(v.sc.counts[secLocks][i]); n > 0 {
+		t.Locks = make([]LockEvent, n)
+		d := &decoder{buf: v.slab(secLocks, i)}
+		for k := range t.Locks {
+			t.Locks[k] = LockEvent{
+				TID:     int32(d.uvarint()),
+				LockID:  int32(d.uvarint()),
+				PC:      int32(d.uvarint()),
+				Acquire: d.byte() == 1,
+			}
+		}
+	}
+	if n := int(v.sc.counts[secDeadlock][i]); n > 0 {
+		t.Deadlock = make([]DeadlockWait, n)
+		d := &decoder{buf: v.slab(secDeadlock, i)}
+		for k := range t.Deadlock {
+			t.Deadlock[k] = DeadlockWait{
+				TID:   int32(d.uvarint()),
+				PC:    int32(d.uvarint()),
+				Wants: int32(d.uvarint()),
+			}
+		}
+	}
+	t.ScheduleHash = string(v.slab(secSchedHash, i))
+	t.InputDigest = string(v.slab(secInputDigest, i))
+	if n := v.NumInputs(i); n > 0 {
+		t.Input = v.AppendInput(make([]int64, 0, n), i)
+	}
+	if n := int(v.sc.counts[secInputBuckets][i]); n > 0 {
+		t.InputBuckets = make([]int64, n)
+		d := &decoder{buf: v.slab(secInputBuckets, i)}
+		for k := range t.InputBuckets {
+			t.InputBuckets[k] = d.varint()
+		}
+	}
+	return t
+}
+
+// MaterializeAll builds the whole batch as Trace values — the compatibility
+// bridge for backends without a view-based ingest path.
+func (v *BatchView) MaterializeAll() []*Trace {
+	out := make([]*Trace, v.n)
+	for i := range out {
+		out[i] = v.Materialize(i)
+	}
+	return out
+}
+
+// raw consumes n raw bytes as a zero-copy column sub-slice.
+func (d *decoder) raw(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.pos+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	out := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return out
+}
+
+// growU32 returns s resized to n entries, reusing capacity.
+func growU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}

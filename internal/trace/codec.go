@@ -269,7 +269,9 @@ func (d *decoder) checkCount(count, minBytes int) error {
 	if d.err != nil {
 		return d.err
 	}
-	if count < 0 || count*minBytes > len(d.buf)-d.pos {
+	// Divide instead of multiplying: a hostile count near the int ceiling
+	// must not overflow the plausibility product.
+	if count < 0 || count > (len(d.buf)-d.pos)/minBytes {
 		d.err = fmt.Errorf("%w: implausible count %d at offset %d", ErrCodec, count, d.pos)
 		return d.err
 	}

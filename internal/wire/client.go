@@ -38,6 +38,20 @@ type Client struct {
 	// resubmitted drains later) without one frame's progress masking
 	// another's.
 	seq uint64
+
+	// negotiated and columnar cache the hello exchange (guarded by mu):
+	// before sealing submission frames the client offers its features once
+	// per session; a server that answers anything but MsgHelloAck (an old
+	// build replies MsgError) pins the empty feature set and the client
+	// sticks to the per-trace v2 encoding. Negotiation is retried on the
+	// next seal after a transport failure.
+	negotiated bool
+	columnar   bool
+
+	// DisableColumnar opts this client out of offering the columnar batch
+	// feature (mixed-fleet tests and emergency fallback). Set before first
+	// use.
+	DisableColumnar bool
 }
 
 var _ pod.HiveClient = (*Client)(nil)
@@ -123,6 +137,39 @@ func (c *Client) callLocked(reqType MsgType, payload []byte) (MsgType, []byte, e
 	return 0, nil, fmt.Errorf("wire: %s unreachable after retry: %w", c.addr, lastErr)
 }
 
+// ensureNegotiatedLocked runs the hello exchange once per client: offer the
+// columnar feature, accept whatever the server grants. Any failure — dial,
+// transport, or an old server's MsgError — leaves the client on the
+// universally understood v2 encoding; transport failures clear the cache so
+// the next seal retries.
+func (c *Client) ensureNegotiatedLocked() {
+	if c.negotiated || c.DisableColumnar {
+		return
+	}
+	payload, err := json.Marshal(HelloPayload{Features: []string{FeatureColumnarBatch}})
+	if err != nil {
+		return
+	}
+	respType, resp, err := c.callLocked(MsgHello, payload)
+	if err != nil {
+		return // no connection: stay v2, retry next seal
+	}
+	c.negotiated = true
+	c.columnar = false
+	if respType != MsgHelloAck {
+		return // pre-negotiation server: empty feature set, pinned
+	}
+	var ack HelloAckPayload
+	if err := json.Unmarshal(resp, &ack); err != nil {
+		return
+	}
+	for _, f := range ack.Features {
+		if f == FeatureColumnarBatch {
+			c.columnar = true
+		}
+	}
+}
+
 // SubmitTraces implements pod.HiveClient.
 func (c *Client) SubmitTraces(traces []*trace.Trace) error {
 	encoded := make([][]byte, len(traces))
@@ -139,21 +186,50 @@ func (c *Client) SubmitTraces(traces []*trace.Trace) error {
 // SubmitTracesFor implements pod.ProgramSubmitter: one per-program frame,
 // one ack — the server skips its group-by. The frame is sequenced, so the
 // transparent retry after a lost ack cannot double-ingest against a
-// dedup-capable backend.
+// dedup-capable backend. Against a columnar-negotiated server the batch
+// ships column-wise — one encoding the hive can ingest zero-copy and
+// journal verbatim.
 func (c *Client) SubmitTracesFor(programID string, traces []*trace.Trace) error {
-	encoded := make([][]byte, len(traces))
-	for i, tr := range traces {
-		encoded[i] = trace.Encode(tr)
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.ensureNegotiatedLocked()
 	c.seq++
-	payload := encodeTraceBatchSeq(c.session, c.seq, programID, encoded)
-	respType, resp, err := c.callLocked(MsgSubmitTracesSeq, payload)
+	msg, payload, err := c.sealFrameLocked(c.seq, programID, traces)
+	if err != nil {
+		return err
+	}
+	respType, resp, err := c.callLocked(msg, payload)
 	if err != nil {
 		return err
 	}
 	return checkAck(respType, resp, len(traces))
+}
+
+// sealFrameLocked encodes one sequenced submission frame for the
+// negotiated encoding: columnar when granted (falling back per-batch if the
+// traces do not all describe programID — the server rejects those, exactly
+// as the v2 path would), v2 otherwise.
+func (c *Client) sealFrameLocked(seq uint64, programID string, traces []*trace.Trace) (MsgType, []byte, error) {
+	if c.columnar {
+		// Size the frame once up front: repeated append-growth of a large
+		// batch payload is pure alloc churn on the drain hot path.
+		est := 64 + len(c.session) + len(programID)
+		for _, tr := range traces {
+			est += 48 + len(tr.PodID) + len(tr.ScheduleHash) + len(tr.InputDigest) +
+				3*len(tr.Branches) + 8*len(tr.Syscalls) + 6*len(tr.Locks) +
+				4*len(tr.Deadlock) + 9*(len(tr.Input)+len(tr.InputBuckets))
+		}
+		payload := appendSeqPrefix(make([]byte, 0, est), c.session, seq)
+		payload, err := trace.AppendBatch(payload, programID, traces)
+		if err == nil {
+			return MsgSubmitBatchColumnar, payload, nil
+		}
+	}
+	encoded := make([][]byte, len(traces))
+	for i, tr := range traces {
+		encoded[i] = trace.Encode(tr)
+	}
+	return MsgSubmitTracesSeq, encodeTraceBatchSeq(c.session, seq, programID, encoded), nil
 }
 
 // SubmitTraceBatches implements pod.TraceStreamer: every batch becomes its
@@ -185,22 +261,17 @@ func (c *Client) SubmitTraceBatches(programID string, batches [][]*trace.Trace) 
 // high-water mark.
 func (c *Client) SealTraceBatches(programID string, batches [][]*trace.Trace) []pod.SealedBatch {
 	sealed := make([]pod.SealedBatch, len(batches))
-	encodedBatches := make([][][]byte, len(batches))
-	for i, batch := range batches {
-		encoded := make([][]byte, len(batch))
-		for j, tr := range batch {
-			encoded[j] = trace.Encode(tr)
-		}
-		encodedBatches[i] = encoded
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for i, encoded := range encodedBatches {
+	c.ensureNegotiatedLocked()
+	for i, batch := range batches {
 		c.seq++
+		msg, payload, _ := c.sealFrameLocked(c.seq, programID, batch)
 		sealed[i] = pod.SealedBatch{
 			ProgramID: programID,
-			Count:     len(batches[i]),
-			Payload:   encodeTraceBatchSeq(c.session, c.seq, programID, encoded),
+			Count:     len(batch),
+			Payload:   payload,
+			Columnar:  msg == MsgSubmitBatchColumnar,
 		}
 	}
 	return sealed
@@ -229,9 +300,14 @@ func (c *Client) SubmitSealed(sealed []pod.SealedBatch) ([]bool, error) {
 	}
 	payloads := make([][]byte, len(sealed))
 	counts := make([]int, len(sealed))
+	msgs := make([]MsgType, len(sealed))
 	for i, sb := range sealed {
 		payloads[i] = sb.Payload
 		counts[i] = sb.Count
+		msgs[i] = MsgSubmitTracesSeq
+		if sb.Columnar {
+			msgs[i] = MsgSubmitBatchColumnar
+		}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -245,7 +321,7 @@ func (c *Client) SubmitSealed(sealed []pod.SealedBatch) ([]bool, error) {
 			}
 			c.conn = conn
 		}
-		err, transport := c.streamLocked(payloads, counts, &acked, accepted)
+		err, transport := c.streamLocked(msgs, payloads, counts, &acked, accepted)
 		if err == nil {
 			return accepted, nil
 		}
@@ -265,12 +341,12 @@ func (c *Client) SubmitSealed(sealed []pod.SealedBatch) ([]bool, error) {
 // half-window chunks, and *acked / accepted advance as they arrive. The
 // second return distinguishes transport failures (retryable on a fresh
 // connection) from permanent ones (malformed frame, server rejection).
-func (c *Client) streamLocked(payloads [][]byte, counts []int, acked *int, accepted []bool) (error, bool) {
+func (c *Client) streamLocked(msgs []MsgType, payloads [][]byte, counts []int, acked *int, accepted []bool) (error, bool) {
 	bw := bufio.NewWriterSize(c.conn, 64<<10)
 	written := *acked
 	for *acked < len(payloads) {
 		for written < len(payloads) && written-*acked < maxInflightFrames {
-			if err := WriteFrame(bw, MsgSubmitTracesSeq, payloads[written]); err != nil {
+			if err := WriteFrame(bw, msgs[written], payloads[written]); err != nil {
 				// An oversized/malformed frame fails identically on any
 				// connection; only real transport errors are retryable.
 				return err, !errors.Is(err, ErrFrame)
@@ -297,11 +373,13 @@ func (c *Client) streamLocked(payloads [][]byte, counts []int, acked *int, accep
 // frames as it goes.
 func (c *Client) readAcks(counts []int, acked *int, target, written int, accepted []bool) (error, bool) {
 	for *acked < target {
-		respType, resp, err := ReadFrame(c.conn)
+		respType, respBuf, err := readFramePooled(c.conn)
 		if err != nil {
 			return err, true
 		}
-		if err := checkAck(respType, resp, counts[*acked]); err != nil {
+		ackErr := checkAck(respType, *respBuf, counts[*acked])
+		framePool.Put(respBuf)
+		if err := ackErr; err != nil {
 			// Server-reported rejection mid-stream: keep reading the acks
 			// for frames already on the wire — the server keeps serving
 			// after rejecting one batch, so later frames may well have been
@@ -324,22 +402,37 @@ func (c *Client) readAcks(counts []int, acked *int, target, written int, accepte
 	return nil, false
 }
 
-// checkAck validates one submission acknowledgement.
+// checkAck validates one submission acknowledgement — the JSON form (v2
+// frames) or the binary form (columnar frames).
 func checkAck(respType MsgType, resp []byte, want int) error {
-	if respType != MsgAck {
+	switch respType {
+	case MsgAck:
+		var ack AckPayload
+		if err := json.Unmarshal(resp, &ack); err != nil {
+			return fmt.Errorf("wire: bad ack: %w", err)
+		}
+		if ack.Error != "" {
+			return errors.New("wire: server: " + ack.Error)
+		}
+		if ack.Accepted != want {
+			return fmt.Errorf("wire: server accepted %d of %d traces", ack.Accepted, want)
+		}
+		return nil
+	case MsgAckBin:
+		accepted, _, errMsg, err := decodeAckBin(resp)
+		if err != nil {
+			return fmt.Errorf("wire: bad ack: %w", err)
+		}
+		if errMsg != "" {
+			return errors.New("wire: server: " + errMsg)
+		}
+		if accepted != want {
+			return fmt.Errorf("wire: server accepted %d of %d traces", accepted, want)
+		}
+		return nil
+	default:
 		return fmt.Errorf("wire: unexpected response type %d", respType)
 	}
-	var ack AckPayload
-	if err := json.Unmarshal(resp, &ack); err != nil {
-		return fmt.Errorf("wire: bad ack: %w", err)
-	}
-	if ack.Error != "" {
-		return errors.New("wire: server: " + ack.Error)
-	}
-	if ack.Accepted != want {
-		return fmt.Errorf("wire: server accepted %d of %d traces", ack.Accepted, want)
-	}
-	return nil
 }
 
 // FixesSince implements pod.HiveClient.

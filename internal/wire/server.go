@@ -41,6 +41,43 @@ type Server struct {
 	// Logf receives connection-level errors; defaults to log.Printf. Set it
 	// before Serve.
 	Logf func(format string, args ...any)
+
+	// DisableColumnar makes the server behave like a pre-columnar build:
+	// hello and columnar frames are answered as unknown message types, so
+	// clients negotiate down to the per-trace encoding. Tests use it to
+	// prove mixed old/new fleets interoperate.
+	DisableColumnar bool
+}
+
+// framePool recycles read-side frame payload buffers: a frame is read into
+// a pooled buffer, queued to the connection worker, and recycled once its
+// dispatch completes (handlers must not retain payload bytes — decoded
+// traces and views copy or are consumed before return). The pool stores
+// *[]byte boxes; the box travels with the request so recycling never
+// re-boxes the slice header.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// readFramePooled reads one frame like ReadFrame but into a pooled buffer.
+// The returned box owns the payload; put it back into framePool when the
+// frame is fully handled.
+func readFramePooled(r io.Reader) (MsgType, *[]byte, error) {
+	t, size, err := readFrameHeader(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	bp := framePool.Get().(*[]byte)
+	buf := *bp
+	if cap(buf) < size {
+		buf = make([]byte, size)
+	} else {
+		buf = buf[:size]
+	}
+	*bp = buf
+	if _, err := io.ReadFull(r, buf); err != nil {
+		framePool.Put(bp)
+		return 0, nil, err
+	}
+	return t, bp, nil
 }
 
 // NewServer wraps backend.
@@ -111,10 +148,11 @@ func (s *Server) Close() error {
 }
 
 // request is one frame in flight between a connection's reader and its
-// worker.
+// worker. payload is a pooled buffer box; the worker recycles it after
+// dispatch.
 type request struct {
 	msgType MsgType
-	payload []byte
+	payload *[]byte
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -140,11 +178,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		bail := func(what string, err error) {
 			s.Logf("wire: %s for %s: %v", what, conn.RemoteAddr(), err)
 			_ = conn.Close()
-			for range reqs {
+			for req := range reqs {
+				framePool.Put(req.payload)
 			}
 		}
 		for req := range reqs {
-			if err := s.dispatch(bw, req.msgType, req.payload); err != nil {
+			err := s.dispatch(bw, req.msgType, *req.payload)
+			framePool.Put(req.payload)
+			if err != nil {
 				bail(fmt.Sprintf("handle %v", req.msgType), err)
 				return
 			}
@@ -161,7 +202,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Reader: the connection goroutine only reads frames; backpressure is
 	// the bounded queue.
 	for {
-		msgType, payload, err := ReadFrame(conn)
+		msgType, payload, err := readFramePooled(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.Logf("wire: read from %s: %v", conn.RemoteAddr(), err)
@@ -182,13 +223,77 @@ func (s *Server) dispatch(w io.Writer, msgType MsgType, payload []byte) error {
 		return s.handleSubmitFor(w, payload)
 	case MsgSubmitTracesSeq:
 		return s.handleSubmitSeq(w, payload)
+	case MsgHello:
+		if s.DisableColumnar {
+			break // answer like a pre-negotiation build
+		}
+		return s.handleHello(w, payload)
+	case MsgSubmitBatchColumnar:
+		if s.DisableColumnar {
+			break
+		}
+		return s.handleSubmitColumnar(w, payload)
 	case MsgGetFixes:
 		return s.handleGetFixes(w, payload)
 	case MsgGetGuidance:
 		return s.handleGetGuidance(w, payload)
-	default:
-		return s.reply(w, MsgError, ErrorPayload{Error: fmt.Sprintf("unknown message type %d", msgType)})
 	}
+	return s.reply(w, MsgError, ErrorPayload{Error: fmt.Sprintf("unknown message type %d", msgType)})
+}
+
+// handleHello answers feature negotiation with the intersection of what the
+// client offered and what this server speaks.
+func (s *Server) handleHello(w io.Writer, payload []byte) error {
+	var req HelloPayload
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return s.reply(w, MsgError, ErrorPayload{Error: err.Error()})
+	}
+	var ack HelloAckPayload
+	for _, f := range req.Features {
+		if f == FeatureColumnarBatch {
+			ack.Features = append(ack.Features, f)
+		}
+	}
+	return s.reply(w, MsgHelloAck, ack)
+}
+
+// handleSubmitColumnar ingests a sequenced columnar batch. The batch bytes
+// are handed to a columnar-capable backend as a zero-copy view (the hive
+// journals exactly those bytes); other backends get materialized traces
+// through the strongest submission path they offer.
+func (s *Server) handleSubmitColumnar(w io.Writer, payload []byte) error {
+	ack := func(accepted int, dup bool, err error) error {
+		msg := ""
+		if err != nil {
+			accepted, dup, msg = 0, false, err.Error()
+		}
+		return WriteFrame(w, MsgAckBin, encodeAckBin(accepted, dup, msg))
+	}
+	session, seq, batchBytes, err := decodeSeqPrefix(payload)
+	if err != nil {
+		return ack(0, false, err)
+	}
+	view, err := trace.DecodeBatch(batchBytes)
+	if err != nil {
+		return ack(0, false, err)
+	}
+	defer view.Release()
+	if cs, ok := s.backend.(pod.ColumnarSubmitter); ok {
+		dup, err := cs.SubmitColumnarSession(session, seq, view)
+		return ack(view.Len(), dup, err)
+	}
+	traces := view.MaterializeAll()
+	if ss, ok := s.backend.(pod.SessionSubmitter); ok {
+		dup, err := ss.SubmitTracesSession(session, seq, view.ProgramID(), traces)
+		return ack(len(traces), dup, err)
+	}
+	var submitErr error
+	if ps, ok := s.backend.(pod.ProgramSubmitter); ok {
+		submitErr = ps.SubmitTracesFor(view.ProgramID(), traces)
+	} else {
+		submitErr = s.backend.SubmitTraces(traces)
+	}
+	return ack(len(traces), false, submitErr)
 }
 
 // decodeTraces expands raw per-trace bytes into traces.

@@ -38,7 +38,36 @@ const (
 	// acknowledges already-applied frames without re-ingesting them.
 	// Pipelines like MsgSubmitTracesFor.
 	MsgSubmitTracesSeq
+	// MsgHello opens feature negotiation: the client lists the protocol
+	// features it speaks (JSON HelloPayload) and the server answers with the
+	// intersection it accepts (MsgHelloAck). A pre-negotiation server
+	// answers MsgError ("unknown message type"), which a client reads as
+	// the empty feature set — old and new endpoints interoperate in every
+	// pairing.
+	MsgHello
+	// MsgHelloAck carries the server's accepted feature list.
+	MsgHelloAck
+	// MsgAckBin is the binary acknowledgement for columnar submissions:
+	// uvarint accepted count, a flags byte (bit 0 = duplicate), then the
+	// error string (empty on success). Sent only in reply to
+	// MsgSubmitBatchColumnar — a frame type only negotiated clients emit —
+	// so pre-negotiation fleet members never see it; it spares the ingest
+	// hot path a JSON marshal and parse per frame in each direction.
+	MsgAckBin
+	// MsgSubmitBatchColumnar is sequenced per-program submission whose
+	// payload, after the (session, seq) prefix, is one columnar-encoded
+	// batch (trace.BatchCodec): the program ID rides once in the batch
+	// header, fields are column-wise, and a columnar-capable backend
+	// ingests the batch through a zero-copy trace.BatchView — journaling
+	// those same payload bytes verbatim — without materializing Trace
+	// structs. Sent only after the feature was negotiated; dedup semantics
+	// are identical to MsgSubmitTracesSeq (the tag spaces are shared).
+	MsgSubmitBatchColumnar
 )
+
+// FeatureColumnarBatch names the columnar-batch submission feature in
+// hello negotiation.
+const FeatureColumnarBatch = "columnar-batch"
 
 // MaxFrameSize bounds a frame; larger frames are rejected as hostile.
 const MaxFrameSize = 16 << 20
@@ -61,21 +90,31 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one frame.
-func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+// readFrameHeader reads and validates one frame header, returning the type
+// and payload size.
+func readFrameHeader(r io.Reader) (MsgType, int, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, err
 	}
 	size := binary.BigEndian.Uint32(hdr[:4])
 	if size == 0 || size > MaxFrameSize {
-		return 0, nil, fmt.Errorf("%w: size %d", ErrFrame, size)
+		return 0, 0, fmt.Errorf("%w: size %d", ErrFrame, size)
 	}
-	payload := make([]byte, size-1)
+	return MsgType(hdr[4]), int(size - 1), nil
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	t, size, err := readFrameHeader(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	payload := make([]byte, size)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
-	return MsgType(hdr[4]), payload, nil
+	return t, payload, nil
 }
 
 // --- control-message payloads (JSON) ---
@@ -87,6 +126,16 @@ type AckPayload struct {
 	// Dup reports that a sequenced frame was already applied (exactly-once
 	// resubmission): the batch counts as accepted but was not re-ingested.
 	Dup bool `json:"dup,omitempty"`
+}
+
+// HelloPayload lists the features a client offers.
+type HelloPayload struct {
+	Features []string `json:"features"`
+}
+
+// HelloAckPayload lists the features the server accepted.
+type HelloAckPayload struct {
+	Features []string `json:"features"`
 }
 
 // GetFixesPayload requests fixes.
@@ -150,25 +199,61 @@ func encodeTraceBatchFor(programID string, encoded [][]byte) []byte {
 func encodeTraceBatchSeq(session string, seq uint64, programID string, encoded [][]byte) []byte {
 	rest := encodeTraceBatchFor(programID, encoded)
 	buf := make([]byte, 0, binary.MaxVarintLen64*2+len(session)+len(rest))
-	buf = binary.AppendUvarint(buf, uint64(len(session)))
-	buf = append(buf, session...)
-	buf = binary.AppendUvarint(buf, seq)
+	buf = appendSeqPrefix(buf, session, seq)
 	return append(buf, rest...)
 }
 
-// decodeTraceBatchSeq unpacks a sequenced per-program batch.
-func decodeTraceBatchSeq(buf []byte) (session string, seq uint64, programID string, raws [][]byte, err error) {
+// encodeAckBin packs a binary ack.
+func encodeAckBin(accepted int, dup bool, errMsg string) []byte {
+	buf := make([]byte, 0, binary.MaxVarintLen64+1+len(errMsg))
+	buf = binary.AppendUvarint(buf, uint64(accepted))
+	var flags byte
+	if dup {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	return append(buf, errMsg...)
+}
+
+// decodeAckBin unpacks a binary ack.
+func decodeAckBin(buf []byte) (accepted int, dup bool, errMsg string, err error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || len(buf) < sz+1 {
+		return 0, false, "", fmt.Errorf("%w: binary ack", ErrFrame)
+	}
+	return int(n), buf[sz]&1 == 1, string(buf[sz+1:]), nil
+}
+
+// appendSeqPrefix writes the (session, seq) exactly-once tag that both
+// sequenced frame flavors share.
+func appendSeqPrefix(buf []byte, session string, seq uint64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(session)))
+	buf = append(buf, session...)
+	return binary.AppendUvarint(buf, seq)
+}
+
+// decodeSeqPrefix splits a sequenced payload into its tag and the rest.
+func decodeSeqPrefix(buf []byte) (session string, seq uint64, rest []byte, err error) {
 	n, sz := binary.Uvarint(buf)
 	if sz <= 0 || n > uint64(len(buf[sz:])) {
-		return "", 0, "", nil, fmt.Errorf("%w: session id", ErrFrame)
+		return "", 0, nil, fmt.Errorf("%w: session id", ErrFrame)
 	}
 	session = string(buf[sz : sz+int(n)])
 	buf = buf[sz+int(n):]
 	seq, sz = binary.Uvarint(buf)
 	if sz <= 0 {
-		return "", 0, "", nil, fmt.Errorf("%w: sequence number", ErrFrame)
+		return "", 0, nil, fmt.Errorf("%w: sequence number", ErrFrame)
 	}
-	programID, raws, err = decodeTraceBatchFor(buf[sz:])
+	return session, seq, buf[sz:], nil
+}
+
+// decodeTraceBatchSeq unpacks a sequenced per-program batch.
+func decodeTraceBatchSeq(buf []byte) (session string, seq uint64, programID string, raws [][]byte, err error) {
+	session, seq, rest, err := decodeSeqPrefix(buf)
+	if err != nil {
+		return "", 0, "", nil, err
+	}
+	programID, raws, err = decodeTraceBatchFor(rest)
 	return session, seq, programID, raws, err
 }
 
