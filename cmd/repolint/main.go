@@ -1,0 +1,110 @@
+// Command repolint runs the project's invariant analyzers (internal/analysis)
+// over the module and exits nonzero on findings.
+//
+// Usage:
+//
+//	go run ./cmd/repolint ./...
+//
+// Package patterns are accepted for familiarity but the whole module is
+// always loaded (the analyzers need cross-package type facts); a directory
+// argument selects which module to load. Flags:
+//
+//	-json          emit findings as a JSON array
+//	-check a,b     run only the named analyzers
+//	-list          list analyzers and exit
+//	-tests         also lint _test.go files (off by default)
+//	-unused-allows report //lint:allow directives that suppress nothing
+//	               (default true on full-suite runs)
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut      = flag.Bool("json", false, "emit findings as JSON")
+		checks       = flag.String("check", "", "comma-separated analyzer names to run (default: all)")
+		list         = flag.Bool("list", false, "list analyzers and exit")
+		tests        = flag.Bool("tests", false, "also lint _test.go files")
+		unusedAllows = flag.Bool("unused-allows", true, "report unused //lint:allow directives (full-suite runs only)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	dir := "."
+	for _, arg := range flag.Args() {
+		if arg == "./..." || strings.HasPrefix(arg, "-") {
+			continue
+		}
+		arg = strings.TrimSuffix(arg, "/...")
+		if st, err := os.Stat(arg); err == nil && st.IsDir() {
+			dir = arg
+			break
+		}
+	}
+
+	selected := analysis.All()
+	fullSuite := true
+	if *checks != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range selected {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "repolint: unknown check %q (use -list)\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+		fullSuite = len(selected) == len(analysis.All())
+	}
+
+	mod, err := analysis.Load(dir, analysis.LoadConfig{Tests: *tests})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+
+	diags := analysis.Run(mod, analysis.RunConfig{
+		Analyzers:          selected,
+		ReportUnusedAllows: *unusedAllows && fullSuite,
+	})
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 2
+		}
+	} else {
+		analysis.WriteText(os.Stdout, diags)
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

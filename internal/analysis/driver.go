@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// All returns the project's analyzer suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Detrange,
+		Wallclock,
+		JournalFirst,
+		ViewEscape,
+		PrivacyBoundary,
+		LockDiscipline,
+	}
+}
+
+// RunConfig controls a driver run.
+type RunConfig struct {
+	// Analyzers to run; nil means All().
+	Analyzers []*Analyzer
+	// ReportUnusedAllows adds findings for //lint:allow directives that
+	// suppressed nothing. Only meaningful when the full suite runs (a
+	// filtered run would see every other check's allows as unused).
+	ReportUnusedAllows bool
+}
+
+// Run executes the analyzers over every package of the module and returns
+// surviving (non-suppressed) findings sorted by position.
+func Run(m *Module, cfg RunConfig) []Diagnostic {
+	analyzers := cfg.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+	sup := collectSuppressions(m, m.Pkgs)
+
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range m.Pkgs {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     m.Fset,
+				Module:   m,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { raw = append(raw, d) },
+			}
+			a.Run(pass)
+		}
+	}
+
+	var out []Diagnostic
+	for _, d := range raw {
+		if !sup.allowed(d) {
+			out = append(out, d)
+		}
+	}
+	out = append(out, sup.bad...)
+	if cfg.ReportUnusedAllows {
+		out = append(out, sup.unused()...)
+	}
+	for i := range out {
+		out[i].File = out[i].Pos.Filename
+		out[i].Line = out[i].Pos.Line
+		out[i].Col = out[i].Pos.Column
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// WriteText prints findings one per line.
+func WriteText(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+}
+
+// WriteJSON prints findings as a JSON array.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Fixture modules load once per test binary: the source importer warms the
+// stdlib on first use and every later load reuses it.
+var (
+	fixtureOnce sync.Once
+	fixtureMods map[string]*Module
+	fixtureErr  error
+)
+
+func loadFixture(t *testing.T, name string) *Module {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureMods = map[string]*Module{}
+		for _, n := range []string{"proj", "allowproj"} {
+			m, err := Load(filepath.Join("testdata", "src", n), LoadConfig{})
+			if err != nil {
+				fixtureErr = fmt.Errorf("load fixture %s: %w", n, err)
+				return
+			}
+			fixtureMods[n] = m
+		}
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureMods[name]
+}
+
+// renderDiags formats findings with root-relative paths so goldens are
+// machine-independent.
+func renderDiags(t *testing.T, m *Module, diags []Diagnostic) string {
+	t.Helper()
+	var b strings.Builder
+	for _, d := range diags {
+		rel, err := filepath.Rel(m.Root, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n",
+			filepath.ToSlash(rel), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+	return b.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if os.Getenv("REPOLINT_UPDATE") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with REPOLINT_UPDATE=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenPerAnalyzer runs each analyzer alone over the seeded fixture and
+// compares its findings to the golden file. Every analyzer must fire at
+// least once, and no finding may land on a line covered by a //lint:allow
+// for that check — proving both halves of the contract.
+func TestGoldenPerAnalyzer(t *testing.T) {
+	m := loadFixture(t, "proj")
+	allows := fixtureAllows(t, m.Root)
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			diags := Run(m, RunConfig{Analyzers: []*Analyzer{a}})
+			if len(diags) == 0 {
+				t.Fatalf("analyzer %s produced no findings on the seeded fixture", a.Name)
+			}
+			for _, d := range diags {
+				if d.Check != a.Name {
+					t.Errorf("analyzer %s produced finding labeled %s", a.Name, d.Check)
+				}
+			}
+			dirs := allows[a.Name]
+			if len(dirs) == 0 {
+				t.Errorf("fixture has no //lint:allow %s directive; add one to prove suppression", a.Name)
+			}
+			for _, d := range diags {
+				for _, al := range dirs {
+					if d.Pos.Filename == al.file && (d.Pos.Line == al.line || d.Pos.Line == al.line+1) {
+						t.Errorf("finding at %s:%d was not suppressed by the allow at line %d",
+							d.Pos.Filename, d.Pos.Line, al.line)
+					}
+				}
+			}
+			checkGolden(t, a.Name, renderDiags(t, m, diags))
+		})
+	}
+}
+
+type allowSite struct {
+	file string
+	line int
+}
+
+var allowRE = regexp.MustCompile(`^\s*//lint:allow\s+(\S+)`)
+
+// fixtureAllows scans fixture sources for allow directives, by check name.
+func fixtureAllows(t *testing.T, root string) map[string][]allowSite {
+	t.Helper()
+	out := map[string][]allowSite{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for n := 1; sc.Scan(); n++ {
+			if m := allowRE.FindStringSubmatch(sc.Text()); m != nil {
+				for _, check := range strings.Split(m[1], ",") {
+					out[check] = append(out[check], allowSite{file: path, line: n})
+				}
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestGoldenFullSuite runs everything at once (with unused-allow reporting)
+// over the seeded fixture: the combined, sorted output is itself a golden,
+// and none of the fixture's allows may be reported stale — each must have
+// suppressed something.
+func TestGoldenFullSuite(t *testing.T) {
+	m := loadFixture(t, "proj")
+	diags := Run(m, RunConfig{ReportUnusedAllows: true})
+	got := renderDiags(t, m, diags)
+	if strings.Contains(got, "unused //lint:allow") {
+		t.Errorf("fixture has stale allow directives:\n%s", got)
+	}
+	checkGolden(t, "all", got)
+}
+
+// TestGoldenAllowDirectives covers the directive edge cases: a reason-less
+// allow is malformed (reported, and suppresses nothing, so the underlying
+// finding also surfaces), and an allow that matches no finding is reported
+// stale on full-suite runs.
+func TestGoldenAllowDirectives(t *testing.T) {
+	m := loadFixture(t, "allowproj")
+	diags := Run(m, RunConfig{ReportUnusedAllows: true})
+	got := renderDiags(t, m, diags)
+	for _, want := range []string{"malformed //lint:allow", "unused //lint:allow wallclock", ": detrange: "} {
+		if !strings.Contains(got, want) {
+			t.Errorf("allow fixture output missing %q:\n%s", want, got)
+		}
+	}
+	checkGolden(t, "allow", got)
+}
+
+// TestSelfLint asserts the repository itself is clean under the full suite —
+// the tree must stay lintable at head, deliberate exceptions annotated.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-lint loads the whole module")
+	}
+	m, err := Load(filepath.Join("..", ".."), LoadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(m, RunConfig{ReportUnusedAllows: true})
+	if len(diags) != 0 {
+		t.Errorf("repolint is not clean on this tree:\n%s", renderDiags(t, m, diags))
+	}
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// PrivacyBoundary enforces the pod→hive privacy scrub: the only ways to
+// produce a trace.Trace are Collector.Finish and ApplyPrivacy (which
+// populate the input-derived fields according to the pod's privacy level),
+// plus the codec/clone paths that only reproduce already-scrubbed traces.
+//
+// Outside internal/trace, constructing a Trace literal or writing its
+// input-derived fields directly creates a trace whose Input/InputBuckets/
+// InputDigest were never passed through the privacy scrub — raw end-user
+// input could cross the pod→hive boundary, the exact leak the paper's
+// privacy framework (and PAPERS.md's aggregation-protocol line) forbids.
+var PrivacyBoundary = &Analyzer{
+	Name: "privacyboundary",
+	Doc: "outside internal/trace, trace.Trace values must come from " +
+		"Collector.Finish/ApplyPrivacy (or Decode/Clone/Materialize of scrubbed " +
+		"traces) — no composite literals, no direct writes to input-derived fields",
+	Run: runPrivacyBoundary,
+}
+
+// inputDerivedFields are the Trace fields ApplyPrivacy owns.
+var inputDerivedFields = map[string]bool{
+	"Input":        true,
+	"InputBuckets": true,
+	"InputDigest":  true,
+	"Privacy":      true,
+}
+
+func runPrivacyBoundary(p *Pass) {
+	if pathMatches(p.Pkg.Path, "internal/trace") {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CompositeLit:
+				tv, ok := info.Types[ast.Expr(v)]
+				if ok && typeIsNamed(tv.Type, "internal/trace", "Trace") {
+					p.Reportf(v.Pos(), "trace.Trace composite literal outside internal/trace: traces must be produced by Collector.Finish/ApplyPrivacy so input-derived fields pass the privacy scrub")
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range v.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok || !inputDerivedFields[sel.Sel.Name] {
+						continue
+					}
+					tv, ok := info.Types[sel.X]
+					if ok && typeIsNamed(tv.Type, "internal/trace", "Trace") {
+						p.Reportf(lhs.Pos(), "direct write to trace.Trace.%s outside internal/trace: input-derived fields are owned by ApplyPrivacy (bypassing it can ship unscrubbed input to the hive)", sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

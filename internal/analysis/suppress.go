@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	check  string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// suppressions indexes allow directives by (file, line): a directive
+// silences matching findings on its own line and on the line directly
+// below it (the "comment above the statement" idiom).
+type suppressions struct {
+	byLine map[string]map[int][]*allowDirective
+	all    []*allowDirective
+	// bad collects malformed directives (no check, or no reason): silencing
+	// an invariant without saying why is itself a finding.
+	bad []Diagnostic
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectSuppressions scans every comment of the loaded packages.
+func collectSuppressions(m *Module, pkgs []*Package) *suppressions {
+	s := &suppressions{byLine: map[string]map[int][]*allowDirective{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, g := range f.Comments {
+				for _, c := range g.List {
+					s.add(m, c)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) add(m *Module, c *ast.Comment) {
+	text, ok := strings.CutPrefix(c.Text, allowPrefix)
+	if !ok {
+		return
+	}
+	pos := m.Fset.Position(c.Pos())
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		s.bad = append(s.bad, Diagnostic{
+			Check:   "allow",
+			Pos:     pos,
+			Message: "malformed //lint:allow: want \"//lint:allow <check> <reason>\" — a reason is mandatory",
+		})
+		return
+	}
+	for _, check := range strings.Split(fields[0], ",") {
+		d := &allowDirective{
+			check:  check,
+			reason: strings.Join(fields[1:], " "),
+			pos:    pos,
+		}
+		byFile := s.byLine[pos.Filename]
+		if byFile == nil {
+			byFile = map[int][]*allowDirective{}
+			s.byLine[pos.Filename] = byFile
+		}
+		byFile[pos.Line] = append(byFile[pos.Line], d)
+		s.all = append(s.all, d)
+	}
+}
+
+// allowed reports whether a finding is suppressed, marking the directive
+// used so unused allows can be reported.
+func (s *suppressions) allowed(d Diagnostic) bool {
+	byFile := s.byLine[d.Pos.Filename]
+	if byFile == nil {
+		return false
+	}
+	ok := false
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range byFile[line] {
+			if dir.check == d.Check || dir.check == "all" {
+				dir.used = true
+				ok = true
+			}
+		}
+	}
+	return ok
+}
+
+// unused reports directives that silenced nothing — stale annotations that
+// would otherwise hide future regressions.
+func (s *suppressions) unused() []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range s.all {
+		if !dir.used {
+			out = append(out, Diagnostic{
+				Check:   "allow",
+				Pos:     dir.pos,
+				Message: "unused //lint:allow " + dir.check + " (nothing to suppress here — remove it)",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+// Package core seeds suppression-directive problems: a malformed allow with
+// no reason, and a stale allow that suppresses nothing.
+package core
+
+// orderedKeys carries a reason-less allow; the directive itself must be
+// reported even though it would otherwise match the finding.
+func orderedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:allow detrange
+		out = append(out, k)
+	}
+	return out
+}
+
+// sum is clean code under a stale allow: the unused directive must be
+// reported on full-suite runs.
+func sum(m map[string]int) int {
+	//lint:allow wallclock left over from a removed time.Now call
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

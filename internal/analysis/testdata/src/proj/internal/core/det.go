@@ -1,0 +1,61 @@
+// Package core seeds detrange violations: map iteration order leaking into
+// outputs inside a deterministic package.
+package core
+
+import (
+	"bytes"
+	"sort"
+)
+
+// emitUnsorted appends map keys in iteration order and never re-sorts: the
+// caller observes nondeterministic order. Finding expected.
+func emitUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// emitSorted is the sanctioned collect-then-sort idiom. Clean.
+func emitSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// emitChan sends keys in iteration order. Finding expected.
+func emitChan(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k
+	}
+}
+
+// emitWrite streams keys in iteration order. Finding expected.
+func emitWrite(m map[string]int, w *bytes.Buffer) {
+	for k := range m {
+		w.WriteString(k)
+	}
+}
+
+// emitAllowed is deliberately exempt: the suppression must silence it.
+func emitAllowed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:allow detrange caller re-canonicalizes the slice before use
+		out = append(out, k)
+	}
+	return out
+}
+
+// sumValues only folds commutatively over the map. Clean.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,87 @@
+// Package hive seeds journalfirst and lockdiscipline violations against
+// miniature stand-ins for the real hive's types and journaled-apply call
+// graph.
+package hive
+
+import "sync"
+
+// Hive mirrors the real registry locks.
+type Hive struct {
+	mu     sync.RWMutex
+	sessMu sync.Mutex
+	progs  map[string]*programState
+}
+
+// programState mirrors the real per-program lock set.
+type programState struct {
+	mu      sync.Mutex
+	ckpt    sync.RWMutex
+	kgMu    sync.Mutex
+	coordMu sync.Mutex
+	applied int
+}
+
+// sessionEntry mirrors the per-session dedup record.
+type sessionEntry struct {
+	mu   sync.Mutex
+	seen int
+}
+
+func (h *Hive) applyBatch(st *programState) {
+	st.applied++
+	h.synthesizeFix(st)
+}
+
+func (h *Hive) applyBatchView(st *programState) {
+	st.applied++
+	h.synthesizeFix(st)
+}
+
+func (h *Hive) synthesizeFix(st *programState) {}
+
+func (h *Hive) markSession(id string) {}
+
+func (h *Hive) mergeSessions(a, b string) {
+	h.markSession(a)
+}
+
+// ingest is a sanctioned journaled wrapper. Clean.
+func (h *Hive) ingest(st *programState) {
+	h.markSession("s")
+	h.applyBatch(st)
+}
+
+// ingestView is a sanctioned journaled wrapper. Clean.
+func (h *Hive) ingestView(st *programState) {
+	h.markSession("s")
+	h.applyBatchView(st)
+}
+
+// applyOp is the sanctioned recovery/replay path. Clean.
+func (h *Hive) applyOp(st *programState) {
+	h.markSession("s")
+	h.applyBatch(st)
+	h.applyBatchView(st)
+}
+
+// handleDirect mutates program state without journaling. Finding expected.
+func (h *Hive) handleDirect(st *programState) {
+	h.applyBatch(st)
+}
+
+// handleDirectView skips the journaled view wrapper. Finding expected.
+func (h *Hive) handleDirectView(st *programState) {
+	h.applyBatchView(st)
+}
+
+// touchSession marks a session outside the sanctioned paths. Finding
+// expected.
+func (h *Hive) touchSession(id string) {
+	h.markSession(id)
+}
+
+// replayHook is a deliberate exception: the suppression must silence it.
+func (h *Hive) replayHook(st *programState) {
+	//lint:allow journalfirst test-only replay hook; never reachable in production
+	h.applyBatch(st)
+}

@@ -1,0 +1,34 @@
+// Package journal seeds wallclock violations: ambient time and global
+// randomness inside a deterministic package.
+package journal
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stampNow reads the wall clock into journaled state. Finding expected.
+func stampNow() int64 {
+	return time.Now().UnixNano()
+}
+
+// elapsed uses time.Since. Finding expected.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// pickShard uses the global math/rand source. Finding expected.
+func pickShard(n int) int {
+	return rand.Intn(n)
+}
+
+// pacedFlush is deliberately exempt pacing: the suppression must silence it.
+func pacedFlush(window time.Duration) {
+	//lint:allow wallclock pacing only; no journaled state derives from the clock
+	time.Sleep(window)
+}
+
+// addDurations only manipulates duration values handed in. Clean.
+func addDurations(a, b time.Duration) time.Duration {
+	return a + b
+}

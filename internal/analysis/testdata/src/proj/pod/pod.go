@@ -1,0 +1,43 @@
+// Package pod seeds privacyboundary violations: constructing or mutating
+// traces outside the sanctioned Collector.Finish / ApplyPrivacy path.
+package pod
+
+import "fixture/internal/trace"
+
+// forgeTrace builds a Trace literal, bypassing the privacy scrub. Finding
+// expected.
+func forgeTrace(id string) *trace.Trace {
+	return &trace.Trace{ProgramID: id}
+}
+
+// pokeInput writes an input-derived field directly. Finding expected.
+func pokeInput(t *trace.Trace, input []int64) {
+	t.Input = input
+}
+
+// pokeDigest writes the digest directly. Finding expected.
+func pokeDigest(t *trace.Trace, digest string) {
+	t.InputDigest = digest
+}
+
+// collect goes through the sanctioned constructor. Clean.
+func collect(c *trace.Collector, input []int64) *trace.Trace {
+	return c.Finish(input, 1, "salt")
+}
+
+// scrub re-applies privacy through the sanctioned entry point. Clean.
+func scrub(t *trace.Trace, input []int64) {
+	trace.ApplyPrivacy(t, input, 2, "salt")
+}
+
+// relabel touches only non-input metadata. Clean.
+func relabel(t *trace.Trace, pod string) {
+	t.PodID = pod
+}
+
+// syntheticAllowed is a deliberate exception: the suppression must silence
+// it.
+func syntheticAllowed() *trace.Trace {
+	//lint:allow privacyboundary synthetic benign trace for the load generator
+	return &trace.Trace{ProgramID: "synthetic"}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/prog"
 )
@@ -209,11 +210,7 @@ func orderedOutcomes(m map[prog.Outcome]int64) []prog.Outcome {
 	for o := range m {
 		out = append(out, o)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -222,11 +219,7 @@ func orderedEdges(m map[Edge]bool) []Edge {
 	for e := range m {
 		out = append(out, e)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && edgeLess(out[j], out[j-1]); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return edgeLess(out[i], out[j]) })
 	return out
 }
 

@@ -2,6 +2,7 @@ package exectree
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -136,6 +137,71 @@ func TestQuickFrontierRarityChurn(t *testing.T) {
 	}
 }
 
+// TestQuickFrontierFlushCapExact pins the flush cap's contract: bounding
+// how much deferred-reposition backlog a snapshot repairs must never change
+// what the snapshot returns. Tiny caps force nearly the whole backlog
+// through the pending overlay on every pull.
+func TestQuickFrontierFlushCapExact(t *testing.T) {
+	check := func(seed uint64) bool {
+		for _, cap := range []int{1, 3, 0} {
+			tr := randomMergeCertify(seed, int(seed%120)+5)
+			tr.SetRepositionFlushCap(cap)
+			if !frontiersEqual(tr.FrontiersAll(), tr.FrontiersByWalk(0)) {
+				return false
+			}
+			limit := int(seed%7) + 1
+			if !frontiersEqual(tr.Frontiers(limit), tr.FrontiersByWalk(limit)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrontierFlushCapDrainsBacklog checks the amortization: repeated
+// capped snapshots chip away at the deferred-move backlog until the index
+// is fully repaired, each one exact along the way.
+func TestFrontierFlushCapDrainsBacklog(t *testing.T) {
+	rng := stats.NewRNG(777)
+	tr := New("prog-backlog")
+	tr.SetRepositionFlushCap(8)
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(10) + 2
+		path := make([]trace.BranchEvent, n)
+		for j := range path {
+			path[j] = trace.BranchEvent{ID: int32(rng.Intn(6)), Taken: rng.Bool(0.9)}
+		}
+		tr.Merge(path, prog.OutcomeOK)
+	}
+	tr.mu.RLock()
+	backlog := len(tr.repositions)
+	tr.mu.RUnlock()
+	if backlog == 0 {
+		t.Fatal("churn workload produced no deferred repositions; test is vacuous")
+	}
+	for i := 0; backlog > 0; i++ {
+		if i > backlog+2000 {
+			t.Fatalf("backlog stuck at %d after %d snapshots", backlog, i)
+		}
+		if !frontiersEqual(tr.Frontiers(16), tr.FrontiersByWalk(16)) {
+			t.Fatalf("snapshot %d inexact with backlog %d", i, backlog)
+		}
+		tr.mu.RLock()
+		next := len(tr.repositions)
+		tr.mu.RUnlock()
+		if next > backlog {
+			t.Fatalf("backlog grew from %d to %d with no merges", backlog, next)
+		}
+		backlog = next
+	}
+	if !frontiersEqual(tr.FrontiersAll(), tr.FrontiersByWalk(0)) {
+		t.Fatal("drained: index and walk disagree")
+	}
+}
+
 // buildAdversarialTree grows a tree whose open-frontier set scales with the
 // tree itself: every merge explores one direction of fresh branch IDs, so
 // nearly every new node leaves an unexplored sibling behind. This is the
@@ -195,6 +261,57 @@ func buildWideTree(b *testing.B, merges int) *Tree {
 		t.Merge(path, prog.OutcomeOK)
 	}
 	return t
+}
+
+// BenchmarkFrontiersConcurrentChurn measures guidance-pull latency while
+// merge traffic churns the tree from other goroutines — the contention
+// profile the flush cap exists for. An unbounded flush makes snapshot cost
+// track however much backlog the mergers piled up since the last pull; the
+// capped flush pays a bounded repair plus the overlay.
+func BenchmarkFrontiersConcurrentChurn(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cap  int
+	}{
+		{"cap=unbounded", 0},
+		{"cap=default", defaultRepositionFlushCap},
+		{"cap=64", 64},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			tree := buildWideTree(b, 4096)
+			tree.SetRepositionFlushCap(tc.cap)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					rng := stats.NewRNG(seed)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						n := rng.Intn(24) + 8
+						path := make([]trace.BranchEvent, n)
+						for j := range path {
+							path[j] = trace.BranchEvent{ID: int32(rng.Intn(64)), Taken: rng.Bool(0.9)}
+						}
+						tree.Merge(path, prog.OutcomeOK)
+					}
+				}(uint64(w) + 1)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tree.Frontiers(32)
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+	}
 }
 
 // BenchmarkFrontiers compares the guidance read path's two snapshot

@@ -257,6 +257,11 @@ type Tree struct {
 	// repositions holds open entries whose rarity signal changed since the
 	// last ordered snapshot (deferred treap moves; see frontierEntry).
 	repositions []*frontierEntry
+	// repositionCap bounds how many deferred moves one snapshot applies
+	// (non-positive = unbounded); the backlog carries over. Entries still
+	// pending are merged into the snapshot via the overlay in frontiers, so
+	// results stay exact regardless of the cap.
+	repositionCap int
 	// Delta tracking (delta.go): when tracking is on, nodes flip their
 	// dirty flag on first change since the boundary and accumulate in
 	// dirtyNodes.
@@ -271,12 +276,31 @@ type Tree struct {
 // New creates an empty tree for the program with the given ID.
 func New(programID string) *Tree {
 	return &Tree{
-		programID: programID,
-		root:      newNode(),
-		nodes:     1,
-		outcomes:  make(map[prog.Outcome]int64),
-		prioState: 0x9e3779b97f4a7c15,
+		programID:     programID,
+		root:          newNode(),
+		nodes:         1,
+		outcomes:      make(map[prog.Outcome]int64),
+		prioState:     0x9e3779b97f4a7c15,
+		repositionCap: defaultRepositionFlushCap,
 	}
+}
+
+// defaultRepositionFlushCap bounds the deferred rarity moves applied per
+// Frontiers snapshot. Each move is an O(log n) treap unlink/relink under the
+// write lock; after a long merge-only stretch the backlog can reach the open
+// set's size, and draining it all at once turns a nominally O(k + log n)
+// snapshot into an unbounded write-lock stall. The cap amortizes the drain
+// across snapshots; the pending overlay keeps every snapshot exact anyway.
+const defaultRepositionFlushCap = 1024
+
+// SetRepositionFlushCap overrides how many deferred rarity moves one
+// Frontiers snapshot applies to the index; n <= 0 removes the bound. The cap
+// trades per-snapshot write-lock hold time against backlog length — results
+// are identical at any setting.
+func (t *Tree) SetRepositionFlushCap(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.repositionCap = n
 }
 
 // maxDenseCoverID bounds the dense coverage slice: IDs at or beyond it
@@ -390,8 +414,9 @@ func (t *Tree) Merge(path []trace.BranchEvent, outcome prog.Outcome) MergeResult
 		if fe := node.openEntry(sibling); fe != nil {
 			// The explored side of an open frontier was traversed again: its
 			// rarity signal grew. Record the move instead of paying the
-			// O(log n) reposition here — the next ordered snapshot applies
-			// every pending move at once (flushRepositionsLocked).
+			// O(log n) reposition here — later ordered snapshots apply
+			// pending moves in bounded batches (flushRepositionsLocked) and
+			// overlay whatever is still queued.
 			if fe.pendingSib == 0 {
 				t.repositions = append(t.repositions, fe)
 			}
@@ -553,9 +578,12 @@ type Frontier struct {
 // (most-visited sibling first, ties broken deterministically).
 //
 // The result is served from the rarity-ordered treap: a limited snapshot
-// reads the first limit entries in order, O(limit + log n) regardless of
+// reads the first limit entries in order — O(limit + log n) plus a bounded
+// batch of deferred rarity moves (SetRepositionFlushCap) — regardless of
 // how large the open set is, and prefixes are materialized from the shared
-// parent links outside the lock.
+// parent links outside the lock. Moves still queued past the cap are
+// overlaid onto the snapshot at their effective rarity, so the cap never
+// changes what a snapshot returns, only how much index repair it performs.
 //
 // limit must be positive: every production consumer bounds its pull (the
 // proof engine takes 64, guidance 4×max, cluster exploration a per-round
@@ -582,16 +610,28 @@ func (t *Tree) frontiers(limit int) []Frontier {
 		missing Edge
 		sib     int64
 	}
-	// Write lock: the snapshot first applies any rarity moves merges
-	// deferred. Snapshots are O(limit + log n), so the exclusivity window
-	// is tiny next to the merge traffic it relieves.
+	// Write lock: the snapshot first applies deferred rarity moves, up to
+	// the flush cap. Snapshots are O(limit + cap·log n), so the exclusivity
+	// window is bounded next to the merge traffic it relieves.
 	t.mu.Lock()
-	t.flushRepositionsLocked()
+	t.flushRepositionsLocked(t.repositionCap)
 	want := t.frontierCount
 	if limit > 0 && limit < want {
 		want = limit
 	}
-	cands := make([]cand, 0, want)
+	cands := make([]cand, 0, want+len(t.repositions))
+	// Overlay for the still-pending backlog: those entries sit in the treap
+	// under a stale key, but rarity only grows, so their true rank is at or
+	// before their treap rank. Collecting all of them (at their effective
+	// key) plus the top want clean entries is therefore a superset of the
+	// true top want; the sort below re-ranks and the cut makes it exact.
+	for _, fe := range t.repositions {
+		if fe.retired || fe.pendingSib == 0 {
+			continue
+		}
+		cands = append(cands, cand{n: fe.n, missing: fe.missing, sib: fe.pendingSib})
+	}
+	taken := 0
 	var walk func(fe *frontierEntry) bool
 	walk = func(fe *frontierEntry) bool {
 		if fe == nil {
@@ -600,10 +640,13 @@ func (t *Tree) frontiers(limit int) []Frontier {
 		if !walk(fe.left) {
 			return false
 		}
-		if len(cands) >= want {
+		if taken >= want {
 			return false
 		}
-		cands = append(cands, cand{n: fe.n, missing: fe.missing, sib: fe.sib})
+		if fe.pendingSib == 0 {
+			cands = append(cands, cand{n: fe.n, missing: fe.missing, sib: fe.sib})
+			taken++
+		}
 		return walk(fe.right)
 	}
 	walk(t.frontierRoot)
@@ -617,6 +660,10 @@ func (t *Tree) frontiers(limit int) []Frontier {
 			Missing:       c.missing,
 			SiblingVisits: c.sib,
 		}
+	}
+	sortFrontiers(out)
+	if len(out) > want {
+		out = out[:want]
 	}
 	return out
 }
@@ -763,17 +810,21 @@ func (t *Tree) retireEntry(fe *frontierEntry) {
 	t.frontierCount--
 }
 
-// flushRepositionsLocked applies every deferred rarity move: each pending
-// entry is unlinked at its old key and reinserted at the new one. Callers
+// flushRepositionsLocked applies deferred rarity moves — each pending entry
+// is unlinked at its old key and reinserted at the new one — stopping after
+// max actual moves (max <= 0 = no bound); the rest stay queued for later
+// snapshots. Retired and no-op entries are always dropped for free. Callers
 // hold the write lock. Amortization: merges record moves in O(1) and the
-// ordered-snapshot consumer pays O(pending · log n) once, instead of every
-// merge paying O(log n) — under fleet ingest, snapshots (guidance pulls)
-// are orders of magnitude rarer than merges.
-func (t *Tree) flushRepositionsLocked() {
-	if len(t.repositions) == 0 {
-		return
-	}
-	for _, fe := range t.repositions {
+// ordered-snapshot consumer pays O(min(pending, max) · log n), instead of
+// every merge paying O(log n) — under fleet ingest, snapshots (guidance
+// pulls) are orders of magnitude rarer than merges.
+func (t *Tree) flushRepositionsLocked(max int) {
+	moved := 0
+	i := len(t.repositions)
+	for i > 0 && (max <= 0 || moved < max) {
+		i--
+		fe := t.repositions[i]
+		t.repositions[i] = nil
 		if fe.retired || fe.pendingSib == 0 || fe.pendingSib == fe.sib {
 			fe.pendingSib = 0
 			continue
@@ -783,8 +834,9 @@ func (t *Tree) flushRepositionsLocked() {
 		fe.sib = fe.pendingSib
 		fe.pendingSib = 0
 		t.frontierRoot = treapInsert(t.frontierRoot, fe)
+		moved++
 	}
-	t.repositions = t.repositions[:0]
+	t.repositions = t.repositions[:i]
 }
 
 func treapInsert(root, fe *frontierEntry) *frontierEntry {

@@ -405,6 +405,10 @@ func (h *Hive) ingestView(st *programState, v *trace.BatchView, session string, 
 	st.ckpt.RLock()
 	defer st.ckpt.RUnlock()
 	if h.journal != nil {
+		// The op borrows the frame bytes only for the synchronous Append
+		// below: the committer copies them into its write buffer before
+		// returning, so Raw never outlives the pooled frame.
+		//lint:allow viewescape Raw is consumed (copied to the WAL buffer) before Append returns; the op does not outlive the frame
 		op := &journal.Op{Kind: journal.OpBatchColumnar, Session: session, Seq: seq, Raw: v.Bytes()}
 		if err := h.journal.Append(st.prog.ID, op); err != nil {
 			return fmt.Errorf("hive: journal %s: %w", st.prog.ID, err)
