@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exectree"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/fix"
 	"repro/internal/guidance"
 	"repro/internal/hive"
+	"repro/internal/netshape"
 	"repro/internal/population"
 	"repro/internal/prog"
 	"repro/internal/proggen"
@@ -610,4 +612,103 @@ func BenchmarkWireSubmitSerial(b *testing.B) { benchWireSubmit(b, false, false) 
 func BenchmarkWireSubmitPipelined(b *testing.B) {
 	b.Run("v2", func(b *testing.B) { benchWireSubmit(b, true, false) })
 	b.Run("columnar", func(b *testing.B) { benchWireSubmit(b, true, true) })
+}
+
+// shapedCorpus captures varied real traces (distinct inputs, real branch
+// histories) in streamChunk-sized batches: compression ratios on this corpus
+// are production-shaped — hot paths repeat, inputs differ — instead of the
+// degenerate ratio identical cloned traces would give.
+func shapedCorpus(b *testing.B, p *prog.Program, chunks, perChunk int) [][]*trace.Trace {
+	b.Helper()
+	out := make([][]*trace.Trace, chunks)
+	for i := range out {
+		out[i] = make([]*trace.Trace, perChunk)
+		for j := range out[i] {
+			n := i*perChunk + j
+			input := []int64{int64(n * 13 % 160), int64(n * 7 % 90)}
+			col := trace.NewCollector(p, trace.CaptureFull, 0, uint64(n+1))
+			m, err := prog.NewMachine(p, prog.Config{Input: input, Observer: col})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := m.Run()
+			out[i][j] = col.Finish(fmt.Sprintf("pod-%d", n%8), uint64(n), res, input, trace.PrivacyHashed, "s")
+		}
+	}
+	return out
+}
+
+// BenchmarkShapedSubmit is the WAN experiment (E15): the same 128-chunk
+// drain submitted through a netshape proxy at three RTT/loss points, once
+// with the PR-5 transport discipline (columnar frames, no coalescing, no
+// compression) and once with the WAN transport (coalesced mega-frames +
+// negotiated compression). Both run the identical pipelining window, so the
+// ratio isolates what framing and bytes-on-the-wire are worth once a real
+// network sits between pod and hive.
+func BenchmarkShapedSubmit(b *testing.B) {
+	p := benchProgram(b)
+	const chunks = 128
+	const perChunk = 256
+	all := shapedCorpus(b, p, chunks, perChunk)
+	shapes := []struct {
+		name string
+		rtt  time.Duration
+		loss float64
+	}{
+		{"rtt=50ms,loss=0.1%", 50 * time.Millisecond, 0.001},
+		{"rtt=100ms,loss=0.5%", 100 * time.Millisecond, 0.005},
+		{"rtt=200ms,loss=1.0%", 200 * time.Millisecond, 0.01},
+	}
+	for _, shape := range shapes {
+		b.Run(shape.name, func(b *testing.B) {
+			for _, mode := range []string{"pr5", "wan"} {
+				b.Run(mode, func(b *testing.B) {
+					backend := &nullHive{}
+					srv := wire.NewServer(backend)
+					srv.Logf = func(string, ...any) {}
+					addr, err := srv.Listen("127.0.0.1:0")
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer srv.Close()
+					proxy, err := netshape.New(addr, netshape.Config{
+						RTT:       shape.rtt,
+						Loss:      shape.loss,
+						Bandwidth: 16 << 20, // a fleet's uplink share, not loopback
+						Seed:      42,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer proxy.Close()
+					client := wire.Dial(proxy.Addr())
+					defer client.Close()
+					if mode == "pr5" {
+						client.DisableCoalesce = true
+						client.DisableCompression = true
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						accepted, err := client.SubmitTraceBatches(p.ID, all)
+						if err != nil {
+							b.Fatal(err)
+						}
+						for k, ok := range accepted {
+							if !ok {
+								b.Fatalf("chunk %d not accepted", k)
+							}
+						}
+					}
+					b.StopTimer()
+					if got := backend.ingested.Load(); got != int64(b.N*chunks*perChunk) {
+						b.Fatalf("backend ingested %d, want %d", got, b.N*chunks*perChunk)
+					}
+					elapsed := b.Elapsed()
+					if elapsed > 0 {
+						b.ReportMetric(float64(b.N*chunks*perChunk)/elapsed.Seconds(), "traces/sec")
+					}
+				})
+			}
+		})
+	}
 }

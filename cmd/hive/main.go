@@ -51,6 +51,8 @@ func run(args []string) error {
 	groupBatch := fs.Int("group-batch", 256, "group-commit batch cap: max journal records coalesced into one write+fsync (<=1 disables group commit)")
 	commitWorkers := fs.Int("commit-workers", 0, "committer-pool cap shared across all programs' journals (0 uses the default; the pool bounds goroutines and fsync concurrency for the whole data dir)")
 	compactEvery := fs.Int("compact-every", 8, "snapshots are incremental delta segments, compacted into a full snapshot every N checkpoints (<=0 makes every snapshot full)")
+	maxFrame := fs.Int("max-frame", 0, "cap on the frame-size raise granted to WAN clients in bytes (0 uses the built-in maximum; never drops below the universal frame limit)")
+	noWAN := fs.Bool("no-wan", false, "refuse the WAN transport features (coalesced mega-frames, compressed batches, frame-size raises) in hello grants")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +98,8 @@ func run(args []string) error {
 	}
 
 	srv := wire.NewServer(h)
+	srv.MaxFrame = *maxFrame
+	srv.DisableWAN = *noWAN
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err

@@ -41,8 +41,15 @@ func run(args []string) error {
 	runs := fs.Int("runs", 200, "executions per pod")
 	syncEvery := fs.Int("sync", 25, "sync fixes every N runs")
 	drainEvery := fs.Int("drain", 50, "drain buffered traces every N runs (0 drains only at the end)")
+	coalesce := fs.Int("coalesce", 0, "frames per coalesced mega-frame when the hive grants it (0 uses the default depth, negative disables coalescing)")
+	compress := fs.String("compress", "auto", "batch compression over the wire: auto (engage when the hello round trip looks like a WAN), on, or off")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *compress {
+	case "auto", "on", "off":
+	default:
+		return fmt.Errorf("-compress %q: want auto, on, or off", *compress)
 	}
 
 	pop, err := population.New(population.Config{Seed: *seed, Users: *pods})
@@ -56,7 +63,7 @@ func run(args []string) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs <- runPod(i, *hiveAddr, *seed, i%*programs, *runs, *syncEvery, *drainEvery, pop)
+			errs <- runPod(i, *hiveAddr, *seed, i%*programs, *runs, *syncEvery, *drainEvery, *coalesce, *compress, pop)
 		}(i)
 	}
 	wg.Wait()
@@ -70,13 +77,24 @@ func run(args []string) error {
 	return nil
 }
 
-func runPod(idx int, hiveAddr string, seed uint64, programIdx, runs, syncEvery, drainEvery int, pop *population.Population) error {
+func runPod(idx int, hiveAddr string, seed uint64, programIdx, runs, syncEvery, drainEvery, coalesce int, compress string, pop *population.Population) error {
 	p, _, err := proggen.Generate(proggen.CorpusSpec(seed, programIdx))
 	if err != nil {
 		return err
 	}
 	client := wire.Dial(hiveAddr)
 	defer client.Close()
+	if coalesce < 0 {
+		client.DisableCoalesce = true
+	} else {
+		client.CoalesceDepth = coalesce
+	}
+	switch compress {
+	case "on":
+		client.ForceCompress = true
+	case "off":
+		client.DisableCompression = true
+	}
 	// The buffer is bound to the pod's program, so drains stream pipelined
 	// sequenced frames — exactly-once across reconnects and hive restarts.
 	buffer := pod.NewBufferedFor(client, p.ID)

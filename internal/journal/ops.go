@@ -31,9 +31,12 @@ const (
 	// OpCert records one infeasibility certificate attached to the tree.
 	OpCert
 	// OpBatchColumnar is one ingested columnar trace batch: Raw holds the
-	// batch bytes exactly as the wire frame carried them (trace.BatchCodec
-	// encoding, program ID in the batch header) — the write-once-bytes
-	// pipeline's journal leg. Session/Seq as in OpBatch.
+	// canonical batch bytes (trace.BatchCodec encoding, program ID in the
+	// batch header) — the write-once-bytes pipeline's journal leg.
+	// Transport compression never reaches here: a batch that crossed the
+	// wire DEFLATE-compressed is inflated before ingest, so Raw is always
+	// the decompressed canonical payload, byte-identical to an uncompressed
+	// submission of the same batch. Session/Seq as in OpBatch.
 	OpBatchColumnar
 )
 

@@ -20,9 +20,11 @@ import (
 //
 // A buffer bound to a program (NewBufferedFor) drains through the backend's
 // fast paths when available: sealed sequenced streaming (SealedStreamer,
-// the wire client — exactly-once across drains), pipelined batch streaming
-// (TraceStreamer), or per-program submission (ProgramSubmitter, the
-// in-process hive), falling back to plain SubmitTraces otherwise.
+// the wire client — exactly-once across drains), zero-copy columnar
+// submission (ColumnarSubmitter, the in-process hive — the journal gets
+// the batch bytes verbatim, no re-encode), pipelined batch streaming
+// (TraceStreamer), or per-program submission (ProgramSubmitter), falling
+// back to plain SubmitTraces otherwise.
 type BufferedClient struct {
 	backend   HiveClient
 	programID string
@@ -169,6 +171,9 @@ func (b *BufferedClient) submit(batch []*trace.Trace) ([]*trace.Trace, error) {
 	if b.programID == "" {
 		return batch, b.backend.SubmitTraces(batch)
 	}
+	if cs, ok := b.backend.(ColumnarSubmitter); ok {
+		return b.submitColumnar(cs, batch)
+	}
 	if ts, ok := b.backend.(TraceStreamer); ok {
 		rest := batch
 		batches := make([][]*trace.Trace, 0, (len(rest)+streamChunk-1)/streamChunk)
@@ -189,6 +194,54 @@ func (b *BufferedClient) submit(batch []*trace.Trace) ([]*trace.Trace, error) {
 		}
 		return requeue, err
 	}
+	if ps, ok := b.backend.(ProgramSubmitter); ok {
+		return batch, ps.SubmitTracesFor(b.programID, batch)
+	}
+	return batch, b.backend.SubmitTraces(batch)
+}
+
+// submitColumnar drains straight through an in-process columnar backend:
+// each chunk is encoded once into the columnar batch form and handed over
+// as a zero-copy view, so a durable backend (hive.Hive) journals those
+// bytes verbatim — the in-process fleet path skips the per-trace journal
+// re-encode exactly like the wire path does. The submission is untagged
+// (empty session): in process there is no link to lose, so there is
+// nothing for a dedup window to suppress. On error the unaccepted suffix
+// is returned for re-queueing, starting at the failed chunk. A batch the
+// codec rejects (it never should: the buffer asserts one program) falls
+// back to the backend's materialized paths.
+func (b *BufferedClient) submitColumnar(cs ColumnarSubmitter, batch []*trace.Trace) ([]*trace.Trace, error) {
+	var enc []byte
+	for start := 0; start < len(batch); start += streamChunk {
+		end := start + streamChunk
+		if end > len(batch) {
+			end = len(batch)
+		}
+		chunk := batch[start:end]
+		var err error
+		enc, err = trace.AppendBatch(enc[:0], b.programID, chunk)
+		if err != nil {
+			if start > 0 {
+				return batch[start:], err
+			}
+			return b.submitMaterialized(batch)
+		}
+		view, err := trace.DecodeBatch(enc)
+		if err != nil {
+			return batch[start:], err
+		}
+		_, err = cs.SubmitColumnarSession("", 0, view)
+		view.Release()
+		if err != nil {
+			return batch[start:], err
+		}
+	}
+	return nil, nil
+}
+
+// submitMaterialized is the pre-columnar bound-buffer drain: per-program
+// submission when offered, plain otherwise.
+func (b *BufferedClient) submitMaterialized(batch []*trace.Trace) ([]*trace.Trace, error) {
 	if ps, ok := b.backend.(ProgramSubmitter); ok {
 		return batch, ps.SubmitTracesFor(b.programID, batch)
 	}

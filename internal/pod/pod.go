@@ -67,6 +67,11 @@ type SealedBatch struct {
 	// Columnar marks a payload in the columnar batch encoding (sent as its
 	// own frame type); the exactly-once tag semantics are identical.
 	Columnar bool
+	// Compressed marks a columnar payload whose batch bytes were sealed
+	// DEFLATE-compressed (sent as its own frame type). The backend
+	// inflates back to the canonical columnar bytes before ingest, so
+	// dedup and journal identity are unchanged.
+	Compressed bool
 }
 
 // SealedStreamer is an optional HiveClient extension splitting the

@@ -1,0 +1,35 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/race"
+)
+
+// TestAllocsForEachInner pins the zero-copy contract of the mega-frame
+// splitter: walking a 16-frame coalesced payload allocates nothing — inner
+// payloads are sub-slices of the buffer the outer frame was read into.
+func TestAllocsForEachInner(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc counts are skewed under the race detector")
+	}
+	frames := make([][]byte, 16)
+	for i := range frames {
+		frames[i] = bytes.Repeat([]byte{byte(i)}, 512+i)
+	}
+	payload := buildCoalesced(frames...)
+	sink := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		if err := forEachInner(payload, func(_ MsgType, inner []byte) error {
+			sink += len(inner)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("splitting a 16-frame mega-frame costs %.1f allocs; want 0", avg)
+	}
+	_ = sink
+}

@@ -8,7 +8,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/fix"
 	"repro/internal/guidance"
@@ -39,19 +41,55 @@ type Client struct {
 	// another's.
 	seq uint64
 
-	// negotiated and columnar cache the hello exchange (guarded by mu):
-	// before sealing submission frames the client offers its features once
-	// per session; a server that answers anything but MsgHelloAck (an old
-	// build replies MsgError) pins the empty feature set and the client
-	// sticks to the per-trace v2 encoding. Negotiation is retried on the
-	// next seal after a transport failure.
+	// negotiated and the feature fields below cache the hello exchange
+	// (guarded by mu): before sealing submission frames the client offers
+	// its features once per session; a server that answers anything but
+	// MsgHelloAck (an old build replies MsgError) pins the empty feature
+	// set and the client sticks to the per-trace v2 encoding. Negotiation
+	// is retried on the next seal after a transport failure.
 	negotiated bool
 	columnar   bool
+	// coalesce reports the server granted FeatureCoalesce: sealed-frame
+	// streams ship as MsgCoalesced mega-frames, one writev per group.
+	coalesce bool
+	// compressOK reports the server granted FeatureSlabFlate; compressing
+	// reports the client actually compresses (granted, and either forced
+	// or the link looks far — see helloRTT).
+	compressOK  bool
+	compressing bool
+	// maxFrame is the negotiated frame-size limit for writes on this
+	// connection (MaxFrameSize until a hello grant raises it).
+	maxFrame int
+	// helloRTT is the measured duration of the hello exchange on an
+	// already-established connection — a free RTT probe. Compression
+	// costs CPU on both ends, so it auto-engages only when the link is
+	// far enough (compressRTTFloor) for bandwidth to be the bottleneck;
+	// loopback fleets skip it and keep their syscall-bound throughput.
+	helloRTT time.Duration
 
-	// DisableColumnar opts this client out of offering the columnar batch
-	// feature (mixed-fleet tests and emergency fallback). Set before first
-	// use.
+	// sealScratch is the reusable columnar encode buffer for
+	// sealFrameLocked (guarded by mu).
+	sealScratch []byte
+	// hdrScratch and bufScratch are writeCoalesced's reusable header and
+	// vector backing arrays (guarded by mu).
+	hdrScratch []byte
+	bufScratch net.Buffers
+
+	// DisableColumnar opts this client out of negotiation entirely,
+	// emulating a pre-hello build (mixed-fleet tests and emergency
+	// fallback). Set before first use.
 	DisableColumnar bool
+	// DisableCoalesce and DisableCompression withhold the respective
+	// feature offers (mixed-fleet tests, debugging). Set before first use.
+	DisableCoalesce    bool
+	DisableCompression bool
+	// ForceCompress compresses whenever the server granted it, ignoring
+	// the RTT floor (benches and tests; real WAN links trip the floor on
+	// their own). Set before first use.
+	ForceCompress bool
+	// CoalesceDepth bounds how many inner frames one mega-frame carries
+	// (default defaultCoalesceDepth). Set before first use.
+	CoalesceDepth int
 }
 
 var _ pod.HiveClient = (*Client)(nil)
@@ -63,8 +101,32 @@ var _ pod.SealedStreamer = (*Client)(nil)
 // keeps unacknowledged on the socket. The window keeps the server's bounded
 // ingest queue and both TCP buffers from absorbing an arbitrarily large
 // drain (which could deadlock writer against writer) while still amortizing
-// a round trip across the whole window.
+// a round trip across the whole window. The coalesced path counts
+// mega-frames against the same window: the transport-frame pipelining depth
+// is identical, each frame just carries more batches.
 const maxInflightFrames = 32
+
+// defaultCoalesceDepth is how many inner frames one mega-frame carries
+// when the client does not pin a depth.
+const defaultCoalesceDepth = 16
+
+// maxCoalesceDepth caps the depth a client will use: the server's reply
+// amplification (one inner ack per inner frame) stays bounded.
+const maxCoalesceDepth = 1024
+
+// coalesceByteBudget bounds the bytes of one mega-frame regardless of
+// depth, keeping worst-case in-flight volume (window × budget) and the
+// server's per-frame buffer modest.
+const coalesceByteBudget = 1 << 20
+
+// compressRTTFloor is the hello-RTT above which granted compression
+// auto-engages: past a few milliseconds the link is a network, not a
+// loopback, and trading CPU for bytes wins.
+const compressRTTFloor = 5 * time.Millisecond
+
+// compressMinBytes skips compression for frames too small to amortize the
+// DEFLATE setup.
+const compressMinBytes = 512
 
 // Dial creates a client for the hive at addr. The connection is established
 // lazily on first use.
@@ -107,12 +169,8 @@ func (c *Client) call(reqType MsgType, payload []byte) (MsgType, []byte, error) 
 func (c *Client) callLocked(reqType MsgType, payload []byte) (MsgType, []byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		if c.conn == nil {
-			conn, err := net.Dial("tcp", c.addr)
-			if err != nil {
-				return 0, nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
-			}
-			c.conn = conn
+		if err := c.dialLocked(); err != nil {
+			return 0, nil, err
 		}
 		if err := WriteFrame(c.conn, reqType, payload); err != nil {
 			if errors.Is(err, ErrFrame) {
@@ -134,28 +192,95 @@ func (c *Client) callLocked(reqType MsgType, payload []byte) (MsgType, []byte, e
 		}
 		return respType, resp, nil
 	}
-	return 0, nil, fmt.Errorf("wire: %s unreachable after retry: %w", c.addr, lastErr)
+	return 0, nil, c.retryErrLocked(lastErr)
 }
 
-// ensureNegotiatedLocked runs the hello exchange once per client: offer the
-// columnar feature, accept whatever the server grants. Any failure — dial,
-// transport, or an old server's MsgError — leaves the client on the
-// universally understood v2 encoding; transport failures clear the cache so
-// the next seal retries.
+// dialLocked establishes the connection if there is none.
+func (c *Client) dialLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	return nil
+}
+
+// retryErrLocked wraps the final transport error after a failed retry.
+// The message carries the negotiated feature set: in a mixed fleet a
+// downgrade-then-fail and a feature bug produce different summaries, so
+// the distinction survives into logs.
+func (c *Client) retryErrLocked(lastErr error) error {
+	return fmt.Errorf("wire: %s unreachable after retry (features: %s): %w",
+		c.addr, c.featureSummaryLocked(), lastErr)
+}
+
+// featureSummaryLocked renders the negotiated feature state for error
+// messages.
+func (c *Client) featureSummaryLocked() string {
+	if !c.negotiated {
+		return "not negotiated"
+	}
+	var parts []string
+	if c.columnar {
+		parts = append(parts, FeatureColumnarBatch)
+	}
+	if c.coalesce {
+		parts = append(parts, FeatureCoalesce)
+	}
+	if c.compressOK {
+		parts = append(parts, FeatureSlabFlate)
+	}
+	if c.maxFrame > MaxFrameSize {
+		parts = append(parts, fmt.Sprintf("max-frame=%d", c.maxFrame))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ensureNegotiatedLocked runs the hello exchange once per client: offer
+// every feature this client speaks plus a frame-size raise, accept
+// whatever the server grants. Any failure — dial, transport, or an old
+// server's MsgError — leaves the client on the universally understood v2
+// encoding; transport failures clear the cache so the next seal retries.
+// The exchange doubles as an RTT probe (the connection is established
+// first, so the measurement is one request/response round trip), which
+// decides whether granted compression is worth its CPU.
 func (c *Client) ensureNegotiatedLocked() {
 	if c.negotiated || c.DisableColumnar {
 		return
 	}
-	payload, err := json.Marshal(HelloPayload{Features: []string{FeatureColumnarBatch}})
+	hello := HelloPayload{Features: []string{FeatureColumnarBatch}}
+	if !c.DisableCoalesce {
+		hello.Features = append(hello.Features, FeatureCoalesce)
+		hello.MaxFrame = MaxCoalescedFrameSize
+	}
+	if !c.DisableCompression {
+		hello.Features = append(hello.Features, FeatureSlabFlate)
+	}
+	payload, err := json.Marshal(hello)
 	if err != nil {
 		return
 	}
-	respType, resp, err := c.callLocked(MsgHello, payload)
-	if err != nil {
+	if err := c.dialLocked(); err != nil {
 		return // no connection: stay v2, retry next seal
 	}
+	start := time.Now()
+	respType, resp, err := c.callLocked(MsgHello, payload)
+	if err != nil {
+		return
+	}
+	c.helloRTT = time.Since(start)
 	c.negotiated = true
 	c.columnar = false
+	c.coalesce = false
+	c.compressOK = false
+	c.compressing = false
+	c.maxFrame = MaxFrameSize
 	if respType != MsgHelloAck {
 		return // pre-negotiation server: empty feature set, pinned
 	}
@@ -164,10 +289,26 @@ func (c *Client) ensureNegotiatedLocked() {
 		return
 	}
 	for _, f := range ack.Features {
-		if f == FeatureColumnarBatch {
+		switch f {
+		case FeatureColumnarBatch:
 			c.columnar = true
+		case FeatureCoalesce:
+			c.coalesce = !c.DisableCoalesce
+		case FeatureSlabFlate:
+			c.compressOK = !c.DisableCompression
 		}
 	}
+	// Trust the grant only within what we asked for.
+	if ack.MaxFrame > MaxFrameSize && !c.DisableCoalesce {
+		c.maxFrame = ack.MaxFrame
+		if c.maxFrame > MaxCoalescedFrameSize {
+			c.maxFrame = MaxCoalescedFrameSize
+		}
+	}
+	// Compression rides on the columnar encoding; without it there is
+	// nothing to compress.
+	c.compressOK = c.compressOK && c.columnar
+	c.compressing = c.compressOK && (c.ForceCompress || c.helloRTT >= compressRTTFloor)
 }
 
 // SubmitTraces implements pod.HiveClient.
@@ -208,20 +349,28 @@ func (c *Client) SubmitTracesFor(programID string, traces []*trace.Trace) error 
 // sealFrameLocked encodes one sequenced submission frame for the
 // negotiated encoding: columnar when granted (falling back per-batch if the
 // traces do not all describe programID — the server rejects those, exactly
-// as the v2 path would), v2 otherwise.
+// as the v2 path would), v2 otherwise. When compression is engaged the
+// canonical columnar bytes are built in a reusable scratch, compressed, and
+// shipped as MsgSubmitBatchCompressed if that actually saved bytes — the
+// (session, seq) tag stays outside the compressed region, and the server
+// inflates back to the identical canonical payload before ingest, so dedup
+// and journal byte-identity are untouched.
 func (c *Client) sealFrameLocked(seq uint64, programID string, traces []*trace.Trace) (MsgType, []byte, error) {
 	if c.columnar {
-		// Size the frame once up front: repeated append-growth of a large
-		// batch payload is pure alloc churn on the drain hot path.
-		est := 64 + len(c.session) + len(programID)
-		for _, tr := range traces {
-			est += 48 + len(tr.PodID) + len(tr.ScheduleHash) + len(tr.InputDigest) +
-				3*len(tr.Branches) + 8*len(tr.Syscalls) + 6*len(tr.Locks) +
-				4*len(tr.Deadlock) + 9*(len(tr.Input)+len(tr.InputBuckets))
-		}
-		payload := appendSeqPrefix(make([]byte, 0, est), c.session, seq)
-		payload, err := trace.AppendBatch(payload, programID, traces)
+		// Encode into the reusable scratch: growth amortizes across seals
+		// instead of re-estimating the frame size every time.
+		raw, err := trace.AppendBatch(c.sealScratch[:0], programID, traces)
 		if err == nil {
+			c.sealScratch = raw
+			if c.compressing && len(raw) >= compressMinBytes {
+				comp := appendSeqPrefix(make([]byte, 0, len(raw)/4+64), c.session, seq)
+				comp = trace.CompressSlab(comp, raw)
+				if len(comp) < len(raw) {
+					return MsgSubmitBatchCompressed, comp, nil
+				}
+			}
+			payload := appendSeqPrefix(make([]byte, 0, len(raw)+len(c.session)+16), c.session, seq)
+			payload = append(payload, raw...)
 			return MsgSubmitBatchColumnar, payload, nil
 		}
 	}
@@ -268,10 +417,11 @@ func (c *Client) SealTraceBatches(programID string, batches [][]*trace.Trace) []
 		c.seq++
 		msg, payload, _ := c.sealFrameLocked(c.seq, programID, batch)
 		sealed[i] = pod.SealedBatch{
-			ProgramID: programID,
-			Count:     len(batch),
-			Payload:   payload,
-			Columnar:  msg == MsgSubmitBatchColumnar,
+			ProgramID:  programID,
+			Count:      len(batch),
+			Payload:    payload,
+			Columnar:   msg == MsgSubmitBatchColumnar,
+			Compressed: msg == MsgSubmitBatchCompressed,
 		}
 	}
 	return sealed
@@ -308,20 +458,25 @@ func (c *Client) SubmitSealed(sealed []pod.SealedBatch) ([]bool, error) {
 		if sb.Columnar {
 			msgs[i] = MsgSubmitBatchColumnar
 		}
+		if sb.Compressed {
+			msgs[i] = MsgSubmitBatchCompressed
+		}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	acked := 0
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		if c.conn == nil {
-			conn, err := net.Dial("tcp", c.addr)
-			if err != nil {
-				return accepted, fmt.Errorf("wire: dial %s: %w", c.addr, err)
-			}
-			c.conn = conn
+		if err := c.dialLocked(); err != nil {
+			return accepted, err
 		}
-		err, transport := c.streamLocked(msgs, payloads, counts, &acked, accepted)
+		var err error
+		var transport bool
+		if c.coalesce {
+			err, transport = c.streamCoalescedLocked(msgs, payloads, counts, &acked, accepted)
+		} else {
+			err, transport = c.streamLocked(msgs, payloads, counts, &acked, accepted)
+		}
 		if err == nil {
 			return accepted, nil
 		}
@@ -332,7 +487,7 @@ func (c *Client) SubmitSealed(sealed []pod.SealedBatch) ([]bool, error) {
 		_ = c.conn.Close()
 		c.conn = nil
 	}
-	return accepted, fmt.Errorf("wire: %s unreachable after retry: %w", c.addr, lastErr)
+	return accepted, c.retryErrLocked(lastErr)
 }
 
 // streamLocked runs one windowed write-ahead pass over the unacknowledged
@@ -400,6 +555,140 @@ func (c *Client) readAcks(counts []int, acked *int, target, written int, accepte
 		*acked++
 	}
 	return nil, false
+}
+
+// streamCoalescedLocked is streamLocked for a FeatureCoalesce connection:
+// the unacknowledged suffix is cut into groups of up to CoalesceDepth
+// frames under a byte budget, every group ships as one MsgCoalesced
+// mega-frame written with a single writev, and the server answers one
+// mega-frame of inner acks per group. The pipelining window counts
+// transport frames exactly like streamLocked (maxInflightFrames groups in
+// flight); each just carries more batches. Ack semantics are per inner
+// frame, so exactly-once dedup and the resume-at-*acked retry are
+// identical to the uncoalesced path.
+func (c *Client) streamCoalescedLocked(msgs []MsgType, payloads [][]byte, counts []int, acked *int, accepted []bool) (error, bool) {
+	depth := c.CoalesceDepth
+	if depth <= 0 {
+		depth = defaultCoalesceDepth
+	}
+	if depth > maxCoalesceDepth {
+		depth = maxCoalesceDepth
+	}
+	budget := c.maxFrame - 64
+	if budget > coalesceByteBudget {
+		budget = coalesceByteBudget
+	}
+	type span struct{ start, end int }
+	groups := make([]span, 0, maxInflightFrames)
+	head := 0
+	sent := *acked
+	for *acked < len(payloads) {
+		for sent < len(payloads) && len(groups)-head < maxInflightFrames {
+			end := sent
+			size := 0
+			for end < len(payloads) && end-sent < depth {
+				fb := 5 + len(payloads[end])
+				if end > sent && size+fb > budget {
+					break
+				}
+				size += fb
+				end++
+			}
+			var err error
+			if end == sent+1 && size+6 > c.maxFrame {
+				// A lone frame too big to wrap in a mega-frame under the
+				// negotiated limit ships plain; its ack comes back plain too.
+				err = WriteFrame(c.conn, msgs[sent], payloads[sent])
+			} else {
+				c.hdrScratch, c.bufScratch, err = writeCoalesced(c.conn, msgs, payloads, sent, end, c.hdrScratch, c.bufScratch)
+			}
+			if err != nil {
+				return err, !errors.Is(err, ErrFrame)
+			}
+			groups = append(groups, span{sent, end})
+			sent = end
+		}
+		g := groups[head]
+		head++
+		if err, transport := c.readGroupAck(counts, accepted, g.start, g.end); err != nil {
+			if transport {
+				return err, true
+			}
+			// The server rejected an inner frame but keeps serving: drain
+			// the acks for groups already on the wire — later frames may
+			// well have been ingested and must be marked accepted
+			// (re-submitting them would double-count) — then surface the
+			// first error.
+			for head < len(groups) {
+				g := groups[head]
+				head++
+				if _, transport := c.readGroupAck(counts, accepted, g.start, g.end); transport {
+					_ = c.conn.Close()
+					c.conn = nil
+					break
+				}
+			}
+			return err, false
+		}
+		for *acked < len(payloads) && accepted[*acked] {
+			*acked++
+		}
+		if head == len(groups) {
+			groups, head = groups[:0], 0
+		}
+	}
+	return nil, false
+}
+
+// readGroupAck reads the server's reply for one coalesced group and checks
+// its inner acks against frames [start, end), marking accepted ones. A
+// non-transport error is the first inner rejection (or a protocol
+// violation); the caller decides whether to keep draining.
+func (c *Client) readGroupAck(counts []int, accepted []bool, start, end int) (error, bool) {
+	respType, bp, err := readFramePooled(c.conn)
+	if err != nil {
+		return err, true
+	}
+	defer framePool.Put(bp)
+	if respType != MsgCoalesced {
+		if end-start == 1 {
+			// Plain ack for a group that shipped as a plain frame.
+			if err := checkAck(respType, *bp, counts[start]); err != nil {
+				return err, false
+			}
+			accepted[start] = true
+			return nil, false
+		}
+		if respType == MsgError {
+			var ep ErrorPayload
+			if json.Unmarshal(*bp, &ep) == nil && ep.Error != "" {
+				return errors.New("wire: server: " + ep.Error), false
+			}
+		}
+		return fmt.Errorf("wire: unexpected response type %d for coalesced group", respType), false
+	}
+	i := start
+	var firstErr error
+	if err := forEachInner(*bp, func(t MsgType, inner []byte) error {
+		if i >= end {
+			return fmt.Errorf("%w: more inner acks than frames in group", ErrFrame)
+		}
+		if err := checkAck(t, inner, counts[i]); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			accepted[i] = true
+		}
+		i++
+		return nil
+	}); err != nil {
+		return err, false
+	}
+	if i != end {
+		return fmt.Errorf("%w: %d inner acks for %d frames in group", ErrFrame, i-start, end-start), false
+	}
+	return firstErr, false
 }
 
 // checkAck validates one submission acknowledgement — the JSON form (v2

@@ -68,21 +68,27 @@ func TestColumnarNegotiation(t *testing.T) {
 	}
 }
 
-// TestColumnarMixedClients proves old and new fleet members interoperate in
-// every pairing: old/new clients concurrently streaming to old/new servers,
-// every trace ingested exactly once, identical final hive state. Run under
-// -race in CI.
+// TestColumnarMixedClients proves fleet members of three generations
+// interoperate in every pairing: pre-hello ("old"), columnar-but-pre-WAN
+// ("pr5"), and WAN-capable ("new") clients concurrently streaming to
+// servers of all three generations, every trace ingested exactly once,
+// identical final hive state. The new clients force compression so the
+// compressed frame type is actually exercised on loopback; against
+// downgraded servers they must silently fall back via the hello
+// intersection. Run under -race in CI.
 func TestColumnarMixedClients(t *testing.T) {
 	p := buildCrashy(t)
+	serverModes := []string{"new", "pr5", "old"}
 	var stats []hive.Stats
-	for _, oldServer := range []bool{false, true} {
+	for _, mode := range serverModes {
 		h := hive.New("fleet")
 		if err := h.RegisterProgram(p); err != nil {
 			t.Fatal(err)
 		}
 		srv := NewServer(h)
 		srv.Logf = t.Logf
-		srv.DisableColumnar = oldServer
+		srv.DisableWAN = mode == "pr5"
+		srv.DisableColumnar = mode == "old"
 		addr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)
@@ -97,7 +103,15 @@ func TestColumnarMixedClients(t *testing.T) {
 			go func(c int) {
 				defer wg.Done()
 				client := Dial(addr)
-				client.DisableColumnar = c%2 == 1 // odd clients are old builds
+				switch c % 3 {
+				case 0: // WAN build: coalesced mega-frames, forced compression
+					client.ForceCompress = true
+				case 1: // PR-5 build: columnar only
+					client.DisableCoalesce = true
+					client.DisableCompression = true
+				case 2: // pre-hello build
+					client.DisableColumnar = true
+				}
 				defer client.Close()
 				buf := pod.NewBufferedFor(client, p.ID)
 				traces := makeTraces(t, p, perClient)
@@ -114,7 +128,7 @@ func TestColumnarMixedClients(t *testing.T) {
 		wg.Wait()
 		for c, err := range errs {
 			if err != nil {
-				t.Fatalf("oldServer=%v client %d: %v", oldServer, c, err)
+				t.Fatalf("server=%s client %d: %v", mode, c, err)
 			}
 		}
 		st, err := h.ProgramStats(p.ID)
@@ -122,17 +136,19 @@ func TestColumnarMixedClients(t *testing.T) {
 			t.Fatal(err)
 		}
 		if st.Ingested != clients*perClient {
-			t.Fatalf("oldServer=%v: ingested %d, want %d", oldServer, st.Ingested, clients*perClient)
+			t.Fatalf("server=%s: ingested %d, want %d", mode, st.Ingested, clients*perClient)
 		}
 		stats = append(stats, st)
 		_ = srv.Close()
 	}
-	// The encoding must be invisible to aggregation: same ingest counts,
-	// same failure aggregation, same tree shape either way.
-	a, b := stats[0], stats[1]
-	a.Failures, b.Failures = nil, nil // Sample pointers differ; counts compared via Tree/FixCount
-	if !reflect.DeepEqual(a, b) {
-		t.Fatalf("columnar and v2 fleets aggregated differently:\nnew %+v\nold %+v", a, b)
+	// The transport generation must be invisible to aggregation: same
+	// ingest counts, same failure aggregation, same tree shape every way.
+	for i := range stats {
+		stats[i].Failures = nil // Sample pointers differ; counts compared via Tree/FixCount
+		if i > 0 && !reflect.DeepEqual(stats[0], stats[i]) {
+			t.Fatalf("%s and %s fleets aggregated differently:\n%+v\n%+v",
+				serverModes[0], serverModes[i], stats[0], stats[i])
+		}
 	}
 }
 

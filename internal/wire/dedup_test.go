@@ -281,6 +281,9 @@ func TestCrossDrainResubmitExactlyOnce(t *testing.T) {
 	proxy := newFlakyProxy(t, addr, 1, 2) // both attempts die after 1 ack
 	client := Dial(proxy.addr())
 	t.Cleanup(func() { _ = client.Close() })
+	// One chunk per mega-frame: the proxy's per-ack kill schedule keeps
+	// meaning "one chunk acked, the rest in limbo" on the coalesced path.
+	client.CoalesceDepth = 1
 
 	buf := pod.NewBufferedFor(client, p.ID)
 	// Three stream chunks' worth of traces (256 per chunk).

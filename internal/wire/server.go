@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pod"
 	"repro/internal/trace"
@@ -47,6 +49,26 @@ type Server struct {
 	// clients negotiate down to the per-trace encoding. Tests use it to
 	// prove mixed old/new fleets interoperate.
 	DisableColumnar bool
+
+	// DisableWAN makes the server behave like a columnar-but-pre-WAN
+	// build: hello still grants the columnar feature, but coalescing,
+	// compression, and frame-size raises are withheld, and MsgCoalesced /
+	// MsgSubmitBatchCompressed frames are answered as unknown message
+	// types. Tests use it to prove the WAN features downgrade silently.
+	DisableWAN bool
+
+	// MaxFrame caps the frame-size raise hello grants (bounded by
+	// MaxCoalescedFrameSize); zero means MaxCoalescedFrameSize. Grants
+	// never go below MaxFrameSize.
+	MaxFrame int
+}
+
+// connState is per-connection negotiated state shared between a
+// connection's reader and its worker. limit is the frame-size limit:
+// MaxFrameSize until a hello exchange grants a raise. Atomic because the
+// worker raises it while the reader loads it.
+type connState struct {
+	limit atomic.Int64
 }
 
 // framePool recycles read-side frame payload buffers: a frame is read into
@@ -61,10 +83,33 @@ var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &
 // The returned box owns the payload; put it back into framePool when the
 // frame is fully handled.
 func readFramePooled(r io.Reader) (MsgType, *[]byte, error) {
-	t, size, err := readFrameHeader(r)
+	return readFramePooledStatic(r, MaxFrameSize)
+}
+
+// readFramePooledLimit is readFramePooled under a frame-size limit loaded
+// only after the header arrives: a hello grant the worker stores while the
+// reader is blocked on the next header applies to that very frame.
+func readFramePooledLimit(r io.Reader, limit func() int) (MsgType, *[]byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	rawSize := binary.BigEndian.Uint32(hdr[:4])
+	if rawSize == 0 || rawSize > uint32(limit()) {
+		return 0, nil, fmt.Errorf("%w: size %d", ErrFrame, rawSize)
+	}
+	return readFrameBody(r, MsgType(hdr[4]), int(rawSize-1))
+}
+
+func readFramePooledStatic(r io.Reader, limit int) (MsgType, *[]byte, error) {
+	t, size, err := readFrameHeaderLimit(r, limit)
 	if err != nil {
 		return 0, nil, err
 	}
+	return readFrameBody(r, t, size)
+}
+
+func readFrameBody(r io.Reader, t MsgType, size int) (MsgType, *[]byte, error) {
 	bp := framePool.Get().(*[]byte)
 	buf := *bp
 	if cap(buf) < size {
@@ -170,6 +215,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	// its acks in bursts, not one syscall each). On a handler error the
 	// worker closes the connection (unblocking the reader) and drains the
 	// queue so the reader can never block on a send with no receiver.
+	cs := &connState{}
+	cs.limit.Store(MaxFrameSize)
 	reqs := make(chan request, ingestQueueDepth)
 	workerDone := make(chan struct{})
 	go func() {
@@ -183,7 +230,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 		for req := range reqs {
-			err := s.dispatch(bw, req.msgType, *req.payload)
+			var err error
+			if req.msgType == MsgCoalesced && !s.DisableColumnar && !s.DisableWAN {
+				// Mega-frames answer through the connection itself: the
+				// whole group of inner replies goes out as one writev.
+				err = s.handleCoalesced(cs, conn, bw, *req.payload)
+			} else {
+				err = s.dispatch(cs, bw, req.msgType, *req.payload)
+			}
 			framePool.Put(req.payload)
 			if err != nil {
 				bail(fmt.Sprintf("handle %v", req.msgType), err)
@@ -200,9 +254,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 
 	// Reader: the connection goroutine only reads frames; backpressure is
-	// the bounded queue.
+	// the bounded queue. The frame limit is re-loaded per frame so a hello
+	// grant applies from the very next frame on.
 	for {
-		msgType, payload, err := readFramePooled(conn)
+		msgType, payload, err := readFramePooledLimit(conn, func() int { return int(cs.limit.Load()) })
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.Logf("wire: read from %s: %v", conn.RemoteAddr(), err)
@@ -215,7 +270,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	<-workerDone
 }
 
-func (s *Server) dispatch(w io.Writer, msgType MsgType, payload []byte) error {
+func (s *Server) dispatch(cs *connState, w io.Writer, msgType MsgType, payload []byte) error {
 	switch msgType {
 	case MsgSubmitTraces:
 		return s.handleSubmit(w, payload)
@@ -227,12 +282,17 @@ func (s *Server) dispatch(w io.Writer, msgType MsgType, payload []byte) error {
 		if s.DisableColumnar {
 			break // answer like a pre-negotiation build
 		}
-		return s.handleHello(w, payload)
+		return s.handleHello(cs, w, payload)
 	case MsgSubmitBatchColumnar:
 		if s.DisableColumnar {
 			break
 		}
 		return s.handleSubmitColumnar(w, payload)
+	case MsgSubmitBatchCompressed:
+		if s.DisableColumnar || s.DisableWAN {
+			break // answer like a build without the feature
+		}
+		return s.handleSubmitCompressed(w, payload)
 	case MsgGetFixes:
 		return s.handleGetFixes(w, payload)
 	case MsgGetGuidance:
@@ -242,19 +302,99 @@ func (s *Server) dispatch(w io.Writer, msgType MsgType, payload []byte) error {
 }
 
 // handleHello answers feature negotiation with the intersection of what the
-// client offered and what this server speaks.
-func (s *Server) handleHello(w io.Writer, payload []byte) error {
+// client offered and what this server speaks, plus the frame-size grant:
+// min(requested, cap), never below the default limit. The grant is stored
+// before the ack is written, so by the time the client can act on it the
+// reader accepts the raised size.
+func (s *Server) handleHello(cs *connState, w io.Writer, payload []byte) error {
 	var req HelloPayload
 	if err := json.Unmarshal(payload, &req); err != nil {
 		return s.reply(w, MsgError, ErrorPayload{Error: err.Error()})
 	}
 	var ack HelloAckPayload
 	for _, f := range req.Features {
-		if f == FeatureColumnarBatch {
+		switch f {
+		case FeatureColumnarBatch:
 			ack.Features = append(ack.Features, f)
+		case FeatureCoalesce, FeatureSlabFlate:
+			if !s.DisableWAN {
+				ack.Features = append(ack.Features, f)
+			}
+		}
+	}
+	if req.MaxFrame > MaxFrameSize && !s.DisableWAN {
+		capBytes := s.MaxFrame
+		if capBytes <= 0 || capBytes > MaxCoalescedFrameSize {
+			capBytes = MaxCoalescedFrameSize
+		}
+		if capBytes < MaxFrameSize {
+			capBytes = MaxFrameSize
+		}
+		granted := req.MaxFrame
+		if granted > capBytes {
+			granted = capBytes
+		}
+		if granted > MaxFrameSize {
+			ack.MaxFrame = granted
+			cs.limit.Store(int64(granted))
 		}
 	}
 	return s.reply(w, MsgHelloAck, ack)
+}
+
+// maxInnerFrames bounds the inner frames one mega-frame may carry: each
+// inner frame produces an inner ack, so the bound keeps a hostile
+// mega-frame of millions of tiny requests from amplifying into an
+// unbounded reply buffer. Honest clients batch far below it.
+const maxInnerFrames = 4096
+
+// ackBuffer accumulates the inner reply frames of one coalesced group in
+// memory so they can leave in a single writev.
+type ackBuffer struct{ buf []byte }
+
+func (a *ackBuffer) Write(p []byte) (int, error) {
+	a.buf = append(a.buf, p...)
+	return len(p), nil
+}
+
+// handleCoalesced dispatches every inner frame of a mega-frame exactly as
+// if it had arrived alone, accumulating the inner replies, and answers
+// with one MsgCoalesced written to the connection as a single writev
+// (after flushing any buffered replies so request order is preserved). A
+// malformed mega-frame gets a whole-frame MsgError instead; per-inner
+// failures are ordinary inner acks and do not poison the group.
+func (s *Server) handleCoalesced(cs *connState, conn net.Conn, bw *bufio.Writer, payload []byte) error {
+	bp := framePool.Get().(*[]byte)
+	acks := ackBuffer{buf: (*bp)[:0]}
+	inner := 0
+	err := forEachInner(payload, func(t MsgType, body []byte) error {
+		if t == MsgCoalesced {
+			return fmt.Errorf("%w: nested coalesced frame", ErrFrame)
+		}
+		if inner++; inner > maxInnerFrames {
+			return fmt.Errorf("%w: more than %d inner frames", ErrFrame, maxInnerFrames)
+		}
+		return s.dispatch(cs, &acks, t, body)
+	})
+	if err != nil {
+		*bp = acks.buf
+		framePool.Put(bp)
+		if errors.Is(err, ErrFrame) {
+			return s.reply(bw, MsgError, ErrorPayload{Error: err.Error()})
+		}
+		return err
+	}
+	werr := bw.Flush()
+	if werr == nil {
+		var hdr [5]byte
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(acks.buf)+1))
+		hdr[4] = byte(MsgCoalesced)
+		vec := net.Buffers{hdr[:], acks.buf}
+		_, werr = vec.WriteTo(conn)
+	}
+	*bp = acks.buf
+	framePool.Put(bp)
+	return werr
 }
 
 // handleSubmitColumnar ingests a sequenced columnar batch. The batch bytes
@@ -262,16 +402,47 @@ func (s *Server) handleHello(w io.Writer, payload []byte) error {
 // journals exactly those bytes); other backends get materialized traces
 // through the strongest submission path they offer.
 func (s *Server) handleSubmitColumnar(w io.Writer, payload []byte) error {
-	ack := func(accepted int, dup bool, err error) error {
-		msg := ""
-		if err != nil {
-			accepted, dup, msg = 0, false, err.Error()
-		}
-		return WriteFrame(w, MsgAckBin, encodeAckBin(accepted, dup, msg))
-	}
 	session, seq, batchBytes, err := decodeSeqPrefix(payload)
 	if err != nil {
-		return ack(0, false, err)
+		return ackBin(w, 0, false, err)
+	}
+	return s.ingestColumnar(w, session, seq, batchBytes)
+}
+
+// handleSubmitCompressed is handleSubmitColumnar for a frame whose batch
+// bytes arrive DEFLATE-compressed (trace.CompressSlab). The inflate runs
+// before ingest, bounded by MaxFrameSize post-inflate (decompression-bomb
+// guard), so the backend — and with it the journal — sees only the
+// canonical decompressed columnar payload, byte-identical to an
+// uncompressed submission of the same batch.
+func (s *Server) handleSubmitCompressed(w io.Writer, payload []byte) error {
+	session, seq, compBytes, err := decodeSeqPrefix(payload)
+	if err != nil {
+		return ackBin(w, 0, false, err)
+	}
+	raw, err := trace.DecompressSlab(compBytes, MaxFrameSize)
+	if err != nil {
+		return ackBin(w, 0, false, err)
+	}
+	defer trace.ReleaseSlab(raw)
+	return s.ingestColumnar(w, session, seq, *raw)
+}
+
+// ackBin writes one binary acknowledgement.
+func ackBin(w io.Writer, accepted int, dup bool, err error) error {
+	msg := ""
+	if err != nil {
+		accepted, dup, msg = 0, false, err.Error()
+	}
+	return WriteFrame(w, MsgAckBin, encodeAckBin(accepted, dup, msg))
+}
+
+// ingestColumnar routes validated canonical batch bytes into the backend.
+// The view borrows batchBytes and is released before return; a durable
+// backend journals exactly those bytes.
+func (s *Server) ingestColumnar(w io.Writer, session string, seq uint64, batchBytes []byte) error {
+	ack := func(accepted int, dup bool, err error) error {
+		return ackBin(w, accepted, dup, err)
 	}
 	view, err := trace.DecodeBatch(batchBytes)
 	if err != nil {

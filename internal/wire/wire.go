@@ -63,14 +63,50 @@ const (
 	// structs. Sent only after the feature was negotiated; dedup semantics
 	// are identical to MsgSubmitTracesSeq (the tag spaces are shared).
 	MsgSubmitBatchColumnar
+	// MsgCoalesced is a mega-frame: its payload is a back-to-back run of
+	// complete standard frames (4-byte length, type byte, payload each),
+	// written with a single writev so a whole pipelining window costs one
+	// syscall instead of one per frame — the syscall bound BENCH_PR5
+	// measured on the loopback submit path, and the round-trip bound at WAN
+	// distances. The server dispatches each inner frame exactly as if it
+	// had arrived alone and answers with one MsgCoalesced carrying the
+	// inner replies in order, so per-inner-frame acks (and with them the
+	// exactly-once session dedup) are untouched. Nested coalesced frames
+	// are rejected. Sent only after FeatureCoalesce was negotiated,
+	// alongside a raised frame-size grant.
+	MsgCoalesced
+	// MsgSubmitBatchCompressed is MsgSubmitBatchColumnar with the batch
+	// bytes after the (session, seq) prefix compressed by
+	// trace.CompressSlab (uvarint decompressed length + DEFLATE). The
+	// compression is transport-only: the server inflates before ingest, so
+	// the journaled bytes are the canonical decompressed columnar payload,
+	// byte-identical to an uncompressed submission of the same batch. Sent
+	// only after FeatureSlabFlate was negotiated; dedup semantics are
+	// identical to MsgSubmitBatchColumnar.
+	MsgSubmitBatchCompressed
 )
 
 // FeatureColumnarBatch names the columnar-batch submission feature in
 // hello negotiation.
 const FeatureColumnarBatch = "columnar-batch"
 
+// FeatureCoalesce names the mega-frame (MsgCoalesced) feature in hello
+// negotiation. Granting it also grants the hello's frame-size raise.
+const FeatureCoalesce = "coalesced-frames"
+
+// FeatureSlabFlate names the compressed columnar submission
+// (MsgSubmitBatchCompressed) feature in hello negotiation.
+const FeatureSlabFlate = "slab-flate"
+
 // MaxFrameSize bounds a frame; larger frames are rejected as hostile.
+// Connections that negotiated a larger limit via the hello exchange accept
+// frames up to the granted size (at most MaxCoalescedFrameSize) instead.
 const MaxFrameSize = 16 << 20
+
+// MaxCoalescedFrameSize caps the frame-size raise a hello exchange may
+// grant: room for a full pipelining window of coalesced maximum-size inner
+// frames without letting a hostile peer demand unbounded buffers.
+const MaxCoalescedFrameSize = 64 << 20
 
 // ErrFrame is wrapped by framing failures.
 var ErrFrame = errors.New("wire: bad frame")
@@ -93,12 +129,18 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 // readFrameHeader reads and validates one frame header, returning the type
 // and payload size.
 func readFrameHeader(r io.Reader) (MsgType, int, error) {
+	return readFrameHeaderLimit(r, MaxFrameSize)
+}
+
+// readFrameHeaderLimit is readFrameHeader under a negotiated frame-size
+// limit.
+func readFrameHeaderLimit(r io.Reader, limit int) (MsgType, int, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, err
 	}
 	size := binary.BigEndian.Uint32(hdr[:4])
-	if size == 0 || size > MaxFrameSize {
+	if size == 0 || size > uint32(limit) {
 		return 0, 0, fmt.Errorf("%w: size %d", ErrFrame, size)
 	}
 	return MsgType(hdr[4]), int(size - 1), nil
@@ -128,14 +170,22 @@ type AckPayload struct {
 	Dup bool `json:"dup,omitempty"`
 }
 
-// HelloPayload lists the features a client offers.
+// HelloPayload lists the features a client offers. MaxFrame, when
+// positive, asks the server to raise the connection's frame-size limit
+// (a client offering FeatureCoalesce asks for room for mega-frames); old
+// servers ignore the unknown field, so the request degrades silently.
 type HelloPayload struct {
 	Features []string `json:"features"`
+	MaxFrame int      `json:"maxFrame,omitempty"`
 }
 
-// HelloAckPayload lists the features the server accepted.
+// HelloAckPayload lists the features the server accepted. MaxFrame, when
+// positive, is the frame-size limit the server granted for the rest of the
+// connection — min(requested, server cap), never below MaxFrameSize; zero
+// (an old server, or no raise requested) means the default limit stands.
 type HelloAckPayload struct {
 	Features []string `json:"features"`
+	MaxFrame int      `json:"maxFrame,omitempty"`
 }
 
 // GetFixesPayload requests fixes.
