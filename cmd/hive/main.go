@@ -14,20 +14,32 @@
 // checkpoints, so durable ingest and checkpoint pauses both track the
 // change rate, not the accumulated tree size.
 //
+// With -peers the hive is one member of a sharded fleet: a consistent-hash
+// ring over the peer addresses (seeded by -ring-seed, which the whole
+// fleet must share) assigns every program an owner. Misdirected frames
+// from ring-aware clients are answered with a redirect to the owner;
+// frames from older clients are proxied server-side. SIGHUP triggers a
+// rebalance: peers are probed, dead ones are dropped from the ring, and
+// the bumped placement map is installed and advertised on the next hello.
+//
 //	hive -addr 127.0.0.1:7070 -programs 4 -seed 1 -data-dir /var/lib/hive -fsync
+//	hive -addr 127.0.0.1:7071 -peers 127.0.0.1:7070,127.0.0.1:7071 -self 127.0.0.1:7071
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/hive"
 	"repro/internal/journal"
 	"repro/internal/proggen"
+	"repro/internal/ring"
 	"repro/internal/wire"
 )
 
@@ -53,11 +65,20 @@ func run(args []string) error {
 	compactEvery := fs.Int("compact-every", 8, "snapshots are incremental delta segments, compacted into a full snapshot every N checkpoints (<=0 makes every snapshot full)")
 	maxFrame := fs.Int("max-frame", 0, "cap on the frame-size raise granted to WAN clients in bytes (0 uses the built-in maximum; never drops below the universal frame limit)")
 	noWAN := fs.Bool("no-wan", false, "refuse the WAN transport features (coalesced mega-frames, compressed batches, frame-size raises) in hello grants")
+	peers := fs.String("peers", "", "comma-separated fleet addresses, this hive's advertised address included; empty runs unsharded")
+	selfAddr := fs.String("self", "", "this hive's advertised address within -peers (default: the bound listen address)")
+	ringSeed := fs.Uint64("ring-seed", 1, "placement-ring hash seed; the whole fleet must agree")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per hive on the placement ring (0 uses the default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	h := hive.New("fleet")
+	// Operational warnings (e.g. the first session-table eviction) go to
+	// stderr so an operator sees dedup degrade before chasing duplicates.
+	h.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
 	ids := make([]string, 0, *programs)
 	for i := 0; i < *programs; i++ {
 		p, _, err := proggen.Generate(proggen.CorpusSpec(*seed, i))
@@ -107,6 +128,50 @@ func run(args []string) error {
 	defer srv.Close()
 	fmt.Printf("hive listening on %s\n", bound)
 
+	// Sharded fleet: install the placement ring and arm the SIGHUP
+	// rebalance trigger.
+	var (
+		fleet        []string
+		self         string
+		placeVersion uint64
+	)
+	rebal := make(chan os.Signal, 1)
+	if *peers != "" {
+		fleet = strings.Split(*peers, ",")
+		self = *selfAddr
+		if self == "" {
+			self = bound
+		}
+		placeVersion = 1
+		m := ring.NewVersion(placeVersion, fleet, *vnodes, *ringSeed)
+		if !m.Contains(self) {
+			return fmt.Errorf("self address %s is not in -peers %s", self, *peers)
+		}
+		srv.SetPlacement(m, self)
+		fmt.Printf("sharded hive: placement v%d over %v, self=%s\n", m.Version(), m.Nodes(), self)
+		signal.Notify(rebal, syscall.SIGHUP)
+	}
+	rebalance := func() {
+		live := make([]string, 0, len(fleet))
+		for _, peer := range fleet {
+			if peer == self {
+				live = append(live, peer)
+				continue
+			}
+			conn, err := net.DialTimeout("tcp", peer, 2*time.Second)
+			if err != nil {
+				fmt.Printf("rebalance: peer %s unreachable, dropping from ring: %v\n", peer, err)
+				continue
+			}
+			_ = conn.Close()
+			live = append(live, peer)
+		}
+		placeVersion++
+		m := ring.NewVersion(placeVersion, live, *vnodes, *ringSeed)
+		srv.SetPlacement(m, self)
+		fmt.Printf("rebalance: placement v%d over %v\n", m.Version(), m.Nodes())
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
@@ -150,8 +215,14 @@ func run(args []string) error {
 	}
 
 	if *statsEvery <= 0 {
-		<-stop
-		return shutdown()
+		for {
+			select {
+			case <-stop:
+				return shutdown()
+			case <-rebal:
+				rebalance()
+			}
+		}
 	}
 	ticker := time.NewTicker(*statsEvery)
 	defer ticker.Stop()
@@ -159,6 +230,8 @@ func run(args []string) error {
 		select {
 		case <-stop:
 			return shutdown()
+		case <-rebal:
+			rebalance()
 		case <-ticker.C:
 			for i, id := range ids {
 				st, err := h.ProgramStats(id)
@@ -168,6 +241,7 @@ func run(args []string) error {
 				fmt.Printf("program %d: ingested=%d paths=%d fixes=%d failures=%d repair-lab=%d\n",
 					i, st.Ingested, st.Tree.Paths, st.FixCount, len(st.Failures), st.RepairLab)
 			}
+			fmt.Printf("sessions: evicted=%d\n", h.SessionEvictions())
 		}
 	}
 }

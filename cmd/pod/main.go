@@ -1,6 +1,9 @@
-// Command pod runs a fleet of SoftBorg pods against a remote hive (see
-// cmd/hive): each pod executes its assigned generated program on simulated
-// user inputs, streams traces over TCP, and syncs fixes.
+// Command pod runs a fleet of SoftBorg pods against a remote hive or a
+// sharded hive fleet (see cmd/hive): each pod executes its assigned
+// generated program on simulated user inputs, streams traces over TCP,
+// and syncs fixes. -hive takes a comma-separated list of fleet members;
+// submissions route to each program's ring owner and chase redirects
+// when a rebalance moves it.
 //
 // Uploads buffer locally and drain through the pipelined sequenced
 // streaming path: every frame carries the client's session ID and a
@@ -11,12 +14,14 @@
 // re-queues its remainder and is at-least-once on the next drain.
 //
 //	pod -hive 127.0.0.1:7070 -pods 8 -programs 4 -seed 1 -runs 200
+//	pod -hive 127.0.0.1:7070,127.0.0.1:7071 -pods 8 -programs 4 -seed 1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 
 	"repro/internal/pod"
@@ -34,7 +39,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("pod", flag.ContinueOnError)
-	hiveAddr := fs.String("hive", "127.0.0.1:7070", "hive address")
+	hiveAddr := fs.String("hive", "127.0.0.1:7070", "hive address, or a comma-separated fleet of them")
 	pods := fs.Int("pods", 8, "number of pods to run")
 	programs := fs.Int("programs", 4, "program-corpus size (must match hive)")
 	seed := fs.Uint64("seed", 1, "program-corpus seed (must match hive)")
@@ -82,7 +87,10 @@ func runPod(idx int, hiveAddr string, seed uint64, programIdx, runs, syncEvery, 
 	if err != nil {
 		return err
 	}
-	client := wire.Dial(hiveAddr)
+	// A Router over the fleet addresses: against a single unsharded hive
+	// it degenerates to a plain client; against a sharded fleet every
+	// frame goes to its program's owner.
+	client := wire.NewRouter(strings.Split(hiveAddr, ",")...)
 	defer client.Close()
 	if coalesce < 0 {
 		client.DisableCoalesce = true

@@ -13,27 +13,42 @@ import (
 //     lexically. A return while the lock is (lexically) still held is the
 //     classic early-return leak that deadlocks the next caller.
 //
-//  2. Acquisition order (internal/hive): the hive's documented order is
-//     session-entry lock ≺ checkpoint gate ≺ program mu ≺ input stripes
-//     (kgMu/coordMu); the registry lock (Hive.mu) and the session-table
-//     lock (Hive.sessMu) are leaves never held across another acquisition.
-//     Acquiring against that order within one function is an inversion
-//     that can deadlock under the multi-hive sharding the ROADMAP plans.
+//  2. Acquisition order (internal/hive, internal/wire): the hive's
+//     documented order is session-entry lock ≺ checkpoint gate ≺ program
+//     mu ≺ input stripes (kgMu/coordMu); the registry lock (Hive.mu) and
+//     the session-table lock (Hive.sessMu) are leaves never held across
+//     another acquisition. The wire layer's routing locks rank BELOW all
+//     of the hive's: router placement (Router.mu) ≺ server placement
+//     (Server.placeMu) ≺ client connection (Client.mu) — a server
+//     dispatching into the hive may hold a wire lock across hive
+//     acquisitions, never the reverse. Acquiring against that order
+//     within one function is an inversion that can deadlock the sharded
+//     fleet.
 //
 // The analysis is lexical and intraprocedural — a deliberate approximation
 // that catches the bug classes above without whole-program may-hold facts.
 var LockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
 	Doc: "every Lock() must be released (defer or explicit unlock) before a " +
-		"lexically later return, and internal/hive lock classes must be " +
-		"acquired in documented order (session ≺ ckpt ≺ mu ≺ stripes; " +
+		"lexically later return, and internal/hive + internal/wire lock " +
+		"classes must be acquired in documented order (Router.mu ≺ " +
+		"Server.placeMu ≺ Client.mu ≺ session ≺ ckpt ≺ mu ≺ stripes; " +
 		"Hive.mu/sessMu are leaves)",
 	Run: runLockDiscipline,
 }
 
-// hiveLockRank orders internal/hive's lock classes. Lower rank is acquired
-// first; acquiring a class at or below a held class's rank is an inversion.
-var hiveLockRank = map[string]int{
+// lockRank orders the ranked lock classes across internal/hive and
+// internal/wire. Lower rank is acquired first; acquiring a class at or
+// below a held class's rank is an inversion. The wire routing locks sit
+// below every hive class: server dispatch may hold them while entering
+// the hive, and the hive never calls back out into the wire layer.
+var lockRank = map[string]int{
+	// internal/wire (PR 8 routing tier). Router.mu is released before a
+	// per-owner client is driven; Server.placeMu is released before a
+	// proxy client call; Client.mu guards one connection's stream.
+	"Router.mu":            1,
+	"Server.placeMu":       2,
+	"Client.mu":            5,
 	"sessionEntry.mu":      10,
 	"programState.ckpt":    20,
 	"programState.mu":      30,
@@ -167,7 +182,8 @@ func classifyLockCall(info *types.Info, call *ast.CallExpr) (lockEvent, bool) {
 }
 
 // lockClass resolves "st.ckpt" to "programState.ckpt" when the owning named
-// struct lives in internal/hive, else "".
+// struct lives in a package with ranked classes (internal/hive,
+// internal/wire), else "".
 func lockClass(info *types.Info, lockExpr ast.Expr) string {
 	sel, ok := ast.Unparen(lockExpr).(*ast.SelectorExpr)
 	if !ok {
@@ -178,7 +194,11 @@ func lockClass(info *types.Info, lockExpr ast.Expr) string {
 		return ""
 	}
 	owner := namedOf(selection.Recv())
-	if owner == nil || !pkgMatches(owner.Obj().Pkg(), "internal/hive") {
+	if owner == nil {
+		return ""
+	}
+	pkg := owner.Obj().Pkg()
+	if !pkgMatches(pkg, "internal/hive") && !pkgMatches(pkg, "internal/wire") {
 		return ""
 	}
 	return owner.Obj().Name() + "." + sel.Sel.Name
@@ -238,10 +258,10 @@ func checkAcquisitionOrder(p *Pass, events []lockEvent) {
 					}
 					continue
 				}
-				hr, hOK := hiveLockRank[h.class]
-				nr, nOK := hiveLockRank[ev.class]
+				hr, hOK := lockRank[h.class]
+				nr, nOK := lockRank[ev.class]
 				if hOK && nOK && nr <= hr && h.class != ev.class {
-					p.Reportf(ev.pos, "lock order inversion: %s (%s) acquired while holding %s (%s); documented order is session ≺ ckpt ≺ mu ≺ stripes, with Hive.mu/sessMu as leaf locks", ev.key, ev.class, h.key, h.class)
+					p.Reportf(ev.pos, "lock order inversion: %s (%s) acquired while holding %s (%s); documented order is Router.mu ≺ Server.placeMu ≺ Client.mu ≺ session ≺ ckpt ≺ mu ≺ stripes, with Hive.mu/sessMu as leaf locks", ev.key, ev.class, h.key, h.class)
 				}
 			}
 			stack = append(stack, held{key: ev.key, class: ev.class, readSide: ev.readSide})

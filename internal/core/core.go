@@ -20,6 +20,7 @@ import (
 	"repro/internal/population"
 	"repro/internal/prog"
 	"repro/internal/proggen"
+	"repro/internal/ring"
 	"repro/internal/trace"
 )
 
@@ -85,6 +86,13 @@ type Config struct {
 	// until the day barrier, then ingested in pod order — so results are
 	// bit-for-bit identical across worker counts for a fixed Seed.
 	Workers int
+	// Hives shards the SoftBorg backend: programs are placed across this
+	// many hive instances by the same consistent-hash ring a wire fleet
+	// uses, keyed on program ID. 0 or 1 keeps the single hive. Per-program
+	// state never spans shards, so metrics are bit-for-bit identical at
+	// any shard count (TestShardedSimulationMatchesSingle). Other modes
+	// aggregate globally and ignore this.
+	Hives int
 }
 
 // DayMetrics is the per-day measurement row.
@@ -109,13 +117,18 @@ type DayMetrics struct {
 
 // Simulation is a configured, runnable fleet.
 type Simulation struct {
-	cfg   Config
-	pop   *population.Population
-	hive  *hive.Hive
-	wer   *wer.Collector
-	cbi   *cbi.Aggregator
-	pods  []*pod.Pod
-	progs []ProgramUnderTest
+	cfg Config
+	pop *population.Population
+	// hives are the SoftBorg shards (one entry unless Config.Hives>1);
+	// ringMap decided each program's shard and progHive caches the
+	// program index -> shard index assignment.
+	hives    []*hive.Hive
+	ringMap  *ring.Map
+	progHive []int
+	wer      *wer.Collector
+	cbi      *cbi.Aggregator
+	pods     []*pod.Pod
+	progs    []ProgramUnderTest
 	// userProg maps user index -> program index.
 	userProg []int
 	// podsByProg lists pod indices per program, in pod order — the drain
@@ -197,13 +210,34 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	var client pod.HiveClient
 	switch cfg.Mode {
 	case ModeSoftBorg:
-		s.hive = hive.New("fleet")
-		for _, put := range cfg.Programs {
-			if err := s.hive.RegisterProgram(put.Prog); err != nil {
+		shards := cfg.Hives
+		if shards < 1 {
+			shards = 1
+		}
+		s.hives = make([]*hive.Hive, shards)
+		names := make([]string, shards)
+		for i := range s.hives {
+			s.hives[i] = hive.New("fleet")
+			names[i] = fmt.Sprintf("hive-%d", i)
+		}
+		s.ringMap = ring.New(names, ring.DefaultVNodes, cfg.Seed)
+		s.progHive = make([]int, len(cfg.Programs))
+		for pi, put := range cfg.Programs {
+			hi := 0
+			if shards > 1 {
+				owner := s.ringMap.Owner(put.Prog.ID)
+				for i, name := range names {
+					if name == owner {
+						hi = i
+						break
+					}
+				}
+			}
+			s.progHive[pi] = hi
+			if err := s.hives[hi].RegisterProgram(put.Prog); err != nil {
 				return nil, err
 			}
 		}
-		client = s.hive
 	case ModeWER:
 		s.wer = wer.NewCollector()
 		client = werClient{c: s.wer}
@@ -228,10 +262,15 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		s.userProg[i] = pi
 		s.podsByProg[pi] = append(s.podsByProg[pi], i)
 		podClient := client
-		if client != nil {
+		if cfg.Mode == ModeSoftBorg {
+			// A pod talks to the shard owning its program; nothing it
+			// submits or reads ever crosses shards.
+			podClient = s.hives[s.progHive[pi]]
+		}
+		if podClient != nil {
 			// Each pod runs exactly one program, so its buffer is bound to
 			// it: drains take the backend's per-program fast path.
-			s.buffered[i] = pod.NewBufferedFor(client, cfg.Programs[pi].Prog.ID)
+			s.buffered[i] = pod.NewBufferedFor(podClient, cfg.Programs[pi].Prog.ID)
 			podClient = s.buffered[i]
 		}
 		pd, err := pod.New(pod.Config{
@@ -255,8 +294,33 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	return s, nil
 }
 
-// Hive exposes the hive (SoftBorg mode) for inspection.
-func (s *Simulation) Hive() *hive.Hive { return s.hive }
+// Hive exposes the first hive shard (SoftBorg mode) for inspection.
+func (s *Simulation) Hive() *hive.Hive {
+	if len(s.hives) == 0 {
+		return nil
+	}
+	return s.hives[0]
+}
+
+// Hives exposes every shard (SoftBorg mode).
+func (s *Simulation) Hives() []*hive.Hive { return s.hives }
+
+// hiveOf returns the shard owning program index pi.
+func (s *Simulation) hiveOf(pi int) *hive.Hive { return s.hives[s.progHive[pi]] }
+
+// HiveFor returns the shard owning programID, nil when unknown (or not
+// SoftBorg mode).
+func (s *Simulation) HiveFor(programID string) *hive.Hive {
+	for pi, put := range s.progs {
+		if put.Prog.ID == programID {
+			if len(s.hives) == 0 {
+				return nil
+			}
+			return s.hiveOf(pi)
+		}
+	}
+	return nil
+}
 
 // WER exposes the crash collector (WER mode).
 func (s *Simulation) WER() *wer.Collector { return s.wer }
@@ -523,7 +587,7 @@ func (s *Simulation) simulateDay() error {
 					// the frontier set. FrontierCount is O(1) off the
 					// incremental index, so this gate is free.
 					if s.progs[pi].Prog.NumThreads() == 1 {
-						if tree, err := s.hive.Tree(s.progs[pi].Prog.ID); err == nil && tree.FrontierCount() == 0 {
+						if tree, err := s.hiveOf(pi).Tree(s.progs[pi].Prog.ID); err == nil && tree.FrontierCount() == 0 {
 							continue
 						}
 					}
@@ -558,18 +622,66 @@ func (s *Simulation) simulateDay() error {
 	return nil
 }
 
+// ClusterGuidance fans one guidance pull out across every program's
+// shard owner concurrently and merges the per-program lists by rarity
+// rank: round k of the merge carries every program's k-th rarest case
+// (in corpus order), so the scarcest frontiers fleet-wide surface first
+// no matter which shard owns them. max bounds the merged total; <= 0
+// means everything. SoftBorg mode only.
+func (s *Simulation) ClusterGuidance(max int) ([]guidance.TestCase, error) {
+	if s.cfg.Mode != ModeSoftBorg {
+		return nil, fmt.Errorf("core: guidance needs %v, have %v", ModeSoftBorg, s.cfg.Mode)
+	}
+	per := max
+	if per <= 0 {
+		per = int(^uint(0) >> 1)
+	}
+	lists := make([][]guidance.TestCase, len(s.progs))
+	errs := make([]error, len(s.progs))
+	var wg sync.WaitGroup
+	for pi := range s.progs {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			lists[pi], errs[pi] = s.hiveOf(pi).Guidance(s.progs[pi].Prog.ID, per)
+		}(pi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []guidance.TestCase
+	for rank := 0; ; rank++ {
+		added := false
+		for _, l := range lists {
+			if rank < len(l) {
+				out = append(out, l[rank])
+				added = true
+				if max > 0 && len(out) >= max {
+					return out, nil
+				}
+			}
+		}
+		if !added {
+			return out, nil
+		}
+	}
+}
+
 func (s *Simulation) fillBackendMetrics(m *DayMetrics) {
 	switch s.cfg.Mode {
 	case ModeSoftBorg:
 		var covered, total int
-		for _, put := range s.progs {
-			st, err := s.hive.ProgramStats(put.Prog.ID)
+		for pi, put := range s.progs {
+			st, err := s.hiveOf(pi).ProgramStats(put.Prog.ID)
 			if err != nil {
 				continue
 			}
 			m.FixesCumulative += st.FixCount
 			m.DistinctFailures += len(st.Failures)
-			tree, err := s.hive.Tree(put.Prog.ID)
+			tree, err := s.hiveOf(pi).Tree(put.Prog.ID)
 			if err != nil {
 				continue
 			}

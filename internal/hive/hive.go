@@ -189,6 +189,16 @@ type Hive struct {
 	sessMu    sync.Mutex
 	sessions  map[string]*sessionEntry
 	sessClock uint64
+	// sessEvictions counts sessions LRU-evicted from the dedup table. Every
+	// eviction silently degrades that client to at-least-once on its next
+	// resubmission, so operators need to see it happening: the counter is
+	// surfaced via SessionEvictions (cmd/hive reports it in periodic stats)
+	// and the first eviction warns through Logf.
+	sessEvictions atomic.Int64
+
+	// Logf receives operational warnings (first session eviction); nil is
+	// silent. Set before serving traffic.
+	Logf func(format string, args ...any)
 }
 
 // defaultCompactEvery is how many delta checkpoints a program accumulates
@@ -798,7 +808,7 @@ func (h *Hive) DurabilityError() error {
 // degrades to at-least-once on resubmission, the documented wire contract.
 func (h *Hive) sessionFor(session string) *sessionEntry {
 	h.sessMu.Lock()
-	defer h.sessMu.Unlock()
+	evicted := ""
 	h.sessClock++
 	e, ok := h.sessions[session]
 	if !ok {
@@ -811,12 +821,28 @@ func (h *Hive) sessionFor(session string) *sessionEntry {
 				}
 			}
 			delete(h.sessions, victim)
+			evicted = victim
 		}
 		e = &sessionEntry{}
 		h.sessions[session] = e
 	}
 	e.touched = h.sessClock
+	h.sessMu.Unlock()
+	if evicted != "" {
+		// Count (and warn once) outside sessMu: Logf is user code.
+		if h.sessEvictions.Add(1) == 1 && h.Logf != nil {
+			h.Logf("hive: session dedup table full (%d sessions): evicted least-recently-used session %q; evicted clients degrade to at-least-once on resubmission", maxSessions, evicted)
+		}
+	}
 	return e
+}
+
+// SessionEvictions returns how many sessions have been LRU-evicted from
+// the exactly-once dedup table since this hive started. A non-zero value
+// means some clients have degraded to at-least-once; size the session
+// table (or drain the fleet) accordingly.
+func (h *Hive) SessionEvictions() int64 {
+	return h.sessEvictions.Load()
 }
 
 // sessionApplied reports whether seq is in the entry's applied window.

@@ -77,20 +77,58 @@ type FailureState struct {
 	InRepairLab bool   `json:"inRepairLab,omitempty"`
 }
 
-// writeSnapshotFile persists a snapshot atomically: temp file, fsync,
-// rename.
-func writeSnapshotFile(path string, snap *ProgramSnapshot) error {
+// EncodeSnapshot serializes a snapshot into the CRC-framed byte form —
+// the same bytes writeSnapshotFile persists. It is the ship-a-program
+// codec for re-homing: an exported program travels between hive processes
+// as exactly these bytes and DecodeSnapshot validates them on arrival.
+func EncodeSnapshot(snap *ProgramSnapshot) ([]byte, error) {
 	body, err := json.Marshal(snap)
 	if err != nil {
-		return fmt.Errorf("journal: encode snapshot: %w", err)
+		return nil, fmt.Errorf("journal: encode snapshot: %w", err)
 	}
 	buf := []byte(snapMagic)
 	buf = binary.AppendUvarint(buf, uint64(len(body)))
 	buf = append(buf, body...)
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
-	buf = append(buf, crc[:]...)
+	return append(buf, crc[:]...), nil
+}
 
+// DecodeSnapshot parses and validates EncodeSnapshot bytes.
+func DecodeSnapshot(data []byte) (*ProgramSnapshot, error) {
+	return decodeSnapshot(data, "snapshot bytes")
+}
+
+// decodeSnapshot validates the CRC frame and parses the body; where names
+// the source for error messages.
+func decodeSnapshot(data []byte, where string) (*ProgramSnapshot, error) {
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic in %s", ErrCorrupt, where)
+	}
+	rest := data[len(snapMagic):]
+	n, sz := binary.Uvarint(rest)
+	if sz <= 0 || uint64(len(rest)-sz) < n+4 {
+		return nil, fmt.Errorf("%w: truncated snapshot %s", ErrCorrupt, where)
+	}
+	body := rest[sz : sz+int(n)]
+	want := binary.LittleEndian.Uint32(rest[sz+int(n) : sz+int(n)+4])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch in %s", ErrCorrupt, where)
+	}
+	var snap ProgramSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, fmt.Errorf("%w: snapshot json: %v", ErrCorrupt, err)
+	}
+	return &snap, nil
+}
+
+// writeSnapshotFile persists a snapshot atomically: temp file, fsync,
+// rename.
+func writeSnapshotFile(path string, snap *ProgramSnapshot) error {
+	buf, err := EncodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -123,22 +161,5 @@ func readSnapshotFile(path string) (*ProgramSnapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
-		return nil, fmt.Errorf("%w: bad snapshot magic in %s", ErrCorrupt, path)
-	}
-	rest := data[len(snapMagic):]
-	n, sz := binary.Uvarint(rest)
-	if sz <= 0 || uint64(len(rest)-sz) < n+4 {
-		return nil, fmt.Errorf("%w: truncated snapshot %s", ErrCorrupt, path)
-	}
-	body := rest[sz : sz+int(n)]
-	want := binary.LittleEndian.Uint32(rest[sz+int(n) : sz+int(n)+4])
-	if crc32.ChecksumIEEE(body) != want {
-		return nil, fmt.Errorf("%w: snapshot checksum mismatch in %s", ErrCorrupt, path)
-	}
-	var snap ProgramSnapshot
-	if err := json.Unmarshal(body, &snap); err != nil {
-		return nil, fmt.Errorf("%w: snapshot json: %v", ErrCorrupt, err)
-	}
-	return &snap, nil
+	return decodeSnapshot(data, path)
 }

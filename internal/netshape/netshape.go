@@ -79,7 +79,14 @@ type Proxy struct {
 
 // New starts a proxy on an ephemeral loopback port, forwarding to target.
 func New(target string, cfg Config) (*Proxy, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	return NewAt(target, "127.0.0.1:0", cfg)
+}
+
+// NewAt is New on a caller-chosen listen address. Fleet benches need it:
+// the placement ring hashes the proxy addresses, so stable ports give
+// every run the same ownership split.
+func NewAt(target, listen string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, err
 	}

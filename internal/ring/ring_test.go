@@ -1,0 +1,127 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("prog-%04x", i*2654435761)
+	}
+	return out
+}
+
+func TestOwnerPureFunction(t *testing.T) {
+	// Ownership must depend only on (node set, vnodes, seed, key) — never
+	// on construction order or on which Map instance answers.
+	a := New([]string{"c", "a", "b"}, 32, 7)
+	b := New([]string{"b", "c", "a", "a"}, 32, 7)
+	for _, k := range keys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner(%q) differs across identically configured maps: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+	if a.Owner("x") == "" {
+		t.Fatal("non-empty map returned empty owner")
+	}
+	var empty Map
+	if got := empty.Owner("x"); got != "" {
+		t.Fatalf("empty map owner = %q, want empty", got)
+	}
+}
+
+func TestVersioning(t *testing.T) {
+	m := New([]string{"a", "b", "c"}, 16, 1)
+	if m.Version() != 1 {
+		t.Fatalf("fresh map version %d, want 1", m.Version())
+	}
+	m2 := m.Without("b")
+	if m2.Version() != 2 || m2.Contains("b") || !m2.Contains("a") {
+		t.Fatalf("Without: version=%d contains(b)=%v", m2.Version(), m2.Contains("b"))
+	}
+	m3 := m2.With("d")
+	if m3.Version() != 3 || !m3.Contains("d") {
+		t.Fatalf("With: version=%d contains(d)=%v", m3.Version(), m3.Contains("d"))
+	}
+	// The original is untouched: maps are immutable values.
+	if m.Version() != 1 || !m.Contains("b") {
+		t.Fatal("membership change mutated the source map")
+	}
+}
+
+// TestMinimalMovementProperty is the stability property the tentpole
+// depends on: removing one node of n moves only the keys that node owned
+// (they must move — their owner is gone) and no others; adding it back
+// restores the original assignment exactly. Run across several seeds and
+// fleet sizes so the property is not an artifact of one layout.
+func TestMinimalMovementProperty(t *testing.T) {
+	ks := keys(2000)
+	for _, n := range []int{2, 3, 5, 8} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			nodes := make([]string, n)
+			for i := range nodes {
+				nodes[i] = fmt.Sprintf("hive-%d:7%03d", seed, i)
+			}
+			m := New(nodes, 0, seed)
+			before := make(map[string]string, len(ks))
+			for _, k := range ks {
+				before[k] = m.Owner(k)
+			}
+			victim := nodes[int(seed)%n]
+			shrunk := m.Without(victim)
+			moved, victimKeys := 0, 0
+			for _, k := range ks {
+				after := shrunk.Owner(k)
+				if after == victim {
+					t.Fatalf("n=%d seed=%d: removed node %q still owns %q", n, seed, victim, k)
+				}
+				if before[k] == victim {
+					victimKeys++
+					continue // these had to move
+				}
+				if after != before[k] {
+					moved++
+				}
+			}
+			if moved != 0 {
+				t.Fatalf("n=%d seed=%d: removing %q moved %d keys it did not own (minimal-movement violated)", n, seed, victim, moved)
+			}
+			if victimKeys == 0 {
+				t.Fatalf("n=%d seed=%d: victim owned no keys of %d — distribution degenerate", n, seed, len(ks))
+			}
+			// Adding the node back restores the original assignment bit for bit.
+			restored := shrunk.With(victim)
+			for _, k := range ks {
+				if restored.Owner(k) != before[k] {
+					t.Fatalf("n=%d seed=%d: add-back changed owner(%q): %q -> %q", n, seed, k, before[k], restored.Owner(k))
+				}
+			}
+		}
+	}
+}
+
+func TestDistributionBalance(t *testing.T) {
+	// With DefaultVNodes the max/min per-node load over a few thousand keys
+	// should stay within a small factor — catches a broken hash mix.
+	nodes := []string{"a:1", "b:2", "c:3", "d:4"}
+	m := New(nodes, 0, 42)
+	counts := make(map[string]int)
+	for _, k := range keys(4000) {
+		counts[m.Owner(k)]++
+	}
+	min, max := 1<<30, 0
+	for _, n := range nodes {
+		c := counts[n]
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 || max > 3*min {
+		t.Fatalf("load imbalance: min=%d max=%d (%v)", min, max, counts)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/fix"
 	"repro/internal/guidance"
 	"repro/internal/pod"
+	"repro/internal/ring"
 	"repro/internal/trace"
 )
 
@@ -60,6 +61,13 @@ type Client struct {
 	// maxFrame is the negotiated frame-size limit for writes on this
 	// connection (MaxFrameSize until a hello grant raises it).
 	maxFrame int
+	// routing reports the server granted FeatureRouting; placement is the
+	// map it advertised (nil when unsharded). lastRedirect remembers the
+	// most recent MsgRedirect this client saw, so a later retry-exhausted
+	// error can tell "owner moved" from "owner down".
+	routing      bool
+	placement    *ring.Map
+	lastRedirect *RedirectError
 	// helloRTT is the measured duration of the hello exchange on an
 	// already-established connection — a free RTT probe. Compression
 	// costs CPU on both ends, so it auto-engages only when the link is
@@ -83,6 +91,12 @@ type Client struct {
 	// feature offers (mixed-fleet tests, debugging). Set before first use.
 	DisableCoalesce    bool
 	DisableCompression bool
+	// DisableRouting withholds the FeatureRouting offer: the client never
+	// receives MsgRedirect and a sharded server proxies its misdirected
+	// frames instead (pre-ring emulation; also set on server-side proxy
+	// clients so redirects never chain back to a client that cannot parse
+	// them). Set before first use.
+	DisableRouting bool
 	// ForceCompress compresses whenever the server granted it, ignoring
 	// the RTT floor (benches and tests; real WAN links trip the floor on
 	// their own). Set before first use.
@@ -209,12 +223,36 @@ func (c *Client) dialLocked() error {
 }
 
 // retryErrLocked wraps the final transport error after a failed retry.
-// The message carries the negotiated feature set: in a mixed fleet a
-// downgrade-then-fail and a feature bug produce different summaries, so
-// the distinction survives into logs.
+// The message carries the negotiated feature set — in a mixed fleet a
+// downgrade-then-fail and a feature bug produce different summaries — and,
+// on a sharded fleet, the last redirect this client saw plus the placement
+// version it negotiated, so an operator can tell "owner moved" (a redirect
+// names the new owner) from "owner down" (no redirect; the placement still
+// points here) straight from the error string.
 func (c *Client) retryErrLocked(lastErr error) error {
-	return fmt.Errorf("wire: %s unreachable after retry (features: %s): %w",
-		c.addr, c.featureSummaryLocked(), lastErr)
+	routed := ""
+	if c.lastRedirect != nil {
+		routed = fmt.Sprintf("; last redirect: program %s -> %s at placement v%d",
+			c.lastRedirect.ProgramID, c.lastRedirect.Owner, c.lastRedirect.Version)
+	} else if c.placement != nil {
+		routed = fmt.Sprintf("; no redirect seen at placement v%d", c.placement.Version())
+	}
+	return fmt.Errorf("wire: %s unreachable after retry (features: %s%s): %w",
+		c.addr, c.featureSummaryLocked(), routed, lastErr)
+}
+
+// noteRedirectLocked remembers the most recent redirect for error
+// reporting and hands the advertised placement to PlacementMap readers.
+func (c *Client) noteRedirectLocked(err error) {
+	var re *RedirectError
+	if errors.As(err, &re) {
+		c.lastRedirect = re
+		if m := placementFromPayload(re.Placement); m != nil {
+			if c.placement == nil || m.Version() > c.placement.Version() {
+				c.placement = m
+			}
+		}
+	}
 }
 
 // featureSummaryLocked renders the negotiated feature state for error
@@ -232,6 +270,9 @@ func (c *Client) featureSummaryLocked() string {
 	}
 	if c.compressOK {
 		parts = append(parts, FeatureSlabFlate)
+	}
+	if c.routing {
+		parts = append(parts, FeatureRouting)
 	}
 	if c.maxFrame > MaxFrameSize {
 		parts = append(parts, fmt.Sprintf("max-frame=%d", c.maxFrame))
@@ -262,6 +303,9 @@ func (c *Client) ensureNegotiatedLocked() {
 	if !c.DisableCompression {
 		hello.Features = append(hello.Features, FeatureSlabFlate)
 	}
+	if !c.DisableRouting {
+		hello.Features = append(hello.Features, FeatureRouting)
+	}
 	payload, err := json.Marshal(hello)
 	if err != nil {
 		return
@@ -281,6 +325,8 @@ func (c *Client) ensureNegotiatedLocked() {
 	c.compressOK = false
 	c.compressing = false
 	c.maxFrame = MaxFrameSize
+	c.routing = false
+	c.placement = nil
 	if respType != MsgHelloAck {
 		return // pre-negotiation server: empty feature set, pinned
 	}
@@ -296,7 +342,12 @@ func (c *Client) ensureNegotiatedLocked() {
 			c.coalesce = !c.DisableCoalesce
 		case FeatureSlabFlate:
 			c.compressOK = !c.DisableCompression
+		case FeatureRouting:
+			c.routing = !c.DisableRouting
 		}
+	}
+	if c.routing {
+		c.placement = placementFromPayload(ack.Placement)
 	}
 	// Trust the grant only within what we asked for.
 	if ack.MaxFrame > MaxFrameSize && !c.DisableCoalesce {
@@ -311,6 +362,43 @@ func (c *Client) ensureNegotiatedLocked() {
 	c.compressing = c.compressOK && (c.ForceCompress || c.helloRTT >= compressRTTFloor)
 }
 
+// Handshake eagerly dials and negotiates. Submission paths negotiate
+// lazily; routers call this up front so the placement map is available
+// before the first frame is sealed.
+func (c *Client) Handshake() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.dialLocked(); err != nil {
+		return err
+	}
+	c.ensureNegotiatedLocked()
+	if !c.negotiated {
+		return fmt.Errorf("wire: %s: hello exchange failed", c.addr)
+	}
+	return nil
+}
+
+// PlacementMap returns the placement advertised by the server at
+// negotiation, or nil when the server is unsharded (or routing was not
+// granted). Negotiates on first use.
+func (c *Client) PlacementMap() *ring.Map {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureNegotiatedLocked()
+	return c.placement
+}
+
+// RefreshPlacement forces a fresh hello exchange and returns the
+// placement it advertised. Routers call this after a transport error to
+// learn about membership changes the old map predates.
+func (c *Client) RefreshPlacement() *ring.Map {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.negotiated = false
+	c.ensureNegotiatedLocked()
+	return c.placement
+}
+
 // SubmitTraces implements pod.HiveClient.
 func (c *Client) SubmitTraces(traces []*trace.Trace) error {
 	encoded := make([][]byte, len(traces))
@@ -321,7 +409,13 @@ func (c *Client) SubmitTraces(traces []*trace.Trace) error {
 	if err != nil {
 		return err
 	}
-	return checkAck(respType, resp, len(traces))
+	if err := checkAck(respType, resp, len(traces)); err != nil {
+		c.mu.Lock()
+		c.noteRedirectLocked(err)
+		c.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // SubmitTracesFor implements pod.ProgramSubmitter: one per-program frame,
@@ -343,7 +437,11 @@ func (c *Client) SubmitTracesFor(programID string, traces []*trace.Trace) error 
 	if err != nil {
 		return err
 	}
-	return checkAck(respType, resp, len(traces))
+	if err := checkAck(respType, resp, len(traces)); err != nil {
+		c.noteRedirectLocked(err)
+		return err
+	}
+	return nil
 }
 
 // sealFrameLocked encodes one sequenced submission frame for the
@@ -535,6 +633,7 @@ func (c *Client) readAcks(counts []int, acked *int, target, written int, accepte
 		ackErr := checkAck(respType, *respBuf, counts[*acked])
 		framePool.Put(respBuf)
 		if err := ackErr; err != nil {
+			c.noteRedirectLocked(err)
 			// Server-reported rejection mid-stream: keep reading the acks
 			// for frames already on the wire — the server keeps serving
 			// after rejecting one batch, so later frames may well have been
@@ -654,6 +753,7 @@ func (c *Client) readGroupAck(counts []int, accepted []bool, start, end int) (er
 		if end-start == 1 {
 			// Plain ack for a group that shipped as a plain frame.
 			if err := checkAck(respType, *bp, counts[start]); err != nil {
+				c.noteRedirectLocked(err)
 				return err, false
 			}
 			accepted[start] = true
@@ -674,6 +774,7 @@ func (c *Client) readGroupAck(counts []int, accepted []bool, start, end int) (er
 			return fmt.Errorf("%w: more inner acks than frames in group", ErrFrame)
 		}
 		if err := checkAck(t, inner, counts[i]); err != nil {
+			c.noteRedirectLocked(err)
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -719,6 +820,16 @@ func checkAck(respType MsgType, resp []byte, want int) error {
 			return fmt.Errorf("wire: server accepted %d of %d traces", accepted, want)
 		}
 		return nil
+	case MsgRedirect:
+		var rp RedirectPayload
+		if err := json.Unmarshal(resp, &rp); err != nil {
+			return fmt.Errorf("wire: bad redirect: %w", err)
+		}
+		re := &RedirectError{ProgramID: rp.ProgramID, Owner: rp.Owner, Placement: rp.Placement}
+		if rp.Placement != nil {
+			re.Version = rp.Placement.Version
+		}
+		return re
 	default:
 		return fmt.Errorf("wire: unexpected response type %d", respType)
 	}

@@ -9,10 +9,12 @@ import (
 	"io"
 	"log"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/pod"
+	"repro/internal/ring"
 	"repro/internal/trace"
 )
 
@@ -40,6 +42,15 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// placeMu guards the sharding state: the placement map this hive is a
+	// member of, its own node name within it, and the lazily dialed peer
+	// clients used to proxy frames from pre-ring clients. All nil/empty on
+	// an unsharded server.
+	placeMu   sync.RWMutex
+	placement *ring.Map
+	selfNode  string
+	proxies   map[string]*Client
+
 	// Logf receives connection-level errors; defaults to log.Printf. Set it
 	// before Serve.
 	Logf func(format string, args ...any)
@@ -66,9 +77,12 @@ type Server struct {
 // connState is per-connection negotiated state shared between a
 // connection's reader and its worker. limit is the frame-size limit:
 // MaxFrameSize until a hello exchange grants a raise. Atomic because the
-// worker raises it while the reader loads it.
+// worker raises it while the reader loads it. routing records that the
+// client negotiated FeatureRouting: misdirected submissions answer
+// MsgRedirect instead of being proxied server-side.
 type connState struct {
-	limit atomic.Int64
+	limit   atomic.Int64
+	routing atomic.Bool
 }
 
 // framePool recycles read-side frame payload buffers: a frame is read into
@@ -167,6 +181,89 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// SetPlacement installs (or replaces) the placement map this server is a
+// member of; self is this hive's node name within it (the address peers
+// and clients dial). From the next frame on, submissions for programs the
+// map assigns elsewhere are redirected (routing-negotiated clients) or
+// proxied to the owner (pre-ring clients), and hello acks advertise the
+// map. Passing nil reverts to unsharded behavior. Safe to call while
+// serving — a rebalance is exactly that.
+func (s *Server) SetPlacement(m *ring.Map, self string) {
+	s.placeMu.Lock()
+	s.placement = m
+	s.selfNode = self
+	s.placeMu.Unlock()
+}
+
+// placementSnapshot reads the current sharding state.
+func (s *Server) placementSnapshot() (*ring.Map, string) {
+	s.placeMu.RLock()
+	defer s.placeMu.RUnlock()
+	return s.placement, s.selfNode
+}
+
+// routeFor resolves a program's owner under the current placement.
+// local is true when this server owns it — or when no placement is set,
+// which is the unsharded fast path.
+func (s *Server) routeFor(programID string) (owner string, local bool, pl *ring.Map) {
+	pl, self := s.placementSnapshot()
+	if pl == nil {
+		return "", true, nil
+	}
+	owner = pl.Owner(programID)
+	return owner, owner == "" || owner == self, pl
+}
+
+// placementPayload converts a ring.Map to its wire form.
+func placementPayload(m *ring.Map) *PlacementPayload {
+	if m == nil {
+		return nil
+	}
+	return &PlacementPayload{Version: m.Version(), Nodes: m.Nodes(), VNodes: m.VNodes(), Seed: m.Seed()}
+}
+
+// placementFromPayload rebuilds the ring from its wire form.
+func placementFromPayload(p *PlacementPayload) *ring.Map {
+	if p == nil {
+		return nil
+	}
+	return ring.NewVersion(p.Version, p.Nodes, p.VNodes, p.Seed)
+}
+
+// redirect answers a misdirected submission from a routing-negotiated
+// client: the frame was not applied; the client owns resubmitting it —
+// verbatim — to the named owner.
+func (s *Server) redirect(w io.Writer, programID, owner string, pl *ring.Map) error {
+	return s.reply(w, MsgRedirect, RedirectPayload{ProgramID: programID, Owner: owner, Placement: placementPayload(pl)})
+}
+
+// proxyClient returns (dialing lazily) the peer client for owner. Proxy
+// clients do not offer FeatureRouting: if the owner's placement has moved
+// on too, the owner proxies onward rather than answering a redirect the
+// pre-ring originator could never parse.
+func (s *Server) proxyClient(owner string) *Client {
+	s.placeMu.Lock()
+	defer s.placeMu.Unlock()
+	if s.proxies == nil {
+		s.proxies = make(map[string]*Client)
+	}
+	pc, ok := s.proxies[owner]
+	if !ok {
+		pc = Dial(owner)
+		pc.DisableRouting = true
+		s.proxies[owner] = pc
+	}
+	return pc
+}
+
+// proxyFrame relays one frame verbatim to the owning hive and returns its
+// reply. The (session, seq) exactly-once tag rides inside the payload, so
+// a proxied resubmission deduplicates at the owner exactly as a direct one
+// would.
+func (s *Server) proxyFrame(owner string, t MsgType, payload []byte) (MsgType, []byte, error) {
+	return s.proxyClient(owner).call(t, payload)
+}
+
 // Close stops the listener and all connections, and waits for handlers.
 func (s *Server) Close() error {
 	s.mu.Lock()
@@ -187,6 +284,13 @@ func (s *Server) Close() error {
 	}
 	for _, c := range conns {
 		_ = c.Close()
+	}
+	s.placeMu.Lock()
+	proxies := s.proxies
+	s.proxies = nil
+	s.placeMu.Unlock()
+	for _, pc := range proxies {
+		_ = pc.Close()
 	}
 	s.wg.Wait()
 	return err
@@ -275,9 +379,9 @@ func (s *Server) dispatch(cs *connState, w io.Writer, msgType MsgType, payload [
 	case MsgSubmitTraces:
 		return s.handleSubmit(w, payload)
 	case MsgSubmitTracesFor:
-		return s.handleSubmitFor(w, payload)
+		return s.handleSubmitFor(cs, w, payload)
 	case MsgSubmitTracesSeq:
-		return s.handleSubmitSeq(w, payload)
+		return s.handleSubmitSeq(cs, w, payload)
 	case MsgHello:
 		if s.DisableColumnar {
 			break // answer like a pre-negotiation build
@@ -287,12 +391,12 @@ func (s *Server) dispatch(cs *connState, w io.Writer, msgType MsgType, payload [
 		if s.DisableColumnar {
 			break
 		}
-		return s.handleSubmitColumnar(w, payload)
+		return s.handleSubmitColumnar(cs, w, payload)
 	case MsgSubmitBatchCompressed:
 		if s.DisableColumnar || s.DisableWAN {
 			break // answer like a build without the feature
 		}
-		return s.handleSubmitCompressed(w, payload)
+		return s.handleSubmitCompressed(cs, w, payload)
 	case MsgGetFixes:
 		return s.handleGetFixes(w, payload)
 	case MsgGetGuidance:
@@ -319,6 +423,14 @@ func (s *Server) handleHello(cs *connState, w io.Writer, payload []byte) error {
 		case FeatureCoalesce, FeatureSlabFlate:
 			if !s.DisableWAN {
 				ack.Features = append(ack.Features, f)
+			}
+		case FeatureRouting:
+			// Granted only when this server actually is a ring member: an
+			// unsharded hive stays silent and clients route everything here.
+			if pl, _ := s.placementSnapshot(); pl != nil {
+				ack.Features = append(ack.Features, f)
+				ack.Placement = placementPayload(pl)
+				cs.routing.Store(true)
 			}
 		}
 	}
@@ -401,12 +513,12 @@ func (s *Server) handleCoalesced(cs *connState, conn net.Conn, bw *bufio.Writer,
 // are handed to a columnar-capable backend as a zero-copy view (the hive
 // journals exactly those bytes); other backends get materialized traces
 // through the strongest submission path they offer.
-func (s *Server) handleSubmitColumnar(w io.Writer, payload []byte) error {
+func (s *Server) handleSubmitColumnar(cs *connState, w io.Writer, payload []byte) error {
 	session, seq, batchBytes, err := decodeSeqPrefix(payload)
 	if err != nil {
 		return ackBin(w, 0, false, err)
 	}
-	return s.ingestColumnar(w, session, seq, batchBytes)
+	return s.ingestColumnar(cs, w, session, seq, batchBytes, MsgSubmitBatchColumnar, payload)
 }
 
 // handleSubmitCompressed is handleSubmitColumnar for a frame whose batch
@@ -415,7 +527,7 @@ func (s *Server) handleSubmitColumnar(w io.Writer, payload []byte) error {
 // guard), so the backend — and with it the journal — sees only the
 // canonical decompressed columnar payload, byte-identical to an
 // uncompressed submission of the same batch.
-func (s *Server) handleSubmitCompressed(w io.Writer, payload []byte) error {
+func (s *Server) handleSubmitCompressed(cs *connState, w io.Writer, payload []byte) error {
 	session, seq, compBytes, err := decodeSeqPrefix(payload)
 	if err != nil {
 		return ackBin(w, 0, false, err)
@@ -425,7 +537,10 @@ func (s *Server) handleSubmitCompressed(w io.Writer, payload []byte) error {
 		return ackBin(w, 0, false, err)
 	}
 	defer trace.ReleaseSlab(raw)
-	return s.ingestColumnar(w, session, seq, *raw)
+	// A misdirected compressed frame proxies in its original compressed
+	// form; the owner inflates, so its journal still holds the canonical
+	// decompressed bytes.
+	return s.ingestColumnar(cs, w, session, seq, *raw, MsgSubmitBatchCompressed, payload)
 }
 
 // ackBin writes one binary acknowledgement.
@@ -439,8 +554,12 @@ func ackBin(w io.Writer, accepted int, dup bool, err error) error {
 
 // ingestColumnar routes validated canonical batch bytes into the backend.
 // The view borrows batchBytes and is released before return; a durable
-// backend journals exactly those bytes.
-func (s *Server) ingestColumnar(w io.Writer, session string, seq uint64, batchBytes []byte) error {
+// backend journals exactly those bytes. On a sharded server a batch for a
+// program owned elsewhere never reaches the backend: routing-negotiated
+// clients get MsgRedirect (orig/origPayload identify the frame to
+// resubmit), pre-ring clients have the original frame proxied verbatim to
+// the owner and the owner's ack relayed back.
+func (s *Server) ingestColumnar(cs *connState, w io.Writer, session string, seq uint64, batchBytes []byte, orig MsgType, origPayload []byte) error {
 	ack := func(accepted int, dup bool, err error) error {
 		return ackBin(w, accepted, dup, err)
 	}
@@ -449,6 +568,16 @@ func (s *Server) ingestColumnar(w io.Writer, session string, seq uint64, batchBy
 		return ack(0, false, err)
 	}
 	defer view.Release()
+	if owner, local, pl := s.routeFor(view.ProgramID()); !local {
+		if cs != nil && cs.routing.Load() {
+			return s.redirect(w, view.ProgramID(), owner, pl)
+		}
+		respType, resp, perr := s.proxyFrame(owner, orig, origPayload)
+		if perr != nil {
+			return ack(0, false, fmt.Errorf("proxy to owner %s: %w", owner, perr))
+		}
+		return WriteFrame(w, respType, resp)
+	}
 	if cs, ok := s.backend.(pod.ColumnarSubmitter); ok {
 		dup, err := cs.SubmitColumnarSession(session, seq, view)
 		return ack(view.Len(), dup, err)
@@ -465,6 +594,25 @@ func (s *Server) ingestColumnar(w io.Writer, session string, seq uint64, batchBy
 		submitErr = s.backend.SubmitTraces(traces)
 	}
 	return ack(len(traces), false, submitErr)
+}
+
+// routeSubmission applies the sharding decision for one per-program
+// submission frame on the v2 (JSON-ack) paths. done=true means the frame
+// was handled here — redirected or proxied — and the handler must return
+// err without touching the backend.
+func (s *Server) routeSubmission(cs *connState, w io.Writer, programID string, orig MsgType, payload []byte) (done bool, err error) {
+	owner, local, pl := s.routeFor(programID)
+	if local {
+		return false, nil
+	}
+	if cs != nil && cs.routing.Load() {
+		return true, s.redirect(w, programID, owner, pl)
+	}
+	respType, resp, perr := s.proxyFrame(owner, orig, payload)
+	if perr != nil {
+		return true, s.reply(w, MsgAck, AckPayload{Error: fmt.Sprintf("proxy to owner %s: %v", owner, perr)})
+	}
+	return true, WriteFrame(w, respType, resp)
 }
 
 // decodeTraces expands raw per-trace bytes into traces.
@@ -489,16 +637,60 @@ func (s *Server) handleSubmit(w io.Writer, payload []byte) error {
 	if err != nil {
 		return s.reply(w, MsgAck, AckPayload{Error: err.Error()})
 	}
+	// On a sharded server the grouped legacy frame is split by owner: local
+	// traces ingest here, the rest are forwarded per owner. The legacy path
+	// is unsequenced (at-least-once), so forwarding keeps its semantics.
+	if pl, self := s.placementSnapshot(); pl != nil {
+		var local []*trace.Trace
+		foreign := make(map[string][]*trace.Trace)
+		for _, tr := range traces {
+			if owner := pl.Owner(tr.ProgramID); owner != "" && owner != self {
+				foreign[owner] = append(foreign[owner], tr)
+			} else {
+				local = append(local, tr)
+			}
+		}
+		if len(foreign) > 0 {
+			if len(local) > 0 {
+				if err := s.backend.SubmitTraces(local); err != nil {
+					return s.reply(w, MsgAck, AckPayload{Error: err.Error()})
+				}
+			}
+			owners := make([]string, 0, len(foreign))
+			for o := range foreign {
+				owners = append(owners, o)
+			}
+			sort.Strings(owners)
+			for _, owner := range owners {
+				group := foreign[owner]
+				encoded := make([][]byte, len(group))
+				for i, tr := range group {
+					encoded[i] = trace.Encode(tr)
+				}
+				respType, resp, perr := s.proxyFrame(owner, MsgSubmitTraces, encodeTraceBatch(encoded))
+				if perr == nil {
+					perr = checkAck(respType, resp, len(group))
+				}
+				if perr != nil {
+					return s.reply(w, MsgAck, AckPayload{Error: fmt.Sprintf("proxy to owner %s: %v", owner, perr)})
+				}
+			}
+			return s.reply(w, MsgAck, AckPayload{Accepted: len(traces)})
+		}
+	}
 	if err := s.backend.SubmitTraces(traces); err != nil {
 		return s.reply(w, MsgAck, AckPayload{Error: err.Error()})
 	}
 	return s.reply(w, MsgAck, AckPayload{Accepted: len(traces)})
 }
 
-func (s *Server) handleSubmitFor(w io.Writer, payload []byte) error {
+func (s *Server) handleSubmitFor(cs *connState, w io.Writer, payload []byte) error {
 	programID, raws, err := decodeTraceBatchFor(payload)
 	if err != nil {
 		return s.reply(w, MsgAck, AckPayload{Error: err.Error()})
+	}
+	if done, err := s.routeSubmission(cs, w, programID, MsgSubmitTracesFor, payload); done {
+		return err
 	}
 	traces, err := decodeTraces(raws)
 	if err != nil {
@@ -528,10 +720,13 @@ func (s *Server) handleSubmitFor(w io.Writer, payload []byte) error {
 	return s.reply(w, MsgAck, AckPayload{Accepted: len(traces)})
 }
 
-func (s *Server) handleSubmitSeq(w io.Writer, payload []byte) error {
+func (s *Server) handleSubmitSeq(cs *connState, w io.Writer, payload []byte) error {
 	session, seq, programID, raws, err := decodeTraceBatchSeq(payload)
 	if err != nil {
 		return s.reply(w, MsgAck, AckPayload{Error: err.Error()})
+	}
+	if done, err := s.routeSubmission(cs, w, programID, MsgSubmitTracesSeq, payload); done {
+		return err
 	}
 	traces, err := decodeTraces(raws)
 	if err != nil {
@@ -572,6 +767,16 @@ func (s *Server) handleGetFixes(w io.Writer, payload []byte) error {
 	if err := json.Unmarshal(payload, &req); err != nil {
 		return s.reply(w, MsgFixes, FixesPayload{Error: err.Error()})
 	}
+	// Read paths proxy transparently for every client generation: the reply
+	// is an ordinary MsgFixes either way, so there is nothing for a routing
+	// client to learn from a redirect here.
+	if owner, local, _ := s.routeFor(req.ProgramID); !local {
+		respType, resp, perr := s.proxyFrame(owner, MsgGetFixes, payload)
+		if perr != nil {
+			return s.reply(w, MsgFixes, FixesPayload{Error: fmt.Sprintf("proxy to owner %s: %v", owner, perr)})
+		}
+		return WriteFrame(w, respType, resp)
+	}
 	fixes, version, err := s.backend.FixesSince(req.ProgramID, req.Version)
 	if err != nil {
 		return s.reply(w, MsgFixes, FixesPayload{Error: err.Error()})
@@ -591,6 +796,13 @@ func (s *Server) handleGetGuidance(w io.Writer, payload []byte) error {
 	var req GetGuidancePayload
 	if err := json.Unmarshal(payload, &req); err != nil {
 		return s.reply(w, MsgGuidance, GuidancePayload{Error: err.Error()})
+	}
+	if owner, local, _ := s.routeFor(req.ProgramID); !local {
+		respType, resp, perr := s.proxyFrame(owner, MsgGetGuidance, payload)
+		if perr != nil {
+			return s.reply(w, MsgGuidance, GuidancePayload{Error: fmt.Sprintf("proxy to owner %s: %v", owner, perr)})
+		}
+		return WriteFrame(w, respType, resp)
 	}
 	cases, err := s.backend.Guidance(req.ProgramID, req.Max)
 	if err != nil {

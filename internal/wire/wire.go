@@ -84,6 +84,14 @@ const (
 	// only after FeatureSlabFlate was negotiated; dedup semantics are
 	// identical to MsgSubmitBatchColumnar.
 	MsgSubmitBatchCompressed
+	// MsgRedirect answers a submission for a program this hive does not
+	// own under the current placement map: the payload (RedirectPayload)
+	// names the owning node and carries the full placement, so the client
+	// re-dials the owner and resubmits its parked sealed frames verbatim —
+	// the (session, seq) dedup guarantees no acknowledged trace is ever
+	// double-applied across the move. Sent only to clients that negotiated
+	// FeatureRouting; pre-ring clients are proxied server-side instead.
+	MsgRedirect
 )
 
 // FeatureColumnarBatch names the columnar-batch submission feature in
@@ -97,6 +105,14 @@ const FeatureCoalesce = "coalesced-frames"
 // FeatureSlabFlate names the compressed columnar submission
 // (MsgSubmitBatchCompressed) feature in hello negotiation.
 const FeatureSlabFlate = "slab-flate"
+
+// FeatureRouting names the consistent-hash routing feature in hello
+// negotiation: a server that grants it advertises its placement map in
+// the hello ack and answers misdirected submissions with MsgRedirect
+// instead of proxying them. Only granted by servers that actually hold a
+// placement (a single unsharded hive stays silent, and clients route
+// everything to it).
+const FeatureRouting = "ring-routing"
 
 // MaxFrameSize bounds a frame; larger frames are rejected as hostile.
 // Connections that negotiated a larger limit via the hello exchange accept
@@ -183,9 +199,46 @@ type HelloPayload struct {
 // positive, is the frame-size limit the server granted for the rest of the
 // connection — min(requested, server cap), never below MaxFrameSize; zero
 // (an old server, or no raise requested) means the default limit stands.
+// Placement, set iff FeatureRouting was granted, is the server's current
+// placement map; pre-ring clients ignore the unknown field.
 type HelloAckPayload struct {
-	Features []string `json:"features"`
-	MaxFrame int      `json:"maxFrame,omitempty"`
+	Features  []string          `json:"features"`
+	MaxFrame  int               `json:"maxFrame,omitempty"`
+	Placement *PlacementPayload `json:"placement,omitempty"`
+}
+
+// PlacementPayload is the wire form of a ring.Map: the versioned node set
+// plus the hash parameters, enough for any receiver to rebuild the exact
+// same circle (ownership is a pure function of these fields and the key).
+type PlacementPayload struct {
+	Version uint64   `json:"version"`
+	Nodes   []string `json:"nodes"`
+	VNodes  int      `json:"vnodes"`
+	Seed    uint64   `json:"seed"`
+}
+
+// RedirectPayload is the body of MsgRedirect: the program the frame was
+// for, the node that owns it under the server's placement, and that
+// placement in full so one redirect is enough to re-route every program.
+type RedirectPayload struct {
+	ProgramID string            `json:"programId"`
+	Owner     string            `json:"owner"`
+	Placement *PlacementPayload `json:"placement,omitempty"`
+}
+
+// RedirectError is the typed client-side form of MsgRedirect: the
+// submission was not applied because this server does not own the program.
+// Callers (the Router, or operators reading retry-exhausted errors) use
+// Owner and Version to distinguish "owner moved" from "owner down".
+type RedirectError struct {
+	ProgramID string
+	Owner     string
+	Version   uint64
+	Placement *PlacementPayload
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("wire: program %s is owned by %s (placement v%d)", e.ProgramID, e.Owner, e.Version)
 }
 
 // GetFixesPayload requests fixes.
