@@ -65,6 +65,13 @@ func run(args []string) error {
 	compactEvery := fs.Int("compact-every", 8, "snapshots are incremental delta segments, compacted into a full snapshot every N checkpoints (<=0 makes every snapshot full)")
 	maxFrame := fs.Int("max-frame", 0, "cap on the frame-size raise granted to WAN clients in bytes (0 uses the built-in maximum; never drops below the universal frame limit)")
 	noWAN := fs.Bool("no-wan", false, "refuse the WAN transport features (coalesced mega-frames, compressed batches, frame-size raises) in hello grants")
+	sessRate := fs.Float64("max-sessions-rate", 0, "per-session admission rate in traces/sec; over-rate clients get busy-retry replies (0 disables)")
+	ingestQueue := fs.Int64("ingest-queue", 0, "server-wide ingest queue budget in bytes: per-conn reads pause at 1/4 of this, and queued/budget is the shed pressure gauge (0 disables)")
+	shedWatermark := fs.Float64("shed-watermark", 0, "pressure in [0,1) past which batches are priced and the cheapest shed; 0 disables shedding, negative selects the default watermark (requires -ingest-queue)")
+	rarityFloor := fs.Int64("rarity-floor", 0, "sibling-visit count under which novel paths are deferrable near saturation (0 disables the defer tier)")
+	frameTimeout := fs.Duration("frame-timeout", 0, "max wall time a started frame may dribble before the connection is evicted (0 disables slow-loris protection)")
+	maxConns := fs.Int64("max-conns", 0, "cap on concurrently served connections; excess accepts are closed (0 unlimited)")
+	maxHalfOpen := fs.Int64("max-half-open", 0, "cap on connections that have not yet completed one valid frame (0 unlimited)")
 	peers := fs.String("peers", "", "comma-separated fleet addresses, this hive's advertised address included; empty runs unsharded")
 	selfAddr := fs.String("self", "", "this hive's advertised address within -peers (default: the bound listen address)")
 	ringSeed := fs.Uint64("ring-seed", 1, "placement-ring hash seed; the whole fleet must agree")
@@ -121,6 +128,29 @@ func run(args []string) error {
 	srv := wire.NewServer(h)
 	srv.MaxFrame = *maxFrame
 	srv.DisableWAN = *noWAN
+	if *sessRate > 0 || *ingestQueue > 0 || *frameTimeout > 0 || *maxConns > 0 || *maxHalfOpen > 0 {
+		adm := &wire.Admission{
+			SessionRate:  *sessRate,
+			FrameTimeout: *frameTimeout,
+			MaxConns:     *maxConns,
+			MaxHalfOpen:  *maxHalfOpen,
+		}
+		if *ingestQueue > 0 {
+			adm.TotalQueueBytes = *ingestQueue
+			adm.ConnQueueBytes = *ingestQueue / 4
+		}
+		srv.Admission = adm
+	}
+	if *shedWatermark != 0 {
+		if *ingestQueue <= 0 {
+			return fmt.Errorf("-shed-watermark needs -ingest-queue: the pressure gauge is queued bytes over the queue budget")
+		}
+		w := *shedWatermark
+		if w < 0 {
+			w = 0 // SetShedPolicy substitutes the default watermark
+		}
+		h.SetShedPolicy(&hive.ShedPolicy{Watermark: w, RarityFloor: *rarityFloor})
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err
@@ -242,6 +272,14 @@ func run(args []string) error {
 					i, st.Ingested, st.Tree.Paths, st.FixCount, len(st.Failures), st.RepairLab)
 			}
 			fmt.Printf("sessions: evicted=%d\n", h.SessionEvictions())
+			if ss := h.ShedStats(); ss != (hive.ShedStats{}) {
+				fmt.Printf("shed: admitted=%d first-sight=%d dup=%d covered=%d deferred=%d\n",
+					ss.Admitted, ss.AdmittedFirstSight, ss.ShedDuplicate, ss.ShedCovered, ss.Deferred)
+			}
+			if as := srv.AdmissionStats(); as != (wire.AdmissionStats{}) {
+				fmt.Printf("admission: busy=%d paced=%d slow-evicted=%d rejected=%d queued=%dB pressure=%.2f\n",
+					as.BusyReplies, as.PacedFrames, as.SlowLorisEvicted, as.ConnsRejected, as.QueuedBytes, as.Pressure)
+			}
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/pod"
 	"repro/internal/population"
@@ -48,6 +49,8 @@ func run(args []string) error {
 	drainEvery := fs.Int("drain", 50, "drain buffered traces every N runs (0 drains only at the end)")
 	coalesce := fs.Int("coalesce", 0, "frames per coalesced mega-frame when the hive grants it (0 uses the default depth, negative disables coalescing)")
 	compress := fs.String("compress", "auto", "batch compression over the wire: auto (engage when the hello round trip looks like a WAN), on, or off")
+	retryBase := fs.Duration("retry-base", 0, "first busy-retry backoff step; doubles per attempt with jitter (0 uses the built-in default)")
+	retryCap := fs.Duration("retry-cap", 0, "ceiling on the busy-retry backoff schedule (0 uses the built-in default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,7 +71,7 @@ func run(args []string) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs <- runPod(i, *hiveAddr, *seed, i%*programs, *runs, *syncEvery, *drainEvery, *coalesce, *compress, pop)
+			errs <- runPod(i, *hiveAddr, *seed, i%*programs, *runs, *syncEvery, *drainEvery, *coalesce, *compress, *retryBase, *retryCap, pop)
 		}(i)
 	}
 	wg.Wait()
@@ -82,7 +85,7 @@ func run(args []string) error {
 	return nil
 }
 
-func runPod(idx int, hiveAddr string, seed uint64, programIdx, runs, syncEvery, drainEvery, coalesce int, compress string, pop *population.Population) error {
+func runPod(idx int, hiveAddr string, seed uint64, programIdx, runs, syncEvery, drainEvery, coalesce int, compress string, retryBase, retryCap time.Duration, pop *population.Population) error {
 	p, _, err := proggen.Generate(proggen.CorpusSpec(seed, programIdx))
 	if err != nil {
 		return err
@@ -103,6 +106,11 @@ func runPod(idx int, hiveAddr string, seed uint64, programIdx, runs, syncEvery, 
 	case "off":
 		client.DisableCompression = true
 	}
+	// Busy-retry pacing: a hive answering busy-retry (admission control or
+	// deferred low-rarity work) is waited out with jittered exponential
+	// backoff rather than hammered.
+	client.RetryBase = retryBase
+	client.RetryCap = retryCap
 	// The buffer is bound to the pod's program, so drains stream pipelined
 	// sequenced frames — exactly-once across reconnects and hive restarts.
 	buffer := pod.NewBufferedFor(client, p.ID)

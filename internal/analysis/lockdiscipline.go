@@ -21,9 +21,11 @@ import (
 //     of the hive's: router placement (Router.mu) ≺ server placement
 //     (Server.placeMu) ≺ client connection (Client.mu) — a server
 //     dispatching into the hive may hold a wire lock across hive
-//     acquisitions, never the reverse. Acquiring against that order
-//     within one function is an inversion that can deadlock the sharded
-//     fleet.
+//     acquisitions, never the reverse. The admission layer's locks
+//     (admissionState.mu for the token-bucket table, connState.qMu for
+//     queued-byte accounting) are leaves like Hive.mu. Acquiring against
+//     that order within one function is an inversion that can deadlock
+//     the sharded fleet.
 //
 // The analysis is lexical and intraprocedural — a deliberate approximation
 // that catches the bug classes above without whole-program may-hold facts.
@@ -33,7 +35,8 @@ var LockDiscipline = &Analyzer{
 		"lexically later return, and internal/hive + internal/wire lock " +
 		"classes must be acquired in documented order (Router.mu ≺ " +
 		"Server.placeMu ≺ Client.mu ≺ session ≺ ckpt ≺ mu ≺ stripes; " +
-		"Hive.mu/sessMu are leaves)",
+		"Hive.mu/sessMu and the admission locks admissionState.mu/" +
+		"connState.qMu are leaves)",
 	Run: runLockDiscipline,
 }
 
@@ -57,6 +60,11 @@ var lockRank = map[string]int{
 	// Leaf locks: never legal to hold across another ranked acquisition.
 	"Hive.mu":     50,
 	"Hive.sessMu": 50,
+	// PR 9 admission tier: the token-bucket table lock and the
+	// per-connection queued-bytes accounting lock are leaves too — debit
+	// and byte accounting never call back into any other ranked class.
+	"admissionState.mu": 50,
+	"connState.qMu":     50,
 }
 
 // lockEvent is one lexical lock-relevant occurrence inside a function.

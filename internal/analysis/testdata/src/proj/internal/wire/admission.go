@@ -1,0 +1,45 @@
+// Package wire seeds lockdiscipline violations against miniature
+// stand-ins for the PR 9 admission-layer lock classes: the token-bucket
+// table lock (admissionState.mu) and the per-connection queued-bytes
+// lock (connState.qMu) are leaves, never held across another ranked
+// acquisition.
+package wire
+
+import "sync"
+
+// admissionState mirrors the real token-bucket table lock.
+type admissionState struct {
+	mu      sync.Mutex
+	buckets map[string]int
+}
+
+// connState mirrors the per-connection queue accounting lock.
+type connState struct {
+	qMu    sync.Mutex
+	qBytes int64
+}
+
+// debitClean charges a bucket under the leaf lock alone. Clean.
+func (a *admissionState) debitClean(key string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.buckets[key]++
+}
+
+// accountClean adjusts one connection's queue bytes. Clean.
+func (cs *connState) accountClean(n int64) {
+	cs.qMu.Lock()
+	cs.qBytes += n
+	cs.qMu.Unlock()
+}
+
+// debitThenAccount acquires the queue leaf while holding the bucket
+// leaf. Finding expected.
+func debitThenAccount(a *admissionState, cs *connState, key string, n int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.buckets[key]++
+	cs.qMu.Lock()
+	cs.qBytes += n
+	cs.qMu.Unlock()
+}

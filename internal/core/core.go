@@ -93,6 +93,14 @@ type Config struct {
 	// any shard count (TestShardedSimulationMatchesSingle). Other modes
 	// aggregate globally and ignore this.
 	Hives int
+	// Shed installs a rarity-priced load-shedding policy on every SoftBorg
+	// shard (nil runs unshedded — the default, and the only deterministic
+	// setting unless Pressure is itself deterministic). Chaos scenarios use
+	// it to reproduce overload behaviour without a wire server.
+	Shed *hive.ShedPolicy
+	// Pressure is the gauge Shed reads, normalized to [0,1] of queue
+	// budget; nil reads 0 (shedding never engages).
+	Pressure func() float64
 }
 
 // DayMetrics is the per-day measurement row.
@@ -218,6 +226,10 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		names := make([]string, shards)
 		for i := range s.hives {
 			s.hives[i] = hive.New("fleet")
+			if cfg.Shed != nil {
+				s.hives[i].SetShedPolicy(cfg.Shed)
+				s.hives[i].SetPressureSource(cfg.Pressure)
+			}
 			names[i] = fmt.Sprintf("hive-%d", i)
 		}
 		s.ringMap = ring.New(names, ring.DefaultVNodes, cfg.Seed)

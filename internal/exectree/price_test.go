@@ -1,0 +1,78 @@
+package exectree
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+func TestPricePathDuplicateVsNovel(t *testing.T) {
+	tr := New("p")
+	known := []trace.BranchEvent{ev(0, true), ev(1, false)}
+	tr.Merge(known, prog.OutcomeOK)
+	tr.Merge(known, prog.OutcomeOK)
+
+	// Exact structural duplicate: no new edges, nothing novel.
+	if p := tr.PricePath(known, prog.OutcomeOK); p.NewEdges != 0 || p.NovelPath {
+		t.Fatalf("duplicate priced %+v", p)
+	}
+
+	// Divergence at depth 1: the untaken side of branch 1 is a new edge,
+	// and the explored sibling's visit count is the rarity signal.
+	div := []trace.BranchEvent{ev(0, true), ev(1, true)}
+	p := tr.PricePath(div, prog.OutcomeOK)
+	if p.NewEdges != 1 || !p.NovelPath {
+		t.Fatalf("divergent priced %+v", p)
+	}
+	if p.SiblingVisits != 2 {
+		t.Fatalf("SiblingVisits = %d, want 2 (the explored side was merged twice)", p.SiblingVisits)
+	}
+
+	// Pricing must not mutate: the divergent path stays divergent.
+	if p2 := tr.PricePath(div, prog.OutcomeOK); p2 != p {
+		t.Fatalf("re-pricing changed the answer: %+v then %+v", p, p2)
+	}
+	if got := tr.Stats(); got.Paths != 1 {
+		t.Fatalf("pricing grew the tree: %+v", got)
+	}
+}
+
+func TestPricePathNovelOutcomeOnKnownPath(t *testing.T) {
+	tr := New("p")
+	path := []trace.BranchEvent{ev(0, true), ev(1, false)}
+	tr.Merge(path, prog.OutcomeOK)
+	tr.Merge(path, prog.OutcomeOK)
+	tr.Merge(path, prog.OutcomeOK)
+
+	// A first crash on a well-trodden path: structurally known, but the
+	// terminal outcome is new — novel, with the incoming edge's traffic
+	// as the rarity signal.
+	p := tr.PricePath(path, prog.OutcomeCrash)
+	if p.NewEdges != 0 || !p.NovelPath {
+		t.Fatalf("novel-outcome priced %+v", p)
+	}
+	if p.SiblingVisits != 3 {
+		t.Fatalf("SiblingVisits = %d, want 3", p.SiblingVisits)
+	}
+	if q := tr.PricePath(path, prog.OutcomeOK); q.NovelPath {
+		t.Fatalf("known outcome priced novel: %+v", q)
+	}
+}
+
+func TestPricePathCoveredRecombination(t *testing.T) {
+	tr := New("p")
+	tr.Merge([]trace.BranchEvent{ev(0, true), ev(1, true)}, prog.OutcomeOK)
+	tr.Merge([]trace.BranchEvent{ev(0, false), ev(1, false)}, prog.OutcomeOK)
+
+	// Both directions of both branches are covered; this recombination is
+	// a new path through exclusively known edges — the covered-only shed
+	// class.
+	p := tr.PricePath([]trace.BranchEvent{ev(0, true), ev(1, false)}, prog.OutcomeOK)
+	if p.NewEdges != 0 {
+		t.Fatalf("recombination claims %d new edges", p.NewEdges)
+	}
+	if !p.NovelPath {
+		t.Fatal("recombination not recognized as a novel path")
+	}
+}

@@ -196,6 +196,15 @@ type Hive struct {
 	// and the first eviction warns through Logf.
 	sessEvictions atomic.Int64
 
+	// shedPolicy, pressure, and shed make up the rarity-priced load shedder
+	// (shed.go): when the injected pressure gauge passes the policy's
+	// watermark, sessioned batches are priced against the exec tree before
+	// ingest and the cheapest work is dropped or deferred. All three are
+	// zero-value safe — a hive with no policy installed prices nothing.
+	shedPolicy atomic.Pointer[ShedPolicy]
+	pressure   atomic.Pointer[func() float64]
+	shed       shedCounters
+
 	// Logf receives operational warnings (first session eviction); nil is
 	// silent. Set before serving traffic.
 	Logf func(format string, args ...any)
@@ -365,6 +374,9 @@ func (h *Hive) SubmitTracesSession(session string, seq uint64, programID string,
 		}
 	}
 	if session == "" {
+		if drop, err := h.shedBatch(st, traces); drop || err != nil {
+			return false, err
+		}
 		return false, h.ingestBatch(st, traces)
 	}
 	// One session's frames serialize across connections: the high-water
@@ -375,6 +387,13 @@ func (h *Hive) SubmitTracesSession(session string, seq uint64, programID string,
 	defer e.mu.Unlock()
 	if h.sessionApplied(e, seq) {
 		return true, nil
+	}
+	// Shed decisions land after the dedup check and before the journal:
+	// a dropped batch is acked without marking the session, so a
+	// resubmission re-prices it fresh — at-least-once for shed work,
+	// exactly-once for everything admitted.
+	if drop, err := h.shedBatch(st, traces); drop || err != nil {
+		return false, err
 	}
 	return false, h.ingest(st, traces, session, seq)
 }
@@ -396,6 +415,9 @@ func (h *Hive) SubmitColumnarSession(session string, seq uint64, batch *trace.Ba
 		return false, err
 	}
 	if session == "" {
+		if drop, err := h.shedView(st, batch); drop || err != nil {
+			return false, err
+		}
 		return false, h.ingestView(st, batch, "", 0)
 	}
 	e := h.sessionFor(session)
@@ -403,6 +425,11 @@ func (h *Hive) SubmitColumnarSession(session string, seq uint64, batch *trace.Ba
 	defer e.mu.Unlock()
 	if h.sessionApplied(e, seq) {
 		return true, nil
+	}
+	// See SubmitTracesSession: shed after dedup, before journal — dropped
+	// batches never mark the session, so resubmissions re-price.
+	if drop, err := h.shedView(st, batch); drop || err != nil {
+		return false, err
 	}
 	return false, h.ingestView(st, batch, session, seq)
 }

@@ -1,0 +1,97 @@
+// Package leaktest fails a test when goroutines running repro code
+// outlive it. The wire server, pipeline, and routing suites register it
+// so a bail path that forgets to reap a worker — or an eviction that
+// strands a reader — fails loudly instead of poisoning a later test.
+package leaktest
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// settleTimeout is how long Check waits for goroutines started during
+// the test to drain before declaring them leaked. Shutdown is
+// asynchronous almost everywhere (Close returns before workers finish
+// their bail drain), so a grace period is part of the contract — the
+// check is "eventually gone", not "gone at return".
+const settleTimeout = 5 * time.Second
+
+// Check snapshots the live goroutines and registers a cleanup that fails
+// t if, after the test body returns, new goroutines with repro frames
+// are still running once settleTimeout expires. Call it first thing in
+// the test. Goroutines that existed before Check ran are exempt, so
+// suites with package-level servers can still opt in per test.
+func Check(t testing.TB) {
+	t.Helper()
+	before := goroutineIDs()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(settleTimeout)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for id, stack := range goroutineStacks() {
+				if before[id] || !ours(stack) {
+					continue
+				}
+				leaked = append(leaked, stack)
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		sort.Strings(leaked)
+		t.Errorf("leaktest: %d goroutine(s) leaked past %v:\n\n%s",
+			len(leaked), settleTimeout, strings.Join(leaked, "\n\n"))
+	})
+}
+
+// ours reports whether a goroutine stack runs repro code worth flagging:
+// at least one repro/internal frame, excluding this package itself.
+func ours(stack string) bool {
+	return strings.Contains(stack, "repro/internal/") &&
+		!strings.Contains(stack, "repro/internal/leaktest")
+}
+
+// goroutineIDs is the set of currently live goroutine IDs.
+func goroutineIDs() map[string]bool {
+	ids := make(map[string]bool)
+	for id := range goroutineStacks() {
+		ids[id] = true
+	}
+	return ids
+}
+
+// goroutineStacks captures every goroutine's stack, keyed by the ID from
+// its "goroutine N [state]:" header. IDs are never reused within a
+// process, so membership in the before-set is a stable exemption.
+func goroutineStacks() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	stacks := make(map[string]string)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		header, _, ok := strings.Cut(g, "\n")
+		if !ok || !strings.HasPrefix(header, "goroutine ") {
+			continue
+		}
+		id, _, ok := strings.Cut(strings.TrimPrefix(header, "goroutine "), " ")
+		if !ok {
+			continue
+		}
+		stacks[id] = g
+	}
+	return stacks
+}

@@ -99,6 +99,16 @@ func NewAt(target, listen string, cfg Config) (*Proxy, error) {
 // Addr is the shaped endpoint clients dial.
 func (p *Proxy) Addr() string { return p.ln.Addr().String() }
 
+// SetConfig swaps the shaping parameters. Connections proxied after the
+// call use the new config; established pipes keep the one they started
+// with (a real link's in-flight segments don't re-shape either). Chaos
+// scenarios use it to move a fleet between network regimes mid-run.
+func (p *Proxy) SetConfig(cfg Config) {
+	p.mu.Lock()
+	p.cfg = cfg
+	p.mu.Unlock()
+}
+
 // Close stops the listener and tears down every proxied connection.
 func (p *Proxy) Close() error {
 	p.mu.Lock()
@@ -157,6 +167,11 @@ func (p *Proxy) untrack(c net.Conn) {
 func (p *Proxy) pipe(client net.Conn, id uint64) {
 	defer p.wg.Done()
 	defer p.untrack(client)
+	// Snapshot the config once per connection: SetConfig swaps it for
+	// later pipes without tearing this one.
+	p.mu.Lock()
+	cfg := p.cfg
+	p.mu.Unlock()
 	server, err := net.Dial("tcp", p.target)
 	if err != nil {
 		_ = client.Close()
@@ -165,11 +180,11 @@ func (p *Proxy) pipe(client net.Conn, id uint64) {
 	p.track(server)
 	defer p.untrack(server)
 	// Distinct deterministic streams per connection and direction.
-	rng := stats.NewRNG(p.cfg.Seed ^ (id+1)*0x9e3779b97f4a7c15)
+	rng := stats.NewRNG(cfg.Seed ^ (id+1)*0x9e3779b97f4a7c15)
 	var wg sync.WaitGroup
 	wg.Add(2)
-	go shape(&wg, server, client, p.cfg, rng.Split())
-	go shape(&wg, client, server, p.cfg, rng.Split())
+	go shape(&wg, server, client, cfg, rng.Split())
+	go shape(&wg, client, server, cfg, rng.Split())
 	wg.Wait()
 	_ = client.Close()
 	_ = server.Close()

@@ -7,6 +7,7 @@
 package pod
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -18,6 +19,27 @@ import (
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
+
+// ErrDeferred reports that the backend declined to ingest a batch right
+// now under overload: the batch was NOT applied (no journal op, no
+// session mark), and the submitter should retry it after a pause — for
+// sealed frames, verbatim, so exactly-once semantics are untouched.
+// hive.Hive wraps it when rarity-priced load shedding defers low-value
+// work; wire.Server maps it to MsgBusy (negotiated clients) or bounded
+// in-handler pacing (legacy clients).
+var ErrDeferred = errors.New("pod: ingest deferred under overload")
+
+// PressureSink is an optional backend extension letting the transport
+// install a load-pressure gauge: a function returning the current ingest
+// pressure in [0, 1] (0 = idle, 1 = at the configured queue budget). The
+// hive's load-shedding watermark reads it before pricing each batch;
+// keeping the gauge injected (rather than the hive reading clocks or
+// queues itself) keeps hive state deterministic and transport-agnostic.
+// hive.Hive implements it; wire.Server installs its queued-bytes gauge at
+// Listen when admission control is configured.
+type PressureSink interface {
+	SetPressureSource(func() float64)
+}
 
 // HiveClient is what a pod needs from the hive. internal/hive implements it
 // directly (in-process fleets) and internal/wire implements it over TCP.

@@ -10,6 +10,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fix"
@@ -74,6 +75,17 @@ type Client struct {
 	// far enough (compressRTTFloor) for bandwidth to be the bottleneck;
 	// loopback fleets skip it and keep their syscall-bound throughput.
 	helloRTT time.Duration
+	// busyOK reports the server granted FeatureBusy: declined submissions
+	// come back as MsgBusy retry-after hints instead of silent pacing.
+	busyOK bool
+	// helloCount counts hello exchanges this client has run; tests use it
+	// to prove busy replies do not trigger re-negotiation storms.
+	helloCount int
+
+	// rng is the per-client xorshift64 state behind backoff jitter —
+	// deliberately not math/rand, so jitter needs no seeding policy and
+	// stays allocation-free.
+	rng atomic.Uint64
 
 	// sealScratch is the reusable columnar encode buffer for
 	// sealFrameLocked (guarded by mu).
@@ -104,6 +116,19 @@ type Client struct {
 	// CoalesceDepth bounds how many inner frames one mega-frame carries
 	// (default defaultCoalesceDepth). Set before first use.
 	CoalesceDepth int
+	// DisableBusy withholds the FeatureBusy offer: the client never sees
+	// MsgBusy and an overloaded server throttles it by deferred reads and
+	// in-handler pacing instead (pre-PR9 emulation). Set before first use.
+	DisableBusy bool
+	// RetryBase and RetryCap bound the jittered exponential backoff used
+	// after MsgBusy replies (defaults defaultRetryBase / defaultRetryCap).
+	// Set before first use.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// BusyRetries is how many busy-backoff rounds a submission survives
+	// before the busy error surfaces to the caller (default
+	// defaultBusyRetries). Set before first use.
+	BusyRetries int
 }
 
 var _ pod.HiveClient = (*Client)(nil)
@@ -141,6 +166,14 @@ const compressRTTFloor = 5 * time.Millisecond
 // compressMinBytes skips compression for frames too small to amortize the
 // DEFLATE setup.
 const compressMinBytes = 512
+
+// defaultBusyRetries is how many busy-backoff rounds a submission
+// survives before giving up when the client does not pin its own count.
+// With the default schedule the rounds sum to a few seconds — long enough
+// to ride out a flash crowd, short enough that a caller with its own
+// retry loop (pod.BufferedClient parks unaccepted frames) gets control
+// back.
+const defaultBusyRetries = 8
 
 // Dial creates a client for the hive at addr. The connection is established
 // lazily on first use.
@@ -274,6 +307,9 @@ func (c *Client) featureSummaryLocked() string {
 	if c.routing {
 		parts = append(parts, FeatureRouting)
 	}
+	if c.busyOK {
+		parts = append(parts, FeatureBusy)
+	}
 	if c.maxFrame > MaxFrameSize {
 		parts = append(parts, fmt.Sprintf("max-frame=%d", c.maxFrame))
 	}
@@ -306,6 +342,9 @@ func (c *Client) ensureNegotiatedLocked() {
 	if !c.DisableRouting {
 		hello.Features = append(hello.Features, FeatureRouting)
 	}
+	if !c.DisableBusy {
+		hello.Features = append(hello.Features, FeatureBusy)
+	}
 	payload, err := json.Marshal(hello)
 	if err != nil {
 		return
@@ -320,6 +359,7 @@ func (c *Client) ensureNegotiatedLocked() {
 	}
 	c.helloRTT = time.Since(start)
 	c.negotiated = true
+	c.helloCount++
 	c.columnar = false
 	c.coalesce = false
 	c.compressOK = false
@@ -327,6 +367,7 @@ func (c *Client) ensureNegotiatedLocked() {
 	c.maxFrame = MaxFrameSize
 	c.routing = false
 	c.placement = nil
+	c.busyOK = false
 	if respType != MsgHelloAck {
 		return // pre-negotiation server: empty feature set, pinned
 	}
@@ -344,6 +385,8 @@ func (c *Client) ensureNegotiatedLocked() {
 			c.compressOK = !c.DisableCompression
 		case FeatureRouting:
 			c.routing = !c.DisableRouting
+		case FeatureBusy:
+			c.busyOK = !c.DisableBusy
 		}
 	}
 	if c.routing {
@@ -360,6 +403,39 @@ func (c *Client) ensureNegotiatedLocked() {
 	// nothing to compress.
 	c.compressOK = c.compressOK && c.columnar
 	c.compressing = c.compressOK && (c.ForceCompress || c.helloRTT >= compressRTTFloor)
+}
+
+// HelloCount reports how many hello exchanges this client has run. Tests
+// use it to prove a shedding (busy) owner does not trigger a
+// re-negotiation storm the way a dead one does.
+func (c *Client) HelloCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.helloCount
+}
+
+// jitter draws the next value in [0, 1) from the per-client xorshift64
+// stream (lock-free; any interleaving of concurrent draws is fine).
+func (c *Client) jitter() float64 {
+	for {
+		old := c.rng.Load()
+		x := old
+		if x == 0 {
+			x = 0x9e3779b97f4a7c15
+		}
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if c.rng.CompareAndSwap(old, x) {
+			return float64(x>>11) / float64(1<<53)
+		}
+	}
+}
+
+// backoff is the delay before busy-retry round attempt (0-based),
+// honoring the server's retry-after hint as a floor.
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	return backoffDelay(c.RetryBase, c.RetryCap, attempt, hint, c.jitter())
 }
 
 // Handshake eagerly dials and negotiates. Submission paths negotiate
@@ -426,22 +502,37 @@ func (c *Client) SubmitTraces(traces []*trace.Trace) error {
 // journal verbatim.
 func (c *Client) SubmitTracesFor(programID string, traces []*trace.Trace) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.ensureNegotiatedLocked()
 	c.seq++
 	msg, payload, err := c.sealFrameLocked(c.seq, programID, traces)
+	c.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	respType, resp, err := c.callLocked(msg, payload)
-	if err != nil {
-		return err
+	// The frame is sealed once — every retry below resends it verbatim
+	// with its original (session, seq) tag, so a busy round that raced a
+	// late apply deduplicates instead of double-ingesting. The backoff
+	// sleeps happen outside the client lock: other goroutines sharing this
+	// client keep submitting while one frame waits out a busy hive.
+	retries := c.BusyRetries
+	if retries <= 0 {
+		retries = defaultBusyRetries
 	}
-	if err := checkAck(respType, resp, len(traces)); err != nil {
-		c.noteRedirectLocked(err)
-		return err
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		respType, resp, err := c.callLocked(msg, payload)
+		if err == nil {
+			if err = checkAck(respType, resp, len(traces)); err != nil {
+				c.noteRedirectLocked(err)
+			}
+		}
+		c.mu.Unlock()
+		var be *BusyError
+		if err == nil || !errors.As(err, &be) || attempt >= retries {
+			return err
+		}
+		time.Sleep(c.backoff(attempt, be.RetryAfter))
 	}
-	return nil
 }
 
 // sealFrameLocked encodes one sequenced submission frame for the
@@ -541,11 +632,66 @@ func (c *Client) SealTraceBatches(programID string, batches [][]*trace.Trace) []
 // applying them again: resubmission is exactly-once end to end, within a
 // drain and across drains. The final error after a failed retry wraps the
 // last underlying transport failure.
+//
+// A MsgBusy reply (the server declined a frame under overload) is not a
+// failure: the drain backs off — jittered exponential, floored at the
+// server's retry-after hint — and resubmits the unaccepted frames
+// verbatim, up to BusyRetries rounds, before surfacing the busy error.
 func (c *Client) SubmitSealed(sealed []pod.SealedBatch) ([]bool, error) {
 	accepted := make([]bool, len(sealed))
 	if len(sealed) == 0 {
 		return accepted, nil
 	}
+	retries := c.BusyRetries
+	if retries <= 0 {
+		retries = defaultBusyRetries
+	}
+	var err error
+	for round := 0; ; round++ {
+		err = c.submitSealedRound(sealed, accepted)
+		var be *BusyError
+		if err == nil || !errors.As(err, &be) || round >= retries {
+			return accepted, err
+		}
+		// The hive is shedding, not down: back off (jittered exponential,
+		// floored at the server's hint) and resubmit only the unaccepted
+		// frames — verbatim, so the dedup window stays exact.
+		time.Sleep(c.backoff(round, be.RetryAfter))
+	}
+}
+
+// submitSealedRound runs one drain pass over the frames accepted has not
+// yet marked, folding the sub-results back positionally. The first round
+// covers everything and pays no copying; busy-retry rounds re-drain the
+// (typically short) unaccepted remainder.
+func (c *Client) submitSealedRound(sealed []pod.SealedBatch, accepted []bool) error {
+	pending := make([]int, 0, len(sealed))
+	for i, ok := range accepted {
+		if !ok {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) == len(sealed) {
+		return c.submitSealedOnce(sealed, accepted)
+	}
+	sub := make([]pod.SealedBatch, len(pending))
+	for j, i := range pending {
+		sub[j] = sealed[i]
+	}
+	subAcc := make([]bool, len(sub))
+	err := c.submitSealedOnce(sub, subAcc)
+	for j, i := range pending {
+		if subAcc[j] {
+			accepted[i] = true
+		}
+	}
+	return err
+}
+
+// submitSealedOnce is one windowed drain attempt over sealed, marking
+// accepted positionally. It holds the client lock throughout; busy
+// backoff lives in SubmitSealed, outside the lock.
+func (c *Client) submitSealedOnce(sealed []pod.SealedBatch, accepted []bool) error {
 	payloads := make([][]byte, len(sealed))
 	counts := make([]int, len(sealed))
 	msgs := make([]MsgType, len(sealed))
@@ -566,7 +712,7 @@ func (c *Client) SubmitSealed(sealed []pod.SealedBatch) ([]bool, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		if err := c.dialLocked(); err != nil {
-			return accepted, err
+			return err
 		}
 		var err error
 		var transport bool
@@ -576,16 +722,16 @@ func (c *Client) SubmitSealed(sealed []pod.SealedBatch) ([]bool, error) {
 			err, transport = c.streamLocked(msgs, payloads, counts, &acked, accepted)
 		}
 		if err == nil {
-			return accepted, nil
+			return nil
 		}
 		if !transport {
-			return accepted, err
+			return err
 		}
 		lastErr = err
 		_ = c.conn.Close()
 		c.conn = nil
 	}
-	return accepted, c.retryErrLocked(lastErr)
+	return c.retryErrLocked(lastErr)
 }
 
 // streamLocked runs one windowed write-ahead pass over the unacknowledged
@@ -830,6 +976,12 @@ func checkAck(respType MsgType, resp []byte, want int) error {
 			re.Version = rp.Placement.Version
 		}
 		return re
+	case MsgBusy:
+		var bp BusyPayload
+		if err := json.Unmarshal(resp, &bp); err != nil {
+			return fmt.Errorf("wire: bad busy reply: %w", err)
+		}
+		return &BusyError{RetryAfter: time.Duration(bp.RetryAfterMs) * time.Millisecond, Reason: bp.Reason}
 	default:
 		return fmt.Errorf("wire: unexpected response type %d", respType)
 	}

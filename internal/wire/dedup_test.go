@@ -4,12 +4,15 @@ import (
 	"errors"
 
 	"io"
+	"math"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/hive"
+	"repro/internal/leaktest"
 	"repro/internal/pod"
 	"repro/internal/prog"
 	"repro/internal/proggen"
@@ -315,5 +318,115 @@ func TestCrossDrainResubmitExactlyOnce(t *testing.T) {
 	}
 	if st.Ingested != int64(total) {
 		t.Fatalf("hive ingested %d traces, want exactly %d (cross-drain duplicate?)", st.Ingested, total)
+	}
+}
+
+// TestSealedResubmissionUnderShedding puts the load shedder inside the
+// resubmission loop and proves the two mechanisms compose: session dedup
+// answers replayed sealed frames before the shedder can see them, shed
+// batches are acked without being applied or session-marked, and once
+// pressure clears the identical sealed frames land — exactly-once for
+// everything admitted, at-least-once for everything shed.
+func TestSealedResubmissionUnderShedding(t *testing.T) {
+	leaktest.Check(t)
+	p, _, err := proggen.Generate(proggen.Spec{Seed: 7001, Depth: 4, NumInputs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hive.New("fleet")
+	if err := h.RegisterProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	var pressure atomic.Uint64 // math.Float64bits, settable mid-test
+	h.SetShedPolicy(&hive.ShedPolicy{Watermark: 0.5})
+	h.SetPressureSource(func() float64 { return math.Float64frombits(pressure.Load()) })
+	srv := NewServer(h)
+	srv.Logf = func(string, ...any) {}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	proxy := newAckProxy(t, addr, 4) // first conn dies with frames in limbo
+	client := Dial(proxy.addr())
+	t.Cleanup(func() { _ = client.Close() })
+
+	// Drain 1, pressure zero: the flaky link forces a transparent retry of
+	// the limbo frames; dedup keeps ingestion exact.
+	const batches, perBatch = 10, 4
+	sealed := client.SealTraceBatches(p.ID, makeBatches(t, p, batches, perBatch))
+	accepted, err := client.SubmitSealed(sealed)
+	if err != nil {
+		t.Fatalf("drain 1: %v", err)
+	}
+	for i, ok := range accepted {
+		if !ok {
+			t.Fatalf("drain 1: batch %d unacked", i)
+		}
+	}
+	ingestedNow := func() int64 {
+		st, err := h.ProgramStats(p.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Ingested
+	}
+	if got := ingestedNow(); got != batches*perBatch {
+		t.Fatalf("drain 1 ingested %d, want %d", got, batches*perBatch)
+	}
+
+	// Paranoid replay of the SAME sealed frames at high pressure: every
+	// frame is a session duplicate and must be dup-acked by the dedup
+	// window before the shedder prices it.
+	pressure.Store(math.Float64bits(0.9))
+	accepted, err = client.SubmitSealed(sealed)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	for i, ok := range accepted {
+		if !ok {
+			t.Fatalf("replay: batch %d unacked", i)
+		}
+	}
+	if got := ingestedNow(); got != batches*perBatch {
+		t.Fatalf("replay re-ingested: %d traces", got)
+	}
+	if ss := h.ShedStats(); ss.ShedDuplicate != 0 || ss.ShedCovered != 0 {
+		t.Fatalf("session-dup frames reached the shedder: %+v", ss)
+	}
+
+	// Fresh frames carrying already-covered work at high pressure: acked
+	// but shed, and — critically — never session-marked.
+	shedSealed := client.SealTraceBatches(p.ID, makeBatches(t, p, 5, perBatch))
+	accepted, err = client.SubmitSealed(shedSealed)
+	if err != nil {
+		t.Fatalf("shed drain: %v", err)
+	}
+	for i, ok := range accepted {
+		if !ok {
+			t.Fatalf("shed drain: batch %d unacked", i)
+		}
+	}
+	if got := ingestedNow(); got != batches*perBatch {
+		t.Fatalf("shed drain ingested %d, want unchanged %d", got, batches*perBatch)
+	}
+	if ss := h.ShedStats(); ss.ShedDuplicate+ss.ShedCovered != 5 {
+		t.Fatalf("want all 5 covered batches shed, got %+v", ss)
+	}
+
+	// Pressure clears; the identical sealed frames now land: the shed path
+	// left no session mark behind to swallow them.
+	pressure.Store(0)
+	accepted, err = client.SubmitSealed(shedSealed)
+	if err != nil {
+		t.Fatalf("post-shed drain: %v", err)
+	}
+	for i, ok := range accepted {
+		if !ok {
+			t.Fatalf("post-shed drain: batch %d unacked", i)
+		}
+	}
+	if got, want := ingestedNow(), int64((batches+5)*perBatch); got != want {
+		t.Fatalf("post-shed drain ingested %d, want %d", got, want)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/fix"
 	"repro/internal/guidance"
 	"repro/internal/hive"
+	"repro/internal/leaktest"
 	"repro/internal/prog"
 	"repro/internal/trace"
 )
@@ -92,6 +93,7 @@ func TestPipelinedAckOrdering(t *testing.T) {
 // pipelining bursts of distinctly sized frames: every connection must see
 // its own acks, in its own frame order.
 func TestPipelinedAcksUnderConcurrentClients(t *testing.T) {
+	leaktest.Check(t)
 	backend := &countingBackend{}
 	srv := NewServer(backend)
 	srv.Logf = t.Logf
@@ -158,6 +160,7 @@ func TestPipelinedAcksUnderConcurrentClients(t *testing.T) {
 // per-connection pipeline backs up) must not stall ingestion from other
 // connections.
 func TestSlowConnDoesNotStallIngestion(t *testing.T) {
+	leaktest.Check(t)
 	backend := &countingBackend{}
 	srv := NewServer(backend)
 	srv.Logf = func(string, ...any) {}

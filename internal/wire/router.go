@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/fix"
 	"repro/internal/guidance"
@@ -47,6 +49,17 @@ type Router struct {
 	DisableCompression bool
 	ForceCompress      bool
 	CoalesceDepth      int
+	// RetryBase, RetryCap, BusyRetries and DisableBusy are the busy-backoff
+	// knobs, copied onto every client this router creates. Set before
+	// first use.
+	RetryBase   time.Duration
+	RetryCap    time.Duration
+	BusyRetries int
+	DisableBusy bool
+
+	// rng is the router's own xorshift64 jitter state for fleet-level
+	// busy-round pacing (lock-free).
+	rng atomic.Uint64
 }
 
 var _ pod.HiveClient = (*Router)(nil)
@@ -59,6 +72,12 @@ var _ pod.SealedStreamer = (*Router)(nil)
 // a map that moved again mid-flight. Past that the caller's frames stay
 // parked (sealed frames lose nothing by waiting).
 const maxRouteAttempts = 3
+
+// routerBusyRounds bounds the extra paced rounds a drain spends on owners
+// that are alive but shedding (every per-owner error a BusyError) — those
+// rounds deliberately do not consume routing attempts: the placement is
+// correct, the fleet just wants the work later.
+const routerBusyRounds = 4
 
 // NewRouter creates a router bootstrapping from the given hive
 // addresses. At least one seed is required; every fleet member works.
@@ -94,8 +113,30 @@ func (r *Router) clientLocked(addr string) *Client {
 	c.DisableCompression = r.DisableCompression
 	c.ForceCompress = r.ForceCompress
 	c.CoalesceDepth = r.CoalesceDepth
+	c.RetryBase = r.RetryBase
+	c.RetryCap = r.RetryCap
+	c.BusyRetries = r.BusyRetries
+	c.DisableBusy = r.DisableBusy
 	r.clients[addr] = c
 	return c
+}
+
+// jitter draws the next value in [0, 1) from the router's xorshift64
+// stream.
+func (r *Router) jitter() float64 {
+	for {
+		old := r.rng.Load()
+		x := old
+		if x == 0 {
+			x = 0x6a09e667f3bcc909
+		}
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if r.rng.CompareAndSwap(old, x) {
+			return float64(x>>11) / float64(1<<53)
+		}
+	}
 }
 
 // adoptLocked installs m if it is newer than what the router holds.
@@ -164,15 +205,22 @@ func (r *Router) PlacementVersion() uint64 {
 }
 
 // noteRoutingError digests a per-owner submission failure: a redirect
-// teaches the newer map it carries; anything else (the owner may be
-// down) forces a seed re-poll so the next attempt runs on the freshest
-// placement any surviving member advertises.
+// teaches the newer map it carries; a busy reply is NOT a routing signal
+// — the owner is alive and correctly placed, merely shedding, so
+// re-polling every seed would turn one overloaded hive into a
+// fleet-wide hello storm; anything else (the owner may be down) forces a
+// seed re-poll so the next attempt runs on the freshest placement any
+// surviving member advertises.
 func (r *Router) noteRoutingError(err error) {
 	var re *RedirectError
 	if errors.As(err, &re) {
 		r.mu.Lock()
 		r.adoptLocked(placementFromPayload(re.Placement))
 		r.mu.Unlock()
+		return
+	}
+	var be *BusyError
+	if errors.As(err, &be) {
 		return
 	}
 	r.mu.Lock()
@@ -193,7 +241,8 @@ func (r *Router) SubmitSealed(sealed []pod.SealedBatch) ([]bool, error) {
 		return accepted, nil
 	}
 	var lastErr error
-	for attempt := 0; attempt < maxRouteAttempts; attempt++ {
+	busyRounds := 0
+	for attempt := 0; attempt < maxRouteAttempts; {
 		r.mu.Lock()
 		groups := make(map[string][]int)
 		for i := range sealed {
@@ -242,13 +291,25 @@ func (r *Router) SubmitSealed(sealed []pod.SealedBatch) ([]bool, error) {
 			}(oi, clients[owner], idx, sub)
 		}
 		wg.Wait()
+		anyErr, busyOnly := false, true
+		var busyHint time.Duration
 		for _, err := range errs {
-			if err != nil {
-				lastErr = err
-				r.noteRoutingError(err)
+			if err == nil {
+				continue
+			}
+			anyErr = true
+			lastErr = err
+			r.noteRoutingError(err)
+			var be *BusyError
+			if errors.As(err, &be) {
+				if be.RetryAfter > busyHint {
+					busyHint = be.RetryAfter
+				}
+			} else {
+				busyOnly = false
 			}
 		}
-		if lastErr == nil {
+		if !anyErr {
 			done := true
 			for i := range accepted {
 				if !accepted[i] {
@@ -260,7 +321,18 @@ func (r *Router) SubmitSealed(sealed []pod.SealedBatch) ([]bool, error) {
 				return accepted, nil
 			}
 			lastErr = fmt.Errorf("wire: fleet accepted only part of the drain")
+			attempt++
+			continue
 		}
+		if busyOnly && busyRounds < routerBusyRounds {
+			// Every failing owner is alive but shedding: pace the next round
+			// (jittered, floored at the largest hint any owner sent) without
+			// burning a routing attempt — the placement is already right.
+			busyRounds++
+			time.Sleep(backoffDelay(r.RetryBase, r.RetryCap, busyRounds-1, busyHint, r.jitter()))
+			continue
+		}
+		attempt++
 	}
 	return accepted, lastErr
 }
@@ -297,6 +369,13 @@ func (r *Router) SubmitTracesFor(programID string, traces []*trace.Trace) error 
 		}
 		lastErr = err
 		r.noteRoutingError(err)
+		// A busy error surfacing here means the client already exhausted
+		// its own backoff rounds; pace once more before the next routing
+		// attempt instead of hammering the shedding owner.
+		var be *BusyError
+		if errors.As(err, &be) {
+			time.Sleep(backoffDelay(r.RetryBase, r.RetryCap, attempt, be.RetryAfter, r.jitter()))
+		}
 	}
 	return lastErr
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/hive"
+	"repro/internal/leaktest"
 	"repro/internal/pod"
 	"repro/internal/prog"
 	"repro/internal/ring"
@@ -126,6 +127,7 @@ func pickOwnedBy(t *testing.T, nodes []*fleetNode, corpus []*prog.Program, m *ri
 // verbatim resubmission of the already-acked sealed frames is dup-acked
 // without re-ingesting.
 func TestRoutedSealedExactlyOnce(t *testing.T) {
+	leaktest.Check(t)
 	corpus := buildRoutedCorpus(t, 6)
 	nodes, m := startFleet(t, 3, corpus)
 	r := NewRouter(nodes[0].addr, nodes[1].addr, nodes[2].addr)

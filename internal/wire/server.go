@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/pod"
 	"repro/internal/ring"
@@ -72,6 +73,19 @@ type Server struct {
 	// MaxCoalescedFrameSize); zero means MaxCoalescedFrameSize. Grants
 	// never go below MaxFrameSize.
 	MaxFrame int
+
+	// Admission, when non-nil, arms the overload protections: per-session
+	// token-bucket rate limits answered with MsgBusy (FeatureBusy clients)
+	// or in-handler pacing (legacy clients), per-connection queued-byte
+	// backpressure feeding the backend's load-shedding pressure gauge,
+	// progress-based slow-loris frame deadlines, and accept-time caps on
+	// total / half-open connections. Set before Listen. Nil — the default —
+	// costs one pointer check per frame, keeping the loopback fast path
+	// unchanged.
+	Admission *Admission
+
+	// adm is the runtime admission state, built from Admission at Listen.
+	adm *admissionState
 }
 
 // connState is per-connection negotiated state shared between a
@@ -83,6 +97,25 @@ type Server struct {
 type connState struct {
 	limit   atomic.Int64
 	routing atomic.Bool
+
+	// busy records that the client negotiated FeatureBusy: declined
+	// submissions answer MsgBusy (written by the worker, in the reply slot
+	// the ack would have occupied, so pipelined order is preserved) instead
+	// of being absorbed by pacing.
+	busy atomic.Bool
+
+	// key is the admission bucket key for frames that carry no session:
+	// the connection's remote address.
+	key string
+
+	// qMu/qCond/qBytes account the frame-payload bytes queued between this
+	// connection's reader and its worker. The reader blocks past the
+	// configured per-connection budget — byte-granular backpressure on top
+	// of the frame-count queue depth. qMu is a leaf lock (rank 50 in the
+	// lockdiscipline order); only touched when admission is configured.
+	qMu    sync.Mutex
+	qCond  *sync.Cond
+	qBytes int64
 }
 
 // framePool recycles read-side frame payload buffers: a frame is read into
@@ -155,10 +188,30 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("wire: listen: %w", err)
 	}
+	if s.Admission != nil {
+		s.adm = newAdmissionState(*s.Admission)
+		if s.adm.cfg.TotalQueueBytes > 0 {
+			// Hand the backend a live ingest-pressure gauge: the hive's
+			// load-shedding watermark prices batches against it without the
+			// hive ever reading clocks or queues itself.
+			if sink, ok := s.backend.(pod.PressureSink); ok {
+				sink.SetPressureSource(s.adm.pressure)
+			}
+		}
+	}
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return ln.Addr().String(), nil
+}
+
+// AdmissionStats snapshots the admission-control counters (zero value
+// when no Admission config is armed).
+func (s *Server) AdmissionStats() AdmissionStats {
+	if s.adm == nil {
+		return AdmissionStats{}
+	}
+	return s.adm.stats()
 }
 
 func (s *Server) acceptLoop() {
@@ -168,10 +221,27 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if a := s.adm; a != nil {
+			// Hard caps are enforced at accept, before the connection costs
+			// anything: a full house or a half-open flood (slow loris,
+			// scanners) is turned away with a bare close.
+			if (a.cfg.MaxConns > 0 && a.conns.Load() >= a.cfg.MaxConns) ||
+				(a.cfg.MaxHalfOpen > 0 && a.halfOpen.Load() >= a.cfg.MaxHalfOpen) {
+				a.connsRejected.Add(1)
+				_ = conn.Close()
+				continue
+			}
+			a.conns.Add(1)
+			a.halfOpen.Add(1)
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			_ = conn.Close()
+			if a := s.adm; a != nil {
+				a.conns.Add(-1)
+				a.halfOpen.Add(-1)
+			}
 			return
 		}
 		s.conns[conn] = true
@@ -302,15 +372,26 @@ func (s *Server) Close() error {
 type request struct {
 	msgType MsgType
 	payload *[]byte
+	// size is the frame payload size for queued-byte accounting; recorded
+	// at enqueue because handlers may grow the pooled buffer.
+	size int
 }
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	adm := s.adm
+	established := false
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		_ = conn.Close()
+		if adm != nil {
+			adm.conns.Add(-1)
+			if !established {
+				adm.halfOpen.Add(-1)
+			}
+		}
 	}()
 
 	// Worker: decode, dispatch, reply — in request order, off the
@@ -319,10 +400,25 @@ func (s *Server) serveConn(conn net.Conn) {
 	// its acks in bursts, not one syscall each). On a handler error the
 	// worker closes the connection (unblocking the reader) and drains the
 	// queue so the reader can never block on a send with no receiver.
-	cs := &connState{}
+	cs := &connState{key: conn.RemoteAddr().String()}
+	cs.qCond = sync.NewCond(&cs.qMu)
 	cs.limit.Store(MaxFrameSize)
 	reqs := make(chan request, ingestQueueDepth)
 	workerDone := make(chan struct{})
+	// release returns a dispatched (or drained) frame's bytes to the queue
+	// budget and wakes a reader parked on the per-connection cap. Every
+	// path that consumes a request — normal dispatch, bail drain — must
+	// release, or the pressure gauge sticks high after the burst passes.
+	release := func(n int) {
+		if adm == nil || n == 0 {
+			return
+		}
+		adm.queued.Add(int64(-n))
+		cs.qMu.Lock()
+		cs.qBytes -= int64(n)
+		cs.qCond.Signal()
+		cs.qMu.Unlock()
+	}
 	go func() {
 		defer close(workerDone)
 		bw := bufio.NewWriterSize(conn, 32<<10)
@@ -331,6 +427,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			_ = conn.Close()
 			for req := range reqs {
 				framePool.Put(req.payload)
+				release(req.size)
 			}
 		}
 		for req := range reqs {
@@ -343,6 +440,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				err = s.dispatch(cs, bw, req.msgType, *req.payload)
 			}
 			framePool.Put(req.payload)
+			release(req.size)
 			if err != nil {
 				bail(fmt.Sprintf("handle %v", req.msgType), err)
 				return
@@ -358,20 +456,161 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 
 	// Reader: the connection goroutine only reads frames; backpressure is
-	// the bounded queue. The frame limit is re-loaded per frame so a hello
+	// the bounded queue — frame-count always, queued bytes when admission
+	// is configured. The frame limit is re-loaded per frame so a hello
 	// grant applies from the very next frame on.
 	for {
-		msgType, payload, err := readFramePooledLimit(conn, func() int { return int(cs.limit.Load()) })
+		if adm != nil && adm.cfg.ConnQueueBytes > 0 {
+			cs.qMu.Lock()
+			for cs.qBytes > adm.cfg.ConnQueueBytes {
+				cs.qCond.Wait()
+			}
+			cs.qMu.Unlock()
+		}
+		msgType, payload, err := s.readConnFrame(conn, cs)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.Logf("wire: read from %s: %v", conn.RemoteAddr(), err)
 			}
 			break
 		}
-		reqs <- request{msgType: msgType, payload: payload}
+		size := 0
+		if adm != nil {
+			if !established {
+				// First complete, well-formed frame: the connection is no
+				// longer half-open and stops occupying a slow-loris slot.
+				established = true
+				adm.halfOpen.Add(-1)
+			}
+			size = len(*payload)
+			adm.queued.Add(int64(size))
+			cs.qMu.Lock()
+			cs.qBytes += int64(size)
+			cs.qMu.Unlock()
+		}
+		reqs <- request{msgType: msgType, payload: payload, size: size}
 	}
 	close(reqs)
 	<-workerDone
+}
+
+// readConnFrame reads one frame under the connection's negotiated size
+// limit and, when a FrameTimeout is armed, a progress deadline: waiting
+// for a frame to START is unbounded (an idle pod between drains is
+// legal), but once the first header byte arrives the rest of the frame
+// must land within the timeout. A peer dribbling a started frame — the
+// slow loris — is evicted, freeing its worker and queue slot.
+func (s *Server) readConnFrame(conn net.Conn, cs *connState) (MsgType, *[]byte, error) {
+	limit := func() int { return int(cs.limit.Load()) }
+	var timeout time.Duration
+	if s.adm != nil {
+		timeout = s.adm.cfg.FrameTimeout
+	}
+	if timeout <= 0 {
+		return readFramePooledLimit(conn, limit)
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(conn, hdr[:1]); err != nil {
+		return 0, nil, err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	defer func() { _ = conn.SetReadDeadline(time.Time{}) }()
+	if _, err := io.ReadFull(conn, hdr[1:]); err != nil {
+		return 0, nil, s.slowLorisErr(err)
+	}
+	rawSize := binary.BigEndian.Uint32(hdr[:4])
+	if rawSize == 0 || rawSize > uint32(limit()) {
+		return 0, nil, fmt.Errorf("%w: size %d", ErrFrame, rawSize)
+	}
+	t, bp, err := readFrameBody(conn, MsgType(hdr[4]), int(rawSize-1))
+	if err != nil {
+		return 0, nil, s.slowLorisErr(err)
+	}
+	return t, bp, nil
+}
+
+// slowLorisErr annotates (and counts) a frame-progress deadline hit;
+// other read errors pass through untouched.
+func (s *Server) slowLorisErr(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.adm.slowEvicted.Add(1)
+		return fmt.Errorf("wire: slow-loris eviction: frame stalled past %v: %w", s.adm.cfg.FrameTimeout, err)
+	}
+	return err
+}
+
+// admitBatch charges n traces against the session's (or, for unsessioned
+// frames, the connection's) token bucket. Runs on the worker, so a busy
+// reply lands in the exact reply slot the frame's ack would have used —
+// pipelined clients keep matching acks by order. handled=true means the
+// frame was answered (MsgBusy) and the handler must return err without
+// touching the backend; otherwise the frame is admitted, possibly after
+// in-handler pacing (legacy clients get deferred reads, not MsgBusy).
+func (s *Server) admitBatch(cs *connState, w io.Writer, session string, n int) (handled bool, err error) {
+	a := s.adm
+	if a == nil || a.cfg.SessionRate <= 0 {
+		return false, nil
+	}
+	key := session
+	if key == "" && cs != nil {
+		key = cs.key
+	}
+	if cs != nil && cs.busy.Load() {
+		wait, ok := a.debit(key, n, time.Now(), false)
+		if ok {
+			return false, nil
+		}
+		a.busyReplies.Add(1)
+		return true, s.reply(w, MsgBusy, BusyPayload{
+			RetryAfterMs: int64(wait / time.Millisecond),
+			Reason:       "session rate limit",
+		})
+	}
+	wait, _ := a.debit(key, n, time.Now(), true)
+	if wait > 0 {
+		a.pacedFrames.Add(1)
+		time.Sleep(wait)
+	}
+	return false, nil
+}
+
+// submitShed runs a backend submission, mapping pod.ErrDeferred — the
+// hive's load shedder asking for the batch later — to its client-visible
+// form: MsgBusy for FeatureBusy clients (handled=true, the frame stays
+// unacked and the client resubmits it verbatim); a short bounded
+// in-handler retry for legacy clients, after which a still-deferred batch
+// surfaces as an ordinary error ack and the client's at-least-once retry
+// machinery parks it.
+func (s *Server) submitShed(cs *connState, w io.Writer, fn func() (bool, error)) (dup bool, err error, handled bool, werr error) {
+	dup, err = fn()
+	if err == nil || !errors.Is(err, pod.ErrDeferred) {
+		return dup, err, false, nil
+	}
+	hint := defaultRetryAfter
+	if s.adm != nil {
+		hint = s.adm.cfg.RetryAfter
+	}
+	if cs != nil && cs.busy.Load() {
+		if s.adm != nil {
+			s.adm.busyReplies.Add(1)
+		}
+		return false, nil, true, s.reply(w, MsgBusy, BusyPayload{
+			RetryAfterMs: int64(hint / time.Millisecond),
+			Reason:       err.Error(),
+		})
+	}
+	for i := 0; i < 3; i++ {
+		if s.adm != nil {
+			s.adm.pacedFrames.Add(1)
+		}
+		time.Sleep(hint << uint(i))
+		dup, err = fn()
+		if err == nil || !errors.Is(err, pod.ErrDeferred) {
+			break
+		}
+	}
+	return dup, err, false, nil
 }
 
 func (s *Server) dispatch(cs *connState, w io.Writer, msgType MsgType, payload []byte) error {
@@ -432,6 +671,12 @@ func (s *Server) handleHello(cs *connState, w io.Writer, payload []byte) error {
 				ack.Placement = placementPayload(pl)
 				cs.routing.Store(true)
 			}
+		case FeatureBusy:
+			// Granted unconditionally: even without an Admission config the
+			// backend's load shedder may defer a batch, and an explicit
+			// MsgBusy beats silently pacing a client that can back off.
+			ack.Features = append(ack.Features, f)
+			cs.busy.Store(true)
 		}
 	}
 	if req.MaxFrame > MaxFrameSize && !s.DisableWAN {
@@ -578,13 +823,26 @@ func (s *Server) ingestColumnar(cs *connState, w io.Writer, session string, seq 
 		}
 		return WriteFrame(w, respType, resp)
 	}
-	if cs, ok := s.backend.(pod.ColumnarSubmitter); ok {
-		dup, err := cs.SubmitColumnarSession(session, seq, view)
+	if handled, herr := s.admitBatch(cs, w, session, view.Len()); handled {
+		return herr
+	}
+	if sub, ok := s.backend.(pod.ColumnarSubmitter); ok {
+		dup, err, handled, herr := s.submitShed(cs, w, func() (bool, error) {
+			return sub.SubmitColumnarSession(session, seq, view)
+		})
+		if handled {
+			return herr
+		}
 		return ack(view.Len(), dup, err)
 	}
 	traces := view.MaterializeAll()
 	if ss, ok := s.backend.(pod.SessionSubmitter); ok {
-		dup, err := ss.SubmitTracesSession(session, seq, view.ProgramID(), traces)
+		dup, err, handled, herr := s.submitShed(cs, w, func() (bool, error) {
+			return ss.SubmitTracesSession(session, seq, view.ProgramID(), traces)
+		})
+		if handled {
+			return herr
+		}
 		return ack(len(traces), dup, err)
 	}
 	var submitErr error
@@ -706,6 +964,9 @@ func (s *Server) handleSubmitFor(cs *connState, w io.Writer, payload []byte) err
 			})
 		}
 	}
+	if handled, herr := s.admitBatch(cs, w, "", len(traces)); handled {
+		return herr
+	}
 	// Use the backend's per-program fast path when it has one; a plain
 	// HiveClient backend still accepts the frame through the grouped path.
 	var submitErr error
@@ -739,10 +1000,18 @@ func (s *Server) handleSubmitSeq(cs *connState, w io.Writer, payload []byte) err
 			})
 		}
 	}
+	if handled, herr := s.admitBatch(cs, w, session, len(traces)); handled {
+		return herr
+	}
 	// Exactly-once when the backend keeps a session dedup window; otherwise
 	// degrade gracefully to the per-program (at-least-once) paths.
 	if ss, ok := s.backend.(pod.SessionSubmitter); ok {
-		dup, err := ss.SubmitTracesSession(session, seq, programID, traces)
+		dup, err, handled, herr := s.submitShed(cs, w, func() (bool, error) {
+			return ss.SubmitTracesSession(session, seq, programID, traces)
+		})
+		if handled {
+			return herr
+		}
 		if err != nil {
 			return s.reply(w, MsgAck, AckPayload{Error: err.Error()})
 		}

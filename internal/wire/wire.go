@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // MsgType discriminates frames.
@@ -92,6 +93,18 @@ const (
 	// double-applied across the move. Sent only to clients that negotiated
 	// FeatureRouting; pre-ring clients are proxied server-side instead.
 	MsgRedirect
+	// MsgBusy answers a submission the server declines to ingest right now
+	// under overload: the payload (BusyPayload) carries a retry-after hint
+	// and the shed/limit reason. The frame was NOT applied — the client
+	// must resubmit it (verbatim, for sealed frames) after backing off, so
+	// exactly-once semantics are untouched: a busy frame is simply a frame
+	// that has not been acknowledged yet. Busy replies are emitted by the
+	// per-connection worker in the reply slot the frame's ack would have
+	// occupied, so pipelined clients keep matching acks to frames by order.
+	// Sent only to clients that negotiated FeatureBusy; pre-PR9 clients are
+	// throttled transparently by deferred reads and in-handler pacing
+	// instead.
+	MsgBusy
 )
 
 // FeatureColumnarBatch names the columnar-batch submission feature in
@@ -113,6 +126,14 @@ const FeatureSlabFlate = "slab-flate"
 // placement (a single unsharded hive stays silent, and clients route
 // everything to it).
 const FeatureRouting = "ring-routing"
+
+// FeatureBusy names the explicit-backpressure feature in hello
+// negotiation: a server that grants it may answer any submission with
+// MsgBusy (a retry-after hint) instead of an ack when admission control
+// or hive load shedding declines the batch. Clients that did not offer
+// it never see MsgBusy — the server throttles them by deferred reads and
+// in-handler pacing instead, so pre-PR9 fleets degrade transparently.
+const FeatureBusy = "busy-retry"
 
 // MaxFrameSize bounds a frame; larger frames are rejected as hostile.
 // Connections that negotiated a larger limit via the hello exchange accept
@@ -239,6 +260,31 @@ type RedirectError struct {
 
 func (e *RedirectError) Error() string {
 	return fmt.Sprintf("wire: program %s is owned by %s (placement v%d)", e.ProgramID, e.Owner, e.Version)
+}
+
+// BusyPayload is the body of MsgBusy: how long the client should wait
+// before resubmitting the frame, and why it was declined (rate limit,
+// queue pressure, or a hive shed reason — diagnostics, not protocol).
+type BusyPayload struct {
+	RetryAfterMs int64  `json:"retryAfterMs"`
+	Reason       string `json:"reason,omitempty"`
+}
+
+// BusyError is the typed client-side form of MsgBusy: the submission was
+// not applied; the server asks the client to back off and resubmit. The
+// client's retry machinery honors RetryAfter as a floor under its
+// jittered exponential backoff; the Router treats it as "owner alive but
+// shedding" and does NOT re-poll seeds for a new placement.
+type BusyError struct {
+	RetryAfter time.Duration
+	Reason     string
+}
+
+func (e *BusyError) Error() string {
+	if e.Reason == "" {
+		return fmt.Sprintf("wire: server busy (retry after %v)", e.RetryAfter)
+	}
+	return fmt.Sprintf("wire: server busy (retry after %v): %s", e.RetryAfter, e.Reason)
 }
 
 // GetFixesPayload requests fixes.

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/hive"
+	"repro/internal/leaktest"
 	"repro/internal/pod"
 	"repro/internal/prog"
 	"repro/internal/trace"
@@ -89,6 +90,7 @@ func startServer(t *testing.T) (*hive.Hive, string, func()) {
 }
 
 func TestEndToEndOverTCP(t *testing.T) {
+	leaktest.Check(t)
 	p := buildCrashy(t)
 	h, addr, stop := startServer(t)
 	defer stop()
@@ -155,6 +157,7 @@ func TestServerErrorsSurfaceAsClientErrors(t *testing.T) {
 }
 
 func TestManyConcurrentClients(t *testing.T) {
+	leaktest.Check(t)
 	p := buildCrashy(t)
 	h, addr, stop := startServer(t)
 	defer stop()
