@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/hive"
 	"repro/internal/journal"
 	"repro/internal/proggen"
@@ -63,6 +64,9 @@ func run(args []string) error {
 	groupBatch := fs.Int("group-batch", 256, "group-commit batch cap: max journal records coalesced into one write+fsync (<=1 disables group commit)")
 	commitWorkers := fs.Int("commit-workers", 0, "committer-pool cap shared across all programs' journals (0 uses the default; the pool bounds goroutines and fsync concurrency for the whole data dir)")
 	compactEvery := fs.Int("compact-every", 8, "snapshots are incremental delta segments, compacted into a full snapshot every N checkpoints (<=0 makes every snapshot full)")
+	archiveDir := fs.String("archive-dir", "", "archive object-store directory: snapshot chains and sealed WAL segments are tiered here in the background (requires -data-dir)")
+	archiveEvery := fs.Duration("archive-every", time.Minute, "background archive sync interval (0 disables; requires -archive-dir)")
+	diskBudget := fs.Int64("disk-budget", 0, "local data-dir byte budget: archived chains past it are pruned to tether markers and rehydrated from the archive on demand (0 keeps everything local; requires -archive-dir)")
 	maxFrame := fs.Int("max-frame", 0, "cap on the frame-size raise granted to WAN clients in bytes (0 uses the built-in maximum; never drops below the universal frame limit)")
 	noWAN := fs.Bool("no-wan", false, "refuse the WAN transport features (coalesced mega-frames, compressed batches, frame-size raises) in hello grants")
 	sessRate := fs.Float64("max-sessions-rate", 0, "per-session admission rate in traces/sec; over-rate clients get busy-retry replies (0 disables)")
@@ -99,7 +103,10 @@ func run(args []string) error {
 		fmt.Printf("registered program %d: %s (%s)\n", i, p.Name, p.ID)
 	}
 
-	var store *journal.Store
+	var (
+		store *journal.Store
+		arch  *archive.Archiver
+	)
 	if *dataDir != "" {
 		var err error
 		store, err = journal.Open(*dataDir, journal.Options{
@@ -112,6 +119,22 @@ func run(args []string) error {
 			return err
 		}
 		defer store.Close()
+		if *archiveDir != "" {
+			obj, err := archive.NewDirStore(*archiveDir, nil)
+			if err != nil {
+				return err
+			}
+			// The fetcher must be armed before Recover: a boot against a
+			// data dir pruned to tether markers rehydrates chains from the
+			// archive during recovery.
+			store.SetChainFetcher(archive.ChainFetcher(obj))
+			arch = archive.New(store, obj, archive.Options{
+				Writer:     *addr,
+				DiskBudget: *diskBudget,
+			})
+		} else if *diskBudget > 0 {
+			return fmt.Errorf("-disk-budget needs -archive-dir: chains can only be pruned locally once they are archived")
+		}
 		h.SetCompactEvery(*compactEvery)
 		if err := h.Recover(store); err != nil {
 			return err
@@ -123,6 +146,13 @@ func run(args []string) error {
 			}
 		}
 		fmt.Printf("durable hive: data in %s (snapshot every %v)\n", *dataDir, *snapshotEvery)
+		if arch != nil {
+			fmt.Printf("archive tier: %s (sync every %v, disk budget %dB)\n", *archiveDir, *archiveEvery, *diskBudget)
+		}
+	} else if *archiveDir != "" {
+		return fmt.Errorf("-archive-dir needs -data-dir: the archive tiers the journal, it does not replace it")
+	} else if *diskBudget > 0 {
+		return fmt.Errorf("-disk-budget needs -archive-dir: chains can only be pruned locally once they are archived")
 	}
 
 	srv := wire.NewServer(h)
@@ -229,6 +259,33 @@ func run(args []string) error {
 		}()
 	}
 
+	// Background archiver: tiers snapshot chains and sealed WAL segments
+	// into the archive store and prunes local generations to the disk
+	// budget. Sync errors are logged and retried on the next tick — the
+	// local journal stays the source of truth until a sync lands.
+	archDone := make(chan struct{})
+	if arch != nil && *archiveEvery > 0 {
+		ticker := time.NewTicker(*archiveEvery)
+		go func() {
+			defer close(archDone)
+			for {
+				select {
+				case <-archDone:
+					return
+				case <-ticker.C:
+					if err := arch.SyncAll(); err != nil {
+						fmt.Fprintln(os.Stderr, "hive: archive sync:", err)
+					}
+				}
+			}
+		}()
+		defer func() {
+			ticker.Stop()
+			archDone <- struct{}{}
+			<-archDone
+		}()
+	}
+
 	shutdown := func() error {
 		fmt.Println("shutting down")
 		if store != nil {
@@ -239,6 +296,15 @@ func run(args []string) error {
 			}
 			if err := h.DurabilityError(); err != nil {
 				return fmt.Errorf("durability degraded during run: %w", err)
+			}
+		}
+		if arch != nil {
+			// A final archive sync ships the closing checkpoint, so a cold
+			// standby can rebuild this hive's final state from the archive
+			// alone. Failure is reported but not fatal: the local dir holds
+			// everything.
+			if err := arch.SyncAll(); err != nil {
+				fmt.Fprintln(os.Stderr, "hive: final archive sync:", err)
 			}
 		}
 		return nil
@@ -271,14 +337,24 @@ func run(args []string) error {
 				fmt.Printf("program %d: ingested=%d paths=%d fixes=%d failures=%d repair-lab=%d\n",
 					i, st.Ingested, st.Tree.Paths, st.FixCount, len(st.Failures), st.RepairLab)
 			}
-			fmt.Printf("sessions: evicted=%d\n", h.SessionEvictions())
+			live, frozen := h.SessionCount()
+			fmt.Printf("sessions: live=%d frozen=%d displaced=%d\n", live, frozen, h.SessionEvictions())
+			if ro := h.ReadOnlyPrograms(); ro > 0 {
+				fmt.Printf("READ-ONLY: %d program(s) refusing ingest after journal write failures\n", ro)
+			}
 			if ss := h.ShedStats(); ss != (hive.ShedStats{}) {
 				fmt.Printf("shed: admitted=%d first-sight=%d dup=%d covered=%d deferred=%d\n",
 					ss.Admitted, ss.AdmittedFirstSight, ss.ShedDuplicate, ss.ShedCovered, ss.Deferred)
 			}
 			if as := srv.AdmissionStats(); as != (wire.AdmissionStats{}) {
-				fmt.Printf("admission: busy=%d paced=%d slow-evicted=%d rejected=%d queued=%dB pressure=%.2f\n",
-					as.BusyReplies, as.PacedFrames, as.SlowLorisEvicted, as.ConnsRejected, as.QueuedBytes, as.Pressure)
+				fmt.Printf("admission: busy=%d readonly-busy=%d paced=%d slow-evicted=%d rejected=%d queued=%dB pressure=%.2f\n",
+					as.BusyReplies, as.ReadOnlyBusy, as.PacedFrames, as.SlowLorisEvicted, as.ConnsRejected, as.QueuedBytes, as.Pressure)
+			}
+			if arch != nil {
+				st := arch.Stats()
+				du, _ := store.DiskUsage()
+				fmt.Printf("archive: syncs=%d segments=%d manifests=%d shipped=%dB pruned=%d(%dB) errors=%d local=%dB\n",
+					st.Syncs, st.SegmentsWritten, st.ManifestsWritten, st.BytesWritten, st.ChainsPruned, st.BytesPruned, st.SyncErrors, du)
 			}
 		}
 	}

@@ -30,6 +30,16 @@ var journalGuards = []journalGuard{
 	// frames; marking a session outside those paths would let a crash
 	// acknowledge-and-forget a frame.
 	{callee: "markSession", callers: set("ingest", "ingestView", "applyOp", "mergeSessions")},
+	// PR 10: the read-only breaker's failure accounting wraps every live
+	// batch append. Appending to the journal around the wrapper would let
+	// a full disk fail silently without ever tripping the breaker.
+	{callee: "journalBatchAppend", callers: set("ingest", "ingestView")},
+	// The breaker may only close once a checkpoint has landed durably —
+	// closing it anywhere else would ack ingest into an unproven journal.
+	{callee: "closeReadOnly", callers: set("CheckpointProgram")},
+	// The frozen session tier is only consulted under sessMu during the
+	// live/frozen merge; direct access would race the displacement path.
+	{callee: "entryLocked", callers: set("mergeSessions")},
 }
 
 func set(names ...string) map[string]bool {
@@ -45,9 +55,11 @@ func set(names ...string) map[string]bool {
 var JournalFirst = &Analyzer{
 	Name: "journalfirst",
 	Doc: "in internal/hive, live-mutation helpers (applyBatch, applyBatchView, " +
-		"synthesizeFix, markSession) are reachable only from journaled wrappers " +
-		"(ingest, ingestView) or recovery replay (applyOp); calling them from " +
-		"handlers would apply state a crash forgets",
+		"synthesizeFix, markSession, journalBatchAppend, closeReadOnly, " +
+		"entryLocked) are reachable only from journaled wrappers (ingest, " +
+		"ingestView), recovery replay (applyOp/mergeSessions), or the " +
+		"checkpoint path (CheckpointProgram); calling them from handlers " +
+		"would apply state a crash forgets or bypass the read-only breaker",
 	Run: runJournalFirst,
 }
 

@@ -13,7 +13,8 @@ import (
 //     lexically. A return while the lock is (lexically) still held is the
 //     classic early-return leak that deadlocks the next caller.
 //
-//  2. Acquisition order (internal/hive, internal/wire): the hive's
+//  2. Acquisition order (internal/hive, internal/wire, internal/archive):
+//     the hive's
 //     documented order is session-entry lock ≺ checkpoint gate ≺ program
 //     mu ≺ input stripes (kgMu/coordMu); the registry lock (Hive.mu) and
 //     the session-table lock (Hive.sessMu) are leaves never held across
@@ -23,7 +24,9 @@ import (
 //     dispatching into the hive may hold a wire lock across hive
 //     acquisitions, never the reverse. The admission layer's locks
 //     (admissionState.mu for the token-bucket table, connState.qMu for
-//     queued-byte accounting) are leaves like Hive.mu. Acquiring against
+//     queued-byte accounting) are leaves like Hive.mu, and so is the
+//     archiver's sync lock (Archiver.mu) — tiering must never couple
+//     itself to the ingest path's lock graph. Acquiring against
 //     that order within one function is an inversion that can deadlock
 //     the sharded fleet.
 //
@@ -32,11 +35,11 @@ import (
 var LockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
 	Doc: "every Lock() must be released (defer or explicit unlock) before a " +
-		"lexically later return, and internal/hive + internal/wire lock " +
-		"classes must be acquired in documented order (Router.mu ≺ " +
-		"Server.placeMu ≺ Client.mu ≺ session ≺ ckpt ≺ mu ≺ stripes; " +
-		"Hive.mu/sessMu and the admission locks admissionState.mu/" +
-		"connState.qMu are leaves)",
+		"lexically later return, and internal/hive + internal/wire + " +
+		"internal/archive lock classes must be acquired in documented order " +
+		"(Router.mu ≺ Server.placeMu ≺ Client.mu ≺ session ≺ ckpt ≺ mu ≺ " +
+		"stripes; Hive.mu/sessMu, the admission locks admissionState.mu/" +
+		"connState.qMu, and the archiver sync lock Archiver.mu are leaves)",
 	Run: runLockDiscipline,
 }
 
@@ -65,6 +68,12 @@ var lockRank = map[string]int{
 	// and byte accounting never call back into any other ranked class.
 	"admissionState.mu": 50,
 	"connState.qMu":     50,
+	// PR 10 archive tier: the archiver's sync lock is held across a whole
+	// program sync (export → upload → manifest → prune). The journal's
+	// internal locks are unranked, so that is safe — but holding it across
+	// any ranked hive/wire acquisition would couple disk tiering to the
+	// ingest path's lock graph. Leaf.
+	"Archiver.mu": 50,
 }
 
 // lockEvent is one lexical lock-relevant occurrence inside a function.
@@ -206,7 +215,8 @@ func lockClass(info *types.Info, lockExpr ast.Expr) string {
 		return ""
 	}
 	pkg := owner.Obj().Pkg()
-	if !pkgMatches(pkg, "internal/hive") && !pkgMatches(pkg, "internal/wire") {
+	if !pkgMatches(pkg, "internal/hive") && !pkgMatches(pkg, "internal/wire") &&
+		!pkgMatches(pkg, "internal/archive") {
 		return ""
 	}
 	return owner.Obj().Name() + "." + sel.Sel.Name

@@ -1,0 +1,47 @@
+// Package archive seeds lockdiscipline violations against a miniature
+// stand-in for the PR 10 archiver: its sync lock (Archiver.mu) is a leaf
+// held across a whole program sync, and because the journal's internal
+// locks are unranked that is safe — but it must never be held across any
+// ranked hive/wire acquisition.
+package archive
+
+import "sync"
+
+// Archiver mirrors the real background tiering loop's sync lock.
+type Archiver struct {
+	mu     sync.Mutex
+	synced int
+}
+
+// Hive is a stand-in for the live registry the archiver exports from;
+// only its leaf lock matters here.
+type Hive struct {
+	mu sync.RWMutex
+}
+
+// syncClean runs a whole sync under the leaf alone. Clean.
+func (a *Archiver) syncClean() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.synced++
+}
+
+// syncThenRegistry holds the archiver leaf across the registry leaf.
+// Finding expected.
+func syncThenRegistry(a *Archiver, h *Hive) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h.mu.RLock()
+	h.mu.RUnlock()
+	a.synced++
+}
+
+// syncLeaks can return with the sync lock still held. Finding expected.
+func (a *Archiver) syncLeaks(cond bool) int {
+	a.mu.Lock()
+	if cond {
+		return a.synced
+	}
+	a.mu.Unlock()
+	return 0
+}

@@ -43,10 +43,13 @@ func (h *Hive) markSession(id string) {}
 
 func (h *Hive) mergeSessions(a, b string) {
 	h.markSession(a)
+	_ = h.entryLocked(b)
 }
 
-// ingest is a sanctioned journaled wrapper. Clean.
+// ingest is a sanctioned journaled wrapper; it appends through the
+// breaker-accounted wrapper before applying. Clean.
 func (h *Hive) ingest(st *programState) {
+	_ = h.journalBatchAppend(st)
 	h.markSession("s")
 	h.applyBatch(st)
 }
@@ -84,4 +87,35 @@ func (h *Hive) touchSession(id string) {
 func (h *Hive) replayHook(st *programState) {
 	//lint:allow journalfirst test-only replay hook; never reachable in production
 	h.applyBatch(st)
+}
+
+// journalBatchAppend mirrors the PR 10 breaker-accounted append wrapper.
+func (h *Hive) journalBatchAppend(st *programState) error { return nil }
+
+// closeReadOnly mirrors the breaker close; only a landed checkpoint may
+// call it.
+func (st *programState) closeReadOnly() {}
+
+// entryLocked mirrors the frozen-tier session lookup under sessMu.
+func (h *Hive) entryLocked(id string) *sessionEntry { return nil }
+
+// CheckpointProgram is the sanctioned breaker-close path. Clean.
+func (h *Hive) CheckpointProgram(st *programState) {
+	st.closeReadOnly()
+}
+
+// rawAppend bypasses the breaker's failure accounting. Finding expected.
+func (h *Hive) rawAppend(st *programState) {
+	_ = h.journalBatchAppend(st)
+}
+
+// forceWritable closes the breaker without a checkpoint. Finding expected.
+func (h *Hive) forceWritable(st *programState) {
+	st.closeReadOnly()
+}
+
+// peekFrozen reads the frozen tier outside the merge path. Finding
+// expected.
+func (h *Hive) peekFrozen(id string) *sessionEntry {
+	return h.entryLocked(id)
 }

@@ -322,6 +322,7 @@ func (h *Hive) CheckpointProgram(programID string) error {
 			// intact, so nothing acknowledged can fall between snapshots.
 			st.tree.ResetDelta()
 			st.deltasSince++
+			h.closeReadOnly(st)
 			return nil
 		}
 	}
@@ -337,7 +338,18 @@ func (h *Hive) CheckpointProgram(programID string) error {
 	st.tree.SetDeltaTracking(true) // fresh boundary over the new base
 	st.hasBase = true
 	st.deltasSince = 0
+	h.closeReadOnly(st)
 	return nil
+}
+
+// closeReadOnly closes a program's journal breaker after a checkpoint
+// landed durably: the disk demonstrably takes writes again, and the
+// checkpoint rotated away any poisoned journal generation.
+func (h *Hive) closeReadOnly(st *programState) {
+	st.appendFails.Store(0)
+	if st.readOnly.Swap(false) && h.Logf != nil {
+		h.Logf("hive: program %s: checkpoint landed; read-only breaker closed, ingest resumes", st.prog.ID)
+	}
 }
 
 // snapshotProgramMeta serializes everything in one program's durable state

@@ -35,6 +35,7 @@ import (
 	"repro/internal/fix"
 	"repro/internal/guidance"
 	"repro/internal/journal"
+	"repro/internal/pod"
 	"repro/internal/prog"
 	"repro/internal/proof"
 	"repro/internal/symbolic"
@@ -95,6 +96,15 @@ type programState struct {
 	hasBase     bool
 	deltasSince int
 
+	// readOnly is the journal breaker: latched after
+	// readOnlyAppendThreshold consecutive batch-append failures (disk
+	// full, dead device), it refuses further ingest with pod.ErrReadOnly
+	// while guidance reads keep working, and clears when a checkpoint
+	// lands durably (the disk is writable again). appendFails counts the
+	// consecutive failures.
+	readOnly    atomic.Bool
+	appendFails atomic.Int32
+
 	// failures stripes per-signature bookkeeping so a single hot program's
 	// failure traffic does not serialize on mu (it synchronizes internally).
 	failures failureTable
@@ -131,9 +141,12 @@ type programState struct {
 // maxCoordinatedFamilies bounds the fragment buffer per program.
 const maxCoordinatedFamilies = 4096
 
-// maxSessions bounds the exactly-once dedup table. Least-recently-used
-// sessions are evicted past the bound; an evicted session degrades to
-// at-least-once on its next resubmission (documented wire contract).
+// maxSessions bounds the *live cache* of the exactly-once dedup table, not
+// the table itself: past the bound, least-recently-used sessions are frozen
+// into the unbounded overflow tier with their windows intact and thaw back
+// on their next frame. Cache displacement never loses dedup state — the
+// window is exactly-once for arbitrarily many sessions (it is checkpointed
+// and archived with program state), the bound only caps LRU bookkeeping.
 const maxSessions = 4096
 
 // maxSessionAhead bounds one session's out-of-order applied set. If a
@@ -154,7 +167,10 @@ type sessionEntry struct {
 	// mu serializes the dedup-check + journaled-apply of one session's
 	// frames. Without it, a frame resent on a new connection while the old
 	// connection's worker is still draining its queue could race the
-	// original past the applied check and double-ingest.
+	// original past the applied check and double-ingest. The serialization
+	// is sound because a session maps to ONE entry object for the hive's
+	// lifetime: freezing moves the object between tiers, never replaces it,
+	// so every submitter for a session contends on the same mutex.
 	mu sync.Mutex
 
 	// base, ahead, and touched are guarded by the hive's sessMu.
@@ -182,18 +198,21 @@ type Hive struct {
 	// never sees inconsistently typed values.
 	durabilityErr atomic.Pointer[error]
 
-	// sessions is the exactly-once dedup table for wire resubmission:
-	// session ID -> highest applied frame sequence number. Frames at or
-	// below the high-water mark were already ingested (possibly by journal
-	// replay after a crash) and are acknowledged without re-applying.
+	// sessions is the live cache of the exactly-once dedup table for wire
+	// resubmission (session ID -> exact applied-seq window), LRU-bounded to
+	// maxSessions; frozen is the unbounded overflow tier that displaced
+	// entries move to with their windows intact. A session's entry object
+	// migrates between the two maps but is never dropped or replaced, so
+	// dedup stays exactly-once no matter how many sessions the fleet has
+	// seen. Both maps are guarded by sessMu.
 	sessMu    sync.Mutex
 	sessions  map[string]*sessionEntry
+	frozen    map[string]*sessionEntry
 	sessClock uint64
-	// sessEvictions counts sessions LRU-evicted from the dedup table. Every
-	// eviction silently degrades that client to at-least-once on its next
-	// resubmission, so operators need to see it happening: the counter is
-	// surfaced via SessionEvictions (cmd/hive reports it in periodic stats)
-	// and the first eviction warns through Logf.
+	// sessEvictions counts live-cache displacements into the frozen tier.
+	// Purely a cache statistic (surfaced via SessionEvictions and the
+	// cmd/hive stats line): a displaced session keeps its full dedup
+	// window and thaws on its next frame — no correctness loss.
 	sessEvictions atomic.Int64
 
 	// shedPolicy, pressure, and shed make up the rarity-priced load shedder
@@ -221,6 +240,7 @@ func New(salt string) *Hive {
 		programs:     make(map[string]*programState),
 		salt:         salt,
 		sessions:     make(map[string]*sessionEntry),
+		frozen:       make(map[string]*sessionEntry),
 		compactEvery: defaultCompactEvery,
 	}
 }
@@ -447,8 +467,8 @@ func (h *Hive) ingestView(st *programState, v *trace.BatchView, session string, 
 		// returning, so Raw never outlives the pooled frame.
 		//lint:allow viewescape Raw is consumed (copied to the WAL buffer) before Append returns; the op does not outlive the frame
 		op := &journal.Op{Kind: journal.OpBatchColumnar, Session: session, Seq: seq, Raw: v.Bytes()}
-		if err := h.journal.Append(st.prog.ID, op); err != nil {
-			return fmt.Errorf("hive: journal %s: %w", st.prog.ID, err)
+		if err := h.journalBatchAppend(st, op); err != nil {
+			return err
 		}
 	}
 	h.applyBatchView(st, v, true)
@@ -486,8 +506,8 @@ func (h *Hive) ingest(st *programState, batch []*trace.Trace, session string, se
 			encoded[i] = trace.Encode(tr)
 		}
 		op := &journal.Op{Kind: journal.OpBatch, Session: session, Seq: seq, Traces: encoded}
-		if err := h.journal.Append(st.prog.ID, op); err != nil {
-			return fmt.Errorf("hive: journal %s: %w", st.prog.ID, err)
+		if err := h.journalBatchAppend(st, op); err != nil {
+			return err
 		}
 	}
 	h.applyBatch(st, batch, true)
@@ -814,6 +834,58 @@ func (h *Hive) journalSynthesis(st *programState, signature string, minted *fix.
 	}
 }
 
+// readOnlyAppendThreshold is how many consecutive batch-append failures a
+// program absorbs before its journal breaker opens. One failure can be a
+// transient (a torn write the journal rolled back); a run of them means the
+// disk is full or gone, and every retried batch would burn a write cycle to
+// fail again.
+const readOnlyAppendThreshold = 3
+
+// journalBatchAppend is the batch path's write-ahead append with the
+// read-only breaker wrapped around it: an open breaker refuses the batch
+// immediately with pod.ErrReadOnly (no disk touch), a failed append counts
+// toward opening it, and a successful append resets the count. Only a
+// durably landed checkpoint closes an open breaker (see CheckpointProgram) —
+// proof the disk takes writes again.
+func (h *Hive) journalBatchAppend(st *programState, op *journal.Op) error {
+	if st.readOnly.Load() {
+		return fmt.Errorf("hive: program %s refuses ingest (guidance still served): %w", st.prog.ID, pod.ErrReadOnly)
+	}
+	if err := h.journal.Append(st.prog.ID, op); err != nil {
+		if st.appendFails.Add(1) >= readOnlyAppendThreshold {
+			if !st.readOnly.Swap(true) && h.Logf != nil {
+				h.Logf("hive: program %s: %d consecutive journal append failures (%v); flipping read-only — guidance is still served, ingest refused until a checkpoint lands", st.prog.ID, readOnlyAppendThreshold, err)
+			}
+		}
+		return fmt.Errorf("hive: journal %s: %w", st.prog.ID, err)
+	}
+	st.appendFails.Store(0)
+	return nil
+}
+
+// ProgramReadOnly reports whether a program's journal breaker is open
+// (ingest refused with pod.ErrReadOnly, guidance reads served).
+func (h *Hive) ProgramReadOnly(programID string) bool {
+	st, err := h.state(programID)
+	if err != nil {
+		return false
+	}
+	return st.readOnly.Load()
+}
+
+// ReadOnlyPrograms counts programs whose journal breaker is currently open.
+func (h *Hive) ReadOnlyPrograms() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	n := 0
+	for _, st := range h.programs {
+		if st.readOnly.Load() {
+			n++
+		}
+	}
+	return n
+}
+
 // noteDurability latches the first non-batch journal failure.
 func (h *Hive) noteDurability(err error) {
 	h.durabilityErr.CompareAndSwap(nil, &err)
@@ -829,16 +901,22 @@ func (h *Hive) DurabilityError() error {
 	return nil
 }
 
-// sessionFor returns (creating if needed) a session's dedup entry, touching
-// it for LRU and evicting the least-recently-used session past the table
-// bound. An evicted session that reappears starts a fresh entry — it
-// degrades to at-least-once on resubmission, the documented wire contract.
+// sessionFor returns a session's dedup entry, touching it for LRU: a hit in
+// the live cache, a thaw from the frozen tier, or a fresh entry for a
+// never-seen session. Past the live-cache bound the least-recently-used
+// entry is frozen — moved, window intact, into the unbounded overflow tier —
+// so displacement is a cache event, not a correctness event.
 func (h *Hive) sessionFor(session string) *sessionEntry {
 	h.sessMu.Lock()
-	evicted := ""
+	frozeOne := false
 	h.sessClock++
 	e, ok := h.sessions[session]
 	if !ok {
+		if e, ok = h.frozen[session]; ok {
+			delete(h.frozen, session) // thaw: same object, window intact
+		} else {
+			e = &sessionEntry{}
+		}
 		if len(h.sessions) >= maxSessions {
 			var victim string
 			oldest := uint64(math.MaxUint64)
@@ -847,29 +925,37 @@ func (h *Hive) sessionFor(session string) *sessionEntry {
 					oldest, victim = se.touched, id
 				}
 			}
+			h.frozen[victim] = h.sessions[victim]
 			delete(h.sessions, victim)
-			evicted = victim
+			frozeOne = true
 		}
-		e = &sessionEntry{}
 		h.sessions[session] = e
 	}
 	e.touched = h.sessClock
 	h.sessMu.Unlock()
-	if evicted != "" {
-		// Count (and warn once) outside sessMu: Logf is user code.
+	if frozeOne {
+		// Count (and note once) outside sessMu: Logf is user code.
 		if h.sessEvictions.Add(1) == 1 && h.Logf != nil {
-			h.Logf("hive: session dedup table full (%d sessions): evicted least-recently-used session %q; evicted clients degrade to at-least-once on resubmission", maxSessions, evicted)
+			h.Logf("hive: session dedup live cache full (%d sessions): freezing least-recently-used sessions to the overflow tier; dedup windows are preserved and exactly-once is unaffected", maxSessions)
 		}
 	}
 	return e
 }
 
-// SessionEvictions returns how many sessions have been LRU-evicted from
-// the exactly-once dedup table since this hive started. A non-zero value
-// means some clients have degraded to at-least-once; size the session
-// table (or drain the fleet) accordingly.
+// SessionEvictions returns how many live-cache displacements the session
+// dedup table has performed: sessions frozen to the overflow tier with
+// their windows intact. High churn is a cache-sizing signal only — frozen
+// sessions thaw on their next frame and exactly-once semantics hold for
+// arbitrarily many sessions.
 func (h *Hive) SessionEvictions() int64 {
 	return h.sessEvictions.Load()
+}
+
+// SessionCount returns the dedup table's live-cache and frozen-tier sizes.
+func (h *Hive) SessionCount() (live, frozen int) {
+	h.sessMu.Lock()
+	defer h.sessMu.Unlock()
+	return len(h.sessions), len(h.frozen)
 }
 
 // sessionApplied reports whether seq is in the entry's applied window.
@@ -951,17 +1037,20 @@ func (h *Hive) markSessionBase(session string, base uint64) {
 	compactWindowLocked(e)
 }
 
-// sessionSnapshot copies the dedup table for a checkpoint: the contiguous
-// base per session, plus any out-of-order applied marks above it.
+// sessionSnapshot copies the dedup table — both the live cache and the
+// frozen tier — for a checkpoint: the contiguous base per session, plus any
+// out-of-order applied marks above it. Because frozen sessions are included,
+// the persisted window is unbounded: a checkpoint + archive round-trip
+// preserves exactly-once for every session the hive has ever deduped.
 func (h *Hive) sessionSnapshot() (map[string]uint64, map[string][]uint64) {
 	h.sessMu.Lock()
 	defer h.sessMu.Unlock()
-	if len(h.sessions) == 0 {
+	if len(h.sessions) == 0 && len(h.frozen) == 0 {
 		return nil, nil
 	}
-	bases := make(map[string]uint64, len(h.sessions))
+	bases := make(map[string]uint64, len(h.sessions)+len(h.frozen))
 	var ahead map[string][]uint64
-	for id, e := range h.sessions {
+	snap := func(id string, e *sessionEntry) {
 		bases[id] = e.base
 		if len(e.ahead) > 0 {
 			if ahead == nil {
@@ -975,21 +1064,50 @@ func (h *Hive) sessionSnapshot() (map[string]uint64, map[string][]uint64) {
 			ahead[id] = marks
 		}
 	}
+	for id, e := range h.sessions {
+		snap(id, e)
+	}
+	for id, e := range h.frozen {
+		snap(id, e)
+	}
 	return bases, ahead
 }
 
 // mergeSessions folds recovered dedup windows into the table (union-merge:
 // applied marks only ever accumulate, so merging snapshot and replayed-op
-// views in any order converges).
+// views in any order converges). Recovered sessions land in the frozen
+// tier rather than churning the live cache — a fleet-scale recovery merges
+// far more sessions than the cache holds, and each thaws on first use.
 func (h *Hive) mergeSessions(bases map[string]uint64, ahead map[string][]uint64) {
+	h.sessMu.Lock()
+	defer h.sessMu.Unlock()
 	for id, base := range bases {
-		h.markSessionBase(id, base)
-	}
-	for id, marks := range ahead {
-		for _, seq := range marks {
-			h.markSession(id, seq)
+		e := h.entryLocked(id)
+		if base > e.base {
+			e.base = base
+			compactWindowLocked(e)
 		}
 	}
+	for id, marks := range ahead {
+		e := h.entryLocked(id)
+		for _, seq := range marks {
+			markAppliedLocked(e, seq)
+		}
+	}
+}
+
+// entryLocked finds a session's entry in either tier without LRU-touching
+// it, creating it frozen when the session is new. Callers hold sessMu.
+func (h *Hive) entryLocked(id string) *sessionEntry {
+	if e, ok := h.sessions[id]; ok {
+		return e
+	}
+	if e, ok := h.frozen[id]; ok {
+		return e
+	}
+	e := &sessionEntry{}
+	h.frozen[id] = e
+	return e
 }
 
 // synthesizeInputGuard derives a danger-zone guard from the failing trace's

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/archive"
 	"repro/internal/journal"
 	"repro/internal/prog"
 )
@@ -119,4 +120,29 @@ func ExportFromStore(store *journal.Store, corpus []*prog.Program, salt string) 
 		out[id] = snap
 	}
 	return out, nil
+}
+
+// ExportFromArchive is cold-standby recovery (PR 10): rebuild a dead
+// hive's programs with nothing but the archive store — its process gone,
+// its data directory deleted. The archived chains are materialized into a
+// journal-compatible scratch directory and recovered through the exact
+// same journal.Open + Recover path a reboot from local disk takes, so
+// archive recovery is disk recovery by construction; the exports then feed
+// ImportProgram on the surviving hives. The scratch store stays attached
+// to the scratch hive — close it only after the exports are consumed.
+func ExportFromArchive(obj archive.ObjectStore, scratchDir string, corpus []*prog.Program, salt string) (map[string]*journal.ProgramSnapshot, *journal.Store, error) {
+	if _, err := archive.Materialize(obj, nil, scratchDir); err != nil {
+		return nil, nil, fmt.Errorf("hive: cold-standby materialize: %w", err)
+	}
+	store, err := journal.Open(scratchDir, journal.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("hive: cold-standby open: %w", err)
+	}
+	store.SetChainFetcher(archive.ChainFetcher(obj))
+	out, err := ExportFromStore(store, corpus, salt)
+	if err != nil {
+		_ = store.Close()
+		return nil, nil, err
+	}
+	return out, store, nil
 }

@@ -10,10 +10,12 @@ import (
 	"repro/internal/trace"
 )
 
-// TestSessionEvictionCounter forces the dedup table past its LRU bound and
-// checks the eviction counter and the warn-once log: past maxSessions
-// distinct sessions, every new session evicts exactly one victim, and the
-// first eviction (only the first) warns through Logf.
+// TestSessionEvictionCounter forces the dedup table past its live-cache
+// bound and checks the displacement counter and the note-once log: past
+// maxSessions distinct sessions, every new session freezes exactly one LRU
+// victim to the overflow tier, the first displacement (only the first)
+// notes through Logf — and, the PR 10 contract, a displaced session keeps
+// its full applied window when it thaws.
 func TestSessionEvictionCounter(t *testing.T) {
 	h := New("fleet")
 	var warnings []string
@@ -24,25 +26,31 @@ func TestSessionEvictionCounter(t *testing.T) {
 		h.markSession(fmt.Sprintf("sess-%d", i), 1)
 	}
 	if got := h.SessionEvictions(); got != 0 {
-		t.Fatalf("evictions before the table is full: %d", got)
+		t.Fatalf("displacements before the cache is full: %d", got)
 	}
 	const extra = 5
 	for i := 0; i < extra; i++ {
 		h.markSession(fmt.Sprintf("overflow-%d", i), 1)
 	}
 	if got := h.SessionEvictions(); got != extra {
-		t.Fatalf("evictions = %d, want %d", got, extra)
+		t.Fatalf("displacements = %d, want %d", got, extra)
+	}
+	if live, frozen := h.SessionCount(); live != maxSessions || frozen != extra {
+		t.Fatalf("tier sizes: live=%d frozen=%d, want %d/%d", live, frozen, maxSessions, extra)
 	}
 	if len(warnings) != 1 {
-		t.Fatalf("first eviction should warn exactly once, got %d warnings: %v", len(warnings), warnings)
+		t.Fatalf("first displacement should note exactly once, got %d notes: %v", len(warnings), warnings)
 	}
-	if !strings.Contains(warnings[0], "at-least-once") {
-		t.Fatalf("warning should name the degradation: %q", warnings[0])
+	if !strings.Contains(warnings[0], "exactly-once is unaffected") {
+		t.Fatalf("note should state that dedup is preserved: %q", warnings[0])
 	}
-	// The evicted session (sess-0 was least recently used) restarts fresh:
-	// its old marks are gone, so its frames re-apply (at-least-once).
-	if h.sessionApplied(h.sessionFor("sess-0"), 1) {
-		t.Fatal("evicted session retained its applied window")
+	// The displaced session (sess-0 was least recently used) thaws with its
+	// window intact: its acked seq still dedups — exactly-once, unbounded.
+	if !h.sessionApplied(h.sessionFor("sess-0"), 1) {
+		t.Fatal("displaced session lost its applied window")
+	}
+	if live, frozen := h.SessionCount(); live != maxSessions || frozen != extra {
+		t.Fatalf("thaw changed totals wrong: live=%d frozen=%d", live, frozen)
 	}
 }
 

@@ -1,0 +1,337 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the journal's archive-tier surface (PR 10): a program's
+// on-disk chain can be exported as raw bytes for bundling into archive
+// segments (ExportChain), its local base/delta files pruned against a disk
+// budget once they are archived (PruneChain — a tether marker stands in for
+// them), and a pruned chain rehydrated on demand through an injected
+// fetcher (SetChainFetcher) so recovery and re-homing read the same bytes
+// whether they live locally or in the archive store.
+
+// ChainExport is one program's raw on-disk durable state at a consistent
+// cut: the base snapshot file bytes, each delta segment's file bytes, and
+// the current journal's framed records (header stripped, torn tail
+// trimmed — always record-aligned, so every byte is an acknowledged,
+// CRC-valid record).
+type ChainExport struct {
+	ProgramID string
+	HasBase   bool
+	BaseGen   uint64
+	Base      []byte
+	Deltas    []ChainDelta
+	WALGen    uint64
+	// WAL is the validated framed-record region of the current journal
+	// generation (everything after the header, up to the last CRC-valid
+	// record boundary).
+	WAL []byte
+	// Tethered reports that the chain is pruned to the archive tier: the
+	// base and any delta generations absent from this export exist only in
+	// the archive store, and a consumer rebuilding archive metadata must
+	// carry those generations forward rather than treat them as gone.
+	Tethered bool
+}
+
+// ChainDelta is one delta segment's generation and raw file bytes.
+type ChainDelta struct {
+	Gen  uint64
+	Data []byte
+}
+
+// ExportChain captures a program's chain under its log lock — a consistent
+// cut relative to appends and checkpoints. Chains pruned to the archive
+// tier are exported without rehydration: the caller (the archiver) already
+// holds those generations. Returns nil for a program with no persisted
+// state at all.
+func (s *Store) ExportChain(programID string) (*ChainExport, error) {
+	pl := s.log(programID)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	out := &ChainExport{ProgramID: programID, WALGen: pl.gen, Tethered: pl.tethered}
+	if pl.hasBase && !pl.tethered {
+		data, err := s.fs.ReadFile(s.snapPath(pl.key, pl.baseGen))
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("journal: export %s base: %w", programID, err)
+		}
+		if err == nil {
+			out.HasBase, out.BaseGen, out.Base = true, pl.baseGen, data
+		}
+	} else if pl.tethered {
+		out.HasBase, out.BaseGen = pl.hasBase, pl.baseGen
+	}
+	for _, dg := range pl.deltas {
+		data, err := s.fs.ReadFile(s.deltaPath(pl.key, dg))
+		if errors.Is(err, os.ErrNotExist) && pl.tethered {
+			continue // pruned delta: the archive tier already holds it
+		}
+		if err != nil {
+			return nil, fmt.Errorf("journal: export %s delta %d: %w", programID, dg, err)
+		}
+		out.Deltas = append(out.Deltas, ChainDelta{Gen: dg, Data: data})
+	}
+	walData, err := s.fs.ReadFile(s.walPath(pl.key, pl.gen))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("journal: export %s wal: %w", programID, err)
+	}
+	if err == nil {
+		id, body, herr := splitWALHeader(walData)
+		switch {
+		case herr != nil:
+			// Torn header: the creation write never completed, so the file
+			// holds no acked records — export an empty WAL region.
+		case id != programID:
+			return nil, fmt.Errorf("%w: journal for %q found under key of %q", ErrCorrupt, id, programID)
+		default:
+			valid, _ := ScanRecords(body)
+			out.WAL = body[:valid]
+		}
+	}
+	if !out.HasBase && len(out.Deltas) == 0 && len(out.WAL) == 0 && pl.gen == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// PruneChain deletes a program's local base and delta files once the
+// archive tier holds them, leaving a tether marker in their place so the
+// chain stays loadable (through the store's fetcher). The caller asserts
+// exactly which generations it archived; a chain that moved on since (a
+// concurrent checkpoint) is left alone — prune again after the next sync.
+// The live journal is never pruned. Returns the bytes freed.
+func (s *Store) PruneChain(programID string, baseGen uint64, deltaGens []uint64) (int64, error) {
+	pl := s.log(programID)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if !pl.hasBase || pl.tethered || pl.baseGen != baseGen || len(pl.deltas) != len(deltaGens) {
+		return 0, nil
+	}
+	for i, dg := range pl.deltas {
+		if deltaGens[i] != dg {
+			return 0, nil
+		}
+	}
+	tm := tetherMarker{ProgramID: programID, BaseGen: pl.baseGen, Deltas: append([]uint64(nil), pl.deltas...)}
+	body, err := json.Marshal(&tm)
+	if err != nil {
+		return 0, fmt.Errorf("journal: prune %s: %w", programID, err)
+	}
+	// The marker lands durably before anything is deleted: a crash between
+	// the two leaves a loadable (merely un-pruned) chain either way.
+	if err := writeFileAtomic(s.fs, s.tetherPath(pl.key), body); err != nil {
+		return 0, fmt.Errorf("journal: prune %s: %w", programID, err)
+	}
+	var freed int64
+	remove := func(path string) {
+		if f, err := s.fs.OpenFile(path, os.O_RDONLY, 0); err == nil {
+			if st, err := f.Stat(); err == nil {
+				freed += st.Size()
+			}
+			_ = f.Close()
+		}
+		_ = s.fs.Remove(path)
+	}
+	remove(s.snapPath(pl.key, pl.baseGen))
+	for _, dg := range pl.deltas {
+		remove(s.deltaPath(pl.key, dg))
+	}
+	pl.tethered = true
+	return freed, nil
+}
+
+// SetChainFetcher installs the archive-tier rehydration hook: loading a
+// pruned (tethered) chain calls fn for the program's archived bytes and
+// writes the missing generations back locally before reading them. The
+// archive package's ChainFetcher adapts an ObjectStore to this signature.
+func (s *Store) SetChainFetcher(fn func(programID string) (*ChainExport, error)) {
+	s.mu.Lock()
+	s.fetcher = fn
+	s.mu.Unlock()
+}
+
+// rehydrateLocked restores a tethered chain's pruned files from the archive
+// tier through the injected fetcher. Only generations missing locally are
+// written; the tether is cleared once the chain is whole again.
+func (s *Store) rehydrateLocked(pl *progLog, programID string) error {
+	s.mu.Lock()
+	fetch := s.fetcher
+	s.mu.Unlock()
+	if fetch == nil {
+		return fmt.Errorf("journal: chain for %s is pruned to the archive tier and no chain fetcher is installed", programID)
+	}
+	exp, err := fetch(programID)
+	if err != nil {
+		return fmt.Errorf("journal: rehydrate %s: %w", programID, err)
+	}
+	if exp == nil || exp.ProgramID != programID {
+		return fmt.Errorf("%w: archive returned chain for %q, want %q", ErrCorrupt, exportID(exp), programID)
+	}
+	if pl.hasBase {
+		if !exp.HasBase || exp.BaseGen != pl.baseGen {
+			return fmt.Errorf("%w: archive chain for %s has base gen %d, local tether expects %d", ErrCorrupt, programID, exp.BaseGen, pl.baseGen)
+		}
+		path := s.snapPath(pl.key, pl.baseGen)
+		if _, err := s.fs.ReadFile(path); errors.Is(err, os.ErrNotExist) {
+			if _, err := decodeSnapshot(exp.Base, "archived base"); err != nil {
+				return err
+			}
+			if err := writeFileAtomic(s.fs, path, exp.Base); err != nil {
+				return fmt.Errorf("journal: rehydrate %s: %w", programID, err)
+			}
+		}
+	}
+	fetched := make(map[uint64][]byte, len(exp.Deltas))
+	for _, d := range exp.Deltas {
+		fetched[d.Gen] = d.Data
+	}
+	for _, dg := range pl.deltas {
+		path := s.deltaPath(pl.key, dg)
+		if _, err := s.fs.ReadFile(path); !errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		data, ok := fetched[dg]
+		if !ok {
+			return fmt.Errorf("%w: archive chain for %s is missing delta gen %d", ErrCorrupt, programID, dg)
+		}
+		if _, err := decodeSnapshot(data, "archived delta"); err != nil {
+			return err
+		}
+		if err := writeFileAtomic(s.fs, path, data); err != nil {
+			return fmt.Errorf("journal: rehydrate %s: %w", programID, err)
+		}
+	}
+	_ = s.fs.Remove(s.tetherPath(pl.key))
+	pl.tethered = false
+	return nil
+}
+
+func exportID(exp *ChainExport) string {
+	if exp == nil {
+		return "<nil>"
+	}
+	return exp.ProgramID
+}
+
+// tetherMarker is the on-disk stand-in for a pruned chain: which
+// generations moved to the archive tier (and for which program, so a fully
+// pruned quiescent program still recovers its identity at scan).
+type tetherMarker struct {
+	ProgramID string   `json:"programId"`
+	BaseGen   uint64   `json:"baseGen"`
+	Deltas    []uint64 `json:"deltas,omitempty"`
+}
+
+func (s *Store) tetherPath(key string) string {
+	return filepath.Join(s.dir, "tether-"+key+".json")
+}
+
+// parseTetherName splits "tether-<key>.json".
+func parseTetherName(name string) (key string, ok bool) {
+	if !strings.HasPrefix(name, "tether-") || !strings.HasSuffix(name, ".json") {
+		return "", false
+	}
+	key = strings.TrimSuffix(name[len("tether-"):], ".json")
+	return key, key != ""
+}
+
+func (s *Store) readTether(key string) (*tetherMarker, error) {
+	data, err := s.fs.ReadFile(s.tetherPath(key))
+	if err != nil {
+		return nil, err
+	}
+	var tm tetherMarker
+	if err := json.Unmarshal(data, &tm); err != nil {
+		return nil, fmt.Errorf("%w: tether %s: %v", ErrCorrupt, key, err)
+	}
+	return &tm, nil
+}
+
+// DiskUsage sums the sizes of every file in the data directory — the
+// number the archiver prunes against a disk budget.
+func (s *Store) DiskUsage() (int64, error) {
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("journal: disk usage: %w", err)
+	}
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total, nil
+}
+
+// ChainSize returns the local bytes held by a program's base and delta
+// files (0 when pruned or never checkpointed) — what PruneChain would free.
+func (s *Store) ChainSize(programID string) int64 {
+	pl := s.log(programID)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if !pl.hasBase || pl.tethered {
+		return 0
+	}
+	var total int64
+	add := func(path string) {
+		if f, err := s.fs.OpenFile(path, os.O_RDONLY, 0); err == nil {
+			if st, err := f.Stat(); err == nil {
+				total += st.Size()
+			}
+			_ = f.Close()
+		}
+	}
+	add(s.snapPath(pl.key, pl.baseGen))
+	for _, dg := range pl.deltas {
+		add(s.deltaPath(pl.key, dg))
+	}
+	return total
+}
+
+// FileKey exposes the filename-safe key derived from a program ID, so the
+// archive tier's object keys group by the same identity the journal's
+// files do.
+func FileKey(programID string) string { return fileKey(programID) }
+
+// WALHeader builds the header a journal file for programID starts with —
+// the archive tier prepends it when materializing a journal-compatible
+// data directory from archived WAL chunks.
+func WALHeader(programID string) []byte {
+	hdr := []byte(walMagic)
+	hdr = binary.AppendUvarint(hdr, uint64(len(programID)))
+	return append(hdr, programID...)
+}
+
+// SplitWALHeader validates a journal file's header and returns the program
+// ID it names plus the framed-record region after it.
+func SplitWALHeader(data []byte) (programID string, records []byte, err error) {
+	return splitWALHeader(data)
+}
+
+// ScanRecords walks framed journal records and returns the length of the
+// valid (CRC-checked, whole-record) prefix plus the record count. Archive
+// materialization uses it to trim torn archived chunks exactly the way
+// recovery trims a torn journal tail.
+func ScanRecords(data []byte) (valid int, count int) {
+	rest := data
+	for len(rest) > 0 {
+		_, next, ok := readRecord(rest)
+		if !ok {
+			break
+		}
+		valid += len(rest) - len(next)
+		count++
+		rest = next
+	}
+	return valid, count
+}

@@ -112,6 +112,12 @@ type Options struct {
 	// CommitWorkers goroutines — not one per program — while a few hot
 	// programs still get concurrent (overlapping) fsyncs up to the cap.
 	CommitWorkers int
+
+	// FS routes every file operation the store performs (journals,
+	// snapshots, tether markers). Nil uses the os package directly; tests
+	// inject internal/faultfs here to exercise the durability layers under
+	// torn writes, ENOSPC, failed fsyncs, and crash points.
+	FS FS
 }
 
 // grouped reports whether the options enable the group committer.
@@ -122,6 +128,7 @@ func (o Options) grouped() bool { return o.MaxBatch > 1 || o.GroupWindow > 0 }
 // distinct programs never contend.
 type Store struct {
 	dir        string
+	fs         FS
 	fsync      bool
 	window     time.Duration
 	maxBatch   int
@@ -131,6 +138,10 @@ type Store struct {
 	mu    sync.Mutex
 	progs map[string]*progLog // program ID -> log state
 	byKey map[string]string   // filename key -> program ID
+	// fetcher, when set, rehydrates a pruned (archived) snapshot chain on
+	// demand: LoadChain on a tethered program fetches the missing base and
+	// delta files from the archive tier and writes them back locally.
+	fetcher func(programID string) (*ChainExport, error)
 
 	// Committer pool state: programs with pending records queue here, and
 	// up to maxWorkers committer goroutines (spawned on demand, exiting
@@ -152,7 +163,7 @@ type progLog struct {
 	baseGen uint64 // newest full-snapshot generation
 	hasBase bool
 	deltas  []uint64 // delta generations in (baseGen, gen], ascending
-	f       *os.File // current journal, opened lazily for append
+	f       File     // current journal, opened lazily for append
 	size    int64    // current journal length (the truncate point after a torn write)
 	wbuf    []byte   // reusable group write buffer
 	// broken latches a torn write that could not be truncated away: further
@@ -163,6 +174,10 @@ type progLog struct {
 	// (including any found on disk at scan/replay time); checkpoints reset
 	// it. The hive uses it to skip checkpoints for quiescent programs.
 	appends uint64
+	// tethered marks a chain whose base/delta files were pruned to the
+	// archive tier (a tether marker stands in for them on disk); loads
+	// rehydrate through the store's fetcher before reading.
+	tethered bool
 	// replayed records that Replay ran (or that the program is fresh), so
 	// appends cannot clobber an un-replayed torn tail.
 	replayed bool
@@ -203,11 +218,16 @@ const (
 // Open opens (creating if needed) a data directory and indexes the
 // snapshot/journal files already in it.
 func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	vfs := opts.FS
+	if vfs == nil {
+		vfs = OSFS()
+	}
+	if err := vfs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: open %s: %w", dir, err)
 	}
 	s := &Store{
 		dir:        dir,
+		fs:         vfs,
 		fsync:      opts.Fsync,
 		window:     opts.GroupWindow,
 		maxBatch:   opts.MaxBatch,
@@ -284,7 +304,7 @@ func (s *Store) deltaPath(key string, gen uint64) string {
 // generation is the highest of any file; stale older generations are
 // removed.
 func (s *Store) scan() error {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("journal: scan: %w", err)
 	}
@@ -294,10 +314,22 @@ func (s *Store) scan() error {
 		deltas          []uint64
 	}
 	seen := make(map[string]*genState)
+	tethers := make(map[string]*tetherMarker)
 	for _, e := range entries {
 		name := e.Name()
 		if strings.HasSuffix(name, ".tmp") {
-			_ = os.Remove(filepath.Join(s.dir, name)) // torn snapshot write
+			_ = s.fs.Remove(filepath.Join(s.dir, name)) // torn snapshot write
+			continue
+		}
+		if key, ok := parseTetherName(name); ok {
+			if tm, err := s.readTether(key); err == nil {
+				tethers[key] = tm
+			} else {
+				// An unreadable tether marker is dead weight: the chain it
+				// described is unreachable either way, so drop it rather than
+				// letting it shadow a future chain at the same key.
+				_ = s.fs.Remove(filepath.Join(s.dir, name))
+			}
 			continue
 		}
 		kind, key, gen, ok := parseName(name)
@@ -322,6 +354,23 @@ func (s *Store) scan() error {
 			g.deltas = append(g.deltas, gen)
 		}
 	}
+	// Pruned chains: the tether marker stands in for the base and delta
+	// files it pruned. A local base at or above the tethered one supersedes
+	// the marker (a later full checkpoint compacted the chain locally).
+	for key, tm := range tethers {
+		g := seen[key]
+		if g == nil {
+			g = &genState{}
+			seen[key] = g
+		}
+		if g.hasSnap && g.snapGen >= tm.BaseGen {
+			_ = s.fs.Remove(s.tetherPath(key))
+			delete(tethers, key)
+			continue
+		}
+		g.snapGen, g.hasSnap = tm.BaseGen, true
+		g.deltas = append(g.deltas, tm.Deltas...)
+	}
 	for key, g := range seen {
 		gen := g.walGen
 		if g.hasSnap && g.snapGen > gen {
@@ -335,20 +384,30 @@ func (s *Store) scan() error {
 		}
 		sort.Slice(g.deltas, func(i, j int) bool { return g.deltas[i] < g.deltas[j] })
 		for _, dg := range g.deltas {
-			if !g.hasSnap || dg > g.snapGen {
+			if dg > g.snapGen || !g.hasSnap {
+				if n := len(deltas); n > 0 && deltas[n-1] == dg {
+					continue // a tethered delta that is also still local
+				}
 				deltas = append(deltas, dg)
 			}
 		}
 		pl := &progLog{
-			key:     key,
-			gen:     gen,
-			baseGen: g.snapGen,
-			hasBase: g.hasSnap,
-			deltas:  deltas,
+			key:      key,
+			gen:      gen,
+			baseGen:  g.snapGen,
+			hasBase:  g.hasSnap,
+			deltas:   deltas,
+			tethered: tethers[key] != nil,
 		}
-		id, err := s.programIDFor(pl)
+		id, err := s.programIDFor(pl, tethers[key])
 		if err != nil {
-			return err
+			// Nothing under this key is readable — no valid journal header,
+			// snapshot, delta, or tether. Acked state always leaves at least
+			// one of those durably intact, so these remains are a creation
+			// that never completed; quarantine them instead of refusing to
+			// open the whole store.
+			s.removeKeyFiles(key)
+			continue
 		}
 		pl.id = id
 		s.progs[id] = pl
@@ -359,30 +418,47 @@ func (s *Store) scan() error {
 }
 
 // programIDFor recovers the program ID recorded in a key's newest journal,
-// base snapshot, or delta header (one of them exists at the current chain
-// by construction).
-func (s *Store) programIDFor(pl *progLog) (string, error) {
-	if id, err := readWALHeader(s.walPath(pl.key, pl.gen)); err == nil {
+// base snapshot, delta header, or tether marker (one of them exists at the
+// current chain by construction).
+func (s *Store) programIDFor(pl *progLog, tm *tetherMarker) (string, error) {
+	if id, err := readWALHeader(s.fs, s.walPath(pl.key, pl.gen)); err == nil {
 		return id, nil
 	}
 	if pl.hasBase {
-		if snap, err := readSnapshotFile(s.snapPath(pl.key, pl.baseGen)); err == nil {
+		if snap, err := readSnapshotFile(s.fs, s.snapPath(pl.key, pl.baseGen)); err == nil {
 			return snap.ProgramID, nil
 		}
 	}
 	if n := len(pl.deltas); n > 0 {
-		if snap, err := readSnapshotFile(s.deltaPath(pl.key, pl.deltas[n-1])); err == nil {
+		if snap, err := readSnapshotFile(s.fs, s.deltaPath(pl.key, pl.deltas[n-1])); err == nil {
 			return snap.ProgramID, nil
 		}
 	}
+	if tm != nil && tm.ProgramID != "" {
+		return tm.ProgramID, nil
+	}
 	return "", fmt.Errorf("%w: no readable header for key %s", ErrCorrupt, pl.key)
+}
+
+// removeKeyFiles deletes every chain file under a key whose identity is
+// unrecoverable (scan quarantine).
+func (s *Store) removeKeyFiles(key string) {
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if _, k, _, ok := parseName(e.Name()); ok && k == key {
+			_ = s.fs.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
 }
 
 // cleanStale removes files superseded by the program's current chain:
 // snapshots and deltas below the base, deltas above the base that fell out
 // of the chain, and journals below the current generation.
 func (s *Store) cleanStale(pl *progLog) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return
 	}
@@ -405,7 +481,7 @@ func (s *Store) cleanStale(pl *progLog) {
 			stale = !inChain[g]
 		}
 		if stale {
-			_ = os.Remove(filepath.Join(s.dir, e.Name()))
+			_ = s.fs.Remove(filepath.Join(s.dir, e.Name()))
 		}
 	}
 }
@@ -445,12 +521,18 @@ func (s *Store) LoadSnapshot(programID string) (*ProgramSnapshot, error) {
 	return s.loadBaseLocked(pl, programID)
 }
 
-// loadBaseLocked reads a program's base snapshot (nil when none exists).
+// loadBaseLocked reads a program's base snapshot (nil when none exists),
+// rehydrating a pruned chain from the archive tier first.
 func (s *Store) loadBaseLocked(pl *progLog, programID string) (*ProgramSnapshot, error) {
 	if !pl.hasBase {
 		return nil, nil
 	}
-	base, err := readSnapshotFile(s.snapPath(pl.key, pl.baseGen))
+	if pl.tethered {
+		if err := s.rehydrateLocked(pl, programID); err != nil {
+			return nil, err
+		}
+	}
+	base, err := readSnapshotFile(s.fs, s.snapPath(pl.key, pl.baseGen))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}
@@ -476,7 +558,7 @@ func (s *Store) LoadChain(programID string) (*ProgramSnapshot, []*ProgramSnapsho
 	}
 	deltas := make([]*ProgramSnapshot, 0, len(pl.deltas))
 	for _, dg := range pl.deltas {
-		d, err := readSnapshotFile(s.deltaPath(pl.key, dg))
+		d, err := readSnapshotFile(s.fs, s.deltaPath(pl.key, dg))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -498,7 +580,7 @@ func (s *Store) Replay(programID string, apply func(*Op) error) (int, error) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	path := s.walPath(pl.key, pl.gen)
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		pl.replayed = true
 		return 0, nil
@@ -508,7 +590,15 @@ func (s *Store) Replay(programID string, apply func(*Op) error) (int, error) {
 	}
 	id, body, err := splitWALHeader(data)
 	if err != nil {
-		return 0, err
+		// Torn header: the creation write never completed, so no record in
+		// this file was ever acked. Reset it to empty; the next append
+		// writes a fresh header.
+		if terr := s.fs.Truncate(path, 0); terr != nil {
+			return 0, fmt.Errorf("journal: reset torn wal header of %s: %w", programID, terr)
+		}
+		pl.replayed = true
+		pl.appends = 0
+		return 0, nil
 	}
 	if id != programID {
 		return 0, fmt.Errorf("%w: journal for %q found under key of %q", ErrCorrupt, id, programID)
@@ -532,7 +622,7 @@ func (s *Store) Replay(programID string, apply func(*Op) error) (int, error) {
 		body = rest
 	}
 	if valid < len(data) {
-		if err := os.Truncate(path, int64(valid)); err != nil {
+		if err := s.fs.Truncate(path, int64(valid)); err != nil {
 			return n, fmt.Errorf("journal: truncate torn tail of %s: %w", programID, err)
 		}
 	}
@@ -724,7 +814,7 @@ func (s *Store) writeFramesLocked(pl *progLog, buf []byte) error {
 		return fmt.Errorf("journal: append to %s before Replay", pl.id)
 	}
 	if pl.f == nil {
-		f, size, err := openWAL(s.walPath(pl.key, pl.gen), pl.id)
+		f, size, err := openWAL(s.fs, s.walPath(pl.key, pl.gen), pl.id)
 		if err != nil {
 			return err
 		}
@@ -768,7 +858,7 @@ func (s *Store) Checkpoint(snap *ProgramSnapshot) error {
 	defer pl.mu.Unlock()
 
 	next := pl.gen + 1
-	if err := writeSnapshotFile(s.snapPath(pl.key, next), snap); err != nil {
+	if err := writeSnapshotFile(s.fs, s.snapPath(pl.key, next), snap); err != nil {
 		return err
 	}
 	// New base is durable; switch appends over and drop the old chain.
@@ -776,12 +866,18 @@ func (s *Store) Checkpoint(snap *ProgramSnapshot) error {
 		_ = pl.f.Close()
 		pl.f = nil
 	}
-	_ = os.Remove(s.walPath(pl.key, pl.gen))
+	_ = s.fs.Remove(s.walPath(pl.key, pl.gen))
 	if pl.hasBase {
-		_ = os.Remove(s.snapPath(pl.key, pl.baseGen))
+		_ = s.fs.Remove(s.snapPath(pl.key, pl.baseGen))
 	}
 	for _, dg := range pl.deltas {
-		_ = os.Remove(s.deltaPath(pl.key, dg))
+		_ = s.fs.Remove(s.deltaPath(pl.key, dg))
+	}
+	if pl.tethered {
+		// The fresh full base supersedes the whole archived chain: the
+		// local directory is self-sufficient again.
+		_ = s.fs.Remove(s.tetherPath(pl.key))
+		pl.tethered = false
 	}
 	pl.gen = next
 	pl.baseGen = next
@@ -807,14 +903,14 @@ func (s *Store) CheckpointDelta(snap *ProgramSnapshot) error {
 		return fmt.Errorf("journal: delta checkpoint for %s without a base snapshot", snap.ProgramID)
 	}
 	next := pl.gen + 1
-	if err := writeSnapshotFile(s.deltaPath(pl.key, next), snap); err != nil {
+	if err := writeSnapshotFile(s.fs, s.deltaPath(pl.key, next), snap); err != nil {
 		return err
 	}
 	if pl.f != nil {
 		_ = pl.f.Close()
 		pl.f = nil
 	}
-	_ = os.Remove(s.walPath(pl.key, pl.gen))
+	_ = s.fs.Remove(s.walPath(pl.key, pl.gen))
 	pl.deltas = append(pl.deltas, next)
 	pl.gen = next
 	pl.replayed = true
@@ -855,8 +951,21 @@ func (s *Store) Close() error {
 // openWAL opens (creating with a header if new) a journal for appending,
 // returning its current length. O_APPEND keeps writes landing at the true
 // end of file even after a recovery truncated a torn tail.
-func openWAL(path, programID string) (*os.File, int64, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openWAL(vfs FS, path, programID string) (File, int64, error) {
+	// A header that never finished landing (the creation write torn by a
+	// crash or injected fault) means nothing in this file was ever acked —
+	// a failed header write fails the append that triggered it. Reset such
+	// a file to empty rather than appending records after the torn header,
+	// which would ack writes a recovery scan could never attribute.
+	switch id, err := readWALHeader(vfs, path); {
+	case err == nil && id != programID:
+		return nil, 0, fmt.Errorf("%w: journal for %q found under key of %q", ErrCorrupt, id, programID)
+	case err != nil && errors.Is(err, ErrCorrupt):
+		if terr := vfs.Truncate(path, 0); terr != nil {
+			return nil, 0, fmt.Errorf("journal: reset torn wal header: %w", terr)
+		}
+	}
+	f, err := vfs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, 0, fmt.Errorf("journal: open wal: %w", err)
 	}
@@ -880,8 +989,8 @@ func openWAL(path, programID string) (*os.File, int64, error) {
 }
 
 // readWALHeader returns the program ID recorded in a journal header.
-func readWALHeader(path string) (string, error) {
-	f, err := os.Open(path)
+func readWALHeader(vfs FS, path string) (string, error) {
+	f, err := vfs.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return "", err
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 )
 
 // ProgramSnapshot is one program's full durable state at a checkpoint: the
@@ -124,40 +125,60 @@ func decodeSnapshot(data []byte, where string) (*ProgramSnapshot, error) {
 
 // writeSnapshotFile persists a snapshot atomically: temp file, fsync,
 // rename.
-func writeSnapshotFile(path string, snap *ProgramSnapshot) error {
+func writeSnapshotFile(vfs FS, path string, snap *ProgramSnapshot) error {
 	buf, err := EncodeSnapshot(snap)
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return fmt.Errorf("journal: write snapshot: %w", err)
-	}
-	if _, err := f.Write(buf); err != nil {
-		_ = f.Close()
-		_ = os.Remove(tmp)
-		return fmt.Errorf("journal: write snapshot: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		_ = f.Close()
-		_ = os.Remove(tmp)
-		return fmt.Errorf("journal: sync snapshot: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
-		return fmt.Errorf("journal: close snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		_ = os.Remove(tmp)
-		return fmt.Errorf("journal: install snapshot: %w", err)
+	if err := writeFileAtomic(vfs, path, buf); err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
 	}
 	return nil
 }
 
+// writeFileAtomic lands data at path via the temp-file + fsync + rename
+// dance, so a crash at any point leaves either the old file or the new one —
+// never a torn mix. Snapshots, tether markers, and the archive tier's
+// local object store all rotate through it.
+func writeFileAtomic(vfs FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := vfs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("write %s: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = vfs.Remove(tmp)
+		return fmt.Errorf("write %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = vfs.Remove(tmp)
+		return fmt.Errorf("sync %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Close(); err != nil {
+		_ = vfs.Remove(tmp)
+		return fmt.Errorf("close %s: %w", filepath.Base(path), err)
+	}
+	if err := vfs.Rename(tmp, path); err != nil {
+		_ = vfs.Remove(tmp)
+		return fmt.Errorf("install %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// WriteFileAtomic is writeFileAtomic for packages layered over the journal
+// (the archive tier's local-dir object store): write-temp, fsync, rename.
+func WriteFileAtomic(vfs FS, path string, data []byte) error {
+	if vfs == nil {
+		vfs = OSFS()
+	}
+	return writeFileAtomic(vfs, path, data)
+}
+
 // readSnapshotFile loads and validates a snapshot file.
-func readSnapshotFile(path string) (*ProgramSnapshot, error) {
-	data, err := os.ReadFile(path)
+func readSnapshotFile(vfs FS, path string) (*ProgramSnapshot, error) {
+	data, err := vfs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,15 @@ import (
 // in-handler pacing (legacy clients).
 var ErrDeferred = errors.New("pod: ingest deferred under overload")
 
+// ErrReadOnly reports that the backend has flipped a program to read-only
+// after persistent journal write failures (disk full, dead device): the
+// batch was NOT applied and resubmitting it will keep failing until the
+// disk recovers — unlike ErrDeferred, this is not transient backpressure.
+// Guidance reads still work. hive.Hive wraps it when a program's journal
+// breaker opens; wire.Server maps it to MsgBusy (reason "readonly") for
+// negotiated clients and a hard error for legacy ones.
+var ErrReadOnly = errors.New("pod: backend read-only after journal write failure")
+
 // PressureSink is an optional backend extension letting the transport
 // install a load-pressure gauge: a function returning the current ingest
 // pressure in [0, 1] (0 = idle, 1 = at the configured queue budget). The

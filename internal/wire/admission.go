@@ -101,6 +101,11 @@ type AdmissionStats struct {
 	// ConnsRejected counts accepts closed immediately at the MaxConns /
 	// MaxHalfOpen caps.
 	ConnsRejected int64
+	// ReadOnlyBusy counts submissions refused because the backend flipped
+	// read-only after persistent journal write failures. Maintained on the
+	// Server itself and merged in by AdmissionStats, so it reports even
+	// when admission control is not configured.
+	ReadOnlyBusy int64
 	// QueuedBytes is the current server-wide queued ingest payload.
 	QueuedBytes int64
 	// Pressure is QueuedBytes normalized by the TotalQueueBytes budget

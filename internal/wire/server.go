@@ -86,6 +86,13 @@ type Server struct {
 
 	// adm is the runtime admission state, built from Admission at Listen.
 	adm *admissionState
+
+	// readOnlyBusy counts submissions refused because the backend flipped a
+	// program read-only after persistent journal write failures (disk full,
+	// dying device). It lives on the Server — not admissionState — because
+	// the read-only breaker is a durability condition, not an overload one:
+	// it must be reported even when admission control is not configured.
+	readOnlyBusy atomic.Int64
 }
 
 // connState is per-connection negotiated state shared between a
@@ -208,10 +215,14 @@ func (s *Server) Listen(addr string) (string, error) {
 // AdmissionStats snapshots the admission-control counters (zero value
 // when no Admission config is armed).
 func (s *Server) AdmissionStats() AdmissionStats {
-	if s.adm == nil {
-		return AdmissionStats{}
+	var st AdmissionStats
+	if s.adm != nil {
+		st = s.adm.stats()
 	}
-	return s.adm.stats()
+	// The read-only breaker reports even on servers without admission
+	// control: it signals disk faults, not overload.
+	st.ReadOnlyBusy = s.readOnlyBusy.Load()
+	return st
 }
 
 func (s *Server) acceptLoop() {
@@ -582,9 +593,30 @@ func (s *Server) admitBatch(cs *connState, w io.Writer, session string, n int) (
 // in-handler retry for legacy clients, after which a still-deferred batch
 // surfaces as an ordinary error ack and the client's at-least-once retry
 // machinery parks it.
+//
+// pod.ErrReadOnly — the backend's journal breaker after persistent disk
+// write failures — also maps to MsgBusy for FeatureBusy clients, but with
+// no in-handler retry for legacy ones: read-only persists until an
+// operator-visible checkpoint lands, so sleeping and resubmitting inside
+// the handler cannot help. Legacy clients get the error ack immediately
+// and their own retry machinery (with backoff) carries the frame.
 func (s *Server) submitShed(cs *connState, w io.Writer, fn func() (bool, error)) (dup bool, err error, handled bool, werr error) {
 	dup, err = fn()
-	if err == nil || !errors.Is(err, pod.ErrDeferred) {
+	if err == nil || (!errors.Is(err, pod.ErrDeferred) && !errors.Is(err, pod.ErrReadOnly)) {
+		return dup, err, false, nil
+	}
+	if errors.Is(err, pod.ErrReadOnly) {
+		s.readOnlyBusy.Add(1)
+		if cs != nil && cs.busy.Load() {
+			hint := defaultRetryAfter
+			if s.adm != nil {
+				hint = s.adm.cfg.RetryAfter
+			}
+			return false, nil, true, s.reply(w, MsgBusy, BusyPayload{
+				RetryAfterMs: int64(hint / time.Millisecond),
+				Reason:       err.Error(),
+			})
+		}
 		return dup, err, false, nil
 	}
 	hint := defaultRetryAfter
