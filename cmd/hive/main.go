@@ -27,11 +27,14 @@
 package main
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -49,6 +52,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hive:", err)
 		os.Exit(1)
 	}
+}
+
+// writerID loads (creating on first boot) this replica's archive writer
+// name, persisted alongside its journal. Each replica owns its data dir, so
+// a random ID stored there is unique across the fleet without coordination
+// and stable across restarts.
+func writerID(dataDir string) (string, error) {
+	path := filepath.Join(dataDir, "writer-id")
+	if b, err := os.ReadFile(path); err == nil {
+		if id := strings.TrimSpace(string(b)); id != "" {
+			return id, nil
+		}
+	}
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "", fmt.Errorf("writer id: %w", err)
+	}
+	id := "w-" + hex.EncodeToString(buf[:])
+	if err := os.WriteFile(path, []byte(id+"\n"), 0o644); err != nil {
+		return "", fmt.Errorf("writer id: %w", err)
+	}
+	return id, nil
 }
 
 func run(args []string) error {
@@ -128,8 +153,18 @@ func run(args []string) error {
 			// data dir pruned to tether markers rehydrates chains from the
 			// archive during recovery.
 			store.SetChainFetcher(archive.ChainFetcher(obj))
+			// The writer name must be unique per replica — manifests are
+			// keyed by it and replicas must never overwrite each other's —
+			// so it cannot come from the -addr flag (two replicas behind
+			// different hosts may share the default). A random ID persisted
+			// in the data dir is unique by construction and stable across
+			// restarts, so a rebooted archiver resumes its own manifests.
+			writer, err := writerID(*dataDir)
+			if err != nil {
+				return err
+			}
 			arch = archive.New(store, obj, archive.Options{
-				Writer:     *addr,
+				Writer:     writer,
 				DiskBudget: *diskBudget,
 			})
 		} else if *diskBudget > 0 {

@@ -267,6 +267,56 @@ func TestPruneAndRehydrate(t *testing.T) {
 	}
 }
 
+// TestTetheredSyncKeepsNewestDelta: after CheckpointDelta the newest
+// delta's generation *equals* the WAL generation, so a sync on a pruned
+// (tethered) chain with no intervening checkpoint — exactly what an archive
+// tick between snapshot intervals does — must carry that delta forward in
+// the manifest. Dropping it would amputate the archived chain's newest
+// generation and break every rehydration and cold-standby rebuild after it.
+func TestTetheredSyncKeepsNewestDelta(t *testing.T) {
+	dir := t.TempDir()
+	s := seedStore(t, dir)
+	defer s.Close()
+	obj, err := NewDirStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetChainFetcher(ChainFetcher(obj))
+	arc := New(s, obj, Options{Writer: "w1", DiskBudget: 1})
+	if err := arc.SyncAll(); err != nil { // archive, then prune every chain
+		t.Fatal(err)
+	}
+	// prog-2's newest delta sits at the current WAL generation (seedStore
+	// runs CheckpointDelta last). Grow the journal without a checkpoint and
+	// sync the now-tethered chain again.
+	const id = "prog-2"
+	if err := s.Append(id, batchOp("boot", 7, "post-prune")); err != nil {
+		t.Fatal(err)
+	}
+	if err := arc.SyncProgram(id); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(obj, id)
+	if err != nil {
+		t.Fatalf("load after tethered sync: %v", err)
+	}
+	found := false
+	for _, d := range got.Deltas {
+		found = found || d.Gen == got.WALGen
+	}
+	if !found {
+		t.Fatalf("archived chain lost the delta at WAL generation %d: %+v", got.WALGen, got.Deltas)
+	}
+	// The store must still rehydrate the full chain through that manifest.
+	base, deltas, err := s.LoadChain(id)
+	if err != nil {
+		t.Fatalf("rehydrate after tethered sync: %v", err)
+	}
+	if base == nil || len(deltas) == 0 {
+		t.Fatalf("rehydrated chain incomplete: base=%v deltas=%d", base, len(deltas))
+	}
+}
+
 // TestPruneWithoutFetcherFails: a pruned chain without an installed fetcher
 // must refuse to load — never silently return an empty program.
 func TestPruneWithoutFetcherFails(t *testing.T) {

@@ -253,8 +253,12 @@ func (a *Archiver) desiredDeltasLocked(st *progState, exp *journal.ChainExport, 
 		want = append(want, ManifestDelta{Gen: d.Gen, Key: deltaKey(fk, d.Gen, contentHash(d.Data))})
 	}
 	if exp.Tethered {
+		// Deltas live in (baseGen, gen]: after CheckpointDelta the newest
+		// delta's generation *equals* the WAL generation, so the upper bound
+		// is inclusive — dropping a pruned delta at exp.WALGen would amputate
+		// the chain's newest archived generation.
 		for _, d := range st.deltas {
-			if !exported[d.Gen] && d.Gen > exp.BaseGen && d.Gen < exp.WALGen {
+			if !exported[d.Gen] && d.Gen > exp.BaseGen && d.Gen <= exp.WALGen {
 				want = append(want, d)
 			}
 		}

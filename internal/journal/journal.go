@@ -72,6 +72,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -401,11 +402,17 @@ func (s *Store) scan() error {
 		}
 		id, err := s.programIDFor(pl, tethers[key])
 		if err != nil {
-			// Nothing under this key is readable — no valid journal header,
-			// snapshot, delta, or tether. Acked state always leaves at least
-			// one of those durably intact, so these remains are a creation
-			// that never completed; quarantine them instead of refusing to
-			// open the whole store.
+			if !errors.Is(err, ErrCorrupt) {
+				// A probe hit a transient I/O error (EIO on an intact file):
+				// the chain may be perfectly valid, so refuse to open the
+				// store rather than quarantine acked state off a flaky read.
+				return fmt.Errorf("journal: scan: %w", err)
+			}
+			// Nothing under this key is readable — every probe found the
+			// journal header, snapshot, delta, and tether missing or corrupt.
+			// Acked state always leaves at least one of those durably intact,
+			// so these remains are a creation that never completed; quarantine
+			// them instead of refusing to open the whole store.
 			s.removeKeyFiles(key)
 			continue
 		}
@@ -419,23 +426,41 @@ func (s *Store) scan() error {
 
 // programIDFor recovers the program ID recorded in a key's newest journal,
 // base snapshot, delta header, or tether marker (one of them exists at the
-// current chain by construction).
+// current chain by construction). The returned error wraps ErrCorrupt only
+// when every probe found its file missing, empty, or corrupt — the scan's
+// quarantine condition; a transient read failure (EIO on an intact file)
+// propagates as-is so the caller refuses to open rather than deletes.
 func (s *Store) programIDFor(pl *progLog, tm *tetherMarker) (string, error) {
-	if id, err := readWALHeader(s.fs, s.walPath(pl.key, pl.gen)); err == nil {
+	var transient error
+	probeFailed := func(err error) {
+		if transient == nil && !errors.Is(err, os.ErrNotExist) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, io.EOF) {
+			transient = err
+		}
+	}
+	id, err := readWALHeader(s.fs, s.walPath(pl.key, pl.gen))
+	if err == nil {
 		return id, nil
 	}
+	probeFailed(err)
 	if pl.hasBase {
-		if snap, err := readSnapshotFile(s.fs, s.snapPath(pl.key, pl.baseGen)); err == nil {
+		snap, err := readSnapshotFile(s.fs, s.snapPath(pl.key, pl.baseGen))
+		if err == nil {
 			return snap.ProgramID, nil
 		}
+		probeFailed(err)
 	}
 	if n := len(pl.deltas); n > 0 {
-		if snap, err := readSnapshotFile(s.fs, s.deltaPath(pl.key, pl.deltas[n-1])); err == nil {
+		snap, err := readSnapshotFile(s.fs, s.deltaPath(pl.key, pl.deltas[n-1]))
+		if err == nil {
 			return snap.ProgramID, nil
 		}
+		probeFailed(err)
 	}
 	if tm != nil && tm.ProgramID != "" {
 		return tm.ProgramID, nil
+	}
+	if transient != nil {
+		return "", fmt.Errorf("journal: identify key %s: %w", pl.key, transient)
 	}
 	return "", fmt.Errorf("%w: no readable header for key %s", ErrCorrupt, pl.key)
 }

@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -496,5 +497,88 @@ func TestDeltaCheckpointChain(t *testing.T) {
 	}
 	if base == nil || string(base.Tree) != "base2" || len(deltas) != 0 {
 		t.Fatalf("after compaction: base=%v deltas=%d", base, len(deltas))
+	}
+}
+
+// eioFS wraps an FS and fails OpenFile on matching names with EIO — a
+// transient read failure on an intact disk, not corruption.
+type eioFS struct {
+	FS
+	substr string
+}
+
+func (f eioFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if strings.Contains(name, f.substr) {
+		return nil, &os.PathError{Op: "open", Path: name, Err: syscall.EIO}
+	}
+	return f.FS.OpenFile(name, flag, perm)
+}
+
+// TestScanTransientReadErrorRefusesOpen: a flaky disk at open time (EIO on
+// an intact journal) must refuse to open the store — never quarantine the
+// key, which would permanently delete acked durable state. Only keys whose
+// every identity probe comes back missing/corrupt are quarantined.
+func TestScanTransientReadErrorRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := s.Append("prog-a", batchOp("boot", seq, "t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen behind an FS that EIOs every journal open: the scan's identity
+	// probe hits the transient error and the open must fail.
+	if _, err := Open(dir, Options{FS: eioFS{FS: OSFS(), substr: "wal-"}}); err == nil {
+		t.Fatal("open over a flaky disk succeeded; acked journal may have been quarantined")
+	}
+
+	// The acked journal must still be on disk, and a healthy reopen must
+	// recover every record.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("healthy reopen: %v", err)
+	}
+	defer s2.Close()
+	if got := collect(t, s2, "prog-a"); len(got) != 3 {
+		t.Fatalf("recovered %d ops after transient-error open, want 3", len(got))
+	}
+}
+
+// TestScanQuarantinesUnreadableRemains: a key whose files are all torn or
+// empty (a creation that never completed — no acked record can live there)
+// is still quarantined rather than failing the whole open.
+func TestScanQuarantinesUnreadableRemains(t *testing.T) {
+	dir := t.TempDir()
+	// An empty journal (header never landed) and a garbage snapshot under
+	// the same key: no probe can recover an identity.
+	if err := os.WriteFile(filepath.Join(dir, "wal-deadbeef00000000-1.log"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snap-deadbeef00000000-1.snap"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with unreadable remains: %v", err)
+	}
+	defer s.Close()
+	if progs := s.Programs(); len(progs) != 0 {
+		t.Fatalf("quarantined key surfaced programs: %v", progs)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), "deadbeef") {
+			t.Fatalf("quarantined file %s left behind", e.Name())
+		}
 	}
 }
